@@ -1,0 +1,173 @@
+//! Criterion micro-benchmarks for the workspace's performance-critical
+//! kernels: the analog VMM, array programming, weight mapping/quantization,
+//! software training steps and the sign-based tuning primitive.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use memaging::crossbar::{Crossbar, DifferentialCrossbar, TiledMatrix, WeightMapping};
+use memaging::dataset::{Dataset, SyntheticSpec};
+use memaging::device::{AgedWindow, ArrheniusAging, DeviceSpec, Memristor, Ohms, Quantizer};
+use memaging::nn::{models, Mode, NoRegularizer, Sgd};
+use memaging::tensor::{init, ops, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = init::gaussian([128, 128], 0.0, 1.0, &mut rng);
+    let b = init::gaussian([128, 128], 0.0, 1.0, &mut rng);
+    c.bench_function("tensor/matmul_128", |bench| {
+        bench.iter(|| ops::matmul(black_box(&a), black_box(&b)).expect("valid dims"))
+    });
+}
+
+fn bench_vmm(c: &mut Criterion) {
+    let mut xbar =
+        Crossbar::new(128, 128, DeviceSpec::default(), ArrheniusAging::default()).expect("valid");
+    let targets = Tensor::full([128, 128], 5.0e-5);
+    xbar.program_conductances(&targets).expect("programmable");
+    let input: Vec<f32> = (0..128).map(|i| (i as f32 * 0.1).sin()).collect();
+    c.bench_function("crossbar/vmm_128x128", |bench| {
+        bench.iter(|| xbar.vmm(black_box(&input)).expect("valid input"))
+    });
+}
+
+fn bench_tiled_vmm(c: &mut Criterion) {
+    let mut tiled = TiledMatrix::new(
+        256,
+        256,
+        128,
+        DeviceSpec::default(),
+        ArrheniusAging::default(),
+    )
+    .expect("valid");
+    tiled.program_conductances(&Tensor::full([256, 256], 5.0e-5)).expect("programmable");
+    let input: Vec<f32> = (0..256).map(|i| (i as f32 * 0.1).cos()).collect();
+    c.bench_function("crossbar/tiled_vmm_256x256_tile128", |bench| {
+        bench.iter(|| tiled.vmm(black_box(&input)).expect("valid input"))
+    });
+}
+
+fn bench_programming(c: &mut Criterion) {
+    let spec = DeviceSpec::default();
+    c.bench_function("crossbar/program_64x64", |bench| {
+        bench.iter_batched(
+            || Crossbar::new(64, 64, spec, ArrheniusAging::default()).expect("valid"),
+            |mut xbar| {
+                xbar.program_conductances(&Tensor::full([64, 64], 2.0e-5)).expect("programmable")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_device_pulse(c: &mut Criterion) {
+    c.bench_function("device/pulse_cycle", |bench| {
+        bench.iter_batched(
+            || Memristor::new(DeviceSpec::default(), ArrheniusAging::default()).expect("valid"),
+            |mut m| {
+                for _ in 0..64 {
+                    let _ = m.pulse(1);
+                    let _ = m.pulse(-1);
+                }
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_mapping_quantization(c: &mut Criterion) {
+    let spec = DeviceSpec::default();
+    let window = AgedWindow { r_min: spec.r_min, r_max: spec.r_max };
+    let mut rng = StdRng::seed_from_u64(2);
+    let weights = init::gaussian([4096], 0.0, 0.2, &mut rng);
+    let mapping =
+        WeightMapping::from_weights_percentile(weights.as_slice(), window, 0.005).expect("valid");
+    let quantizer = Quantizer::from_spec(&spec).expect("valid");
+    c.bench_function("mapping/map_quantize_4096", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0f64;
+            for &w in weights.as_slice() {
+                let g = mapping.weight_to_conductance(black_box(w) as f64);
+                let r = quantizer.quantize(Ohms::new(1.0 / g).expect("positive"));
+                acc += r.value();
+            }
+            acc
+        })
+    });
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut data = Dataset::gaussian_blobs(&SyntheticSpec::small(4, 3)).expect("valid spec");
+    data.normalize();
+    let batch = data.batch_matrix(0, 32);
+    let labels: Vec<usize> = data.batch_labels(0, 32).to_vec();
+    let mut net = models::mlp(&[144, 32, 4], &mut StdRng::seed_from_u64(4)).expect("valid dims");
+    let mut opt = Sgd::new(0.05, 0.9).expect("valid");
+    c.bench_function("nn/train_step_mlp_batch32", |bench| {
+        bench.iter(|| {
+            net.train_step(black_box(&batch), black_box(&labels)).expect("valid batch");
+            opt.step(&mut net, &NoRegularizer).expect("consistent");
+        })
+    });
+}
+
+fn bench_conv_forward(c: &mut Criterion) {
+    let mut net =
+        models::lenet5_scaled(1, 10, &mut StdRng::seed_from_u64(5)).expect("valid dims");
+    let input = Tensor::full([8, 144], 0.3);
+    c.bench_function("nn/lenet_scaled_forward_batch8", |bench| {
+        bench.iter(|| net.forward(black_box(&input), Mode::Eval).expect("valid input"))
+    });
+}
+
+fn bench_noisy_vmm(c: &mut Criterion) {
+    let mut xbar =
+        Crossbar::new(128, 128, DeviceSpec::default(), ArrheniusAging::default()).expect("valid");
+    xbar.program_conductances(&Tensor::full([128, 128], 5.0e-5)).expect("programmable");
+    let input: Vec<f32> = (0..128).map(|i| (i as f32 * 0.1).sin()).collect();
+    let mut rng = StdRng::seed_from_u64(7);
+    c.bench_function("crossbar/vmm_noisy_128x128", |bench| {
+        bench.iter(|| xbar.vmm_noisy(black_box(&input), 0.01, &mut rng).expect("valid input"))
+    });
+}
+
+fn bench_ir_drop_vmm(c: &mut Criterion) {
+    let mut xbar =
+        Crossbar::new(128, 128, DeviceSpec::default(), ArrheniusAging::default()).expect("valid");
+    xbar.program_conductances(&Tensor::full([128, 128], 5.0e-5)).expect("programmable");
+    let input: Vec<f32> = (0..128).map(|i| (i as f32 * 0.1).cos()).collect();
+    c.bench_function("crossbar/vmm_ir_drop_128x128", |bench| {
+        bench.iter(|| xbar.vmm_with_ir_drop(black_box(&input), 1.0).expect("valid input"))
+    });
+}
+
+fn bench_differential_vmm(c: &mut Criterion) {
+    let mut pair =
+        DifferentialCrossbar::new(128, 128, DeviceSpec::default(), ArrheniusAging::default())
+            .expect("valid");
+    let mut rng = StdRng::seed_from_u64(8);
+    let weights = init::gaussian([128, 128], 0.0, 0.2, &mut rng);
+    pair.program_weights(&weights).expect("programmable");
+    let input: Vec<f32> = (0..128).map(|i| (i as f32 * 0.2).sin()).collect();
+    c.bench_function("crossbar/differential_vmm_128x128", |bench| {
+        bench.iter(|| pair.vmm(black_box(&input)).expect("valid input"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_vmm,
+    bench_tiled_vmm,
+    bench_programming,
+    bench_device_pulse,
+    bench_mapping_quantization,
+    bench_train_step,
+    bench_conv_forward,
+    bench_noisy_vmm,
+    bench_ir_drop_vmm,
+    bench_differential_vmm,
+);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Runs every table/figure experiment in paper order by spawning the
+//! sibling binaries. Prefer the individual binaries while iterating.
+//!
+//! ```text
+//! cargo run --release -p memaging-bench --bin exp_all
+//! ```
+
+use std::process::Command;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let exe = std::env::current_exe()?;
+    let dir = exe.parent().expect("binary lives in a directory").to_path_buf();
+    let order = [
+        "exp_fig3", "exp_fig4", "exp_fig6", "exp_fig7", "exp_fig9", "exp_fig10", "exp_fig11",
+        "exp_table2", "exp_ablation", "exp_table1",
+    ];
+    for name in order {
+        let path = dir.join(name);
+        if !path.exists() {
+            eprintln!("skipping {name}: binary not built (run `cargo build --release -p memaging-bench --bins`)");
+            continue;
+        }
+        let status = Command::new(&path).status()?;
+        if !status.success() {
+            return Err(format!("{name} failed with {status}").into());
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! **Fig. 7** — the two-segment regularization of skewed training: the
+//! strong left penalty `R1(W)` and weak right penalty `R2(W)` around the
+//! reference weight β (eqs. 8–10), drawn over the weight axis.
+//!
+//! ```text
+//! cargo run --release -p memaging-bench --bin exp_fig7
+//! ```
+
+use memaging::nn::{Regularizer, SkewedL2};
+use memaging_bench::banner;
+
+fn main() {
+    banner("Fig. 7: two-segment regularization around the reference weight");
+    let beta = 0.1f32;
+    let reg = SkewedL2::new(vec![beta], 5e-2, 5e-3);
+    println!("beta = {beta}, lambda1 = {} (left), lambda2 = {} (right)\n", 5e-2, 5e-3);
+    println!("{:>8} | {:>12} | {:>10} | curve", "w", "penalty", "gradient");
+    let max_penalty = reg.penalty(0, -0.5f32).max(reg.penalty(0, 0.7));
+    for k in 0..=24 {
+        let w = -0.5 + 1.2 * k as f32 / 24.0;
+        let p = reg.penalty(0, w);
+        let g = reg.grad(0, w);
+        let bar = "#".repeat(((p / max_penalty) * 46.0).round() as usize);
+        let side = if w < beta { "R1" } else { "R2" };
+        println!("{w:>8.3} | {p:>12.6} | {g:>10.4} | {side} {bar}");
+    }
+    println!(
+        "\nleft of beta the penalty rises steeply (weights are pushed out of the\n\
+         small-conductance-unfriendly region); right of beta it rises gently, letting\n\
+         informative large weights survive — producing the skewed bulk of Fig. 6(a)."
+    );
+}

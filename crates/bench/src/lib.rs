@@ -1,0 +1,220 @@
+//! # memaging-bench
+//!
+//! Shared harness utilities for the experiment binaries that regenerate
+//! every table and figure of "Aging-aware Lifetime Enhancement for
+//! Memristor-based Neuromorphic Computing" (DATE 2019). One binary per
+//! exhibit:
+//!
+//! | binary | paper exhibit |
+//! |---|---|
+//! | `exp_table1` | Table I — accuracy and lifetime comparison |
+//! | `exp_table2` | Table II — skewed-training constants |
+//! | `exp_fig3` | Fig. 3 — weight/resistance/conductance distributions |
+//! | `exp_fig4` | Fig. 4 — aged resistance window vs programming stress |
+//! | `exp_fig6` | Fig. 6 — skewed distributions after mapping |
+//! | `exp_fig7` | Fig. 7 — two-segment regularization curves |
+//! | `exp_fig9` | Fig. 9 — skewed VGG layer-3 weight histogram |
+//! | `exp_fig10` | Fig. 10 — tuning iterations vs applications |
+//! | `exp_fig11` | Fig. 11 — conv vs FC aging |
+//! | `exp_ablation` | design-choice sensitivity studies (extra) |
+//! | `exp_all` | all of the above, in order |
+//!
+//! Set `MEMAGING_FAST=1` to run reduced budgets (useful in CI).
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use memaging::tensor::stats::{Histogram, Summary};
+
+/// Returns `true` when the `MEMAGING_FAST` environment variable asks for
+/// reduced experiment budgets.
+pub fn fast_mode() -> bool {
+    std::env::var("MEMAGING_FAST").map(|v| v == "1" || v == "true").unwrap_or(false)
+}
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!("\n{}", "=".repeat(74));
+    println!("{title}");
+    println!("{}", "=".repeat(74));
+}
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        TextTable { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut out = String::from("|");
+            for (w, cell) in widths.iter().zip(cells) {
+                out.push_str(&format!(" {cell:<w$} |"));
+            }
+            out
+        };
+        let sep: String = {
+            let mut out = String::from("+");
+            for w in &widths {
+                out.push_str(&"-".repeat(w + 2));
+                out.push('+');
+            }
+            out
+        };
+        println!("{sep}");
+        println!("{}", line(&self.headers));
+        println!("{sep}");
+        for row in &self.rows {
+            println!("{}", line(row));
+        }
+        println!("{sep}");
+    }
+}
+
+/// Prints an `(x, y)` series as an aligned two-column listing plus a sparkline
+/// bar per point — the text analogue of a paper figure.
+pub fn print_series(x_label: &str, y_label: &str, points: &[(f64, f64)]) {
+    if points.is_empty() {
+        println!("  (no data)");
+        return;
+    }
+    let y_max = points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max).max(1e-12);
+    println!("  {x_label:>14} | {y_label:<12} |");
+    for (x, y) in points {
+        let bar = "#".repeat(((y / y_max) * 40.0).round() as usize);
+        println!("  {x:>14.0} | {y:<12.2} | {bar}");
+    }
+}
+
+/// Prints a histogram of `values` with summary statistics.
+pub fn print_histogram(title: &str, values: &[f32], bins: usize) {
+    let summary = Summary::of(values);
+    println!("{title}");
+    println!("  {summary}");
+    let hist = Histogram::auto(values, bins);
+    for line in hist.render(40).lines() {
+        println!("  {line}");
+    }
+}
+
+/// The directory experiment binaries write CSV artifacts into
+/// (`results/`, next to the workspace root), honouring `MEMAGING_RESULTS`.
+pub fn results_dir() -> PathBuf {
+    std::env::var("MEMAGING_RESULTS").map(PathBuf::from).unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+/// Writes rows of named columns as a CSV artifact under [`results_dir`],
+/// returning the path. Failures are soft (experiments still print their
+/// tables): the error is returned for the caller to log.
+///
+/// # Errors
+///
+/// Returns I/O errors from directory creation or writing.
+pub fn write_csv(
+    name: &str,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "{}", headers.join(","))?;
+    for row in rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(path)
+}
+
+/// Logs a best-effort CSV write, printing where it landed (or why not).
+pub fn save_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    match write_csv(name, headers, rows) {
+        Ok(path) => println!("(series saved to {})", display_path(&path)),
+        Err(e) => eprintln!("(could not save {name}.csv: {e})"),
+    }
+}
+
+fn display_path(p: &Path) -> String {
+    p.display().to_string()
+}
+
+/// Flattens all mappable weights of a network into one vector.
+pub fn all_weights(net: &memaging::nn::Network) -> Vec<f32> {
+    net.weight_matrices().iter().flat_map(|w| w.as_slice().to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_all_rows() {
+        let mut t = TextTable::new(&["a", "bb"]);
+        t.row(&["1".into(), "2".into()]);
+        t.row(&["333".into(), "4".into()]);
+        assert_eq!(t.rows.len(), 2);
+        t.print(); // must not panic
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = TextTable::new(&["a"]);
+        t.row(&["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn fast_mode_reads_env() {
+        // Not set in the test environment by default.
+        if std::env::var("MEMAGING_FAST").is_err() {
+            assert!(!fast_mode());
+        }
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join(format!("memaging-csv-{}", std::process::id()));
+        std::env::set_var("MEMAGING_RESULTS", &dir);
+        let path = write_csv(
+            "unit_test",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a,b\n1,2\n3,4\n");
+        std::env::remove_var("MEMAGING_RESULTS");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn series_and_histogram_smoke() {
+        print_series("x", "y", &[(0.0, 1.0), (1.0, 2.0)]);
+        print_series("x", "y", &[]);
+        print_histogram("h", &[1.0, 2.0, 3.0], 4);
+    }
+}

@@ -1,0 +1,283 @@
+//! `memaging` — command-line front end for the co-optimization framework.
+//!
+//! ```text
+//! memaging scenario quick --strategy all            # run a lifetime study
+//! memaging scenario lenet --strategy stat --seed 3
+//! memaging device                                   # single-cell aging trace
+//! memaging info                                     # scenario inventory
+//! ```
+//!
+//! Arguments are deliberately minimal (no CLI dependency): a subcommand,
+//! then `--key value` pairs.
+
+use memaging::lifetime::{compare_lifetimes, Strategy};
+use memaging::device::{ArrheniusAging, DeviceSpec, Memristor};
+use memaging::Scenario;
+
+/// Parsed command-line request.
+#[derive(Debug, Clone, PartialEq)]
+enum Command {
+    Scenario { name: String, strategy: StrategyArg, seed: Option<u64>, sessions: Option<usize> },
+    Device,
+    Info,
+    Help,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StrategyArg {
+    One(Strategy),
+    All,
+}
+
+fn parse_strategy(s: &str) -> Result<StrategyArg, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "tt" | "t+t" => Ok(StrategyArg::One(Strategy::TT)),
+        "stt" | "st+t" => Ok(StrategyArg::One(Strategy::StT)),
+        "stat" | "st+at" => Ok(StrategyArg::One(Strategy::StAt)),
+        "all" => Ok(StrategyArg::All),
+        other => Err(format!("unknown strategy `{other}` (expected tt|stt|stat|all)")),
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let sub = match it.next() {
+        None => return Ok(Command::Help),
+        Some(s) => s.as_str(),
+    };
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "device" => Ok(Command::Device),
+        "info" => Ok(Command::Info),
+        "scenario" => {
+            let name = it
+                .next()
+                .ok_or("scenario needs a name: quick|lenet|vgg")?
+                .to_string();
+            if !["quick", "lenet", "vgg"].contains(&name.as_str()) {
+                return Err(format!("unknown scenario `{name}` (expected quick|lenet|vgg)"));
+            }
+            let mut strategy = StrategyArg::All;
+            let mut seed = None;
+            let mut sessions = None;
+            while let Some(flag) = it.next() {
+                let value = it.next().ok_or_else(|| format!("flag {flag} needs a value"))?;
+                match flag.as_str() {
+                    "--strategy" => strategy = parse_strategy(value)?,
+                    "--seed" => {
+                        seed = Some(value.parse().map_err(|_| format!("bad seed `{value}`"))?)
+                    }
+                    "--sessions" => {
+                        sessions =
+                            Some(value.parse().map_err(|_| format!("bad sessions `{value}`"))?)
+                    }
+                    other => return Err(format!("unknown flag `{other}`")),
+                }
+            }
+            Ok(Command::Scenario { name, strategy, seed, sessions })
+        }
+        other => Err(format!("unknown command `{other}`; try `memaging help`")),
+    }
+}
+
+fn print_help() {
+    println!(
+        "memaging — aging-aware lifetime enhancement for memristor crossbars (DATE'19)\n\n\
+         USAGE:\n\
+         \u{20}   memaging scenario <quick|lenet|vgg> [--strategy tt|stt|stat|all]\n\
+         \u{20}                                       [--seed N] [--sessions N]\n\
+         \u{20}   memaging device      single-cell aging trajectory (paper Fig. 4)\n\
+         \u{20}   memaging info        list the calibrated scenarios\n\
+         \u{20}   memaging help        this message\n"
+    );
+}
+
+fn scenario_by_name(name: &str) -> Scenario {
+    match name {
+        "lenet" => Scenario::lenet(),
+        "vgg" => Scenario::vgg(),
+        _ => Scenario::quick(),
+    }
+}
+
+fn run_scenario(
+    name: &str,
+    strategy: StrategyArg,
+    seed: Option<u64>,
+    sessions: Option<usize>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut scenario = scenario_by_name(name);
+    if let Some(seed) = seed {
+        scenario.seed = seed;
+        scenario.framework.lifetime.seed = seed;
+    }
+    if let Some(sessions) = sessions {
+        scenario.framework.lifetime.max_sessions = sessions;
+    }
+    println!("scenario: {}", scenario.name);
+    let strategies: Vec<Strategy> = match strategy {
+        StrategyArg::One(s) => vec![s],
+        StrategyArg::All => Strategy::ALL.to_vec(),
+    };
+    let mut results = Vec::new();
+    for s in &strategies {
+        let outcome = scenario.run_strategy(*s)?;
+        println!(
+            "{:>6}: software acc {:.1}%, {} sessions, {} applications (failed: {})",
+            s.label(),
+            100.0 * outcome.software_accuracy,
+            outcome.lifetime.sessions.len(),
+            outcome.lifetime.lifetime_applications,
+            outcome.lifetime.failed,
+        );
+        results.push(outcome.lifetime);
+    }
+    if results.len() > 1 {
+        let cmp = compare_lifetimes(&results);
+        print!("lifetime ratios:");
+        for ((s, _), r) in cmp.entries.iter().zip(&cmp.ratios) {
+            print!("  {}={:.1}x", s.label(), r);
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn run_device() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = DeviceSpec { levels: 8, ..DeviceSpec::default() };
+    let mut cell = Memristor::new(spec, ArrheniusAging::default())?;
+    println!("{:>10} {:>12} {:>12} {:>8}", "pulses", "R_min [kΩ]", "R_max [kΩ]", "levels");
+    loop {
+        let w = cell.aged_window();
+        println!(
+            "{:>10} {:>12.2} {:>12.2} {:>8}",
+            cell.pulse_count(),
+            w.r_min / 1e3,
+            w.r_max / 1e3,
+            cell.usable_levels()
+        );
+        if cell.is_worn_out() {
+            break;
+        }
+        for _ in 0..1000 {
+            if cell.program_to_level(0).is_err() || cell.program_to_level(7).is_err() {
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn run_info() {
+    for scenario in [Scenario::quick(), Scenario::lenet(), Scenario::vgg()] {
+        println!("{}", scenario.name);
+        println!("  model: {}", scenario.framework.model);
+        println!(
+            "  dataset: {} classes x {} samples, {}x{}x{}",
+            scenario.data_spec.classes,
+            scenario.data_spec.samples_per_class,
+            scenario.data_spec.channels,
+            scenario.data_spec.height,
+            scenario.data_spec.width,
+        );
+        println!(
+            "  lifetime: target {:.0}%, <= {} sessions, {} tuning iterations",
+            100.0 * scenario.framework.lifetime.target_accuracy,
+            scenario.framework.lifetime.max_sessions,
+            scenario.framework.lifetime.max_tuning_iterations,
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(Command::Help) => print_help(),
+        Ok(Command::Info) => run_info(),
+        Ok(Command::Device) => {
+            if let Err(e) = run_device() {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        Ok(Command::Scenario { name, strategy, seed, sessions }) => {
+            if let Err(e) = run_scenario(&name, strategy, seed, sessions) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            print_help();
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_help_and_empty() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse_args(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_scenario_with_flags() {
+        let cmd = parse_args(&argv("scenario quick --strategy stat --seed 9 --sessions 5"))
+            .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Scenario {
+                name: "quick".into(),
+                strategy: StrategyArg::One(Strategy::StAt),
+                seed: Some(9),
+                sessions: Some(5),
+            }
+        );
+    }
+
+    #[test]
+    fn defaults_to_all_strategies() {
+        let cmd = parse_args(&argv("scenario lenet")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Scenario {
+                name: "lenet".into(),
+                strategy: StrategyArg::All,
+                seed: None,
+                sessions: None,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&argv("scenario nope")).is_err());
+        assert!(parse_args(&argv("scenario quick --strategy bogus")).is_err());
+        assert!(parse_args(&argv("scenario quick --seed abc")).is_err());
+        assert!(parse_args(&argv("scenario quick --seed")).is_err());
+        assert!(parse_args(&argv("frobnicate")).is_err());
+        assert!(parse_args(&argv("scenario")).is_err());
+    }
+
+    #[test]
+    fn parses_strategy_aliases() {
+        assert_eq!(parse_strategy("T+T").unwrap(), StrategyArg::One(Strategy::TT));
+        assert_eq!(parse_strategy("st+at").unwrap(), StrategyArg::One(Strategy::StAt));
+        assert_eq!(parse_strategy("ALL").unwrap(), StrategyArg::All);
+    }
+
+    #[test]
+    fn device_and_info_parse() {
+        assert_eq!(parse_args(&argv("device")).unwrap(), Command::Device);
+        assert_eq!(parse_args(&argv("info")).unwrap(), Command::Info);
+    }
+}

@@ -1,0 +1,117 @@
+//! Top-level framework error.
+
+use std::error::Error;
+use std::fmt;
+
+use memaging_crossbar::CrossbarError;
+use memaging_dataset::DatasetError;
+use memaging_device::DeviceError;
+use memaging_lifetime::LifetimeError;
+use memaging_nn::NnError;
+use memaging_tensor::TensorError;
+
+/// Any error the co-optimization framework can surface.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameworkError {
+    /// Tensor-level failure.
+    Tensor(TensorError),
+    /// Dataset construction failure.
+    Dataset(DatasetError),
+    /// Network/training failure.
+    Network(NnError),
+    /// Device-model failure.
+    Device(DeviceError),
+    /// Crossbar mapping/tuning failure.
+    Crossbar(CrossbarError),
+    /// Lifetime simulation failure.
+    Lifetime(LifetimeError),
+}
+
+impl fmt::Display for FrameworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameworkError::Tensor(e) => write!(f, "{e}"),
+            FrameworkError::Dataset(e) => write!(f, "{e}"),
+            FrameworkError::Network(e) => write!(f, "{e}"),
+            FrameworkError::Device(e) => write!(f, "{e}"),
+            FrameworkError::Crossbar(e) => write!(f, "{e}"),
+            FrameworkError::Lifetime(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for FrameworkError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FrameworkError::Tensor(e) => Some(e),
+            FrameworkError::Dataset(e) => Some(e),
+            FrameworkError::Network(e) => Some(e),
+            FrameworkError::Device(e) => Some(e),
+            FrameworkError::Crossbar(e) => Some(e),
+            FrameworkError::Lifetime(e) => Some(e),
+        }
+    }
+}
+
+impl From<TensorError> for FrameworkError {
+    fn from(e: TensorError) -> Self {
+        FrameworkError::Tensor(e)
+    }
+}
+
+impl From<DatasetError> for FrameworkError {
+    fn from(e: DatasetError) -> Self {
+        FrameworkError::Dataset(e)
+    }
+}
+
+impl From<NnError> for FrameworkError {
+    fn from(e: NnError) -> Self {
+        FrameworkError::Network(e)
+    }
+}
+
+impl From<DeviceError> for FrameworkError {
+    fn from(e: DeviceError) -> Self {
+        FrameworkError::Device(e)
+    }
+}
+
+impl From<CrossbarError> for FrameworkError {
+    fn from(e: CrossbarError) -> Self {
+        FrameworkError::Crossbar(e)
+    }
+}
+
+impl From<LifetimeError> for FrameworkError {
+    fn from(e: LifetimeError) -> Self {
+        FrameworkError::Lifetime(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_all_layers_with_sources() {
+        let errors: Vec<FrameworkError> = vec![
+            TensorError::RankMismatch { expected: 2, actual: 1, op: "x" }.into(),
+            DatasetError::InvalidConfig { reason: "d".into() }.into(),
+            NnError::InvalidConfig { reason: "n".into() }.into(),
+            DeviceError::ProgramOnDeadDevice.into(),
+            CrossbarError::InvalidMapping { reason: "c".into() }.into(),
+            LifetimeError::InvalidConfig { reason: "l".into() }.into(),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+            assert!(Error::source(&e).is_some());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FrameworkError>();
+    }
+}

@@ -1,0 +1,388 @@
+//! The co-optimization framework of paper Fig. 5: software training
+//! (traditional or skewed) → hardware mapping (fresh or aging-aware) →
+//! online tuning → lifetime evaluation.
+
+use memaging_dataset::Dataset;
+use memaging_device::{ArrheniusAging, DeviceSpec};
+use memaging_lifetime::{run_lifetime, LifetimeConfig, LifetimeResult, Strategy};
+use memaging_nn::{
+    evaluate, train, Network, SkewedL2, TrainConfig, TrainReport, L2,
+};
+
+use crate::error::FrameworkError;
+use crate::model::ModelKind;
+
+/// Skewed-training constants (paper Table II): `βᵢ = c·σᵢ`, penalties
+/// `λ₁` (left of β) and `λ₂` (right of β).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkewParams {
+    /// Reference-weight multiplier `c` in `βᵢ = c·σᵢ`.
+    pub c: f32,
+    /// Left-side penalty `λ₁` (the larger one).
+    pub lambda1: f32,
+    /// Right-side penalty `λ₂`.
+    pub lambda2: f32,
+}
+
+impl Default for SkewParams {
+    fn default() -> Self {
+        // Matches the spirit of the paper's Table II: beta one standard
+        // deviation right of the mean, lambda1 two orders of magnitude above
+        // lambda2. lambda1 must dominate the data gradient for weights left
+        // of beta, otherwise stragglers anchor w_min low and the bulk of the
+        // distribution ends up mid-range after mapping (small-R, high
+        // current) instead of at the large-R end.
+        SkewParams { c: 1.0, lambda1: 3.0e-1, lambda2: 1.0e-3 }
+    }
+}
+
+/// The two-stage training plan of §IV-A: a conventional pre-training pass
+/// (to learn the per-layer σᵢ) followed by skewed refinement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingPlan {
+    /// Epoch budget for the conventional pre-training stage.
+    pub pre_epochs: usize,
+    /// Epoch budget for the skewed refinement stage (ignored for
+    /// traditional training).
+    pub skew_epochs: usize,
+    /// Base hyper-parameters (learning rate, batch, momentum, seed).
+    pub base: TrainConfig,
+    /// Skewed-regularizer constants.
+    pub skew: SkewParams,
+    /// Learning-rate multiplier for the skewed refinement stage (the
+    /// penalty gradient adds to the data gradient, so a lower rate keeps
+    /// the stage stable on small conv nets).
+    pub skew_lr_scale: f32,
+    /// Whether convolutional layers receive the skewed penalty too. The
+    /// paper applies it everywhere at CIFAR scale; at this repository's
+    /// simulation scale the scaled conv layers are small enough that a
+    /// distribution-shaping penalty collapses them, so the conv-substituted
+    /// scenarios keep plain L2 on convolutions (the FC layers hold ~90% of
+    /// the devices). See DESIGN.md §5.
+    pub skew_conv_layers: bool,
+    /// L2 strength used by the traditional (`T`) baseline.
+    pub l2_lambda: f32,
+}
+
+impl Default for TrainingPlan {
+    fn default() -> Self {
+        TrainingPlan {
+            pre_epochs: 10,
+            skew_epochs: 8,
+            base: TrainConfig::default(),
+            skew: SkewParams::default(),
+            skew_lr_scale: 1.0,
+            skew_conv_layers: true,
+            l2_lambda: 1.0e-4,
+        }
+    }
+}
+
+/// The trained outcome of the software stage.
+#[derive(Debug)]
+pub struct TrainedModel {
+    /// The trained network.
+    pub network: Network,
+    /// Report of the (final) training stage.
+    pub report: TrainReport,
+    /// Software accuracy on the training set after all stages.
+    pub software_accuracy: f64,
+    /// Per-layer weight standard deviations after pre-training (the σᵢ the
+    /// skewed stage used), if skewed training ran.
+    pub sigma: Option<Vec<f32>>,
+}
+
+/// Everything measured for one strategy: training + lifetime.
+#[derive(Debug)]
+pub struct StrategyOutcome {
+    /// The strategy.
+    pub strategy: Strategy,
+    /// Software accuracy after training.
+    pub software_accuracy: f64,
+    /// The lifetime simulation result.
+    pub lifetime: LifetimeResult,
+    /// Kinds of the mappable layers (for conv-vs-FC telemetry).
+    pub layer_kinds: Vec<memaging_nn::LayerKind>,
+}
+
+/// The end-to-end co-optimization framework (paper Fig. 5).
+///
+/// # Examples
+///
+/// ```no_run
+/// use memaging::{Framework, ModelKind};
+/// use memaging_dataset::{Dataset, SyntheticSpec};
+/// use memaging_lifetime::Strategy;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut data = Dataset::gaussian_blobs(&SyntheticSpec::small(10, 7))?;
+/// data.normalize();
+/// let framework = Framework::new(ModelKind::Lenet5Scaled { channels: 1, classes: 10 });
+/// let outcome = framework.run_strategy(&data, Strategy::StAt, 42)?;
+/// println!("{}: {} applications", outcome.strategy, outcome.lifetime.lifetime_applications);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Framework {
+    /// The architecture to train and deploy.
+    pub model: ModelKind,
+    /// Device family parameters.
+    pub spec: DeviceSpec,
+    /// Aging model parameters.
+    pub aging: ArrheniusAging,
+    /// Training plan.
+    pub plan: TrainingPlan,
+    /// Lifetime simulation parameters (its `strategy` field is overwritten
+    /// per run).
+    pub lifetime: LifetimeConfig,
+}
+
+impl Framework {
+    /// Creates a framework with default device, aging, training and
+    /// lifetime parameters for `model`.
+    pub fn new(model: ModelKind) -> Self {
+        Framework {
+            model,
+            spec: DeviceSpec::default(),
+            aging: ArrheniusAging::default(),
+            plan: TrainingPlan::default(),
+            lifetime: LifetimeConfig::default(),
+        }
+    }
+
+    /// Runs the software-training stage for `strategy`.
+    ///
+    /// Traditional strategies train once with L2; skewed strategies
+    /// pre-train with L2, derive `βᵢ = c·σᵢ` from the resulting layer
+    /// deviations, and refine with the two-segment penalty (eqs. 8–10).
+    ///
+    /// # Errors
+    ///
+    /// Propagates training errors (divergence, invalid config).
+    pub fn train_model(
+        &self,
+        data: &Dataset,
+        strategy: Strategy,
+        seed: u64,
+    ) -> Result<TrainedModel, FrameworkError> {
+        let mut network = self.model.build(seed)?;
+        let pre_config = TrainConfig { epochs: self.plan.pre_epochs, ..self.plan.base };
+        let l2 = L2::new(self.plan.l2_lambda);
+        let mut report = train(&mut network, data, &pre_config, &l2)?;
+        let baseline_accuracy = evaluate(&mut network, data, self.plan.base.batch_size)?;
+        let mut sigma = None;
+        if strategy.uses_skewed_training() {
+            // The two-segment penalty has a sharp stability boundary on
+            // small networks: slightly too much lambda1 lets the penalty
+            // overpower the (vanishing) data gradient and the distribution
+            // collapses onto beta. Retry with halved penalties — the
+            // equivalent of the per-network constant selection of the
+            // paper's Table II.
+            let mut lambda1 = self.plan.skew.lambda1;
+            let mut lambda2 = self.plan.skew.lambda2;
+            let mut last_err: Option<FrameworkError> = None;
+            for _attempt in 0..3 {
+                let mut candidate = self.model.build(seed)?;
+                train(&mut candidate, data, &pre_config, &l2)?;
+                let stds = candidate.weight_stds();
+                let skewed =
+                    SkewedL2::from_layer_stds(&stds, self.plan.skew.c, lambda1, lambda2);
+                let kinds = candidate.mappable_kinds();
+                let reg = memaging_nn::PerLayer::new(
+                    kinds
+                        .iter()
+                        .map(|kind| {
+                            if *kind == memaging_nn::LayerKind::Convolution
+                                && !self.plan.skew_conv_layers
+                            {
+                                memaging_nn::WeightPenalty::L2(l2)
+                            } else {
+                                memaging_nn::WeightPenalty::Skewed(skewed.clone())
+                            }
+                        })
+                        .collect(),
+                );
+                let skew_config = TrainConfig {
+                    epochs: self.plan.skew_epochs,
+                    learning_rate: self.plan.base.learning_rate * self.plan.skew_lr_scale,
+                    ..self.plan.base
+                };
+                match train(&mut candidate, data, &skew_config, &reg) {
+                    Ok(skew_report) => {
+                        let accuracy =
+                            evaluate(&mut candidate, data, self.plan.base.batch_size)?;
+                        if accuracy >= 0.8 * baseline_accuracy {
+                            network = candidate;
+                            report = skew_report;
+                            sigma = Some(stds);
+                            last_err = None;
+                            break;
+                        }
+                        // Collapsed onto beta: halve the penalty and retry.
+                        last_err = Some(FrameworkError::Network(
+                            memaging_nn::NnError::InvalidConfig {
+                                reason: format!(
+                                    "skewed stage collapsed to accuracy {accuracy:.3} \
+                                     (baseline {baseline_accuracy:.3}) at lambda1 {lambda1}"
+                                ),
+                            },
+                        ));
+                    }
+                    Err(e) => last_err = Some(e.into()),
+                }
+                lambda1 *= 0.5;
+                lambda2 *= 0.5;
+            }
+            if let Some(e) = last_err {
+                return Err(e);
+            }
+        }
+        let software_accuracy = evaluate(&mut network, data, self.plan.base.batch_size)?;
+        Ok(TrainedModel { network, report, software_accuracy, sigma })
+    }
+
+    /// Trains per `strategy` and runs the lifetime simulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training and simulation errors.
+    pub fn run_strategy(
+        &self,
+        data: &Dataset,
+        strategy: Strategy,
+        seed: u64,
+    ) -> Result<StrategyOutcome, FrameworkError> {
+        self.run_strategy_with_calib(data, data, strategy, seed)
+    }
+
+    /// Like [`Framework::run_strategy`], but tunes/evaluates the deployed
+    /// hardware against a separate (typically smaller) calibration set —
+    /// how a real deployment would periodically re-tune.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training and simulation errors.
+    pub fn run_strategy_with_calib(
+        &self,
+        train_data: &Dataset,
+        calib_data: &Dataset,
+        strategy: Strategy,
+        seed: u64,
+    ) -> Result<StrategyOutcome, FrameworkError> {
+        let trained = self.train_model(train_data, strategy, seed)?;
+        let layer_kinds = trained.network.mappable_kinds();
+        let config = LifetimeConfig { strategy, ..self.lifetime };
+        let lifetime =
+            run_lifetime(trained.network, self.spec, self.aging, calib_data, &config)?;
+        Ok(StrategyOutcome {
+            strategy,
+            software_accuracy: trained.software_accuracy,
+            lifetime,
+            layer_kinds,
+        })
+    }
+
+    /// Runs all three paper strategies (`T+T`, `ST+T`, `ST+AT`) with the
+    /// same seed, in Table-I order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first strategy failure.
+    pub fn run_all_strategies(
+        &self,
+        data: &Dataset,
+        seed: u64,
+    ) -> Result<Vec<StrategyOutcome>, FrameworkError> {
+        Strategy::ALL
+            .iter()
+            .map(|&s| self.run_strategy(data, s, seed))
+            .collect()
+    }
+
+    /// Trains with and without the skewed penalty and reports both software
+    /// accuracies — the paper's Table I accuracy-comparison columns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training errors.
+    pub fn accuracy_comparison(
+        &self,
+        data: &Dataset,
+        seed: u64,
+    ) -> Result<(f64, f64), FrameworkError> {
+        let baseline = self.train_model(data, Strategy::TT, seed)?;
+        let skewed = self.train_model(data, Strategy::StT, seed)?;
+        Ok((baseline.software_accuracy, skewed.software_accuracy))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memaging_dataset::SyntheticSpec;
+
+    fn quick_framework() -> Framework {
+        let mut f = Framework::new(ModelKind::Mlp(vec![144, 16, 4]));
+        f.plan.pre_epochs = 6;
+        f.plan.skew_epochs = 5;
+        f.lifetime.max_sessions = 3;
+        f.lifetime.target_accuracy = 0.8;
+        f.lifetime.max_tuning_iterations = 30;
+        f
+    }
+
+    fn data(seed: u64) -> Dataset {
+        let mut d = Dataset::gaussian_blobs(&SyntheticSpec::small(4, seed)).unwrap();
+        d.normalize();
+        d
+    }
+
+    #[test]
+    fn traditional_training_has_no_sigma() {
+        let f = quick_framework();
+        let d = data(1);
+        let t = f.train_model(&d, Strategy::TT, 1).unwrap();
+        assert!(t.sigma.is_none());
+        assert!(t.software_accuracy > 0.8);
+    }
+
+    #[test]
+    fn skewed_training_records_sigma_and_shifts_weights() {
+        let f = quick_framework();
+        let d = data(2);
+        let t = f.train_model(&d, Strategy::StT, 2).unwrap();
+        let sigma = t.sigma.expect("skewed training must record sigma");
+        assert_eq!(sigma.len(), 2);
+        assert!(t.software_accuracy > 0.75, "accuracy {}", t.software_accuracy);
+        // Weight mass should sit right of zero (toward beta > 0).
+        let all: Vec<f32> = t
+            .network
+            .weight_matrices()
+            .iter()
+            .flat_map(|w| w.as_slice().to_vec())
+            .collect();
+        let mean: f32 = all.iter().sum::<f32>() / all.len() as f32;
+        assert!(mean > 0.0, "skewed weights should have positive mean, got {mean}");
+    }
+
+    #[test]
+    fn run_strategy_produces_lifetime() {
+        let f = quick_framework();
+        let d = data(3);
+        let outcome = f.run_strategy(&d, Strategy::StAt, 3).unwrap();
+        assert_eq!(outcome.strategy, Strategy::StAt);
+        assert!(!outcome.lifetime.sessions.is_empty());
+        assert_eq!(outcome.layer_kinds.len(), 2);
+    }
+
+    #[test]
+    fn accuracy_comparison_returns_both() {
+        let f = quick_framework();
+        let d = data(4);
+        let (base, skewed) = f.accuracy_comparison(&d, 4).unwrap();
+        assert!(base > 0.7 && skewed > 0.7);
+        // The paper finds the two within a couple of points of each other.
+        assert!((base - skewed).abs() < 0.2, "base {base} vs skewed {skewed}");
+    }
+}

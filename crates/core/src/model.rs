@@ -1,0 +1,116 @@
+//! Declarative model selection for experiments and examples.
+
+use memaging_nn::{models, Network, NnError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A network architecture the framework can instantiate.
+///
+/// The full-size [`ModelKind::Lenet5`] and [`ModelKind::Vgg16`] match the
+/// paper's evaluation networks structurally; the `*Scaled` variants keep the
+/// same layer topology at simulation-budget width (see `DESIGN.md` §2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelKind {
+    /// A ReLU MLP with the given `[in, hidden..., out]` dimensions.
+    Mlp(Vec<usize>),
+    /// Full LeNet-5 for `channels × 32 × 32` inputs.
+    Lenet5 {
+        /// Input channels.
+        channels: usize,
+        /// Output classes.
+        classes: usize,
+    },
+    /// Scaled LeNet-5 for `channels × 12 × 12` inputs.
+    Lenet5Scaled {
+        /// Input channels.
+        channels: usize,
+        /// Output classes.
+        classes: usize,
+    },
+    /// Full VGG-16 for `channels × 32 × 32` inputs.
+    Vgg16 {
+        /// Input channels.
+        channels: usize,
+        /// Output classes.
+        classes: usize,
+    },
+    /// Scaled VGG-16 for `channels × 16 × 16` inputs.
+    Vgg16Scaled {
+        /// Input channels.
+        channels: usize,
+        /// Output classes.
+        classes: usize,
+    },
+}
+
+impl ModelKind {
+    /// Instantiates the architecture with weights drawn from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder validation errors.
+    pub fn build(&self, seed: u64) -> Result<Network, NnError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match self {
+            ModelKind::Mlp(dims) => models::mlp(dims, &mut rng),
+            ModelKind::Lenet5 { channels, classes } => models::lenet5(*channels, *classes, &mut rng),
+            ModelKind::Lenet5Scaled { channels, classes } => {
+                models::lenet5_scaled(*channels, *classes, &mut rng)
+            }
+            ModelKind::Vgg16 { channels, classes } => models::vgg16(*channels, *classes, &mut rng),
+            ModelKind::Vgg16Scaled { channels, classes } => {
+                models::vgg16_scaled(*channels, *classes, &mut rng)
+            }
+        }
+    }
+
+    /// A short human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::Mlp(_) => "MLP",
+            ModelKind::Lenet5 { .. } => "LeNet-5",
+            ModelKind::Lenet5Scaled { .. } => "LeNet-5 (scaled)",
+            ModelKind::Vgg16 { .. } => "VGG-16",
+            ModelKind::Vgg16Scaled { .. } => "VGG-16 (scaled)",
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_are_seed_deterministic() {
+        let kind = ModelKind::Mlp(vec![8, 4, 2]);
+        let a = kind.build(7).unwrap();
+        let b = kind.build(7).unwrap();
+        assert_eq!(a.weight_matrices(), b.weight_matrices());
+        let c = kind.build(8).unwrap();
+        assert_ne!(a.weight_matrices(), c.weight_matrices());
+    }
+
+    #[test]
+    fn all_kinds_build() {
+        for kind in [
+            ModelKind::Mlp(vec![16, 8, 4]),
+            ModelKind::Lenet5Scaled { channels: 1, classes: 10 },
+            ModelKind::Vgg16Scaled { channels: 1, classes: 100 },
+        ] {
+            let net = kind.build(1).unwrap();
+            assert!(net.num_layers() > 0, "{kind} failed to build");
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ModelKind::Lenet5Scaled { channels: 1, classes: 10 }.to_string(), "LeNet-5 (scaled)");
+        assert_eq!(ModelKind::Vgg16 { channels: 3, classes: 100 }.name(), "VGG-16");
+    }
+}

@@ -1,0 +1,193 @@
+//! Multi-seed statistical studies: run a scenario's strategies across
+//! several seeds and aggregate the lifetime distributions.
+//!
+//! Single-seed lifetime numbers are noisy (drift realizations, training
+//! stochasticity); the paper reports one number per cell, but a credible
+//! reproduction wants the spread. This module is the statistical backbone
+//! of `exp_table1`.
+
+use memaging_lifetime::Strategy;
+
+use crate::error::FrameworkError;
+use crate::scenario::Scenario;
+
+/// Aggregate statistics of one strategy's lifetimes across seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategyStats {
+    /// The strategy.
+    pub strategy: Strategy,
+    /// Lifetime (applications served) per seed, in seed order.
+    pub lifetimes: Vec<u64>,
+    /// Software accuracy per seed.
+    pub accuracies: Vec<f64>,
+    /// Mean lifetime.
+    pub mean: f64,
+    /// Sample standard deviation of the lifetime (0 for a single seed).
+    pub std: f64,
+    /// Smallest lifetime observed.
+    pub min: u64,
+    /// Largest lifetime observed.
+    pub max: u64,
+}
+
+impl StrategyStats {
+    fn from_runs(strategy: Strategy, lifetimes: Vec<u64>, accuracies: Vec<f64>) -> Self {
+        let n = lifetimes.len().max(1) as f64;
+        let mean = lifetimes.iter().map(|&x| x as f64).sum::<f64>() / n;
+        let var = if lifetimes.len() > 1 {
+            lifetimes.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>()
+                / (lifetimes.len() - 1) as f64
+        } else {
+            0.0
+        };
+        StrategyStats {
+            strategy,
+            min: lifetimes.iter().copied().min().unwrap_or(0),
+            max: lifetimes.iter().copied().max().unwrap_or(0),
+            mean,
+            std: var.sqrt(),
+            lifetimes,
+            accuracies,
+        }
+    }
+
+    /// Mean software accuracy across seeds.
+    pub fn mean_accuracy(&self) -> f64 {
+        if self.accuracies.is_empty() {
+            0.0
+        } else {
+            self.accuracies.iter().sum::<f64>() / self.accuracies.len() as f64
+        }
+    }
+}
+
+/// The outcome of a multi-seed study over all three paper strategies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudyReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Seeds used.
+    pub seeds: Vec<u64>,
+    /// Per-strategy aggregates, in [`Strategy::ALL`] order.
+    pub strategies: Vec<StrategyStats>,
+}
+
+impl StudyReport {
+    /// Mean lifetimes normalized to the first (T+T) strategy.
+    pub fn mean_ratios(&self) -> Vec<f64> {
+        let base = self.strategies.first().map(|s| s.mean.max(1.0)).unwrap_or(1.0);
+        self.strategies.iter().map(|s| s.mean / base).collect()
+    }
+
+    /// The fraction of seeds on which strategy `i` outlived strategy `j`
+    /// (ties count as half) — a robust win-rate alternative to mean ratios.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn win_rate(&self, i: usize, j: usize) -> f64 {
+        let a = &self.strategies[i].lifetimes;
+        let b = &self.strategies[j].lifetimes;
+        assert_eq!(a.len(), b.len(), "strategies ran on the same seeds");
+        if a.is_empty() {
+            return 0.5;
+        }
+        let score: f64 = a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| {
+                use std::cmp::Ordering::*;
+                match x.cmp(y) {
+                    Greater => 1.0,
+                    Equal => 0.5,
+                    Less => 0.0,
+                }
+            })
+            .sum();
+        score / a.len() as f64
+    }
+}
+
+/// Runs every strategy of `scenario` on each seed and aggregates.
+///
+/// # Errors
+///
+/// Propagates framework errors; a failed seed aborts the study (the seeds
+/// are part of the experiment definition, not best-effort trials).
+pub fn run_study(scenario: &Scenario, seeds: &[u64]) -> Result<StudyReport, FrameworkError> {
+    let mut lifetimes: Vec<Vec<u64>> = vec![Vec::new(); Strategy::ALL.len()];
+    let mut accuracies: Vec<Vec<f64>> = vec![Vec::new(); Strategy::ALL.len()];
+    for &seed in seeds {
+        let mut s = scenario.clone();
+        s.seed = seed;
+        s.framework.lifetime.seed = seed;
+        for (i, &strategy) in Strategy::ALL.iter().enumerate() {
+            let outcome = s.run_strategy(strategy)?;
+            lifetimes[i].push(outcome.lifetime.lifetime_applications);
+            accuracies[i].push(outcome.software_accuracy);
+        }
+    }
+    let strategies = Strategy::ALL
+        .iter()
+        .zip(lifetimes.into_iter().zip(accuracies))
+        .map(|(&s, (l, a))| StrategyStats::from_runs(s, l, a))
+        .collect();
+    Ok(StudyReport { scenario: scenario.name.clone(), seeds: seeds.to_vec(), strategies })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(strategy: Strategy, lifetimes: Vec<u64>) -> StrategyStats {
+        StrategyStats::from_runs(strategy, lifetimes, vec![0.9])
+    }
+
+    #[test]
+    fn stats_aggregate_correctly() {
+        let s = stats(Strategy::TT, vec![10, 20, 30]);
+        assert_eq!(s.mean, 20.0);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 30);
+        assert!((s.std - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_seed_has_zero_std() {
+        let s = stats(Strategy::TT, vec![42]);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.mean, 42.0);
+    }
+
+    #[test]
+    fn ratios_and_win_rates() {
+        let report = StudyReport {
+            scenario: "x".into(),
+            seeds: vec![1, 2, 3],
+            strategies: vec![
+                stats(Strategy::TT, vec![10, 10, 10]),
+                stats(Strategy::StT, vec![20, 10, 30]),
+                stats(Strategy::StAt, vec![20, 40, 30]),
+            ],
+        };
+        let ratios = report.mean_ratios();
+        assert!((ratios[0] - 1.0).abs() < 1e-12);
+        assert!((ratios[1] - 2.0).abs() < 1e-12);
+        assert!((ratios[2] - 3.0).abs() < 1e-12);
+        // ST+T beats T+T on 2 of 3 seeds, ties 1 => 2.5/3.
+        assert!((report.win_rate(1, 0) - 2.5 / 3.0).abs() < 1e-12);
+        assert_eq!(report.win_rate(0, 0), 0.5);
+    }
+
+    #[test]
+    fn quick_study_runs_end_to_end() {
+        let mut scenario = crate::Scenario::quick();
+        scenario.framework.lifetime.max_sessions = 2;
+        scenario.framework.plan.pre_epochs = 4;
+        scenario.framework.plan.skew_epochs = 3;
+        let report = run_study(&scenario, &[5]).unwrap();
+        assert_eq!(report.strategies.len(), 3);
+        assert_eq!(report.seeds, vec![5]);
+        assert!(report.strategies.iter().all(|s| s.lifetimes.len() == 1));
+    }
+}

@@ -1,0 +1,203 @@
+//! True analog execution: forward passes whose fully-connected layers run
+//! as crossbar column-current reads (paper Fig. 1) instead of digital
+//! matrix multiplications.
+//!
+//! With eq. (4)'s affine map `g = a·(w − w_min) + g_min` (slope `a`), the
+//! column current for input voltages `x` is
+//!
+//! ```text
+//! I_j = Σᵢ xᵢ·gᵢⱼ = a·Σᵢ xᵢ·wᵢⱼ + (g_min − a·w_min)·Σᵢ xᵢ
+//! ```
+//!
+//! so the peripheral read-out recovers the weight-domain product as
+//! `Σᵢ xᵢ·wᵢⱼ = (I_j − (g_min − a·w_min)·S)/a` with `S = Σᵢ xᵢ` measured by
+//! a reference column — the standard offset-correction circuit. Biases,
+//! activations and pooling run in the digital periphery.
+//!
+//! Convolution layers fall back to the read-back path (their im2col sweep
+//! would need per-patch drive scheduling that this simulator models at the
+//! weight level); the digital result is numerically identical, so mixed
+//! networks still produce exact analog-equivalent outputs.
+
+use memaging_nn::{LayerKind, Mode};
+use memaging_tensor::Tensor;
+
+use crate::error::CrossbarError;
+use crate::network::CrossbarNetwork;
+
+impl CrossbarNetwork {
+    /// Runs an inference forward pass in which every fully-connected layer
+    /// executes as an analog VMM on its crossbar (column currents plus the
+    /// affine offset correction described in the module docs).
+    ///
+    /// The result matches [`CrossbarNetwork::evaluate`]'s read-back path to
+    /// floating-point tolerance — the point of this method is to exercise
+    /// (and let benchmarks measure) the physical compute path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidMapping`] if the network has not been
+    /// mapped yet, plus propagated layer errors.
+    pub fn forward_analog(&mut self, input: &Tensor) -> Result<Tensor, CrossbarError> {
+        // The digital periphery computes on the hardware's effective
+        // weights; keep the software mirror in sync for the fallback path.
+        self.sync_software_from_hardware()?;
+        let num_layers = self.software().num_layers();
+        let mut x = input.clone();
+        let mut mappable_idx = 0usize;
+        for layer_idx in 0..num_layers {
+            let (is_mappable, kind) = {
+                let layer = &self.software().layers()[layer_idx];
+                (layer.weight_matrix().is_some(), layer.kind())
+            };
+            if is_mappable && kind == LayerKind::FullyConnected {
+                x = self.dense_layer_analog(layer_idx, mappable_idx, &x)?;
+                mappable_idx += 1;
+            } else {
+                if is_mappable {
+                    mappable_idx += 1;
+                }
+                x = self.software_mut().forward_layer(layer_idx, &x, Mode::Eval)?;
+            }
+        }
+        Ok(x)
+    }
+
+    /// Executes one dense layer on its crossbar: per batch row, drive the
+    /// (physically permuted) inputs, read column currents, apply the affine
+    /// correction and add the digital bias.
+    fn dense_layer_analog(
+        &mut self,
+        layer_idx: usize,
+        mappable_idx: usize,
+        input: &Tensor,
+    ) -> Result<Tensor, CrossbarError> {
+        let mapping = *self.mapping(mappable_idx).ok_or(CrossbarError::InvalidMapping {
+            reason: format!("layer {mappable_idx} has not been mapped yet"),
+        })?;
+        let assignment = self.row_assignment(mappable_idx).clone();
+        let array = &self.arrays()[mappable_idx];
+        let (rows, cols) = (array.rows(), array.cols());
+        if input.rank() != 2 || input.dims()[1] != rows {
+            return Err(CrossbarError::DimensionMismatch {
+                what: "analog dense input",
+                expected: (rows, 0),
+                actual: (if input.rank() == 2 { input.dims()[1] } else { input.len() }, 0),
+            });
+        }
+        let batch = input.dims()[0];
+        let slope = mapping.slope();
+        let offset = mapping.g_min() - slope * mapping.w_min();
+        let bias = self.software().layers()[layer_idx]
+            .bias_vector()
+            .cloned()
+            .unwrap_or_else(|| Tensor::zeros([cols]));
+        let mut out = vec![0.0f32; batch * cols];
+        let mut drive = vec![0.0f32; rows];
+        for b in 0..batch {
+            let x = &input.as_slice()[b * rows..(b + 1) * rows];
+            // Route logical inputs to their physical rows.
+            for (logical, &v) in x.iter().enumerate() {
+                drive[assignment.physical(logical)] = v;
+            }
+            let currents = self.arrays()[mappable_idx].vmm(&drive)?;
+            // Reference-column measurement of S = sum of inputs.
+            let s: f64 = x.iter().map(|&v| v as f64).sum();
+            for j in 0..cols {
+                let weight_product = (currents[j] - offset * s) / slope;
+                out[b * cols + j] = weight_product as f32 + bias.as_slice()[j];
+            }
+        }
+        Tensor::from_vec(out, [batch, cols]).map_err(CrossbarError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::MappingStrategy;
+    use memaging_dataset::{Dataset, SyntheticSpec};
+    use memaging_device::{ArrheniusAging, DeviceSpec};
+    use memaging_nn::{models, train, NoRegularizer, TrainConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mapped_mlp(seed: u64, wear_leveling: bool) -> (CrossbarNetwork, Dataset) {
+        let mut data = Dataset::gaussian_blobs(&SyntheticSpec::small(3, seed)).unwrap();
+        data.normalize();
+        let mut net = models::mlp(&[144, 16, 3], &mut StdRng::seed_from_u64(seed)).unwrap();
+        train(
+            &mut net,
+            &data,
+            &TrainConfig { epochs: 8, ..TrainConfig::default() },
+            &NoRegularizer,
+        )
+        .unwrap();
+        let mut cn =
+            CrossbarNetwork::new(net, DeviceSpec::default(), ArrheniusAging::default()).unwrap();
+        cn.set_wear_leveling(wear_leveling);
+        cn.map_weights(MappingStrategy::Fresh, Some((&data, 64))).unwrap();
+        (cn, data)
+    }
+
+    #[test]
+    fn analog_forward_matches_readback_path() {
+        let (mut cn, data) = mapped_mlp(60, false);
+        let batch = data.batch_matrix(0, 8);
+        let analog = cn.forward_analog(&batch).unwrap();
+        cn.sync_software_from_hardware().unwrap();
+        let digital = cn.software_mut().forward(&batch, Mode::Eval).unwrap();
+        assert_eq!(analog.dims(), digital.dims());
+        for (a, d) in analog.as_slice().iter().zip(digital.as_slice()) {
+            assert!((a - d).abs() < 1e-3, "analog {a} vs digital {d}");
+        }
+    }
+
+    #[test]
+    fn analog_forward_respects_row_assignment() {
+        // With wear leveling enabled and an aged array, the assignment is
+        // nontrivial; the analog path must still match the read-back path.
+        let (mut cn, data) = mapped_mlp(61, true);
+        // Age one physical row so a swap fires on the next remap.
+        {
+            let arr = cn.array_mut(0);
+            for _ in 0..500 {
+                let _ = arr.device_mut(3, 0).pulse(1);
+                let _ = arr.device_mut(3, 0).pulse(-1);
+            }
+        }
+        cn.map_weights(MappingStrategy::Fresh, None).unwrap();
+        let batch = data.batch_matrix(0, 4);
+        let analog = cn.forward_analog(&batch).unwrap();
+        cn.sync_software_from_hardware().unwrap();
+        let digital = cn.software_mut().forward(&batch, Mode::Eval).unwrap();
+        for (a, d) in analog.as_slice().iter().zip(digital.as_slice()) {
+            assert!((a - d).abs() < 1e-3, "analog {a} vs digital {d}");
+        }
+    }
+
+    #[test]
+    fn analog_forward_handles_conv_fallback() {
+        let mut data = Dataset::gaussian_blobs(&SyntheticSpec::small(4, 62)).unwrap();
+        data.normalize();
+        let net = models::lenet5_scaled(1, 4, &mut StdRng::seed_from_u64(62)).unwrap();
+        let mut cn =
+            CrossbarNetwork::new(net, DeviceSpec::default(), ArrheniusAging::default()).unwrap();
+        cn.map_weights(MappingStrategy::Fresh, None).unwrap();
+        let batch = data.batch_matrix(0, 2);
+        let analog = cn.forward_analog(&batch).unwrap();
+        cn.sync_software_from_hardware().unwrap();
+        let digital = cn.software_mut().forward(&batch, Mode::Eval).unwrap();
+        for (a, d) in analog.as_slice().iter().zip(digital.as_slice()) {
+            assert!((a - d).abs() < 1e-2, "analog {a} vs digital {d}");
+        }
+    }
+
+    #[test]
+    fn analog_forward_requires_mapping() {
+        let net = models::mlp(&[4, 2], &mut StdRng::seed_from_u64(63)).unwrap();
+        let mut cn =
+            CrossbarNetwork::new(net, DeviceSpec::default(), ArrheniusAging::default()).unwrap();
+        assert!(cn.forward_analog(&Tensor::ones([1, 4])).is_err());
+    }
+}

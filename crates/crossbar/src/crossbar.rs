@@ -1,0 +1,454 @@
+//! The memristor crossbar array: device grid, programming, analog VMM.
+
+use memaging_device::{AgedWindow, ArrheniusAging, DeviceSpec, Memristor, Siemens};
+use memaging_tensor::Tensor;
+
+use crate::error::CrossbarError;
+
+/// Aggregate statistics of one programming operation over an array.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProgramStats {
+    /// Total programming pulses applied.
+    pub pulses: u64,
+    /// Devices whose requested level was clipped by their aged window.
+    pub clipped: usize,
+    /// Devices that could not be programmed because they are worn out.
+    pub dead: usize,
+}
+
+impl ProgramStats {
+    /// Merges another stats record into this one.
+    pub fn merge(&mut self, other: ProgramStats) {
+        self.pulses += other.pulses;
+        self.clipped += other.clipped;
+        self.dead += other.dead;
+    }
+}
+
+/// A `rows × cols` memristor crossbar (paper Fig. 1).
+///
+/// Row voltages drive the array; each column output is the current
+/// `I_j = Σᵢ Vᵢ·gᵢⱼ`. Devices are stateful [`Memristor`]s that age with
+/// every programming pulse.
+///
+/// # Examples
+///
+/// ```
+/// use memaging_crossbar::Crossbar;
+/// use memaging_device::{ArrheniusAging, DeviceSpec};
+/// use memaging_tensor::Tensor;
+///
+/// # fn main() -> Result<(), memaging_crossbar::CrossbarError> {
+/// let mut xbar = Crossbar::new(2, 2, DeviceSpec::default(), ArrheniusAging::default())?;
+/// let targets = Tensor::full([2, 2], 5.0e-5); // 20 kΩ each
+/// xbar.program_conductances(&targets)?;
+/// let currents = xbar.vmm(&[1.0, 1.0])?;
+/// // Quantization to the 32-level grid costs a few percent.
+/// assert!((currents[0] - 1.0e-4).abs() / 1.0e-4 < 0.1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    rows: usize,
+    cols: usize,
+    devices: Vec<Memristor>,
+    thermal_coupling: f64,
+    /// Total own-stress already redistributed as ambient heat.
+    equilibrated_own_stress: f64,
+}
+
+impl Crossbar {
+    /// Creates a fresh array of identical devices.
+    ///
+    /// # Errors
+    ///
+    /// Returns a wrapped [`memaging_device::DeviceError`] for an invalid
+    /// spec, or [`CrossbarError::InvalidMapping`] for a zero-sized array.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        spec: DeviceSpec,
+        aging: ArrheniusAging,
+    ) -> Result<Self, CrossbarError> {
+        if rows == 0 || cols == 0 {
+            return Err(CrossbarError::InvalidMapping {
+                reason: format!("array dimensions {rows}x{cols} must be nonzero"),
+            });
+        }
+        let prototype = Memristor::new(spec, aging)?;
+        Ok(Crossbar {
+            rows,
+            cols,
+            devices: vec![prototype; rows * cols],
+            thermal_coupling: aging.thermal_coupling,
+            equilibrated_own_stress: 0.0,
+        })
+    }
+
+    /// Redistributes the Joule heat of programming activity since the last
+    /// call: every device absorbs `coupling × Δ(total own stress) / N`
+    /// ambient stress, modelling the shared-substrate thermal crosstalk of
+    /// a dense array (see
+    /// [`ArrheniusAging::thermal_coupling`]).
+    /// Returns the ambient stress added per device. Call once per
+    /// maintenance session (or after any programming burst); a zero
+    /// coupling makes this a no-op.
+    pub fn equilibrate_thermal(&mut self) -> f64 {
+        if self.thermal_coupling <= 0.0 {
+            return 0.0;
+        }
+        let total_own: f64 = self.devices.iter().map(Memristor::own_stress).sum();
+        let delta = (total_own - self.equilibrated_own_stress).max(0.0);
+        self.equilibrated_own_stress = total_own;
+        let per_device = self.thermal_coupling * delta / self.devices.len() as f64;
+        if per_device > 0.0 {
+            for d in &mut self.devices {
+                d.absorb_ambient_stress(per_device);
+            }
+        }
+        per_device
+    }
+
+    /// Number of rows (word lines).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (bit lines).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The device at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of bounds.
+    pub fn device(&self, row: usize, col: usize) -> &Memristor {
+        assert!(row < self.rows && col < self.cols, "device ({row},{col}) out of bounds");
+        &self.devices[row * self.cols + col]
+    }
+
+    /// Mutable access to the device at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of bounds.
+    pub fn device_mut(&mut self, row: usize, col: usize) -> &mut Memristor {
+        assert!(row < self.rows && col < self.cols, "device ({row},{col}) out of bounds");
+        &mut self.devices[row * self.cols + col]
+    }
+
+    /// Iterates over `(row, col, device)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, &Memristor)> {
+        let cols = self.cols;
+        self.devices.iter().enumerate().map(move |(i, d)| (i / cols, i % cols, d))
+    }
+
+    /// Programs every device toward the target conductances in a
+    /// `[rows, cols]` tensor. Dead devices are skipped (counted in the
+    /// stats); clipped targets are counted as well.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::DimensionMismatch`] if the tensor shape
+    /// differs from the array, or a device error for an invalid target.
+    pub fn program_conductances(&mut self, targets: &Tensor) -> Result<ProgramStats, CrossbarError> {
+        if targets.dims() != [self.rows, self.cols] {
+            return Err(CrossbarError::DimensionMismatch {
+                what: "conductance targets",
+                expected: (self.rows, self.cols),
+                actual: if targets.rank() == 2 {
+                    (targets.dims()[0], targets.dims()[1])
+                } else {
+                    (targets.len(), 0)
+                },
+            });
+        }
+        let mut stats = ProgramStats::default();
+        for (i, device) in self.devices.iter_mut().enumerate() {
+            if device.is_worn_out() {
+                stats.dead += 1;
+                continue;
+            }
+            let g = Siemens::new(targets.as_slice()[i] as f64).map_err(CrossbarError::from)?;
+            let outcome = device.program_conductance(g)?;
+            stats.pulses += outcome.pulses;
+            if outcome.clipped() {
+                stats.clipped += 1;
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Reads the present conductance of every device as a `[rows, cols]`
+    /// tensor.
+    pub fn conductances(&self) -> Tensor {
+        Tensor::from_fn([self.rows, self.cols], |i| self.devices[i].conductance().value() as f32)
+    }
+
+    /// Analog vector–matrix multiplication: column currents
+    /// `I_j = Σᵢ Vᵢ·gᵢⱼ` for row voltages `input` (paper Fig. 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::DimensionMismatch`] if `input.len()` differs
+    /// from the row count.
+    pub fn vmm(&self, input: &[f32]) -> Result<Vec<f64>, CrossbarError> {
+        if input.len() != self.rows {
+            return Err(CrossbarError::DimensionMismatch {
+                what: "vmm input",
+                expected: (self.rows, 1),
+                actual: (input.len(), 1),
+            });
+        }
+        let mut out = vec![0.0f64; self.cols];
+        for (r, &vin) in input.iter().enumerate() {
+            let v = vin as f64;
+            if v == 0.0 {
+                continue;
+            }
+            let row = &self.devices[r * self.cols..(r + 1) * self.cols];
+            for (o, d) in out.iter_mut().zip(row.iter()) {
+                *o += v * d.conductance().value();
+            }
+        }
+        Ok(out)
+    }
+
+    /// Applies one session of read-disturb drift: each device independently
+    /// drifts ±1 level with probability `probability` (recoverable by the
+    /// next reprogramming; see [`memaging_device::DriftModel`]). Returns the
+    /// number of drifted devices.
+    pub fn apply_drift<R: rand::Rng + ?Sized>(&mut self, probability: f64, rng: &mut R) -> usize {
+        let mut drifted = 0;
+        for d in &mut self.devices {
+            if rng.gen::<f64>() < probability {
+                d.drift_level(if rng.gen::<bool>() { 1 } else { -1 });
+                drifted += 1;
+            }
+        }
+        drifted
+    }
+
+    /// Applies one session of multiplicative conductance drift: each device
+    /// independently drifts by `g ← g·(1 + σ·z)` with `z ~ N(0,1)` with
+    /// probability `probability`. Returns the number of drifted devices.
+    pub fn apply_conductance_drift<R: rand::Rng + ?Sized>(
+        &mut self,
+        probability: f64,
+        sigma: f64,
+        rng: &mut R,
+    ) -> usize {
+        let mut drifted = 0;
+        for d in &mut self.devices {
+            if rng.gen::<f64>() < probability {
+                let z = memaging_tensor::init::standard_normal(rng) as f64;
+                d.drift_conductance(sigma * z);
+                drifted += 1;
+            }
+        }
+        drifted
+    }
+
+    /// Injects stuck-at faults: each device independently collapses with
+    /// probability `fraction` (forming failures / endurance outliers).
+    /// Returns the number of devices faulted.
+    pub fn inject_stuck_faults<R: rand::Rng + ?Sized>(
+        &mut self,
+        fraction: f64,
+        rng: &mut R,
+    ) -> usize {
+        let mut injected = 0;
+        for d in &mut self.devices {
+            if rng.gen::<f64>() < fraction {
+                d.force_worn_out();
+                injected += 1;
+            }
+        }
+        injected
+    }
+
+    /// Total programming pulses ever applied across the array.
+    pub fn total_pulses(&self) -> u64 {
+        self.devices.iter().map(|d| d.pulse_count()).sum()
+    }
+
+    /// Total accumulated effective stress across the array, seconds.
+    pub fn total_stress(&self) -> f64 {
+        self.devices.iter().map(|d| d.stress()).sum()
+    }
+
+    /// Number of worn-out devices.
+    pub fn worn_out_count(&self) -> usize {
+        self.devices.iter().filter(|d| d.is_worn_out()).count()
+    }
+
+    /// Mean aged upper resistance bound over all devices — the quantity the
+    /// paper plots per layer in Fig. 11.
+    pub fn mean_aged_r_max(&self) -> f64 {
+        let n = self.devices.len() as f64;
+        self.devices.iter().map(|d| d.aged_window().r_max).sum::<f64>() / n
+    }
+
+    /// The aged window of the device at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of bounds.
+    pub fn aged_window(&self, row: usize, col: usize) -> AgedWindow {
+        self.device(row, col).aged_window()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xbar(rows: usize, cols: usize) -> Crossbar {
+        Crossbar::new(rows, cols, DeviceSpec::default(), ArrheniusAging::default()).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Crossbar::new(0, 4, DeviceSpec::default(), ArrheniusAging::default()).is_err());
+        assert!(Crossbar::new(4, 0, DeviceSpec::default(), ArrheniusAging::default()).is_err());
+        let x = xbar(3, 5);
+        assert_eq!(x.rows(), 3);
+        assert_eq!(x.cols(), 5);
+    }
+
+    #[test]
+    fn program_and_read_round_trip() {
+        let mut x = xbar(2, 3);
+        // Targets on the fresh level grid so quantization is exact.
+        let spec = DeviceSpec::default();
+        let width = spec.level_width();
+        let targets = Tensor::from_fn([2, 3], |i| {
+            (1.0 / (spec.r_min + (i % spec.levels) as f64 * width)) as f32
+        });
+        x.program_conductances(&targets).unwrap();
+        let read = x.conductances();
+        for (t, r) in targets.as_slice().iter().zip(read.as_slice()) {
+            assert!((t - r).abs() / t < 1e-5, "target {t} vs read {r}");
+        }
+    }
+
+    #[test]
+    fn program_rejects_wrong_shape() {
+        let mut x = xbar(2, 2);
+        assert!(matches!(
+            x.program_conductances(&Tensor::full([2, 3], 1e-4)),
+            Err(CrossbarError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn vmm_matches_dense_math() {
+        let mut x = xbar(3, 2);
+        let spec = DeviceSpec::default();
+        let width = spec.level_width();
+        let targets =
+            Tensor::from_fn([3, 2], |i| (1.0 / (spec.r_min + (3 * i) as f64 * width)) as f32);
+        x.program_conductances(&targets).unwrap();
+        let v = [0.5f32, -1.0, 0.25];
+        let out = x.vmm(&v).unwrap();
+        // Reference: dense dot products with the read conductances.
+        let g = x.conductances();
+        for (j, &o) in out.iter().enumerate() {
+            let mut expected = 0.0f64;
+            for (i, &vi) in v.iter().enumerate() {
+                expected += vi as f64 * g.as_slice()[i * 2 + j] as f64;
+            }
+            // f32 cast of the reference conductances costs ~1e-11 absolute
+            // at these current magnitudes.
+            assert!((o - expected).abs() < 1e-10, "col {j}: {o} vs {expected}");
+        }
+        assert!(x.vmm(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn programming_ages_the_array() {
+        let mut x = xbar(2, 2);
+        assert_eq!(x.total_pulses(), 0);
+        let lo = Tensor::full([2, 2], 1e-4); // r_min: far from mid start
+        x.program_conductances(&lo).unwrap();
+        assert!(x.total_pulses() > 0);
+        assert!(x.total_stress() > 0.0);
+        assert_eq!(x.worn_out_count(), 0);
+    }
+
+    #[test]
+    fn repeated_cycling_degrades_mean_r_max() {
+        let mut x = xbar(2, 2);
+        let fresh = x.mean_aged_r_max();
+        let lo = Tensor::full([2, 2], 9.9e-5);
+        let hi = Tensor::full([2, 2], 1.01e-5);
+        for _ in 0..30 {
+            x.program_conductances(&lo).unwrap();
+            x.program_conductances(&hi).unwrap();
+        }
+        assert!(x.mean_aged_r_max() < fresh, "cycling must lower the mean aged bound");
+    }
+
+    #[test]
+    fn dead_devices_are_skipped_and_counted() {
+        let mut x = xbar(1, 2);
+        // Wear out device (0,0) by hammering pulses at low resistance.
+        x.device_mut(0, 0).program_to_level(0).unwrap();
+        loop {
+            let d = x.device_mut(0, 0);
+            if d.pulse(1).is_err() || d.pulse(-1).is_err() {
+                break;
+            }
+        }
+        assert_eq!(x.worn_out_count(), 1);
+        let stats = x.program_conductances(&Tensor::full([1, 2], 5e-5)).unwrap();
+        assert_eq!(stats.dead, 1);
+    }
+
+    #[test]
+    fn iter_covers_all_positions() {
+        let x = xbar(2, 3);
+        let positions: Vec<(usize, usize)> = x.iter().map(|(r, c, _)| (r, c)).collect();
+        assert_eq!(positions.len(), 6);
+        assert!(positions.contains(&(1, 2)));
+        assert!(positions.contains(&(0, 0)));
+    }
+
+    #[test]
+    fn stuck_fault_injection_wears_devices() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut x = xbar(10, 10);
+        let mut rng = StdRng::seed_from_u64(9);
+        let injected = x.inject_stuck_faults(0.3, &mut rng);
+        assert!(injected > 10 && injected < 60, "injected {injected}");
+        assert_eq!(x.worn_out_count(), injected);
+        // Faulted devices reject programming, healthy ones accept it.
+        let stats = x.program_conductances(&Tensor::full([10, 10], 5e-5)).unwrap();
+        assert_eq!(stats.dead, injected);
+    }
+
+    #[test]
+    fn drift_changes_levels_without_stress() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut x = xbar(8, 8);
+        let mut rng = StdRng::seed_from_u64(5);
+        let drifted = x.apply_drift(1.0, &mut rng);
+        assert_eq!(drifted, 64);
+        assert_eq!(x.total_pulses(), 0);
+        assert!(x.total_stress() == 0.0);
+        // Probability 0 drifts nothing.
+        assert_eq!(x.apply_drift(0.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn stats_merge() {
+        let mut a = ProgramStats { pulses: 5, clipped: 1, dead: 0 };
+        a.merge(ProgramStats { pulses: 3, clipped: 0, dead: 2 });
+        assert_eq!(a, ProgramStats { pulses: 8, clipped: 1, dead: 2 });
+    }
+}

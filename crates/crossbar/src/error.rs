@@ -1,0 +1,119 @@
+//! Error type for crossbar operations.
+
+use std::error::Error;
+use std::fmt;
+
+use memaging_device::DeviceError;
+use memaging_nn::NnError;
+use memaging_tensor::TensorError;
+
+/// Error produced by crossbar construction, mapping, execution or tuning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CrossbarError {
+    /// An underlying device operation failed.
+    Device(DeviceError),
+    /// An underlying network operation failed.
+    Network(NnError),
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// A dimension disagreement between tensors and the array geometry.
+    DimensionMismatch {
+        /// What was being matched, e.g. `"weight matrix"`.
+        what: &'static str,
+        /// Expected `(rows, cols)`.
+        expected: (usize, usize),
+        /// Actual `(rows, cols)`.
+        actual: (usize, usize),
+    },
+    /// A mapping configuration was degenerate (empty weight range, ...).
+    InvalidMapping {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// Online tuning exhausted its iteration budget without reaching the
+    /// target accuracy — the paper's crossbar-failure criterion.
+    TuningDidNotConverge {
+        /// Iterations spent.
+        iterations: usize,
+        /// Best accuracy reached.
+        best_accuracy: f64,
+        /// The accuracy that was required.
+        target_accuracy: f64,
+    },
+}
+
+impl fmt::Display for CrossbarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrossbarError::Device(e) => write!(f, "device error: {e}"),
+            CrossbarError::Network(e) => write!(f, "network error: {e}"),
+            CrossbarError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CrossbarError::DimensionMismatch { what, expected, actual } => write!(
+                f,
+                "{what} dimension mismatch: expected {}x{}, got {}x{}",
+                expected.0, expected.1, actual.0, actual.1
+            ),
+            CrossbarError::InvalidMapping { reason } => write!(f, "invalid mapping: {reason}"),
+            CrossbarError::TuningDidNotConverge { iterations, best_accuracy, target_accuracy } => {
+                write!(
+                    f,
+                    "online tuning failed: best accuracy {best_accuracy:.4} < target \
+                     {target_accuracy:.4} after {iterations} iterations"
+                )
+            }
+        }
+    }
+}
+
+impl Error for CrossbarError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CrossbarError::Device(e) => Some(e),
+            CrossbarError::Network(e) => Some(e),
+            CrossbarError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeviceError> for CrossbarError {
+    fn from(e: DeviceError) -> Self {
+        CrossbarError::Device(e)
+    }
+}
+
+impl From<NnError> for CrossbarError {
+    fn from(e: NnError) -> Self {
+        CrossbarError::Network(e)
+    }
+}
+
+impl From<TensorError> for CrossbarError {
+    fn from(e: TensorError) -> Self {
+        CrossbarError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: CrossbarError = DeviceError::ProgramOnDeadDevice.into();
+        assert!(e.to_string().contains("device error"));
+        assert!(Error::source(&e).is_some());
+        let e = CrossbarError::TuningDidNotConverge {
+            iterations: 150,
+            best_accuracy: 0.61,
+            target_accuracy: 0.9,
+        };
+        assert!(e.to_string().contains("150"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CrossbarError>();
+    }
+}

@@ -1,0 +1,161 @@
+//! Interconnect IR drop — the wire-resistance non-ideality of large
+//! crossbars.
+//!
+//! Row and column metal lines have finite resistance; a device far from the
+//! drivers sees a reduced effective voltage, so its contribution to the
+//! column current is attenuated. The standard first-order model scales each
+//! device's conductance by the series wire resistance on its current path:
+//!
+//! ```text
+//! g_eff(i, j) = g(i, j) / (1 + g(i, j) · r_wire · ((i + 1) + (j + 1)))
+//! ```
+//!
+//! where `r_wire` is the per-cell segment resistance. The attenuation grows
+//! with array size — the practical reason fabricated arrays stop near
+//! 128×128 (paper ref. [14]) and why [`crate::TiledMatrix`] splits large
+//! layers into tiles.
+
+use crate::crossbar::Crossbar;
+use crate::error::CrossbarError;
+
+impl Crossbar {
+    /// The IR-drop-attenuated effective conductance of the device at
+    /// `(row, col)` for per-cell wire resistance `r_wire` ohms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of bounds.
+    pub fn effective_conductance(&self, row: usize, col: usize, r_wire: f64) -> f64 {
+        let g = self.device(row, col).conductance().value();
+        let path = ((row + 1) + (col + 1)) as f64;
+        g / (1.0 + g * r_wire * path)
+    }
+
+    /// Analog VMM including first-order IR drop: column currents computed
+    /// with the attenuated effective conductances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::DimensionMismatch`] for a wrong input length
+    /// or [`CrossbarError::InvalidMapping`] for a negative/non-finite
+    /// `r_wire`.
+    pub fn vmm_with_ir_drop(
+        &self,
+        input: &[f32],
+        r_wire: f64,
+    ) -> Result<Vec<f64>, CrossbarError> {
+        if !r_wire.is_finite() || r_wire < 0.0 {
+            return Err(CrossbarError::InvalidMapping {
+                reason: format!("wire resistance {r_wire} must be finite and >= 0"),
+            });
+        }
+        if input.len() != self.rows() {
+            return Err(CrossbarError::DimensionMismatch {
+                what: "ir-drop vmm input",
+                expected: (self.rows(), 1),
+                actual: (input.len(), 1),
+            });
+        }
+        let mut out = vec![0.0f64; self.cols()];
+        for (r, &vin) in input.iter().enumerate() {
+            let v = vin as f64;
+            if v == 0.0 {
+                continue;
+            }
+            for (c, o) in out.iter_mut().enumerate() {
+                *o += v * self.effective_conductance(r, c, r_wire);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The worst-case relative attenuation across the array at `r_wire` —
+    /// a quick sizing metric: arrays are usually constrained so this stays
+    /// below a few percent.
+    pub fn worst_case_ir_attenuation(&self, r_wire: f64) -> f64 {
+        let mut worst = 0.0f64;
+        for (r, c, d) in self.iter() {
+            let g = d.conductance().value();
+            let eff = self.effective_conductance(r, c, r_wire);
+            worst = worst.max(1.0 - eff / g);
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memaging_device::{ArrheniusAging, DeviceSpec};
+    use memaging_tensor::Tensor;
+
+    fn xbar(n: usize) -> Crossbar {
+        let mut x = Crossbar::new(n, n, DeviceSpec::default(), ArrheniusAging::default()).unwrap();
+        x.program_conductances(&Tensor::full([n, n], 5.0e-5)).unwrap();
+        x
+    }
+
+    #[test]
+    fn zero_wire_resistance_is_ideal() {
+        let x = xbar(4);
+        let v = [1.0f32; 4];
+        let ideal = x.vmm(&v).unwrap();
+        let with_ir = x.vmm_with_ir_drop(&v, 0.0).unwrap();
+        assert_eq!(ideal, with_ir);
+        assert_eq!(x.worst_case_ir_attenuation(0.0), 0.0);
+    }
+
+    #[test]
+    fn attenuation_grows_with_distance() {
+        let x = xbar(8);
+        let r_wire = 5.0;
+        let near = x.effective_conductance(0, 0, r_wire);
+        let far = x.effective_conductance(7, 7, r_wire);
+        assert!(far < near, "corner device must attenuate more: {far} vs {near}");
+        // Both attenuate relative to the ideal.
+        let g = x.device(0, 0).conductance().value();
+        assert!(near < g);
+    }
+
+    #[test]
+    fn attenuation_monotone_in_wire_resistance() {
+        let x = xbar(6);
+        let v = [1.0f32; 6];
+        let a = x.vmm_with_ir_drop(&v, 1.0).unwrap();
+        let b = x.vmm_with_ir_drop(&v, 10.0).unwrap();
+        for (ai, bi) in a.iter().zip(&b) {
+            assert!(bi < ai, "more wire resistance must attenuate more");
+        }
+        assert!(
+            x.worst_case_ir_attenuation(10.0) > x.worst_case_ir_attenuation(1.0)
+        );
+    }
+
+    #[test]
+    fn larger_arrays_suffer_more() {
+        let small = xbar(4);
+        let big = xbar(32);
+        let r_wire = 2.0;
+        assert!(
+            big.worst_case_ir_attenuation(r_wire) > small.worst_case_ir_attenuation(r_wire),
+            "IR drop is the scaling limiter"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let x = xbar(4);
+        assert!(x.vmm_with_ir_drop(&[1.0; 3], 1.0).is_err());
+        assert!(x.vmm_with_ir_drop(&[1.0; 4], -1.0).is_err());
+        assert!(x.vmm_with_ir_drop(&[1.0; 4], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn realistic_wire_resistance_is_small_effect_at_128() {
+        // Sanity for the tiling story: ~1 ohm/cell at 128x128 stays under
+        // ~6% worst-case attenuation with 10k-100k devices.
+        let x = xbar(128);
+        let att = x.worst_case_ir_attenuation(1.0);
+        assert!(att > 0.0 && att < 0.06, "attenuation {att}");
+    }
+}

@@ -1,0 +1,87 @@
+//! # memaging-crossbar
+//!
+//! Memristor crossbar simulation for the *memaging* workspace — the
+//! hardware-mapping half of "Aging-aware Lifetime Enhancement for
+//! Memristor-based Neuromorphic Computing" (DATE 2019).
+//!
+//! Building blocks, bottom-up:
+//!
+//! * [`Crossbar`]: a grid of stateful [`memaging_device::Memristor`]s with
+//!   analog VMM (`I_j = Σ V_i·g_ij`, paper Fig. 1) and aggregate aging
+//!   telemetry;
+//! * [`TiledMatrix`]: large logical matrices split over bounded physical
+//!   tiles with digital partial-sum aggregation;
+//! * [`WeightMapping`]: the affine weight→conductance map of eq. (4) over a
+//!   common (fresh or aged) resistance window;
+//! * [`trace_estimates`] / [`traced_positions`]: the 1-of-9 block-center
+//!   representative tracing of §IV-B;
+//! * [`select_range`]: the iterative common-range selection of Fig. 8;
+//! * [`CrossbarNetwork`]: a whole neural network on crossbars, with
+//!   [`MappingStrategy::Fresh`] (traditional) and
+//!   [`MappingStrategy::AgingAware`] (proposed) mapping;
+//! * [`tune`]: sign-based online tuning (eq. 5) whose programming pulses age
+//!   the devices — the feedback loop the paper's framework breaks.
+//!
+//! Beyond the paper's core flow, the crate models the production
+//! non-idealities and alternatives a deployment would weigh:
+//!
+//! * analog execution ([`CrossbarNetwork::forward_analog`]) with the
+//!   reference-column offset correction;
+//! * write variability and read noise ([`Crossbar::program_conductances_noisy`],
+//!   [`Crossbar::vmm_noisy`]);
+//! * interconnect IR drop ([`Crossbar::vmm_with_ir_drop`]);
+//! * differential-pair signed-weight mapping ([`DifferentialCrossbar`]);
+//! * the row-swapping wear-leveling baseline of the paper's ref. [12]
+//!   ([`incremental_swap`], [`CrossbarNetwork::set_wear_leveling`]).
+//!
+//! # Example
+//!
+//! ```
+//! use memaging_crossbar::{tune, CrossbarNetwork, MappingStrategy, TuneConfig};
+//! use memaging_dataset::{Dataset, SyntheticSpec};
+//! use memaging_device::{ArrheniusAging, DeviceSpec};
+//! use memaging_nn::{models, train, NoRegularizer, TrainConfig};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut data = Dataset::gaussian_blobs(&SyntheticSpec::small(3, 1))?;
+//! data.normalize();
+//! let mut net = models::mlp(&[144, 16, 3], &mut StdRng::seed_from_u64(0))?;
+//! train(&mut net, &data, &TrainConfig { epochs: 8, ..Default::default() }, &NoRegularizer)?;
+//!
+//! let mut hw = CrossbarNetwork::new(net, DeviceSpec::default(), ArrheniusAging::default())?;
+//! hw.map_weights(MappingStrategy::Fresh, Some((&data, 64)))?;
+//! let report = tune(&mut hw, &data, &TuneConfig { target_accuracy: 0.85, ..Default::default() })?;
+//! println!("tuned in {} iterations, {} pulses", report.iterations, report.pulses);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod analog;
+mod crossbar;
+mod differential;
+mod error;
+mod ir_drop;
+mod mapping;
+mod network;
+mod noise;
+mod range_select;
+mod tile;
+mod tracer;
+mod tuner;
+mod wear_level;
+
+pub use crossbar::{Crossbar, ProgramStats};
+pub use differential::{DifferentialCrossbar, DifferentialMapping};
+pub use error::CrossbarError;
+pub use mapping::WeightMapping;
+pub use network::{CrossbarNetwork, MapReport, MappingStrategy};
+pub use range_select::{select_range, RangeSelection};
+pub use tile::TiledMatrix;
+pub use tracer::{trace_estimates, traced_positions, traced_upper_bound_range, TracedEstimate};
+pub use tuner::{tune, TuneConfig, TuneReport};
+pub use wear_level::{incremental_swap, wear_imbalance, wear_leveling_assignment, RowAssignment};

@@ -1,0 +1,622 @@
+//! A neural network executed on memristor crossbar arrays.
+
+use memaging_dataset::Dataset;
+use memaging_device::{AgedWindow, ArrheniusAging, DeviceSpec, Quantizer};
+use memaging_nn::{LayerKind, Network};
+use memaging_tensor::Tensor;
+
+use crate::crossbar::{Crossbar, ProgramStats};
+use crate::error::CrossbarError;
+use crate::mapping::WeightMapping;
+use crate::range_select::select_range;
+use crate::tracer::{trace_estimates, TracedEstimate};
+use crate::wear_level::RowAssignment;
+
+/// How trained weights are mapped onto the (possibly aged) arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappingStrategy {
+    /// Assume every device still has its fresh window — the traditional
+    /// mapping of the paper's `T+T` / `ST+T` baselines.
+    Fresh,
+    /// Trace block-center devices, estimate aged windows, and iteratively
+    /// select the common range that maximizes calibration accuracy — the
+    /// paper's proposed aging-aware mapping (`ST+AT`).
+    AgingAware,
+}
+
+/// Outcome of mapping a whole network onto hardware.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapReport {
+    /// Aggregate programming statistics.
+    pub stats: ProgramStats,
+    /// The common window used per mappable layer.
+    pub windows: Vec<AgedWindow>,
+    /// Total candidate windows evaluated (aging-aware only).
+    pub candidates_tried: usize,
+    /// Calibration accuracy after mapping (before tuning), if calibration
+    /// data was supplied.
+    pub post_map_accuracy: Option<f64>,
+}
+
+/// A network whose mappable weight matrices live on memristor crossbars.
+///
+/// The digital periphery (activations, pooling, biases, softmax) stays in
+/// the software [`Network`]; every dense weight matrix and flattened
+/// convolution kernel matrix is held by a dedicated [`Crossbar`]. Inference
+/// reads the effective weights back from hardware (the affine inverse of
+/// eq. 4 applied to the device conductances) and runs the software forward
+/// pass with them — numerically identical to the analog column-current
+/// computation plus the standard reference-column offset correction.
+pub struct CrossbarNetwork {
+    software: Network,
+    arrays: Vec<Crossbar>,
+    mappings: Vec<Option<WeightMapping>>,
+    /// Window used at the most recent mapping of each layer (hysteresis
+    /// anchor for aging-aware re-mapping).
+    last_windows: Vec<Option<AgedWindow>>,
+    /// Logical-to-physical row assignment per layer (identity unless wear
+    /// leveling is enabled).
+    row_assignments: Vec<RowAssignment>,
+    kinds: Vec<LayerKind>,
+    spec: DeviceSpec,
+    aging: ArrheniusAging,
+    outlier_percentile: f64,
+    wear_leveling: bool,
+}
+
+impl std::fmt::Debug for CrossbarNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CrossbarNetwork")
+            .field("layers", &self.arrays.len())
+            .field(
+                "devices",
+                &self.arrays.iter().map(|a| a.rows() * a.cols()).sum::<usize>(),
+            )
+            .finish()
+    }
+}
+
+impl CrossbarNetwork {
+    /// Creates fresh arrays sized to every mappable layer of `software`.
+    /// Nothing is programmed yet; call [`CrossbarNetwork::map_weights`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a wrapped device error for an invalid spec.
+    pub fn new(
+        software: Network,
+        spec: DeviceSpec,
+        aging: ArrheniusAging,
+    ) -> Result<Self, CrossbarError> {
+        let mut arrays = Vec::new();
+        for w in software.weight_matrices() {
+            arrays.push(Crossbar::new(w.dims()[0], w.dims()[1], spec, aging)?);
+        }
+        let kinds = software.mappable_kinds();
+        let mappings = vec![None; arrays.len()];
+        let last_windows = vec![None; arrays.len()];
+        let row_assignments =
+            arrays.iter().map(|a| RowAssignment::identity(a.rows())).collect();
+        Ok(CrossbarNetwork {
+            software,
+            arrays,
+            mappings,
+            last_windows,
+            row_assignments,
+            kinds,
+            spec,
+            aging,
+            outlier_percentile: 0.005,
+            wear_leveling: false,
+        })
+    }
+
+    /// Enables the row-swapping wear-leveling baseline of the paper's
+    /// ref. [12]: every mapping re-assigns logical weight rows to physical
+    /// rows so the most-worn rows host the least-demanding targets.
+    pub fn set_wear_leveling(&mut self, enabled: bool) {
+        self.wear_leveling = enabled;
+    }
+
+    /// Sets the outlier percentile used when deriving per-layer weight
+    /// ranges (see [`WeightMapping::from_weights_percentile`]); `0.0`
+    /// reproduces the raw min/max mapping of paper eq. 4.
+    pub fn set_outlier_percentile(&mut self, percentile: f64) {
+        self.outlier_percentile = percentile;
+    }
+
+    /// The software model (architecture, biases, digital periphery).
+    pub fn software(&self) -> &Network {
+        &self.software
+    }
+
+    /// Mutable access to the software model.
+    pub fn software_mut(&mut self) -> &mut Network {
+        &mut self.software
+    }
+
+    /// The per-layer crossbar arrays.
+    pub fn arrays(&self) -> &[Crossbar] {
+        &self.arrays
+    }
+
+    /// The device spec shared by all arrays.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// The aging model shared by all arrays.
+    pub fn aging(&self) -> &ArrheniusAging {
+        &self.aging
+    }
+
+    /// The structural kind of each mappable layer.
+    pub fn layer_kinds(&self) -> &[LayerKind] {
+        &self.kinds
+    }
+
+    /// Maps the software network's current weights onto the arrays.
+    ///
+    /// With [`MappingStrategy::AgingAware`], `calibration` must supply a
+    /// dataset: candidate common ranges are scored by simulated mapping
+    /// accuracy (no physical programming during the search, so the search
+    /// itself does not age the devices).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidMapping`] if aging-aware mapping is
+    /// requested without calibration data, plus propagated device/network
+    /// errors.
+    pub fn map_weights(
+        &mut self,
+        strategy: MappingStrategy,
+        calibration: Option<(&Dataset, usize)>,
+    ) -> Result<MapReport, CrossbarError> {
+        let weights = self.software.weight_matrices();
+        let mut stats = ProgramStats::default();
+        let mut windows = Vec::with_capacity(weights.len());
+        let mut candidates_tried = 0usize;
+        for (idx, w) in weights.iter().enumerate() {
+            let window = match strategy {
+                MappingStrategy::Fresh => {
+                    AgedWindow { r_min: self.spec.r_min, r_max: self.spec.r_max }
+                }
+                MappingStrategy::AgingAware => {
+                    let (data, batch) = calibration.ok_or(CrossbarError::InvalidMapping {
+                        reason: "aging-aware mapping needs calibration data".into(),
+                    })?;
+                    let estimates = trace_estimates(&self.arrays[idx]);
+                    let spec = self.spec;
+                    // Candidate upper bounds come only from *usable* traced
+                    // devices: a worn-out block center (collapsed window)
+                    // would drag the common range down to a useless sliver.
+                    let usable_floor = 2.0 * spec.level_width();
+                    let viable: Vec<TracedEstimate> = estimates
+                        .iter()
+                        .copied()
+                        .filter(|e| e.window.r_max - spec.r_min >= usable_floor)
+                        .collect();
+                    let candidates =
+                        if viable.is_empty() { estimates.clone() } else { viable };
+                    // Borrow-splitting: candidate evaluation needs the
+                    // software net mutably and the estimates immutably.
+                    let software = &mut self.software;
+                    let percentile = self.outlier_percentile;
+                    let selection = select_range(&candidates, spec.r_min, &mut |cand| {
+                        simulate_layer_window_accuracy(
+                            software, &weights, idx, cand, &estimates, &spec, data, batch,
+                            percentile,
+                        )
+                    });
+                    match selection {
+                        Ok(sel) => {
+                            candidates_tried += sel.candidates_tried;
+                            // Hysteresis: a re-selected window moves *every*
+                            // conductance target, so re-mapping against a
+                            // new window costs a pulse burst across the
+                            // whole array. Keep the previous window unless
+                            // the new one is meaningfully more accurate.
+                            match self.last_windows[idx] {
+                                Some(prev) if prev.r_max > spec.r_min => {
+                                    let prev_acc = simulate_layer_window_accuracy(
+                                        software, &weights, idx, prev, &estimates, &spec,
+                                        data, batch, percentile,
+                                    )?;
+                                    if prev_acc + 0.01 >= sel.accuracy {
+                                        prev
+                                    } else {
+                                        sel.window
+                                    }
+                                }
+                                _ => sel.window,
+                            }
+                        }
+                        // Every traced window has collapsed: the layer is at
+                        // end of life. Fall back to the fresh window — the
+                        // subsequent tuning failure reports the death.
+                        Err(CrossbarError::InvalidMapping { .. }) => {
+                            AgedWindow { r_min: spec.r_min, r_max: spec.r_max }
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            };
+            let mapping = WeightMapping::from_weights_percentile(
+                w.as_slice(),
+                window,
+                self.outlier_percentile,
+            )?;
+            let targets = Tensor::from_fn([w.dims()[0], w.dims()[1]], |i| {
+                mapping.weight_to_conductance(w.as_slice()[i] as f64) as f32
+            });
+            if self.wear_leveling && crate::wear_level::wear_imbalance(&self.arrays[idx]) > 1.5 {
+                // Swap only under a real wear imbalance: each swap
+                // reprograms two whole rows, which is itself aging cost.
+                self.row_assignments[idx] = crate::wear_level::incremental_swap(
+                    &self.arrays[idx],
+                    &targets,
+                    &self.row_assignments[idx],
+                )?;
+            }
+            let physical = self.row_assignments[idx].to_physical(&targets)?;
+            stats.merge(self.arrays[idx].program_conductances(&physical)?);
+            self.mappings[idx] = Some(mapping);
+            self.last_windows[idx] = Some(window);
+            windows.push(window);
+        }
+        // Leave the software model consistent with what the hardware now holds.
+        self.sync_software_from_hardware()?;
+        let post_map_accuracy = match calibration {
+            Some((data, batch)) => Some(self.evaluate(data, batch)?),
+            None => None,
+        };
+        Ok(MapReport { stats, windows, candidates_tried, post_map_accuracy })
+    }
+
+    /// Reads the effective weight matrices back from the arrays (inverse of
+    /// eq. 4 on the device conductances).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidMapping`] if a layer was never mapped.
+    pub fn read_weights(&self) -> Result<Vec<Tensor>, CrossbarError> {
+        let mut out = Vec::with_capacity(self.arrays.len());
+        for (idx, array) in self.arrays.iter().enumerate() {
+            let mapping = self.mappings[idx].ok_or(CrossbarError::InvalidMapping {
+                reason: format!("layer {idx} has not been mapped yet"),
+            })?;
+            let g = self.row_assignments[idx].to_logical(&array.conductances())?;
+            out.push(Tensor::from_fn([array.rows(), array.cols()], |i| {
+                mapping.conductance_to_weight(g.as_slice()[i] as f64) as f32
+            }));
+        }
+        Ok(out)
+    }
+
+    /// Writes the hardware's effective weights into the software model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidMapping`] if any layer is unmapped.
+    pub fn sync_software_from_hardware(&mut self) -> Result<(), CrossbarError> {
+        let weights = self.read_weights()?;
+        self.software.set_weight_matrices(&weights)?;
+        Ok(())
+    }
+
+    /// Classification accuracy of the *hardware* state on `data`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping and network errors.
+    pub fn evaluate(&mut self, data: &Dataset, batch_size: usize) -> Result<f64, CrossbarError> {
+        self.sync_software_from_hardware()?;
+        Ok(memaging_nn::evaluate(&mut self.software, data, batch_size)?)
+    }
+
+    /// The stored mapping of layer `idx`, if mapped.
+    pub fn mapping(&self, idx: usize) -> Option<&WeightMapping> {
+        self.mappings.get(idx).and_then(|m| m.as_ref())
+    }
+
+    /// The logical→physical row assignment of mappable layer `idx`
+    /// (identity unless wear leveling has swapped rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn row_assignment(&self, idx: usize) -> &RowAssignment {
+        &self.row_assignments[idx]
+    }
+
+    /// Mutable access to one array — for fault injection, custom aging
+    /// studies and tests. Note that mutating devices directly bypasses the
+    /// wear-leveling row assignment; use
+    /// [`CrossbarNetwork::row_assignment`] to translate weight positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn array_mut(&mut self, idx: usize) -> &mut Crossbar {
+        &mut self.arrays[idx]
+    }
+
+    /// The device implementing weight `(row, col)` of mappable layer `idx`,
+    /// honouring the layer's logical→physical row assignment.
+    pub(crate) fn device_for_weight(
+        &mut self,
+        idx: usize,
+        row: usize,
+        col: usize,
+    ) -> &mut memaging_device::Memristor {
+        let physical = self.row_assignments[idx].physical(row);
+        self.arrays[idx].device_mut(physical, col)
+    }
+
+    /// Applies one session of read-disturb drift to every array; returns the
+    /// total number of drifted devices.
+    pub fn apply_drift<R: rand::Rng + ?Sized>(&mut self, probability: f64, rng: &mut R) -> usize {
+        self.arrays.iter_mut().map(|a| a.apply_drift(probability, rng)).sum()
+    }
+
+    /// Applies one session of multiplicative conductance drift to every
+    /// array; returns the total number of drifted devices.
+    pub fn apply_conductance_drift<R: rand::Rng + ?Sized>(
+        &mut self,
+        probability: f64,
+        sigma: f64,
+        rng: &mut R,
+    ) -> usize {
+        self.arrays
+            .iter_mut()
+            .map(|a| a.apply_conductance_drift(probability, sigma, rng))
+            .sum()
+    }
+
+    /// Restores the software model's mappable weights to `weights` (e.g. the
+    /// originally trained values before any hardware read-back), so a
+    /// subsequent [`CrossbarNetwork::map_weights`] re-deploys them.
+    ///
+    /// # Errors
+    ///
+    /// Returns a wrapped network error on shape mismatch.
+    pub fn restore_software_weights(&mut self, weights: &[Tensor]) -> Result<(), CrossbarError> {
+        self.software.set_weight_matrices(weights)?;
+        Ok(())
+    }
+
+    /// Redistributes programming Joule heat as ambient aging stress in every
+    /// array (see [`Crossbar::equilibrate_thermal`]). Returns the mean
+    /// per-device ambient stress added.
+    pub fn equilibrate_thermal(&mut self) -> f64 {
+        if self.arrays.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.arrays.iter_mut().map(Crossbar::equilibrate_thermal).sum();
+        sum / self.arrays.len() as f64
+    }
+
+    /// Total programming pulses across all arrays.
+    pub fn total_pulses(&self) -> u64 {
+        self.arrays.iter().map(Crossbar::total_pulses).sum()
+    }
+
+    /// Total worn-out devices across all arrays.
+    pub fn worn_out_count(&self) -> usize {
+        self.arrays.iter().map(Crossbar::worn_out_count).sum()
+    }
+
+    /// Per-layer mean aged upper resistance bound (paper Fig. 11 series).
+    pub fn per_layer_mean_r_max(&self) -> Vec<f64> {
+        self.arrays.iter().map(Crossbar::mean_aged_r_max).collect()
+    }
+}
+
+/// Simulates the post-mapping accuracy of candidate window `cand` for layer
+/// `layer_idx`, holding all other layers at their trained software weights.
+///
+/// The simulation follows the physical pipeline without programming:
+/// weight → conductance (eq. 4 against `cand`) → nearest fresh quantization
+/// level → clamp into the device's *estimated* aged window (its 3×3 block
+/// center's estimate) → inverse map → evaluate.
+#[allow(clippy::too_many_arguments)]
+fn simulate_layer_window_accuracy(
+    software: &mut Network,
+    trained: &[Tensor],
+    layer_idx: usize,
+    cand: AgedWindow,
+    estimates: &[TracedEstimate],
+    spec: &DeviceSpec,
+    data: &Dataset,
+    batch: usize,
+    percentile: f64,
+) -> Result<f64, CrossbarError> {
+    let mapping =
+        WeightMapping::from_weights_percentile(trained[layer_idx].as_slice(), cand, percentile)?;
+    let quantizer = Quantizer::from_spec(spec)?;
+    let w = &trained[layer_idx];
+    let cols = w.dims()[1];
+    let simulated = Tensor::from_fn([w.dims()[0], cols], |i| {
+        let (row, col) = (i / cols, i % cols);
+        let g = mapping.weight_to_conductance(w.as_slice()[i] as f64);
+        // Fresh-grid quantization in the resistance domain.
+        let r = quantizer.quantize(memaging_device::Ohms::new(1.0 / g).expect("g > 0")).value();
+        // Clamp into the estimated window of this device's block.
+        let est = block_estimate(row, col, estimates);
+        let r = est.clamp(r);
+        mapping.conductance_to_weight(1.0 / r) as f32
+    });
+    let mut weights = trained.to_vec();
+    weights[layer_idx] = simulated;
+    let saved = software.weight_matrices();
+    software.set_weight_matrices(&weights)?;
+    let acc = memaging_nn::evaluate(software, data, batch)?;
+    software.set_weight_matrices(&saved)?;
+    Ok(acc)
+}
+
+/// The estimated aged window covering `(row, col)`: the estimate of its 3×3
+/// block center.
+fn block_estimate(row: usize, col: usize, estimates: &[TracedEstimate]) -> AgedWindow {
+    let (br, bc) = (row / 3, col / 3);
+    estimates
+        .iter()
+        .find(|e| e.row / 3 == br && e.col / 3 == bc)
+        .map(|e| e.window)
+        // A block without a traced device (possible at ragged edges) is
+        // assumed fresh-ish: use the widest traced window.
+        .unwrap_or_else(|| {
+            estimates
+                .iter()
+                .map(|e| e.window)
+                .fold(AgedWindow { r_min: f64::MAX, r_max: 0.0 }, |acc, w| AgedWindow {
+                    r_min: acc.r_min.min(w.r_min),
+                    r_max: acc.r_max.max(w.r_max),
+                })
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memaging_dataset::SyntheticSpec;
+    use memaging_nn::{models, train, NoRegularizer, TrainConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trained_setup(seed: u64) -> (Network, Dataset) {
+        let mut data = Dataset::gaussian_blobs(&SyntheticSpec::small(3, seed)).unwrap();
+        data.normalize();
+        let mut net = models::mlp(&[144, 16, 3], &mut StdRng::seed_from_u64(seed)).unwrap();
+        let config = TrainConfig { epochs: 10, target_accuracy: 0.97, ..TrainConfig::default() };
+        train(&mut net, &data, &config, &NoRegularizer).unwrap();
+        (net, data)
+    }
+
+    #[test]
+    fn arrays_match_layer_shapes() {
+        let (net, _) = trained_setup(1);
+        let shapes: Vec<(usize, usize)> =
+            net.weight_matrices().iter().map(|w| (w.dims()[0], w.dims()[1])).collect();
+        let cn =
+            CrossbarNetwork::new(net, DeviceSpec::default(), ArrheniusAging::default()).unwrap();
+        for (a, s) in cn.arrays().iter().zip(shapes) {
+            assert_eq!((a.rows(), a.cols()), s);
+        }
+    }
+
+    #[test]
+    fn fresh_mapping_preserves_most_accuracy() {
+        let (mut net, data) = trained_setup(2);
+        let sw_acc = memaging_nn::evaluate(&mut net, &data, 64).unwrap();
+        let mut cn =
+            CrossbarNetwork::new(net, DeviceSpec::default(), ArrheniusAging::default()).unwrap();
+        let report = cn.map_weights(MappingStrategy::Fresh, Some((&data, 64))).unwrap();
+        let hw_acc = report.post_map_accuracy.unwrap();
+        assert!(report.stats.pulses > 0);
+        assert!(
+            hw_acc > sw_acc - 0.15,
+            "quantization should not destroy accuracy: sw {sw_acc} hw {hw_acc}"
+        );
+    }
+
+    #[test]
+    fn read_weights_requires_mapping() {
+        let (net, _) = trained_setup(3);
+        let cn =
+            CrossbarNetwork::new(net, DeviceSpec::default(), ArrheniusAging::default()).unwrap();
+        assert!(cn.read_weights().is_err());
+    }
+
+    #[test]
+    fn read_weights_are_quantized_weights() {
+        let (net, data) = trained_setup(4);
+        let trained = net.weight_matrices();
+        let mut cn =
+            CrossbarNetwork::new(net, DeviceSpec::default(), ArrheniusAging::default()).unwrap();
+        cn.map_weights(MappingStrategy::Fresh, Some((&data, 64))).unwrap();
+        let read = cn.read_weights().unwrap();
+        // Each read weight is within a quantization step of the original.
+        for (t, r) in trained.iter().zip(&read) {
+            let mapping_range = {
+                let s = memaging_tensor::stats::Summary::of(t.as_slice());
+                (s.max - s.min) as f32
+            };
+            for (a, b) in t.as_slice().iter().zip(r.as_slice()) {
+                assert!(
+                    (a - b).abs() <= mapping_range * 0.51,
+                    "read weight {b} too far from trained {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aging_aware_requires_calibration() {
+        let (net, _) = trained_setup(5);
+        let mut cn =
+            CrossbarNetwork::new(net, DeviceSpec::default(), ArrheniusAging::default()).unwrap();
+        assert!(cn.map_weights(MappingStrategy::AgingAware, None).is_err());
+    }
+
+    #[test]
+    fn aging_aware_mapping_on_fresh_arrays_matches_fresh() {
+        // With zero aging, the traced windows are the fresh window, so
+        // aging-aware selection must pick it.
+        let (net, data) = trained_setup(6);
+        let mut cn =
+            CrossbarNetwork::new(net, DeviceSpec::default(), ArrheniusAging::default()).unwrap();
+        let report = cn.map_weights(MappingStrategy::AgingAware, Some((&data, 64))).unwrap();
+        for w in &report.windows {
+            assert!((w.r_max - DeviceSpec::default().r_max).abs() < 1e-6);
+        }
+        assert!(report.candidates_tried >= report.windows.len());
+    }
+
+    #[test]
+    fn aging_aware_mapping_tracks_aged_arrays() {
+        let (net, data) = trained_setup(7);
+        let mut cn =
+            CrossbarNetwork::new(net, DeviceSpec::default(), ArrheniusAging::default()).unwrap();
+        // Age every device of layer 0 hard (cycling at low resistance).
+        {
+            let arr = cn.array_mut(0);
+            for _ in 0..3000 {
+                let mut any = false;
+                for r in 0..arr.rows() {
+                    for c in 0..arr.cols() {
+                        let d = arr.device_mut(r, c);
+                        if d.pulse(-1).is_ok() && d.pulse(1).is_ok() {
+                            any = true;
+                        }
+                    }
+                }
+                if !any {
+                    break;
+                }
+                if arr.device(1, 1).usable_levels() < 20 {
+                    break;
+                }
+            }
+        }
+        let report = cn.map_weights(MappingStrategy::AgingAware, Some((&data, 64))).unwrap();
+        assert!(
+            report.windows[0].r_max < DeviceSpec::default().r_max,
+            "aged layer must select a reduced common window, got {:?}",
+            report.windows[0]
+        );
+        // Mapping into the reduced window keeps decent accuracy.
+        assert!(report.post_map_accuracy.unwrap() > 0.5);
+    }
+
+    #[test]
+    fn evaluate_works_after_mapping() {
+        let (net, data) = trained_setup(8);
+        let mut cn =
+            CrossbarNetwork::new(net, DeviceSpec::default(), ArrheniusAging::default()).unwrap();
+        cn.map_weights(MappingStrategy::Fresh, None).unwrap();
+        let acc = cn.evaluate(&data, 64).unwrap();
+        assert!(acc > 0.5);
+        assert_eq!(cn.per_layer_mean_r_max().len(), 2);
+    }
+}

@@ -1,0 +1,269 @@
+//! Tiling of large weight matrices across fixed-size crossbar arrays.
+//!
+//! Fabricated crossbars are bounded (e.g. 128×128 in the dot-product engine
+//! of the paper's ref. [14]); a large layer is split into a grid of tiles
+//! whose partial column currents are summed digitally. This module provides
+//! that decomposition along with aggregate programming and VMM.
+
+use memaging_device::{ArrheniusAging, DeviceSpec};
+use memaging_tensor::Tensor;
+
+use crate::crossbar::{Crossbar, ProgramStats};
+use crate::error::CrossbarError;
+
+/// A `rows × cols` logical matrix realized as a grid of crossbar tiles of at
+/// most `tile_size × tile_size` devices each.
+///
+/// # Examples
+///
+/// ```
+/// use memaging_crossbar::TiledMatrix;
+/// use memaging_device::{ArrheniusAging, DeviceSpec};
+/// use memaging_tensor::Tensor;
+///
+/// # fn main() -> Result<(), memaging_crossbar::CrossbarError> {
+/// let mut tiled = TiledMatrix::new(5, 7, 3, DeviceSpec::default(), ArrheniusAging::default())?;
+/// assert_eq!(tiled.tile_grid(), (2, 3));
+/// tiled.program_conductances(&Tensor::full([5, 7], 5.0e-5))?;
+/// let out = tiled.vmm(&[1.0; 5])?;
+/// assert_eq!(out.len(), 7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TiledMatrix {
+    rows: usize,
+    cols: usize,
+    tile_size: usize,
+    /// Tiles in row-major tile-grid order.
+    tiles: Vec<Crossbar>,
+    tile_rows: usize,
+    tile_cols: usize,
+}
+
+impl TiledMatrix {
+    /// Creates the tile grid for a `rows × cols` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidMapping`] for zero dimensions or a
+    /// zero tile size, plus device errors for an invalid spec.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        tile_size: usize,
+        spec: DeviceSpec,
+        aging: ArrheniusAging,
+    ) -> Result<Self, CrossbarError> {
+        if rows == 0 || cols == 0 || tile_size == 0 {
+            return Err(CrossbarError::InvalidMapping {
+                reason: format!("tiled matrix {rows}x{cols} tile {tile_size} must be nonzero"),
+            });
+        }
+        let tile_rows = rows.div_ceil(tile_size);
+        let tile_cols = cols.div_ceil(tile_size);
+        let mut tiles = Vec::with_capacity(tile_rows * tile_cols);
+        for tr in 0..tile_rows {
+            for tc in 0..tile_cols {
+                let h = (rows - tr * tile_size).min(tile_size);
+                let w = (cols - tc * tile_size).min(tile_size);
+                tiles.push(Crossbar::new(h, w, spec, aging)?);
+            }
+        }
+        Ok(TiledMatrix { rows, cols, tile_size, tiles, tile_rows, tile_cols })
+    }
+
+    /// Logical matrix rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical matrix columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The `(tile_rows, tile_cols)` grid dimensions.
+    pub fn tile_grid(&self) -> (usize, usize) {
+        (self.tile_rows, self.tile_cols)
+    }
+
+    /// The tiles, row-major over the tile grid.
+    pub fn tiles(&self) -> &[Crossbar] {
+        &self.tiles
+    }
+
+    /// Programs the full logical matrix of conductance targets, tile by
+    /// tile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::DimensionMismatch`] if `targets` is not
+    /// `[rows, cols]`.
+    pub fn program_conductances(&mut self, targets: &Tensor) -> Result<ProgramStats, CrossbarError> {
+        if targets.dims() != [self.rows, self.cols] {
+            return Err(CrossbarError::DimensionMismatch {
+                what: "tiled conductance targets",
+                expected: (self.rows, self.cols),
+                actual: if targets.rank() == 2 {
+                    (targets.dims()[0], targets.dims()[1])
+                } else {
+                    (targets.len(), 0)
+                },
+            });
+        }
+        let mut stats = ProgramStats::default();
+        let src = targets.as_slice();
+        for tr in 0..self.tile_rows {
+            for tc in 0..self.tile_cols {
+                let tile = &mut self.tiles[tr * self.tile_cols + tc];
+                let (h, w) = (tile.rows(), tile.cols());
+                let sub = Tensor::from_fn([h, w], |i| {
+                    let (r, c) = (i / w, i % w);
+                    src[(tr * self.tile_size + r) * self.cols + tc * self.tile_size + c]
+                });
+                stats.merge(tile.program_conductances(&sub)?);
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Reads the full logical conductance matrix back.
+    pub fn conductances(&self) -> Tensor {
+        let mut out = vec![0.0f32; self.rows * self.cols];
+        for tr in 0..self.tile_rows {
+            for tc in 0..self.tile_cols {
+                let tile = &self.tiles[tr * self.tile_cols + tc];
+                let g = tile.conductances();
+                let (h, w) = (tile.rows(), tile.cols());
+                for r in 0..h {
+                    for c in 0..w {
+                        out[(tr * self.tile_size + r) * self.cols + tc * self.tile_size + c] =
+                            g.as_slice()[r * w + c];
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, [self.rows, self.cols]).expect("sized by construction")
+    }
+
+    /// Logical VMM: each tile computes its partial column currents; partial
+    /// results along a tile row-band are summed digitally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::DimensionMismatch`] if `input.len()` differs
+    /// from the logical row count.
+    pub fn vmm(&self, input: &[f32]) -> Result<Vec<f64>, CrossbarError> {
+        if input.len() != self.rows {
+            return Err(CrossbarError::DimensionMismatch {
+                what: "tiled vmm input",
+                expected: (self.rows, 1),
+                actual: (input.len(), 1),
+            });
+        }
+        let mut out = vec![0.0f64; self.cols];
+        for tr in 0..self.tile_rows {
+            let band = &input[tr * self.tile_size..(tr * self.tile_size
+                + self.tiles[tr * self.tile_cols].rows())];
+            for tc in 0..self.tile_cols {
+                let tile = &self.tiles[tr * self.tile_cols + tc];
+                let partial = tile.vmm(band)?;
+                for (j, p) in partial.iter().enumerate() {
+                    out[tc * self.tile_size + j] += p;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Total programming pulses across all tiles.
+    pub fn total_pulses(&self) -> u64 {
+        self.tiles.iter().map(Crossbar::total_pulses).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn targets(rows: usize, cols: usize) -> Tensor {
+        let spec = DeviceSpec::default();
+        let width = spec.level_width();
+        Tensor::from_fn([rows, cols], |i| {
+            (1.0 / (spec.r_min + (i % spec.levels) as f64 * width)) as f32
+        })
+    }
+
+    fn tiled(rows: usize, cols: usize, tile: usize) -> TiledMatrix {
+        TiledMatrix::new(rows, cols, tile, DeviceSpec::default(), ArrheniusAging::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn grid_dimensions() {
+        let t = tiled(10, 10, 4);
+        assert_eq!(t.tile_grid(), (3, 3));
+        assert_eq!(t.tiles().len(), 9);
+        // Edge tiles are smaller.
+        assert_eq!(t.tiles()[8].rows(), 2);
+        assert_eq!(t.tiles()[8].cols(), 2);
+    }
+
+    #[test]
+    fn validates_dimensions() {
+        assert!(TiledMatrix::new(0, 3, 2, DeviceSpec::default(), ArrheniusAging::default())
+            .is_err());
+        assert!(TiledMatrix::new(3, 3, 0, DeviceSpec::default(), ArrheniusAging::default())
+            .is_err());
+    }
+
+    #[test]
+    fn program_read_round_trip_across_tiles() {
+        let mut t = tiled(7, 5, 3);
+        let tg = targets(7, 5);
+        t.program_conductances(&tg).unwrap();
+        let read = t.conductances();
+        // Programming itself ages the devices a little, so top-level reads
+        // sit just inside the (slightly) shrunken window: allow ~1% error.
+        for (a, b) in tg.as_slice().iter().zip(read.as_slice()) {
+            assert!((a - b).abs() / a < 1e-2, "target {a} read {b}");
+        }
+    }
+
+    #[test]
+    fn tiled_vmm_matches_monolithic() {
+        let mut t = tiled(6, 4, 2);
+        let mut mono =
+            Crossbar::new(6, 4, DeviceSpec::default(), ArrheniusAging::default()).unwrap();
+        let tg = targets(6, 4);
+        t.program_conductances(&tg).unwrap();
+        mono.program_conductances(&tg).unwrap();
+        let v: Vec<f32> = (0..6).map(|i| (i as f32 * 0.37).sin()).collect();
+        let a = t.vmm(&v).unwrap();
+        let b = mono.vmm(&v).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12, "tiled {x} vs mono {y}");
+        }
+    }
+
+    #[test]
+    fn vmm_validates_input_length() {
+        let t = tiled(4, 4, 2);
+        assert!(t.vmm(&[1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn program_validates_shape() {
+        let mut t = tiled(4, 4, 2);
+        assert!(t.program_conductances(&targets(4, 5)).is_err());
+    }
+
+    #[test]
+    fn pulses_aggregate_over_tiles() {
+        let mut t = tiled(6, 6, 2);
+        assert_eq!(t.total_pulses(), 0);
+        t.program_conductances(&Tensor::full([6, 6], 9.0e-5)).unwrap();
+        assert!(t.total_pulses() > 0);
+    }
+}

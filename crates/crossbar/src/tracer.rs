@@ -1,0 +1,158 @@
+//! Representative aging tracing (paper §IV-B): the mapper may consult only
+//! one memristor out of nine — the center of every 3×3 block — and estimates
+//! the whole array's aged bounds from those traced devices via eqs. (6)–(7).
+
+use memaging_device::AgedWindow;
+
+use crate::crossbar::Crossbar;
+
+/// The estimated aged window of one traced (block-center) device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracedEstimate {
+    /// Row of the traced device.
+    pub row: usize,
+    /// Column of the traced device.
+    pub col: usize,
+    /// Aged window estimated from the traced programming history.
+    pub window: AgedWindow,
+}
+
+/// Computes the traced positions of a `rows × cols` array: the centers of
+/// the 3×3 blocks tiling the array (partial edge blocks use their clamped
+/// center), i.e. one device out of nine as in the paper.
+pub fn traced_positions(rows: usize, cols: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut r = 0;
+    while r < rows {
+        let cr = (r + 1).min(rows - 1);
+        let mut c = 0;
+        while c < cols {
+            let cc = (c + 1).min(cols - 1);
+            out.push((cr, cc));
+            c += 3;
+        }
+        r += 3;
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Estimates aged windows from the traced devices of `array`.
+///
+/// Only the block-center devices' programming histories are consulted; the
+/// untraced 8-of-9 devices contribute nothing — that sparsity is the
+/// approximation the paper's aging-aware mapping accepts to keep tracing
+/// cheap.
+pub fn trace_estimates(array: &Crossbar) -> Vec<TracedEstimate> {
+    traced_positions(array.rows(), array.cols())
+        .into_iter()
+        .map(|(row, col)| TracedEstimate { row, col, window: array.aged_window(row, col) })
+        .collect()
+}
+
+/// The range of traced aged upper bounds `[R^L_aged,max, R^U_aged,max]` of
+/// paper Fig. 8 — the iteration interval for common-range selection.
+pub fn traced_upper_bound_range(estimates: &[TracedEstimate]) -> Option<(f64, f64)> {
+    if estimates.is_empty() {
+        return None;
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for e in estimates {
+        lo = lo.min(e.window.r_max);
+        hi = hi.max(e.window.r_max);
+    }
+    Some((lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memaging_device::{ArrheniusAging, DeviceSpec};
+    use memaging_tensor::Tensor;
+
+    #[test]
+    fn traced_positions_are_one_in_nine() {
+        let pos = traced_positions(9, 9);
+        assert_eq!(pos.len(), 9, "9x9 array has 9 block centers");
+        assert!(pos.contains(&(1, 1)));
+        assert!(pos.contains(&(4, 4)));
+        assert!(pos.contains(&(7, 7)));
+        // Roughly 1/9 of devices for a large array.
+        let pos = traced_positions(30, 30);
+        assert_eq!(pos.len(), 100);
+    }
+
+    #[test]
+    fn traced_positions_handle_small_arrays() {
+        assert_eq!(traced_positions(1, 1), vec![(0, 0)]);
+        let pos = traced_positions(2, 2);
+        assert_eq!(pos, vec![(1, 1)]);
+        let pos = traced_positions(4, 7);
+        assert!(!pos.is_empty());
+        for (r, c) in pos {
+            assert!(r < 4 && c < 7);
+        }
+    }
+
+    #[test]
+    fn estimates_reflect_per_device_history() {
+        let mut x =
+            Crossbar::new(3, 3, DeviceSpec::default(), ArrheniusAging::default()).unwrap();
+        // Age the center device only.
+        for _ in 0..500 {
+            x.device_mut(1, 1).pulse(1).unwrap();
+            x.device_mut(1, 1).pulse(-1).unwrap();
+        }
+        let est = trace_estimates(&x);
+        assert_eq!(est.len(), 1);
+        assert_eq!((est[0].row, est[0].col), (1, 1));
+        assert!(est[0].window.r_max < DeviceSpec::default().r_max);
+    }
+
+    #[test]
+    fn untraced_devices_are_invisible() {
+        let mut x =
+            Crossbar::new(3, 3, DeviceSpec::default(), ArrheniusAging::default()).unwrap();
+        // Heavily age a corner device (untraced).
+        for _ in 0..2000 {
+            if x.device_mut(0, 0).pulse(1).is_err() {
+                break;
+            }
+            let _ = x.device_mut(0, 0).pulse(-1);
+        }
+        let est = trace_estimates(&x);
+        // The traced estimate still reports a fresh window.
+        assert_eq!(est[0].window.r_max, DeviceSpec::default().r_max);
+    }
+
+    #[test]
+    fn upper_bound_range_spans_estimates() {
+        let mut x =
+            Crossbar::new(6, 3, DeviceSpec::default(), ArrheniusAging::default()).unwrap();
+        // Age the two block centers differently.
+        for _ in 0..1500 {
+            let _ = x.device_mut(1, 1).pulse(1);
+            let _ = x.device_mut(1, 1).pulse(-1);
+        }
+        for _ in 0..300 {
+            let _ = x.device_mut(4, 1).pulse(1);
+            let _ = x.device_mut(4, 1).pulse(-1);
+        }
+        let est = trace_estimates(&x);
+        assert_eq!(est.len(), 2);
+        let (lo, hi) = traced_upper_bound_range(&est).unwrap();
+        assert!(lo < hi, "differently aged centers give a nonempty range");
+        assert!(traced_upper_bound_range(&[]).is_none());
+    }
+
+    #[test]
+    fn program_then_trace_smoke() {
+        let mut x =
+            Crossbar::new(5, 4, DeviceSpec::default(), ArrheniusAging::default()).unwrap();
+        x.program_conductances(&Tensor::full([5, 4], 5e-5)).unwrap();
+        let est = trace_estimates(&x);
+        assert_eq!(est.len(), traced_positions(5, 4).len());
+    }
+}

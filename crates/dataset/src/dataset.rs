@@ -1,0 +1,390 @@
+//! The labeled image dataset container.
+
+use memaging_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::error::DatasetError;
+
+/// A labeled image dataset with `[N, C, H, W]` storage.
+///
+/// This is the common currency between the synthetic generators, the
+/// software trainer and the crossbar evaluation harness. Labels are class
+/// indices in `0..num_classes`.
+///
+/// # Examples
+///
+/// ```
+/// use memaging_dataset::{Dataset, SyntheticSpec};
+///
+/// # fn main() -> Result<(), memaging_dataset::DatasetError> {
+/// let spec = SyntheticSpec::small(4, 42);
+/// let data = Dataset::gaussian_blobs(&spec)?;
+/// assert_eq!(data.num_classes(), 4);
+/// assert_eq!(data.len(), spec.classes * spec.samples_per_class);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    images: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from an `[N, C, H, W]` image tensor and labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tensor is not rank 4, the counts disagree, or
+    /// a label is `>= num_classes`.
+    pub fn new(images: Tensor, labels: Vec<usize>, num_classes: usize) -> Result<Self, DatasetError> {
+        if images.rank() != 4 {
+            return Err(DatasetError::BadImageRank { actual: images.rank() });
+        }
+        if images.dims()[0] != labels.len() {
+            return Err(DatasetError::SampleCountMismatch {
+                images: images.dims()[0],
+                labels: labels.len(),
+            });
+        }
+        if num_classes == 0 {
+            return Err(DatasetError::InvalidConfig { reason: "num_classes must be > 0".into() });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
+            return Err(DatasetError::LabelOutOfRange { label: bad, num_classes });
+        }
+        Ok(Dataset { images, labels, num_classes })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` if the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Image shape as `(channels, height, width)`.
+    pub fn image_shape(&self) -> (usize, usize, usize) {
+        let d = self.images.dims();
+        (d[1], d[2], d[3])
+    }
+
+    /// The full `[N, C, H, W]` image tensor.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// The label of every sample.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Copies sample `i` out as a `[C, H, W]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn image(&self, i: usize) -> Tensor {
+        assert!(i < self.len(), "sample index {i} out of range");
+        let (c, h, w) = self.image_shape();
+        let stride = c * h * w;
+        let slice = &self.images.as_slice()[i * stride..(i + 1) * stride];
+        Tensor::from_vec(slice.to_vec(), [c, h, w]).expect("length matches by construction")
+    }
+
+    /// Copies samples `[start, end)` out as a flattened `[B, C*H*W]` matrix —
+    /// the layout consumed by the network's forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or empty.
+    pub fn batch_matrix(&self, start: usize, end: usize) -> Tensor {
+        assert!(start < end && end <= self.len(), "bad batch range {start}..{end}");
+        let (c, h, w) = self.image_shape();
+        let stride = c * h * w;
+        let slice = &self.images.as_slice()[start * stride..end * stride];
+        Tensor::from_vec(slice.to_vec(), [end - start, stride])
+            .expect("length matches by construction")
+    }
+
+    /// Labels of samples `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn batch_labels(&self, start: usize, end: usize) -> &[usize] {
+        &self.labels[start..end]
+    }
+
+    /// Iterator over `(batch_matrix, batch_labels)` chunks of at most
+    /// `batch_size` samples, in order.
+    pub fn batches(&self, batch_size: usize) -> Batches<'_> {
+        assert!(batch_size > 0, "batch_size must be > 0");
+        Batches { dataset: self, batch_size, cursor: 0 }
+    }
+
+    /// Returns a copy with samples permuted by the seeded RNG.
+    pub fn shuffled<R: Rng + ?Sized>(&self, rng: &mut R) -> Dataset {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(rng);
+        self.select(&order)
+    }
+
+    /// Returns a copy containing the samples at `indices`, in that order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        let (c, h, w) = self.image_shape();
+        let stride = c * h * w;
+        let src = self.images.as_slice();
+        let mut data = Vec::with_capacity(indices.len() * stride);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            assert!(i < self.len(), "sample index {i} out of range");
+            data.extend_from_slice(&src[i * stride..(i + 1) * stride]);
+            labels.push(self.labels[i]);
+        }
+        Dataset {
+            images: Tensor::from_vec(data, [indices.len(), c, h, w])
+                .expect("length matches by construction"),
+            labels,
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Splits into `(train, test)` with `train_fraction` of each class's
+    /// samples (stratified) going to the train set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] unless `0 < train_fraction < 1`.
+    pub fn split(&self, train_fraction: f64) -> Result<(Dataset, Dataset), DatasetError> {
+        if !(0.0..1.0).contains(&train_fraction) || train_fraction == 0.0 {
+            return Err(DatasetError::InvalidConfig {
+                reason: format!("train_fraction {train_fraction} not in (0, 1)"),
+            });
+        }
+        let mut train_idx = Vec::new();
+        let mut test_idx = Vec::new();
+        for class in 0..self.num_classes {
+            let members: Vec<usize> =
+                (0..self.len()).filter(|&i| self.labels[i] == class).collect();
+            let cut = ((members.len() as f64) * train_fraction).round() as usize;
+            train_idx.extend_from_slice(&members[..cut.min(members.len())]);
+            test_idx.extend_from_slice(&members[cut.min(members.len())..]);
+        }
+        Ok((self.select(&train_idx), self.select(&test_idx)))
+    }
+
+    /// Normalizes pixels in place to zero mean and unit variance (global,
+    /// not per-channel). Returns the `(mean, std)` that were removed.
+    pub fn normalize(&mut self) -> (f32, f32) {
+        let mean = self.images.mean();
+        let centered_sq =
+            self.images.as_slice().iter().map(|&x| ((x - mean) as f64).powi(2)).sum::<f64>();
+        let std = ((centered_sq / self.images.len().max(1) as f64).sqrt() as f32).max(1e-6);
+        let inv = 1.0 / std;
+        self.images.map_in_place(|x| (x - mean) * inv);
+        (mean, std)
+    }
+
+    /// Flips the label of each sample, with probability `fraction`, to a
+    /// uniformly random *different* class. Label noise keeps the training
+    /// loss (and therefore the data gradients) from vanishing on small
+    /// synthetic tasks — mirroring the never-fully-converged regime of
+    /// real CIFAR training.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `[0, 1]` or the dataset has fewer
+    /// than 2 classes.
+    pub fn corrupt_labels<R: Rng + ?Sized>(&mut self, fraction: f64, rng: &mut R) {
+        assert!((0.0..=1.0).contains(&fraction), "fraction {fraction} not in [0, 1]");
+        assert!(self.num_classes >= 2, "label noise needs >= 2 classes");
+        for label in &mut self.labels {
+            if rng.gen::<f64>() < fraction {
+                let mut new = rng.gen_range(0..self.num_classes - 1);
+                if new >= *label {
+                    new += 1;
+                }
+                *label = new;
+            }
+        }
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+}
+
+/// Iterator over dataset mini-batches; see [`Dataset::batches`].
+#[derive(Debug)]
+pub struct Batches<'a> {
+    dataset: &'a Dataset,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl<'a> Iterator for Batches<'a> {
+    type Item = (Tensor, &'a [usize]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.dataset.len() {
+            return None;
+        }
+        let start = self.cursor;
+        let end = (start + self.batch_size).min(self.dataset.len());
+        self.cursor = end;
+        Some((self.dataset.batch_matrix(start, end), self.dataset.batch_labels(start, end)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let images = Tensor::from_fn([6, 1, 2, 2], |i| i as f32);
+        Dataset::new(images, vec![0, 1, 2, 0, 1, 2], 3).unwrap()
+    }
+
+    #[test]
+    fn new_validates() {
+        let images = Tensor::zeros([2, 1, 2, 2]);
+        assert!(Dataset::new(images.clone(), vec![0], 1).is_err());
+        assert!(Dataset::new(images.clone(), vec![0, 5], 3).is_err());
+        assert!(Dataset::new(images.clone(), vec![0, 0], 0).is_err());
+        assert!(Dataset::new(Tensor::zeros([2, 4]), vec![0, 0], 1).is_err());
+        assert!(Dataset::new(images, vec![0, 2], 3).is_ok());
+    }
+
+    #[test]
+    fn image_extraction() {
+        let d = tiny();
+        let img = d.image(1);
+        assert_eq!(img.dims(), &[1, 2, 2]);
+        assert_eq!(img.as_slice(), &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn batch_matrix_flattens() {
+        let d = tiny();
+        let b = d.batch_matrix(0, 2);
+        assert_eq!(b.dims(), &[2, 4]);
+        assert_eq!(b.as_slice(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(d.batch_labels(0, 2), &[0, 1]);
+    }
+
+    #[test]
+    fn batches_cover_all_samples() {
+        let d = tiny();
+        let mut total = 0;
+        for (mat, labels) in d.batches(4) {
+            assert_eq!(mat.dims()[0], labels.len());
+            total += labels.len();
+        }
+        assert_eq!(total, 6);
+        // Last batch is the remainder.
+        let sizes: Vec<usize> = d.batches(4).map(|(_, l)| l.len()).collect();
+        assert_eq!(sizes, vec![4, 2]);
+    }
+
+    #[test]
+    fn select_reorders() {
+        let d = tiny();
+        let s = d.select(&[5, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.labels(), &[2, 0]);
+        assert_eq!(s.image(0).as_slice(), d.image(5).as_slice());
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let d = tiny();
+        let s = d.shuffled(&mut StdRng::seed_from_u64(3));
+        assert_eq!(s.len(), d.len());
+        assert_eq!(s.class_counts(), d.class_counts());
+        let mut a: Vec<f32> = s.images().as_slice().to_vec();
+        let mut b: Vec<f32> = d.images().as_slice().to_vec();
+        a.sort_by(f32::total_cmp);
+        b.sort_by(f32::total_cmp);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn split_is_stratified() {
+        let d = tiny();
+        let (train, test) = d.split(0.5).unwrap();
+        assert_eq!(train.class_counts(), vec![1, 1, 1]);
+        assert_eq!(test.class_counts(), vec![1, 1, 1]);
+        assert!(d.split(0.0).is_err());
+        assert!(d.split(1.0).is_err());
+    }
+
+    #[test]
+    fn normalize_zero_mean_unit_std() {
+        let mut d = tiny();
+        d.normalize();
+        let mean = d.images().mean();
+        assert!(mean.abs() < 1e-5);
+        let var = d.images().norm_sq() / d.images().len() as f32;
+        assert!((var - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn class_counts() {
+        assert_eq!(tiny().class_counts(), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn corrupt_labels_flips_roughly_the_fraction() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let images = Tensor::zeros([1000, 1, 1, 1]);
+        let mut d = Dataset::new(images, vec![0; 1000], 4).unwrap();
+        d.corrupt_labels(0.2, &mut StdRng::seed_from_u64(1));
+        let flipped = d.labels().iter().filter(|&&l| l != 0).count();
+        assert!((120..280).contains(&flipped), "flipped {flipped} of 1000 at 20%");
+        // All labels stay valid.
+        assert!(d.labels().iter().all(|&l| l < 4));
+    }
+
+    #[test]
+    fn corrupt_labels_zero_fraction_is_identity() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut d = tiny();
+        let before = d.labels().to_vec();
+        d.corrupt_labels(0.0, &mut StdRng::seed_from_u64(2));
+        assert_eq!(d.labels(), &before[..]);
+    }
+
+    #[test]
+    fn corrupt_labels_never_keeps_the_flipped_label() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let images = Tensor::zeros([500, 1, 1, 1]);
+        let mut d = Dataset::new(images, vec![1; 500], 3).unwrap();
+        d.corrupt_labels(1.0, &mut StdRng::seed_from_u64(3));
+        assert!(d.labels().iter().all(|&l| l != 1), "fraction 1.0 must flip every label");
+    }
+}

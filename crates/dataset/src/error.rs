@@ -1,0 +1,71 @@
+//! Error type for dataset construction and manipulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by dataset operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// The image tensor and label list disagree on sample count.
+    SampleCountMismatch {
+        /// Number of images.
+        images: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// A label exceeds the declared class count.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// The declared number of classes.
+        num_classes: usize,
+    },
+    /// The image tensor is not rank 4 (`[N, C, H, W]`).
+    BadImageRank {
+        /// The actual rank encountered.
+        actual: usize,
+    },
+    /// A configuration parameter was invalid (zero classes, empty split, ...).
+    InvalidConfig {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::SampleCountMismatch { images, labels } => {
+                write!(f, "sample count mismatch: {images} images but {labels} labels")
+            }
+            DatasetError::LabelOutOfRange { label, num_classes } => {
+                write!(f, "label {label} out of range for {num_classes} classes")
+            }
+            DatasetError::BadImageRank { actual } => {
+                write!(f, "image tensor must be rank 4 [N, C, H, W], got rank {actual}")
+            }
+            DatasetError::InvalidConfig { reason } => write!(f, "invalid dataset config: {reason}"),
+        }
+    }
+}
+
+impl Error for DatasetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DatasetError::SampleCountMismatch { images: 3, labels: 4 };
+        assert!(e.to_string().contains("3 images"));
+        let e = DatasetError::LabelOutOfRange { label: 10, num_classes: 10 };
+        assert!(e.to_string().contains("label 10"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DatasetError>();
+    }
+}

@@ -1,0 +1,42 @@
+//! # memaging-dataset
+//!
+//! Synthetic, deterministic image datasets for the *memaging* workspace —
+//! the stand-ins for CIFAR-10 and CIFAR-100 used by the DATE 2019 paper
+//! "Aging-aware Lifetime Enhancement for Memristor-based Neuromorphic
+//! Computing".
+//!
+//! The real CIFAR sets cannot ship with this repository and full-scale
+//! training is out of budget for an aging *simulation* study, so this crate
+//! generates multi-class image datasets with intra-class variation and
+//! spatial structure at CIFAR-like shapes (see `DESIGN.md` §2 for why that
+//! preserves the paper's measured behaviour). Everything is seeded: the same
+//! [`SyntheticSpec`] always yields the same [`Dataset`].
+//!
+//! # Example
+//!
+//! ```
+//! use memaging_dataset::{Dataset, SyntheticSpec};
+//!
+//! # fn main() -> Result<(), memaging_dataset::DatasetError> {
+//! let spec = SyntheticSpec::small(10, 42); // 10-class Cifar10 stand-in
+//! let mut data = Dataset::gaussian_blobs(&spec)?;
+//! data.normalize();
+//! let (train, test) = data.split(0.8)?;
+//! for (batch, labels) in train.batches(32) {
+//!     assert_eq!(batch.dims()[0], labels.len());
+//! }
+//! # let _ = test;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dataset;
+mod error;
+mod synthetic;
+
+pub use dataset::{Batches, Dataset};
+pub use error::DatasetError;
+pub use synthetic::SyntheticSpec;

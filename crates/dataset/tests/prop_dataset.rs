@@ -1,0 +1,100 @@
+//! Property-based tests for dataset invariants: splits partition, batches
+//! cover, generators stay deterministic and label-valid.
+
+use memaging_dataset::{Dataset, SyntheticSpec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn spec(classes: usize, samples: usize, seed: u64) -> SyntheticSpec {
+    SyntheticSpec {
+        classes,
+        channels: 1,
+        height: 6,
+        width: 6,
+        samples_per_class: samples,
+        noise_std: 0.2,
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn split_partitions_every_sample(
+        classes in 2usize..6,
+        samples in 4usize..12,
+        frac in 0.2f64..0.8,
+        seed in 0u64..500,
+    ) {
+        let d = Dataset::gaussian_blobs(&spec(classes, samples, seed)).unwrap();
+        let (a, b) = d.split(frac).unwrap();
+        prop_assert_eq!(a.len() + b.len(), d.len());
+        // Stratified: every class appears in the train split.
+        prop_assert!(a.class_counts().iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn batches_cover_exactly_once(
+        classes in 2usize..5,
+        samples in 3usize..10,
+        batch in 1usize..16,
+        seed in 0u64..500,
+    ) {
+        let d = Dataset::shapes(&spec(classes, samples, seed)).unwrap();
+        let mut total = 0usize;
+        for (mat, labels) in d.batches(batch) {
+            prop_assert_eq!(mat.dims()[0], labels.len());
+            prop_assert!(labels.len() <= batch);
+            total += labels.len();
+        }
+        prop_assert_eq!(total, d.len());
+    }
+
+    #[test]
+    fn labels_always_in_range(classes in 2usize..8, seed in 0u64..500) {
+        let d = Dataset::gaussian_blobs(&spec(classes, 5, seed)).unwrap();
+        prop_assert!(d.labels().iter().all(|&l| l < classes));
+    }
+
+    #[test]
+    fn shuffle_then_select_preserves_pairs(seed in 0u64..500) {
+        // After shuffling, each (image, label) pair must still co-travel.
+        let d = Dataset::gaussian_blobs(&spec(3, 6, seed)).unwrap();
+        let s = d.shuffled(&mut StdRng::seed_from_u64(seed));
+        let (c, h, w) = d.image_shape();
+        let px = c * h * w;
+        for i in 0..s.len() {
+            let img = s.image(i);
+            // Find the original index with identical pixels.
+            let mut found = false;
+            for j in 0..d.len() {
+                if d.images().as_slice()[j * px..(j + 1) * px] == *img.as_slice() {
+                    prop_assert_eq!(d.labels()[j], s.labels()[i]);
+                    found = true;
+                    break;
+                }
+            }
+            prop_assert!(found, "shuffled sample {i} not found in original");
+        }
+    }
+
+    #[test]
+    fn normalize_is_idempotent_up_to_tolerance(classes in 2usize..5, seed in 0u64..500) {
+        let mut d = Dataset::gaussian_blobs(&spec(classes, 6, seed)).unwrap();
+        d.normalize();
+        let first = d.images().clone();
+        d.normalize();
+        for (a, b) in first.as_slice().iter().zip(d.images().as_slice()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn corrupt_labels_stays_in_range(fraction in 0.0f64..1.0, seed in 0u64..500) {
+        let mut d = Dataset::gaussian_blobs(&spec(4, 8, seed)).unwrap();
+        d.corrupt_labels(fraction, &mut StdRng::seed_from_u64(seed));
+        prop_assert!(d.labels().iter().all(|&l| l < 4));
+    }
+}

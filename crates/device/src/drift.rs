@@ -1,0 +1,162 @@
+//! Read-disturb conductance drift — the *recoverable* non-ideality the
+//! paper contrasts with aging (§I, ref. [8]).
+//!
+//! Repeated read operations nudge a memristor's conductance away from its
+//! programmed value. Unlike aging, drift is fully recovered by
+//! reprogramming. The lifetime simulator uses this model to motivate the
+//! periodic online-tuning sessions whose programming pulses are what
+//! actually age the devices.
+
+use rand::Rng;
+
+use crate::error::DeviceError;
+
+/// Multiplicative conductance drift accumulating with read count.
+///
+/// After `n` reads the conductance observed is
+/// `g · (1 + amplitude · tanh(n / saturation_reads) · direction)`, plus an
+/// optional random per-read component. `recover()` models reprogramming.
+///
+/// # Examples
+///
+/// ```
+/// use memaging_device::DriftModel;
+///
+/// # fn main() -> Result<(), memaging_device::DeviceError> {
+/// let mut drift = DriftModel::new(0.05, 1000.0)?;
+/// for _ in 0..500 {
+///     drift.record_read();
+/// }
+/// let factor = drift.factor();
+/// assert!(factor != 1.0 && (factor - 1.0).abs() <= 0.05);
+/// drift.recover();
+/// assert_eq!(drift.factor(), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftModel {
+    amplitude: f64,
+    saturation_reads: f64,
+    reads_since_program: u64,
+}
+
+impl DriftModel {
+    /// Creates a drift model with maximum relative drift `amplitude` and a
+    /// characteristic `saturation_reads` count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidQuantity`] unless
+    /// `0 <= amplitude < 1` and `saturation_reads > 0`.
+    pub fn new(amplitude: f64, saturation_reads: f64) -> Result<Self, DeviceError> {
+        if !(0.0..1.0).contains(&amplitude) || !amplitude.is_finite() {
+            return Err(DeviceError::InvalidQuantity {
+                quantity: "drift amplitude",
+                value: amplitude,
+                expected: "in [0, 1)",
+            });
+        }
+        if !saturation_reads.is_finite() || saturation_reads <= 0.0 {
+            return Err(DeviceError::InvalidQuantity {
+                quantity: "saturation reads",
+                value: saturation_reads,
+                expected: "finite and > 0",
+            });
+        }
+        Ok(DriftModel { amplitude, saturation_reads, reads_since_program: 0 })
+    }
+
+    /// Records one read operation.
+    pub fn record_read(&mut self) {
+        self.reads_since_program += 1;
+    }
+
+    /// Records `n` read operations at once.
+    pub fn record_reads(&mut self, n: u64) {
+        self.reads_since_program += n;
+    }
+
+    /// Reads since the last reprogram.
+    pub fn reads_since_program(&self) -> u64 {
+        self.reads_since_program
+    }
+
+    /// The multiplicative conductance factor at the current read count
+    /// (deterministic component; drifts downward, weakening the filament).
+    pub fn factor(&self) -> f64 {
+        let x = self.reads_since_program as f64 / self.saturation_reads;
+        1.0 - self.amplitude * x.tanh()
+    }
+
+    /// The drift factor with a random jitter component of relative standard
+    /// deviation `jitter` (useful for Monte-Carlo evaluation).
+    pub fn factor_with_jitter<R: Rng + ?Sized>(&self, jitter: f64, rng: &mut R) -> f64 {
+        let base = self.factor();
+        let noise = 1.0 + jitter * (rng.gen::<f64>() * 2.0 - 1.0);
+        (base * noise).max(0.0)
+    }
+
+    /// Recovers the drift: models reprogramming the device. This is the key
+    /// *difference* from aging — calling this restores `factor()` to 1.
+    pub fn recover(&mut self) {
+        self.reads_since_program = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates() {
+        assert!(DriftModel::new(-0.1, 100.0).is_err());
+        assert!(DriftModel::new(1.0, 100.0).is_err());
+        assert!(DriftModel::new(0.1, 0.0).is_err());
+        assert!(DriftModel::new(0.1, 100.0).is_ok());
+    }
+
+    #[test]
+    fn fresh_device_has_unit_factor() {
+        let d = DriftModel::new(0.1, 100.0).unwrap();
+        assert_eq!(d.factor(), 1.0);
+    }
+
+    #[test]
+    fn drift_grows_with_reads_and_saturates() {
+        let mut d = DriftModel::new(0.1, 100.0).unwrap();
+        let mut prev = d.factor();
+        for _ in 0..10 {
+            d.record_reads(50);
+            let f = d.factor();
+            assert!(f <= prev, "drift factor must be non-increasing");
+            prev = f;
+        }
+        // Saturation: bounded below by 1 - amplitude.
+        d.record_reads(1_000_000);
+        assert!(d.factor() >= 1.0 - 0.1 - 1e-12);
+    }
+
+    #[test]
+    fn recovery_is_complete_unlike_aging() {
+        let mut d = DriftModel::new(0.2, 10.0).unwrap();
+        d.record_reads(1000);
+        assert!(d.factor() < 0.85);
+        d.recover();
+        assert_eq!(d.factor(), 1.0);
+        assert_eq!(d.reads_since_program(), 0);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_seeded() {
+        let mut d = DriftModel::new(0.1, 100.0).unwrap();
+        d.record_reads(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = d.factor_with_jitter(0.01, &mut rng);
+        assert!((f - d.factor()).abs() <= d.factor() * 0.011);
+        let mut rng2 = StdRng::seed_from_u64(1);
+        assert_eq!(f, d.factor_with_jitter(0.01, &mut rng2));
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for device-model operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by memristor device operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// A physical quantity was outside its valid domain.
+    InvalidQuantity {
+        /// Name of the quantity, e.g. `"resistance"`.
+        quantity: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Description of the valid domain.
+        expected: &'static str,
+    },
+    /// A device specification was internally inconsistent.
+    InvalidSpec {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// The device's aged resistance window has collapsed: it can no longer
+    /// hold at least two distinguishable levels.
+    DeviceWornOut {
+        /// Accumulated effective stress (seconds) at failure.
+        stress: f64,
+    },
+    /// A programming target was requested on a dead device.
+    ProgramOnDeadDevice,
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::InvalidQuantity { quantity, value, expected } => {
+                write!(f, "invalid {quantity} {value}: expected {expected}")
+            }
+            DeviceError::InvalidSpec { reason } => write!(f, "invalid device spec: {reason}"),
+            DeviceError::DeviceWornOut { stress } => {
+                write!(f, "device worn out after {stress:.3e} s effective stress")
+            }
+            DeviceError::ProgramOnDeadDevice => write!(f, "cannot program a worn-out device"),
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DeviceError::InvalidQuantity {
+            quantity: "resistance",
+            value: -1.0,
+            expected: "> 0",
+        };
+        assert!(e.to_string().contains("resistance"));
+        assert!(DeviceError::ProgramOnDeadDevice.to_string().contains("worn-out"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeviceError>();
+    }
+}

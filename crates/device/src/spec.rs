@@ -1,0 +1,229 @@
+//! Device specification: fresh resistance window, quantization level count,
+//! programming pulse parameters and operating temperature.
+
+use crate::error::DeviceError;
+use crate::units::Ohms;
+
+/// Static parameters of a memristor device family.
+///
+/// The defaults model a filamentary RRAM cell in line with the device
+/// literature the paper cites (refs. 9, 14, 17): a 10 kΩ–100 kΩ programmable
+/// window discretized into 32 resistance levels, programmed by 2 V / 100 ns
+/// pulses at an operating temperature of 350 K.
+///
+/// # Examples
+///
+/// ```
+/// use memaging_device::DeviceSpec;
+///
+/// let spec = DeviceSpec::default();
+/// assert_eq!(spec.levels, 32);
+/// assert!(spec.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceSpec {
+    /// Fresh lower resistance bound (LRS), ohms.
+    pub r_min: f64,
+    /// Fresh upper resistance bound (HRS), ohms.
+    pub r_max: f64,
+    /// Number of discrete resistance levels (uniform in resistance).
+    pub levels: usize,
+    /// Programming pulse amplitude, volts.
+    pub pulse_voltage: f64,
+    /// Programming pulse width, seconds.
+    pub pulse_width: f64,
+    /// Operating temperature, kelvin.
+    pub temperature: f64,
+    /// Size of one online-tuning pulse, in fresh-grid level units
+    /// (sub-level: the constant-amplitude tuning pulses of paper eq. 5 move
+    /// the conductance by less than one storage level).
+    pub tuning_step_levels: f64,
+}
+
+impl DeviceSpec {
+    /// A 64-level variant (as in the TiOx synapse of the paper's ref. 15).
+    pub fn with_levels(levels: usize) -> Self {
+        DeviceSpec { levels, ..DeviceSpec::default() }
+    }
+
+    /// HfOx/Hf 1T1R bipolar RRAM corner (paper ref. 9): tighter window at a
+    /// lower LRS, programmed with faster/lower-voltage pulses — the
+    /// high-endurance corner of the literature.
+    pub fn hfox() -> Self {
+        DeviceSpec {
+            r_min: 5.0e3,
+            r_max: 5.0e4,
+            levels: 32,
+            pulse_voltage: 1.5,
+            pulse_width: 5.0e-8,
+            temperature: 350.0,
+            tuning_step_levels: 0.1,
+        }
+    }
+
+    /// TaOx memristor corner (paper ref. 11): wider window at larger
+    /// resistances — the low-power corner that benefits most from the
+    /// voltage-divider protections that reference studies.
+    pub fn taox() -> Self {
+        DeviceSpec {
+            r_min: 2.0e4,
+            r_max: 3.0e5,
+            levels: 32,
+            pulse_voltage: 2.5,
+            pulse_width: 1.0e-7,
+            temperature: 350.0,
+            tuning_step_levels: 0.1,
+        }
+    }
+
+    /// TiOx synapse corner (paper ref. 15): 64 symmetric conductance levels
+    /// via the hybrid pulse scheme.
+    pub fn tiox() -> Self {
+        DeviceSpec { levels: 64, ..DeviceSpec::default() }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidSpec`] if the resistance window is
+    /// empty/non-positive, fewer than 2 levels are requested, or any pulse or
+    /// temperature parameter is non-positive or non-finite.
+    pub fn validate(&self) -> Result<(), DeviceError> {
+        if !(self.r_min.is_finite() && self.r_max.is_finite()) || self.r_min <= 0.0 {
+            return Err(DeviceError::InvalidSpec {
+                reason: format!("resistance bounds ({}, {}) must be finite and > 0", self.r_min, self.r_max),
+            });
+        }
+        if self.r_max <= self.r_min {
+            return Err(DeviceError::InvalidSpec {
+                reason: format!("r_max {} must exceed r_min {}", self.r_max, self.r_min),
+            });
+        }
+        if self.levels < 2 {
+            return Err(DeviceError::InvalidSpec {
+                reason: format!("need at least 2 levels, got {}", self.levels),
+            });
+        }
+        for (name, v) in [
+            ("pulse_voltage", self.pulse_voltage),
+            ("pulse_width", self.pulse_width),
+            ("temperature", self.temperature),
+            ("tuning_step_levels", self.tuning_step_levels),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(DeviceError::InvalidSpec {
+                    reason: format!("{name} {v} must be finite and > 0"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The fresh lower bound as a typed quantity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid; call [`DeviceSpec::validate`] first.
+    pub fn r_min_ohms(&self) -> Ohms {
+        Ohms::new(self.r_min).expect("validated spec")
+    }
+
+    /// The fresh upper bound as a typed quantity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid; call [`DeviceSpec::validate`] first.
+    pub fn r_max_ohms(&self) -> Ohms {
+        Ohms::new(self.r_max).expect("validated spec")
+    }
+
+    /// Instantaneous programming-pulse power `V²/R` at resistance `r`, watts.
+    pub fn pulse_power(&self, r: Ohms) -> f64 {
+        self.pulse_voltage * self.pulse_voltage / r.value()
+    }
+
+    /// Width of one resistance level, ohms.
+    pub fn level_width(&self) -> f64 {
+        (self.r_max - self.r_min) / (self.levels - 1) as f64
+    }
+}
+
+impl Default for DeviceSpec {
+    fn default() -> Self {
+        DeviceSpec {
+            r_min: 1.0e4,
+            r_max: 1.0e5,
+            levels: 32,
+            pulse_voltage: 2.0,
+            pulse_width: 1.0e-7,
+            temperature: 350.0,
+            tuning_step_levels: 0.1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(DeviceSpec::default().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_inconsistencies() {
+        let d = DeviceSpec::default();
+        let s = DeviceSpec { r_max: d.r_min, ..d };
+        assert!(s.validate().is_err());
+        let s = DeviceSpec { levels: 1, ..d };
+        assert!(s.validate().is_err());
+        let s = DeviceSpec { pulse_voltage: 0.0, ..d };
+        assert!(s.validate().is_err());
+        let s = DeviceSpec { temperature: f64::NAN, ..d };
+        assert!(s.validate().is_err());
+        let s = DeviceSpec { r_min: -1.0, ..d };
+        assert!(s.validate().is_err());
+        let s = DeviceSpec { tuning_step_levels: 0.0, ..d };
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn pulse_power_scales_inversely_with_resistance() {
+        let s = DeviceSpec::default();
+        let p_lrs = s.pulse_power(Ohms::new(1e4).unwrap());
+        let p_hrs = s.pulse_power(Ohms::new(1e5).unwrap());
+        assert!((p_lrs / p_hrs - 10.0).abs() < 1e-9);
+        // 2V across 10kΩ = 0.4 mW
+        assert!((p_lrs - 4e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn level_width() {
+        let s = DeviceSpec { r_min: 0.0 + 1.0, r_max: 32.0, levels: 32, ..DeviceSpec::default() };
+        assert!((s.level_width() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_levels_override() {
+        let s = DeviceSpec::with_levels(64);
+        assert_eq!(s.levels, 64);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn literature_presets_are_valid_and_distinct() {
+        for (name, s) in
+            [("hfox", DeviceSpec::hfox()), ("taox", DeviceSpec::taox()), ("tiox", DeviceSpec::tiox())]
+        {
+            assert!(s.validate().is_ok(), "{name} preset must validate");
+        }
+        assert!(DeviceSpec::taox().r_max > DeviceSpec::hfox().r_max);
+        assert_eq!(DeviceSpec::tiox().levels, 64);
+        // The TaOx corner draws less pulse power at its LRS than HfOx.
+        let p_taox = DeviceSpec::taox().pulse_power(Ohms::new(DeviceSpec::taox().r_max).unwrap());
+        let p_hfox = DeviceSpec::hfox().pulse_power(Ohms::new(DeviceSpec::hfox().r_max).unwrap());
+        assert!(p_taox < p_hfox);
+    }
+}

@@ -1,0 +1,142 @@
+//! Physical-quantity newtypes: resistance (ohms) and conductance (siemens).
+//!
+//! The crossbar math constantly converts between the resistance domain
+//! (where quantization levels are uniform — paper Fig. 3b) and the
+//! conductance domain (where the analog VMM operates — Fig. 3c). Newtypes
+//! keep the two from being confused.
+
+use std::fmt;
+
+use crate::error::DeviceError;
+
+/// A resistance in ohms. Always finite and strictly positive.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Ohms(f64);
+
+impl Ohms {
+    /// Creates a resistance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidQuantity`] unless the value is finite
+    /// and `> 0`.
+    pub fn new(value: f64) -> Result<Self, DeviceError> {
+        if !value.is_finite() || value <= 0.0 {
+            return Err(DeviceError::InvalidQuantity {
+                quantity: "resistance",
+                value,
+                expected: "finite and > 0 ohms",
+            });
+        }
+        Ok(Ohms(value))
+    }
+
+    /// The raw value in ohms.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The equivalent conductance `1/R`.
+    pub fn to_siemens(self) -> Siemens {
+        Siemens(1.0 / self.0)
+    }
+}
+
+impl fmt::Display for Ohms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e6 {
+            write!(f, "{:.3} MΩ", self.0 / 1e6)
+        } else if self.0 >= 1e3 {
+            write!(f, "{:.3} kΩ", self.0 / 1e3)
+        } else {
+            write!(f, "{:.3} Ω", self.0)
+        }
+    }
+}
+
+/// A conductance in siemens. Always finite and strictly positive.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Siemens(f64);
+
+impl Siemens {
+    /// Creates a conductance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidQuantity`] unless the value is finite
+    /// and `> 0`.
+    pub fn new(value: f64) -> Result<Self, DeviceError> {
+        if !value.is_finite() || value <= 0.0 {
+            return Err(DeviceError::InvalidQuantity {
+                quantity: "conductance",
+                value,
+                expected: "finite and > 0 siemens",
+            });
+        }
+        Ok(Siemens(value))
+    }
+
+    /// The raw value in siemens.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The equivalent resistance `1/G`.
+    pub fn to_ohms(self) -> Ohms {
+        Ohms(1.0 / self.0)
+    }
+}
+
+impl fmt::Display for Siemens {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1e-6 {
+            write!(f, "{:.3} nS", self.0 * 1e9)
+        } else if self.0 < 1e-3 {
+            write!(f, "{:.3} µS", self.0 * 1e6)
+        } else {
+            write!(f, "{:.3} S", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_positivity_and_finiteness() {
+        assert!(Ohms::new(0.0).is_err());
+        assert!(Ohms::new(-5.0).is_err());
+        assert!(Ohms::new(f64::NAN).is_err());
+        assert!(Ohms::new(f64::INFINITY).is_err());
+        assert!(Ohms::new(1e4).is_ok());
+        assert!(Siemens::new(0.0).is_err());
+        assert!(Siemens::new(1e-5).is_ok());
+    }
+
+    #[test]
+    fn round_trip_conversion() {
+        let r = Ohms::new(20_000.0).unwrap();
+        let g = r.to_siemens();
+        assert!((g.value() - 5e-5).abs() < 1e-12);
+        let back = g.to_ohms();
+        assert!((back.value() - 20_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inverse_relation_flips_ordering() {
+        let lo = Ohms::new(1e4).unwrap();
+        let hi = Ohms::new(1e5).unwrap();
+        assert!(lo < hi);
+        assert!(lo.to_siemens() > hi.to_siemens());
+    }
+
+    #[test]
+    fn display_uses_si_prefixes() {
+        assert_eq!(Ohms::new(12_500.0).unwrap().to_string(), "12.500 kΩ");
+        assert_eq!(Ohms::new(2.5e6).unwrap().to_string(), "2.500 MΩ");
+        assert_eq!(Ohms::new(470.0).unwrap().to_string(), "470.000 Ω");
+        assert_eq!(Siemens::new(5e-5).unwrap().to_string(), "50.000 µS");
+        assert_eq!(Siemens::new(2e-8).unwrap().to_string(), "20.000 nS");
+    }
+}

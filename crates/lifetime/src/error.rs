@@ -1,0 +1,76 @@
+//! Error type for lifetime simulation.
+
+use std::error::Error;
+use std::fmt;
+
+use memaging_crossbar::CrossbarError;
+use memaging_nn::NnError;
+
+/// Error produced by the lifetime simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LifetimeError {
+    /// An underlying crossbar operation failed structurally.
+    Crossbar(CrossbarError),
+    /// An underlying network operation failed.
+    Network(NnError),
+    /// The simulation configuration was invalid.
+    InvalidConfig {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for LifetimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LifetimeError::Crossbar(e) => write!(f, "crossbar error: {e}"),
+            LifetimeError::Network(e) => write!(f, "network error: {e}"),
+            LifetimeError::InvalidConfig { reason } => {
+                write!(f, "invalid lifetime config: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for LifetimeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LifetimeError::Crossbar(e) => Some(e),
+            LifetimeError::Network(e) => Some(e),
+            LifetimeError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<CrossbarError> for LifetimeError {
+    fn from(e: CrossbarError) -> Self {
+        LifetimeError::Crossbar(e)
+    }
+}
+
+impl From<NnError> for LifetimeError {
+    fn from(e: NnError) -> Self {
+        LifetimeError::Network(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = LifetimeError::InvalidConfig { reason: "x".into() };
+        assert!(e.to_string().contains("invalid"));
+        assert!(Error::source(&e).is_none());
+        let e: LifetimeError =
+            NnError::InvalidConfig { reason: "y".into() }.into();
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LifetimeError>();
+    }
+}

@@ -1,0 +1,86 @@
+//! The three deployment strategies compared in the paper's Table I.
+
+use memaging_crossbar::MappingStrategy;
+
+/// A software-training + hardware-mapping strategy.
+///
+/// These are the three scenarios of the paper's evaluation:
+///
+/// | variant | training | mapping |
+/// |---|---|---|
+/// | [`Strategy::TT`]   | traditional (L2)        | fresh ranges |
+/// | [`Strategy::StT`]  | skewed (eqs. 8–10)      | fresh ranges |
+/// | [`Strategy::StAt`] | skewed (eqs. 8–10)      | aging-aware (Fig. 8) |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Traditional training + online tuning ("T+T").
+    TT,
+    /// Skewed-weight training + online tuning ("ST+T").
+    StT,
+    /// Skewed-weight training + aging-aware mapping + online tuning
+    /// ("ST+AT") — the paper's full proposal.
+    StAt,
+}
+
+impl Strategy {
+    /// All strategies in the paper's table order.
+    pub const ALL: [Strategy; 3] = [Strategy::TT, Strategy::StT, Strategy::StAt];
+
+    /// Whether the software training stage uses the skewed regularizer.
+    pub fn uses_skewed_training(self) -> bool {
+        !matches!(self, Strategy::TT)
+    }
+
+    /// The hardware mapping strategy.
+    pub fn mapping(self) -> MappingStrategy {
+        match self {
+            Strategy::TT | Strategy::StT => MappingStrategy::Fresh,
+            Strategy::StAt => MappingStrategy::AgingAware,
+        }
+    }
+
+    /// The paper's label for this strategy.
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::TT => "T+T",
+            Strategy::StT => "ST+T",
+            Strategy::StAt => "ST+AT",
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Strategy::TT.label(), "T+T");
+        assert_eq!(Strategy::StT.label(), "ST+T");
+        assert_eq!(Strategy::StAt.label(), "ST+AT");
+        assert_eq!(Strategy::StAt.to_string(), "ST+AT");
+    }
+
+    #[test]
+    fn training_and_mapping_flags() {
+        assert!(!Strategy::TT.uses_skewed_training());
+        assert!(Strategy::StT.uses_skewed_training());
+        assert!(Strategy::StAt.uses_skewed_training());
+        assert_eq!(Strategy::TT.mapping(), MappingStrategy::Fresh);
+        assert_eq!(Strategy::StT.mapping(), MappingStrategy::Fresh);
+        assert_eq!(Strategy::StAt.mapping(), MappingStrategy::AgingAware);
+    }
+
+    #[test]
+    fn all_lists_each_once() {
+        assert_eq!(Strategy::ALL.len(), 3);
+        let set: std::collections::HashSet<_> = Strategy::ALL.iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+}

@@ -1,0 +1,245 @@
+//! Weight checkpointing: save and restore a network's parameters with a
+//! small self-describing text format (no external serialization crates).
+//!
+//! Format (`MEMAGING-CKPT v1`):
+//!
+//! ```text
+//! memaging-checkpoint v1
+//! tensors <count>
+//! tensor <dims space-separated>
+//! <len> space-separated f32 values in row-major order (hex bits)
+//! ...
+//! ```
+//!
+//! Values are stored as hexadecimal IEEE-754 bit patterns, so round trips
+//! are exact (no decimal parsing loss).
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use memaging_tensor::Tensor;
+
+use crate::error::NnError;
+use crate::network::Network;
+
+const MAGIC: &str = "memaging-checkpoint v1";
+
+fn parse_error(reason: impl Into<String>) -> NnError {
+    NnError::InvalidConfig { reason: reason.into() }
+}
+
+/// Writes tensors to a writer in checkpoint format.
+///
+/// Generic writers are taken by value; pass `&mut writer` to keep using it
+/// afterwards.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] wrapping I/O failures.
+pub fn write_tensors<W: Write>(mut w: W, tensors: &[Tensor]) -> Result<(), NnError> {
+    let io = |e: std::io::Error| parse_error(format!("checkpoint write failed: {e}"));
+    writeln!(w, "{MAGIC}").map_err(io)?;
+    writeln!(w, "tensors {}", tensors.len()).map_err(io)?;
+    for t in tensors {
+        write!(w, "tensor").map_err(io)?;
+        for d in t.dims() {
+            write!(w, " {d}").map_err(io)?;
+        }
+        writeln!(w).map_err(io)?;
+        let mut first = true;
+        for &v in t.as_slice() {
+            if !first {
+                write!(w, " ").map_err(io)?;
+            }
+            write!(w, "{:08x}", v.to_bits()).map_err(io)?;
+            first = false;
+        }
+        writeln!(w).map_err(io)?;
+    }
+    Ok(())
+}
+
+/// Reads tensors from a reader in checkpoint format.
+///
+/// Generic readers are taken by value; pass `&mut reader` to keep using it
+/// afterwards.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] on malformed input or I/O failure.
+pub fn read_tensors<R: Read>(r: R) -> Result<Vec<Tensor>, NnError> {
+    let mut lines = BufReader::new(r).lines();
+    let mut next = || -> Result<String, NnError> {
+        lines
+            .next()
+            .ok_or_else(|| parse_error("unexpected end of checkpoint"))?
+            .map_err(|e| parse_error(format!("checkpoint read failed: {e}")))
+    };
+    if next()?.trim() != MAGIC {
+        return Err(parse_error("not a memaging checkpoint (bad magic)"));
+    }
+    let header = next()?;
+    let count: usize = header
+        .strip_prefix("tensors ")
+        .and_then(|c| c.trim().parse().ok())
+        .ok_or_else(|| parse_error(format!("bad tensor count line `{header}`")))?;
+    let mut tensors = Vec::with_capacity(count);
+    for _ in 0..count {
+        let dims_line = next()?;
+        let dims: Vec<usize> = dims_line
+            .strip_prefix("tensor")
+            .ok_or_else(|| parse_error(format!("bad tensor header `{dims_line}`")))?
+            .split_whitespace()
+            .map(|d| d.parse().map_err(|_| parse_error(format!("bad dim `{d}`"))))
+            .collect::<Result<_, _>>()?;
+        let data_line = next()?;
+        let data: Vec<f32> = data_line
+            .split_whitespace()
+            .map(|h| {
+                u32::from_str_radix(h, 16)
+                    .map(f32::from_bits)
+                    .map_err(|_| parse_error(format!("bad value `{h}`")))
+            })
+            .collect::<Result<_, _>>()?;
+        tensors.push(Tensor::from_vec(data, dims).map_err(NnError::from)?);
+    }
+    Ok(tensors)
+}
+
+impl Network {
+    /// Saves every parameter (weights *and* biases, in visit order) to
+    /// `path` in the checkpoint format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] wrapping I/O failures.
+    pub fn save_checkpoint(&mut self, path: impl AsRef<Path>) -> Result<(), NnError> {
+        let mut params = Vec::new();
+        self.visit_params(&mut |_, _, p, _| params.push(p.clone()));
+        let file = std::fs::File::create(path.as_ref())
+            .map_err(|e| parse_error(format!("cannot create checkpoint: {e}")))?;
+        write_tensors(BufWriter::new(file), &params)
+    }
+
+    /// Restores every parameter from a checkpoint written by
+    /// [`Network::save_checkpoint`] for an identically-shaped network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if the checkpoint is malformed or
+    /// the parameter count/shapes disagree with this architecture.
+    pub fn load_checkpoint(&mut self, path: impl AsRef<Path>) -> Result<(), NnError> {
+        let file = std::fs::File::open(path.as_ref())
+            .map_err(|e| parse_error(format!("cannot open checkpoint: {e}")))?;
+        let tensors = read_tensors(file)?;
+        let mut expected = 0usize;
+        self.visit_params(&mut |_, _, _, _| expected += 1);
+        if tensors.len() != expected {
+            return Err(parse_error(format!(
+                "checkpoint has {} tensors but the network has {expected} parameters",
+                tensors.len()
+            )));
+        }
+        let mut idx = 0usize;
+        let mut mismatch: Option<String> = None;
+        self.visit_params(&mut |_, _, p, _| {
+            let t = &tensors[idx];
+            idx += 1;
+            if t.shape() != p.shape() {
+                mismatch.get_or_insert(format!(
+                    "parameter {} shape mismatch: checkpoint {} vs network {}",
+                    idx - 1,
+                    t.shape(),
+                    p.shape()
+                ));
+                return;
+            }
+            *p = t.clone();
+        });
+        match mismatch {
+            Some(reason) => Err(parse_error(reason)),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use memaging_nn_test_util::*;
+
+    // Local shim so the path below stays tidy.
+    mod memaging_nn_test_util {
+        pub use rand::rngs::StdRng;
+        pub use rand::SeedableRng;
+    }
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("memaging-ckpt-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn tensors_round_trip_exactly() {
+        let tensors = vec![
+            Tensor::from_fn([2, 3], |i| (i as f32 * 0.333).sin()),
+            Tensor::from_vec(vec![f32::MIN_POSITIVE, -0.0, 1.5e-30], [3]).unwrap(),
+        ];
+        let mut buf = Vec::new();
+        write_tensors(&mut buf, &tensors).unwrap();
+        let back = read_tensors(&buf[..]).unwrap();
+        assert_eq!(back.len(), 2);
+        for (a, b) in tensors.iter().zip(&back) {
+            assert_eq!(a.shape(), b.shape());
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "bit-exact round trip");
+            }
+        }
+    }
+
+    #[test]
+    fn network_checkpoint_round_trips() {
+        let path = tmp_path("net");
+        let mut net = models::mlp(&[6, 5, 3], &mut StdRng::seed_from_u64(1)).unwrap();
+        let original = net.weight_matrices();
+        net.save_checkpoint(&path).unwrap();
+        // Scramble, then restore.
+        let mut other = models::mlp(&[6, 5, 3], &mut StdRng::seed_from_u64(2)).unwrap();
+        assert_ne!(other.weight_matrices(), original);
+        other.load_checkpoint(&path).unwrap();
+        assert_eq!(other.weight_matrices(), original);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_rejects_shape_mismatch() {
+        let path = tmp_path("mismatch");
+        let mut net = models::mlp(&[6, 5, 3], &mut StdRng::seed_from_u64(3)).unwrap();
+        net.save_checkpoint(&path).unwrap();
+        let mut other = models::mlp(&[6, 4, 3], &mut StdRng::seed_from_u64(3)).unwrap();
+        assert!(other.load_checkpoint(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn read_rejects_garbage() {
+        assert!(read_tensors(&b"not a checkpoint"[..]).is_err());
+        assert!(read_tensors(&b"memaging-checkpoint v1\ntensors zzz\n"[..]).is_err());
+        assert!(read_tensors(&b"memaging-checkpoint v1\ntensors 1\nbogus 2 2\n00\n"[..]).is_err());
+        assert!(
+            read_tensors(&b"memaging-checkpoint v1\ntensors 1\ntensor 2\nzzzz zzzz\n"[..]).is_err()
+        );
+        // Truncated.
+        assert!(read_tensors(&b"memaging-checkpoint v1\ntensors 1\n"[..]).is_err());
+    }
+
+    #[test]
+    fn load_rejects_wrong_parameter_count() {
+        let path = tmp_path("count");
+        let mut small = models::mlp(&[4, 2], &mut StdRng::seed_from_u64(4)).unwrap();
+        small.save_checkpoint(&path).unwrap();
+        let mut big = models::mlp(&[4, 3, 2], &mut StdRng::seed_from_u64(4)).unwrap();
+        assert!(big.load_checkpoint(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

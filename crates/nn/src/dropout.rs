@@ -1,0 +1,151 @@
+//! Inverted dropout layer.
+
+use memaging_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::NnError;
+use crate::layer::{Layer, LayerKind, Mode};
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`; inference is a
+/// no-op. The layer owns a seeded RNG so training runs stay reproducible.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    p: f32,
+    features: usize,
+    rng: StdRng,
+    cached_mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] unless `0 <= p < 1`.
+    pub fn new(p: f32, features: usize, seed: u64) -> Result<Self, NnError> {
+        if !(0.0..1.0).contains(&p) {
+            return Err(NnError::InvalidConfig {
+                reason: format!("dropout probability {p} not in [0, 1)"),
+            });
+        }
+        Ok(Dropout { p, features, rng: StdRng::seed_from_u64(seed), cached_mask: None })
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Regularization
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor, NnError> {
+        if input.rank() != 2 || input.dims()[1] != self.features {
+            return Err(NnError::BadInput {
+                layer: "dropout",
+                expected: self.features,
+                actual: if input.rank() == 2 { input.dims()[1] } else { input.len() },
+            });
+        }
+        match mode {
+            Mode::Eval => Ok(input.clone()),
+            Mode::Train => {
+                let keep = 1.0 - self.p;
+                let scale = 1.0 / keep;
+                let mask = Tensor::from_fn(input.shape().clone(), |_| {
+                    if self.rng.gen::<f32>() < keep {
+                        scale
+                    } else {
+                        0.0
+                    }
+                });
+                let out = input.mul(&mask)?;
+                self.cached_mask = Some(mask);
+                Ok(out)
+            }
+        }
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let mask = self
+            .cached_mask
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "dropout" })?;
+        Ok(grad_out.mul(mask)?)
+    }
+
+    fn in_features(&self) -> usize {
+        self.features
+    }
+
+    fn out_features(&self) -> usize {
+        self.features
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_probability() {
+        assert!(Dropout::new(1.0, 4, 0).is_err());
+        assert!(Dropout::new(-0.1, 4, 0).is_err());
+        assert!(Dropout::new(0.0, 4, 0).is_ok());
+        assert!(Dropout::new(0.5, 4, 0).is_ok());
+    }
+
+    #[test]
+    fn eval_is_identity() {
+        let mut d = Dropout::new(0.9, 4, 1).unwrap();
+        let x = Tensor::from_fn([2, 4], |i| i as f32);
+        let y = d.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn train_preserves_expectation() {
+        let mut d = Dropout::new(0.5, 1000, 7).unwrap();
+        let x = Tensor::ones([1, 1000]);
+        let y = d.forward(&x, Mode::Train).unwrap();
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.1, "inverted dropout mean {mean}");
+        // Survivors are scaled by 2.
+        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 64, 3).unwrap();
+        let x = Tensor::ones([1, 64]);
+        let y = d.forward(&x, Mode::Train).unwrap();
+        let dx = d.backward(&Tensor::ones([1, 64])).unwrap();
+        // Zero exactly where the forward output is zero.
+        for (a, b) in y.as_slice().iter().zip(dx.as_slice()) {
+            assert_eq!(*a == 0.0, *b == 0.0);
+        }
+    }
+
+    #[test]
+    fn p_zero_keeps_everything() {
+        let mut d = Dropout::new(0.0, 8, 3).unwrap();
+        let x = Tensor::ones([1, 8]);
+        let y = d.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut d = Dropout::new(0.5, 4, 0).unwrap();
+        assert!(d.backward(&Tensor::ones([1, 4])).is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! Error type for the neural-network stack.
+
+use std::error::Error;
+use std::fmt;
+
+use memaging_tensor::TensorError;
+
+/// Error produced by network construction, training or evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// An underlying tensor operation failed (shape/rank/index problems).
+    Tensor(TensorError),
+    /// A layer received input with an unexpected feature count.
+    BadInput {
+        /// Name of the layer that rejected the input.
+        layer: &'static str,
+        /// Expected flattened feature count.
+        expected: usize,
+        /// Received flattened feature count.
+        actual: usize,
+    },
+    /// `backward` was called before `forward` (no cached activations).
+    BackwardBeforeForward {
+        /// Name of the offending layer.
+        layer: &'static str,
+    },
+    /// A label was out of range for the network's output dimension.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// Number of output classes.
+        classes: usize,
+    },
+    /// Invalid hyper-parameter or architecture description.
+    InvalidConfig {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// Training diverged (non-finite loss or weights).
+    Diverged {
+        /// The epoch at which divergence was detected.
+        epoch: usize,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::BadInput { layer, expected, actual } => {
+                write!(f, "layer `{layer}` expected {expected} input features, got {actual}")
+            }
+            NnError::BackwardBeforeForward { layer } => {
+                write!(f, "layer `{layer}`: backward called before forward")
+            }
+            NnError::LabelOutOfRange { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+            NnError::InvalidConfig { reason } => write!(f, "invalid network config: {reason}"),
+            NnError::Diverged { epoch } => write!(f, "training diverged at epoch {epoch}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_tensor_error_with_source() {
+        let te = TensorError::RankMismatch { expected: 2, actual: 3, op: "x" };
+        let e: NnError = te.clone().into();
+        assert_eq!(e, NnError::Tensor(te));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = NnError::BadInput { layer: "dense", expected: 10, actual: 12 };
+        assert!(e.to_string().contains("dense"));
+        let e = NnError::Diverged { epoch: 3 };
+        assert!(e.to_string().contains("epoch 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

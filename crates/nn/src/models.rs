@@ -1,0 +1,293 @@
+//! Reference architectures: LeNet-5, VGG-16 and scaled variants.
+//!
+//! The paper evaluates LeNet-5 on Cifar10 and VGG-16 on Cifar100. This
+//! module provides faithful full-size builders (layer structure identical to
+//! the originals; shape-tested) plus `*_scaled` variants with reduced channel
+//! counts and input sizes that keep the lifetime simulation laptop-scale
+//! while preserving the structural property driving the paper's Fig. 11:
+//! conv-heavy front ends vs FC back ends.
+
+use rand::Rng;
+
+use crate::activation::{Activation, ActivationFn};
+use crate::conv::Conv2d;
+use crate::dense::Dense;
+use crate::error::NnError;
+use crate::layer::Layer;
+use crate::network::Network;
+use crate::pool::{Pool2d, PoolKind};
+
+/// Builds a multi-layer perceptron with ReLU between dense layers.
+///
+/// `dims` is `[in, hidden..., out]`.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for fewer than two dims.
+pub fn mlp<R: Rng + ?Sized>(dims: &[usize], rng: &mut R) -> Result<Network, NnError> {
+    if dims.len() < 2 {
+        return Err(NnError::InvalidConfig { reason: "mlp needs at least [in, out] dims".into() });
+    }
+    let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+    for (i, pair) in dims.windows(2).enumerate() {
+        layers.push(Box::new(Dense::new(pair[0], pair[1], rng)));
+        if i + 2 < dims.len() {
+            layers.push(Box::new(Activation::new(ActivationFn::Relu, pair[1])));
+        }
+    }
+    Network::new(layers)
+}
+
+/// Builds the classic LeNet-5 (2 conv + 3 FC) for `channels × 32 × 32`
+/// inputs, as the paper applies it to Cifar10.
+///
+/// Structure: conv(6@5×5, pad 2) → ReLU → pool2 → conv(16@5×5) → ReLU →
+/// pool2 → FC 120 → ReLU → FC 84 → ReLU → FC `classes`.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for zero classes/channels.
+pub fn lenet5<R: Rng + ?Sized>(
+    channels: usize,
+    classes: usize,
+    rng: &mut R,
+) -> Result<Network, NnError> {
+    if channels == 0 || classes == 0 {
+        return Err(NnError::InvalidConfig { reason: "channels and classes must be > 0".into() });
+    }
+    let c1 = Conv2d::new(channels, 6, (32, 32), 5, 1, 2, rng); // 32x32
+    let p1 = Pool2d::new(PoolKind::Max, 6, (32, 32), 2)?; // 16x16
+    let c2 = Conv2d::new(6, 16, (16, 16), 5, 1, 0, rng); // 12x12
+    let p2 = Pool2d::new(PoolKind::Max, 16, (12, 12), 2)?; // 6x6
+    let flat = 16 * 6 * 6;
+    let layers: Vec<Box<dyn Layer>> = vec![
+        Box::new(c1),
+        Box::new(Activation::new(ActivationFn::Relu, 6 * 32 * 32)),
+        Box::new(p1),
+        Box::new(c2),
+        Box::new(Activation::new(ActivationFn::Relu, 16 * 12 * 12)),
+        Box::new(p2),
+        Box::new(Dense::new(flat, 120, rng)),
+        Box::new(Activation::new(ActivationFn::Relu, 120)),
+        Box::new(Dense::new(120, 84, rng)),
+        Box::new(Activation::new(ActivationFn::Relu, 84)),
+        Box::new(Dense::new(84, classes, rng)),
+    ];
+    Network::new(layers)
+}
+
+/// A scaled LeNet-5 (same 2-conv/3-FC structure, narrower) for
+/// `channels × 12 × 12` inputs — the workhorse of the lifetime experiments.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for zero classes/channels.
+pub fn lenet5_scaled<R: Rng + ?Sized>(
+    channels: usize,
+    classes: usize,
+    rng: &mut R,
+) -> Result<Network, NnError> {
+    if channels == 0 || classes == 0 {
+        return Err(NnError::InvalidConfig { reason: "channels and classes must be > 0".into() });
+    }
+    let c1 = Conv2d::new(channels, 8, (12, 12), 3, 1, 1, rng); // 12x12
+    let p1 = Pool2d::new(PoolKind::Max, 8, (12, 12), 2)?; // 6x6
+    let c2 = Conv2d::new(8, 16, (6, 6), 3, 1, 1, rng); // 6x6
+    let p2 = Pool2d::new(PoolKind::Max, 16, (6, 6), 2)?; // 3x3
+    let flat = 16 * 3 * 3;
+    let layers: Vec<Box<dyn Layer>> = vec![
+        Box::new(c1),
+        Box::new(Activation::new(ActivationFn::Relu, 8 * 12 * 12)),
+        Box::new(p1),
+        Box::new(c2),
+        Box::new(Activation::new(ActivationFn::Relu, 16 * 6 * 6)),
+        Box::new(p2),
+        Box::new(Dense::new(flat, 64, rng)),
+        Box::new(Activation::new(ActivationFn::Relu, 64)),
+        Box::new(Dense::new(64, 48, rng)),
+        Box::new(Activation::new(ActivationFn::Relu, 48)),
+        Box::new(Dense::new(48, classes, rng)),
+    ];
+    Network::new(layers)
+}
+
+/// VGG-16 channel plan: 13 convolutions in 5 blocks.
+const VGG16_PLAN: [(usize, usize); 5] =
+    [(2, 64), (2, 128), (3, 256), (3, 512), (3, 512)];
+
+/// Builds the full VGG-16 (13 conv + 3 FC) for `channels × 32 × 32` inputs,
+/// as the paper applies it to Cifar100. This is a large network intended for
+/// structural verification and full-scale runs, not for unit tests.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for zero classes/channels.
+pub fn vgg16<R: Rng + ?Sized>(
+    channels: usize,
+    classes: usize,
+    rng: &mut R,
+) -> Result<Network, NnError> {
+    vgg_with_plan(channels, classes, 32, &VGG16_PLAN, (512, 512), 5, rng)
+}
+
+/// A scaled VGG-16 (identical 13-conv/3-FC topology, narrow channels) for
+/// `channels × 16 × 16` inputs — used by the Cifar100 stand-in experiments.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for zero classes/channels.
+pub fn vgg16_scaled<R: Rng + ?Sized>(
+    channels: usize,
+    classes: usize,
+    rng: &mut R,
+) -> Result<Network, NnError> {
+    let plan = [(2, 4), (2, 6), (3, 8), (3, 12), (3, 16)];
+    vgg_with_plan(channels, classes, 16, &plan, (64, 48), 3, rng)
+}
+
+/// Shared VGG constructor: `plan` lists `(convs_per_block, out_channels)` for
+/// each of the 5 blocks; a 2× max-pool follows each of the first `max_pools`
+/// blocks while the spatial size remains divisible by 2 (the scaled 16×16
+/// variant pools only 3 times so the FC head keeps enough features while the
+/// full 13-conv depth is preserved).
+fn vgg_with_plan<R: Rng + ?Sized>(
+    channels: usize,
+    classes: usize,
+    input_size: usize,
+    plan: &[(usize, usize)],
+    fc_dims: (usize, usize),
+    max_pools: usize,
+    rng: &mut R,
+) -> Result<Network, NnError> {
+    if channels == 0 || classes == 0 {
+        return Err(NnError::InvalidConfig { reason: "channels and classes must be > 0".into() });
+    }
+    let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+    let mut in_c = channels;
+    let mut hw = input_size;
+    let mut pools_done = 0usize;
+    for &(convs, out_c) in plan {
+        for _ in 0..convs {
+            layers.push(Box::new(Conv2d::new(in_c, out_c, (hw, hw), 3, 1, 1, rng)));
+            layers.push(Box::new(Activation::new(ActivationFn::Relu, out_c * hw * hw)));
+            in_c = out_c;
+        }
+        if pools_done < max_pools && hw >= 2 && hw.is_multiple_of(2) {
+            layers.push(Box::new(Pool2d::new(PoolKind::Max, in_c, (hw, hw), 2)?));
+            hw /= 2;
+            pools_done += 1;
+        }
+    }
+    let flat = in_c * hw * hw;
+    layers.push(Box::new(Dense::new(flat, fc_dims.0, rng)));
+    layers.push(Box::new(Activation::new(ActivationFn::Relu, fc_dims.0)));
+    layers.push(Box::new(Dense::new(fc_dims.0, fc_dims.1, rng)));
+    layers.push(Box::new(Activation::new(ActivationFn::Relu, fc_dims.1)));
+    layers.push(Box::new(Dense::new(fc_dims.1, classes, rng)));
+    Network::new(layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{LayerKind, Mode};
+    use memaging_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn mlp_builds_and_runs() {
+        let mut net = mlp(&[8, 16, 4], &mut rng()).unwrap();
+        let y = net.forward(&Tensor::ones([2, 8]), Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[2, 4]);
+        assert!(mlp(&[8], &mut rng()).is_err());
+    }
+
+    #[test]
+    fn lenet5_structure() {
+        let net = lenet5(3, 10, &mut rng()).unwrap();
+        assert_eq!(net.in_features(), 3 * 32 * 32);
+        assert_eq!(net.out_features(), 10);
+        let kinds = net.mappable_kinds();
+        assert_eq!(kinds.len(), 5, "LeNet-5 has 5 mappable layers");
+        assert_eq!(
+            kinds.iter().filter(|k| **k == LayerKind::Convolution).count(),
+            2,
+            "2 convolutional layers"
+        );
+        assert_eq!(
+            kinds.iter().filter(|k| **k == LayerKind::FullyConnected).count(),
+            3,
+            "3 fully-connected layers"
+        );
+    }
+
+    #[test]
+    fn lenet5_forward_shape() {
+        let mut net = lenet5(3, 10, &mut rng()).unwrap();
+        let y = net.forward(&Tensor::zeros([1, 3 * 32 * 32]), Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn lenet5_scaled_structure_and_forward() {
+        let mut net = lenet5_scaled(1, 10, &mut rng()).unwrap();
+        assert_eq!(net.in_features(), 144);
+        let kinds = net.mappable_kinds();
+        assert_eq!(kinds.len(), 5);
+        let y = net.forward(&Tensor::ones([3, 144]), Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[3, 10]);
+    }
+
+    #[test]
+    fn vgg16_structure() {
+        let net = vgg16(3, 100, &mut rng()).unwrap();
+        let kinds = net.mappable_kinds();
+        assert_eq!(kinds.len(), 16, "VGG-16 has 16 mappable layers");
+        assert_eq!(
+            kinds.iter().filter(|k| **k == LayerKind::Convolution).count(),
+            13,
+            "13 convolutional layers"
+        );
+        assert_eq!(
+            kinds.iter().filter(|k| **k == LayerKind::FullyConnected).count(),
+            3,
+            "3 fully-connected layers"
+        );
+        assert_eq!(net.out_features(), 100);
+    }
+
+    #[test]
+    fn vgg16_scaled_structure_and_forward() {
+        let mut net = vgg16_scaled(1, 100, &mut rng()).unwrap();
+        let kinds = net.mappable_kinds();
+        assert_eq!(kinds.len(), 16);
+        assert_eq!(
+            kinds.iter().filter(|k| **k == LayerKind::Convolution).count(),
+            13
+        );
+        let y = net.forward(&Tensor::zeros([1, 256]), Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[1, 100]);
+    }
+
+    #[test]
+    fn builders_validate_args() {
+        assert!(lenet5(0, 10, &mut rng()).is_err());
+        assert!(lenet5(3, 0, &mut rng()).is_err());
+        assert!(lenet5_scaled(0, 10, &mut rng()).is_err());
+        assert!(vgg16_scaled(1, 0, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn builders_are_deterministic_per_seed() {
+        let a = lenet5_scaled(1, 4, &mut StdRng::seed_from_u64(1)).unwrap();
+        let b = lenet5_scaled(1, 4, &mut StdRng::seed_from_u64(1)).unwrap();
+        let wa = a.weight_matrices();
+        let wb = b.weight_matrices();
+        assert_eq!(wa, wb);
+    }
+}

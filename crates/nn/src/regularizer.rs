@@ -1,0 +1,351 @@
+//! Weight regularization: classic L2 and the paper's two-segment skewed
+//! penalty (eqs. 8–10).
+//!
+//! The paper replaces the L2 term `R(W) = Σ λ‖Wᵢ‖²` of the cost function
+//! (eq. 2) with two one-sided quadratic terms around a per-layer *reference
+//! weight* `βᵢ`:
+//!
+//! ```text
+//! R1(W) = Σᵢ λ₁‖Wᵢ − βᵢ‖²   for weights Wᵢ < βᵢ      (eq. 9)
+//! R2(W) = Σᵢ λ₂‖Wᵢ − βᵢ‖²   for weights Wᵢ ≥ βᵢ      (eq. 10)
+//! ```
+//!
+//! With `λ₁ ≫ λ₂` the left side of `βᵢ` is penalized strongly, producing the
+//! skewed weight distribution of Fig. 6(a): most weights concentrate just
+//! right of `βᵢ`, i.e. toward small conductances / large resistances once
+//! mapped onto memristors. `βᵢ` is chosen as `c · σᵢ` where `σᵢ` is the
+//! standard deviation of the layer's (quasi-normal, zero-mean) weights —
+//! exactly the recipe of the paper's Table II.
+
+use crate::layer::ParamKind;
+
+/// A differentiable penalty on weights, applied per layer.
+///
+/// Implementations receive the index of the *mappable* layer (counting only
+/// layers with weight matrices, in network order) so per-layer constants
+/// like `βᵢ` can differ. Biases are never regularized — the trait is only
+/// consulted for [`ParamKind::Weight`] tensors.
+pub trait Regularizer {
+    /// The penalty contribution of a single weight in layer `layer`.
+    fn penalty(&self, layer: usize, w: f32) -> f64;
+
+    /// The gradient of the penalty w.r.t. a single weight in layer `layer`.
+    fn grad(&self, layer: usize, w: f32) -> f32;
+
+    /// Total penalty over a slice of weights.
+    fn penalty_sum(&self, layer: usize, weights: &[f32]) -> f64 {
+        weights.iter().map(|&w| self.penalty(layer, w)).sum()
+    }
+}
+
+/// No regularization. Useful as a baseline and for hardware fine-tuning.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoRegularizer;
+
+impl Regularizer for NoRegularizer {
+    fn penalty(&self, _layer: usize, _w: f32) -> f64 {
+        0.0
+    }
+
+    fn grad(&self, _layer: usize, _w: f32) -> f32 {
+        0.0
+    }
+}
+
+/// Classic L2 weight decay: `λ·w²` per weight (paper eq. 2, `R(W)` term).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct L2 {
+    /// Penalty strength `λ`.
+    pub lambda: f32,
+}
+
+impl L2 {
+    /// Creates an L2 regularizer with strength `lambda`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative or non-finite.
+    pub fn new(lambda: f32) -> Self {
+        assert!(lambda.is_finite() && lambda >= 0.0, "lambda must be finite and >= 0");
+        L2 { lambda }
+    }
+}
+
+impl Regularizer for L2 {
+    fn penalty(&self, _layer: usize, w: f32) -> f64 {
+        (self.lambda * w * w) as f64
+    }
+
+    fn grad(&self, _layer: usize, w: f32) -> f32 {
+        2.0 * self.lambda * w
+    }
+}
+
+/// The paper's two-segment skewed regularizer (eqs. 8–10).
+///
+/// Weights in layer `i` are pulled toward the reference weight `betas[i]`,
+/// with asymmetric strength: `lambda1` left of the reference (pushes weights
+/// up and out of the strongly-penalized region) and `lambda2` right of it
+/// (concentrates the bulk just above the reference).
+///
+/// # Examples
+///
+/// ```
+/// use memaging_nn::{Regularizer, SkewedL2};
+///
+/// let reg = SkewedL2::new(vec![0.1], 5e-3, 5e-4);
+/// // Left of beta: strong pull toward beta (negative gradient direction).
+/// assert!(reg.grad(0, 0.0) < 0.0);
+/// // Right of beta: weak pull back toward beta.
+/// assert!(reg.grad(0, 0.5) > 0.0);
+/// assert!(reg.penalty(0, 0.0) > reg.penalty(0, 0.2));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewedL2 {
+    betas: Vec<f32>,
+    lambda1: f32,
+    lambda2: f32,
+}
+
+impl SkewedL2 {
+    /// Creates a skewed regularizer with per-layer reference weights `betas`
+    /// and penalties `lambda1` (left of β, should be the larger) / `lambda2`
+    /// (right of β).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either lambda is negative/non-finite or `betas` is empty.
+    pub fn new(betas: Vec<f32>, lambda1: f32, lambda2: f32) -> Self {
+        assert!(!betas.is_empty(), "need at least one layer beta");
+        assert!(lambda1.is_finite() && lambda1 >= 0.0, "lambda1 must be finite and >= 0");
+        assert!(lambda2.is_finite() && lambda2 >= 0.0, "lambda2 must be finite and >= 0");
+        SkewedL2 { betas, lambda1, lambda2 }
+    }
+
+    /// Builds per-layer references `βᵢ = c · σᵢ` from layer weight standard
+    /// deviations, the paper's Table II recipe.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`SkewedL2::new`].
+    pub fn from_layer_stds(stds: &[f32], c: f32, lambda1: f32, lambda2: f32) -> Self {
+        let betas = stds.iter().map(|&s| c * s).collect();
+        SkewedL2::new(betas, lambda1, lambda2)
+    }
+
+    /// The reference weight for layer `layer` (the last beta is reused for
+    /// any deeper layer, so a truncated beta list stays safe).
+    pub fn beta(&self, layer: usize) -> f32 {
+        self.betas[layer.min(self.betas.len() - 1)]
+    }
+
+    /// Left-side penalty strength `λ₁`.
+    pub fn lambda1(&self) -> f32 {
+        self.lambda1
+    }
+
+    /// Right-side penalty strength `λ₂`.
+    pub fn lambda2(&self) -> f32 {
+        self.lambda2
+    }
+}
+
+impl Regularizer for SkewedL2 {
+    fn penalty(&self, layer: usize, w: f32) -> f64 {
+        let beta = self.beta(layer);
+        let d = w - beta;
+        let lambda = if w < beta { self.lambda1 } else { self.lambda2 };
+        (lambda * d * d) as f64
+    }
+
+    fn grad(&self, layer: usize, w: f32) -> f32 {
+        let beta = self.beta(layer);
+        let d = w - beta;
+        let lambda = if w < beta { self.lambda1 } else { self.lambda2 };
+        2.0 * lambda * d
+    }
+}
+
+/// Which regularization strategy a training run uses. This is the switch the
+/// experiments flip between the paper's `T` (traditional training, L2) and
+/// `ST` (skewed training) configurations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WeightPenalty {
+    /// No penalty.
+    None,
+    /// Classic L2 (paper baseline `T`).
+    L2(L2),
+    /// Two-segment skewed penalty (paper `ST`).
+    Skewed(SkewedL2),
+}
+
+impl Regularizer for WeightPenalty {
+    fn penalty(&self, layer: usize, w: f32) -> f64 {
+        match self {
+            WeightPenalty::None => 0.0,
+            WeightPenalty::L2(r) => r.penalty(layer, w),
+            WeightPenalty::Skewed(r) => r.penalty(layer, w),
+        }
+    }
+
+    fn grad(&self, layer: usize, w: f32) -> f32 {
+        match self {
+            WeightPenalty::None => 0.0,
+            WeightPenalty::L2(r) => r.grad(layer, w),
+            WeightPenalty::Skewed(r) => r.grad(layer, w),
+        }
+    }
+}
+
+/// A per-layer composite: layer `i` uses `penalties[i]` (the last entry is
+/// reused for deeper layers). This lets a training plan, for example, skew
+/// only the fully-connected layers of a conv net while keeping plain L2 on
+/// the small convolution kernels that cannot absorb a strong penalty.
+///
+/// # Examples
+///
+/// ```
+/// use memaging_nn::{PerLayer, Regularizer, SkewedL2, WeightPenalty, L2};
+///
+/// let reg = PerLayer::new(vec![
+///     WeightPenalty::L2(L2::new(1e-4)),                          // conv layer
+///     WeightPenalty::Skewed(SkewedL2::new(vec![0.1], 0.3, 1e-3)), // fc layer
+/// ]);
+/// assert!(reg.grad(0, -1.0).abs() < reg.grad(1, -1.0).abs());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerLayer {
+    penalties: Vec<WeightPenalty>,
+}
+
+impl PerLayer {
+    /// Creates a per-layer composite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `penalties` is empty.
+    pub fn new(penalties: Vec<WeightPenalty>) -> Self {
+        assert!(!penalties.is_empty(), "need at least one layer penalty");
+        PerLayer { penalties }
+    }
+
+    /// The penalty assigned to `layer`.
+    pub fn layer_penalty(&self, layer: usize) -> &WeightPenalty {
+        &self.penalties[layer.min(self.penalties.len() - 1)]
+    }
+}
+
+impl Regularizer for PerLayer {
+    fn penalty(&self, layer: usize, w: f32) -> f64 {
+        self.layer_penalty(layer).penalty(layer, w)
+    }
+
+    fn grad(&self, layer: usize, w: f32) -> f32 {
+        self.layer_penalty(layer).grad(layer, w)
+    }
+}
+
+/// Returns `true` iff regularizers apply to this parameter kind: weights
+/// are regularized, biases (digital peripheral registers) are not.
+pub fn applies_to(kind: ParamKind) -> bool {
+    kind == ParamKind::Weight
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_penalty_and_grad_match() {
+        let r = L2::new(0.1);
+        assert!((r.penalty(0, 2.0) - 0.4).abs() < 1e-6);
+        assert!((r.grad(0, 2.0) - 0.4).abs() < 1e-6);
+        // Numeric check: d/dw (λw²) at w=1.5
+        let eps = 1e-3;
+        let numeric = ((r.penalty(0, 1.5 + eps) - r.penalty(0, 1.5 - eps)) / (2.0 * eps as f64)) as f32;
+        assert!((numeric - r.grad(0, 1.5)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn skewed_penalizes_left_harder() {
+        let r = SkewedL2::new(vec![0.0], 1.0, 0.01);
+        // Same distance from beta on both sides.
+        assert!(r.penalty(0, -0.5) > r.penalty(0, 0.5) * 50.0);
+    }
+
+    #[test]
+    fn skewed_gradient_points_toward_beta() {
+        let r = SkewedL2::new(vec![0.2], 1e-2, 1e-3);
+        // Gradient descent step is w -= lr * grad, so grad < 0 pushes w up.
+        assert!(r.grad(0, 0.0) < 0.0);
+        assert!(r.grad(0, 1.0) > 0.0);
+        assert_eq!(r.grad(0, 0.2), 0.0);
+    }
+
+    #[test]
+    fn skewed_numeric_gradient_check() {
+        let r = SkewedL2::new(vec![0.1], 2e-2, 3e-3);
+        let eps = 1e-4;
+        for w in [-0.5f32, -0.1, 0.05, 0.3, 0.8] {
+            let numeric =
+                ((r.penalty(0, w + eps) - r.penalty(0, w - eps)) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (numeric - r.grad(0, w)).abs() < 1e-3,
+                "skewed grad mismatch at w={w}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_layer_betas_and_overflow_reuse() {
+        let r = SkewedL2::new(vec![0.1, 0.2], 1.0, 1.0);
+        assert_eq!(r.beta(0), 0.1);
+        assert_eq!(r.beta(1), 0.2);
+        assert_eq!(r.beta(7), 0.2, "deep layers reuse last beta");
+    }
+
+    #[test]
+    fn from_layer_stds_scales() {
+        let r = SkewedL2::from_layer_stds(&[0.5, 1.0], 0.8, 1e-2, 1e-3);
+        assert!((r.beta(0) - 0.4).abs() < 1e-6);
+        assert!((r.beta(1) - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn penalty_sum_matches_elementwise() {
+        let r = L2::new(0.5);
+        let ws = [1.0f32, -2.0, 3.0];
+        let expected: f64 = ws.iter().map(|&w| r.penalty(0, w)).sum();
+        assert!((r.penalty_sum(0, &ws) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_penalty_dispatch() {
+        let none = WeightPenalty::None;
+        assert_eq!(none.grad(0, 5.0), 0.0);
+        let l2 = WeightPenalty::L2(L2::new(0.1));
+        assert!(l2.grad(0, 1.0) > 0.0);
+        let sk = WeightPenalty::Skewed(SkewedL2::new(vec![0.0], 1.0, 0.1));
+        assert!(sk.penalty(0, -1.0) > sk.penalty(0, 1.0));
+    }
+
+    #[test]
+    fn per_layer_dispatches_by_index() {
+        let reg = PerLayer::new(vec![
+            WeightPenalty::None,
+            WeightPenalty::L2(L2::new(1.0)),
+        ]);
+        assert_eq!(reg.grad(0, 2.0), 0.0);
+        assert!((reg.grad(1, 2.0) - 4.0).abs() < 1e-6);
+        // Deeper layers reuse the last entry.
+        assert!((reg.grad(9, 2.0) - 4.0).abs() < 1e-6);
+        assert_eq!(reg.penalty(0, 2.0), 0.0);
+        assert!((reg.penalty(1, 2.0) - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn applies_only_to_weights() {
+        assert!(applies_to(ParamKind::Weight));
+        assert!(!applies_to(ParamKind::Bias));
+    }
+}

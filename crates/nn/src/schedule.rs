@@ -1,0 +1,105 @@
+//! Learning-rate schedules for [`Sgd`](crate::Sgd).
+
+/// A learning-rate schedule: maps the (0-based) epoch to a multiplier of
+/// the base learning rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Constant rate (multiplier 1 everywhere).
+    Constant,
+    /// Multiply by `gamma` every `every` epochs: `gamma^(epoch / every)`.
+    Step {
+        /// Epochs between decays.
+        every: usize,
+        /// Decay multiplier per step (0 < gamma <= 1).
+        gamma: f32,
+    },
+    /// Cosine annealing from 1 down to `floor` over `total_epochs`.
+    Cosine {
+        /// The horizon over which the rate anneals.
+        total_epochs: usize,
+        /// The final multiplier (0 <= floor <= 1).
+        floor: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The learning-rate multiplier at `epoch`.
+    ///
+    /// Out-of-domain parameters are clamped rather than panicking (a
+    /// schedule is config data, often arriving from sweeps).
+    pub fn multiplier(&self, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::Step { every, gamma } => {
+                let every = every.max(1);
+                let gamma = gamma.clamp(0.0, 1.0);
+                gamma.powi((epoch / every) as i32)
+            }
+            LrSchedule::Cosine { total_epochs, floor } => {
+                let total = total_epochs.max(1);
+                let floor = floor.clamp(0.0, 1.0);
+                let t = (epoch.min(total) as f32) / total as f32;
+                let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+                floor + (1.0 - floor) * cos
+            }
+        }
+    }
+
+    /// The absolute rate at `epoch` for a `base` learning rate.
+    pub fn rate(&self, base: f32, epoch: usize) -> f32 {
+        base * self.multiplier(epoch)
+    }
+}
+
+impl Default for LrSchedule {
+    fn default() -> Self {
+        LrSchedule::Constant
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_one() {
+        let s = LrSchedule::Constant;
+        for e in [0, 1, 100] {
+            assert_eq!(s.multiplier(e), 1.0);
+        }
+        assert_eq!(s.rate(0.1, 50), 0.1);
+    }
+
+    #[test]
+    fn step_decays_in_plateaus() {
+        let s = LrSchedule::Step { every: 10, gamma: 0.5 };
+        assert_eq!(s.multiplier(0), 1.0);
+        assert_eq!(s.multiplier(9), 1.0);
+        assert_eq!(s.multiplier(10), 0.5);
+        assert_eq!(s.multiplier(19), 0.5);
+        assert_eq!(s.multiplier(20), 0.25);
+    }
+
+    #[test]
+    fn cosine_anneals_monotonically_to_floor() {
+        let s = LrSchedule::Cosine { total_epochs: 20, floor: 0.1 };
+        assert!((s.multiplier(0) - 1.0).abs() < 1e-6);
+        let mut prev = s.multiplier(0);
+        for e in 1..=20 {
+            let m = s.multiplier(e);
+            assert!(m <= prev + 1e-6, "cosine must be non-increasing");
+            prev = m;
+        }
+        assert!((s.multiplier(20) - 0.1).abs() < 1e-6);
+        // Past the horizon it stays at the floor.
+        assert!((s.multiplier(100) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_parameters_are_clamped() {
+        let s = LrSchedule::Step { every: 0, gamma: 2.0 };
+        assert_eq!(s.multiplier(5), 1.0, "gamma clamps to 1, every to 1");
+        let s = LrSchedule::Cosine { total_epochs: 0, floor: -1.0 };
+        assert!(s.multiplier(0).is_finite());
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the neural-network stack: gradient correctness
+//! on random shapes, loss-function invariants, regularizer identities.
+
+use memaging_nn::loss::softmax_cross_entropy;
+use memaging_nn::{
+    Activation, ActivationFn, Dense, Layer, Mode, Network, NoRegularizer, ParamKind, Regularizer,
+    Sgd, SkewedL2, L2,
+};
+use memaging_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn dense_gradient_check_random_shapes(
+        inputs in 1usize..6,
+        outputs in 1usize..5,
+        batch in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        let mut layer = Dense::new(inputs, outputs, &mut StdRng::seed_from_u64(seed));
+        let x = Tensor::from_fn([batch, inputs], |i| ((i as f32) * 0.37 + seed as f32).sin());
+        layer.forward(&x, Mode::Train).unwrap();
+        layer.backward(&Tensor::ones([batch, outputs])).unwrap();
+        let mut analytic = None;
+        layer.visit_params(&mut |kind, _, g| {
+            if kind == ParamKind::Weight {
+                analytic = Some(g.clone());
+            }
+        });
+        let analytic = analytic.unwrap();
+        let eps = 1e-2f32;
+        let idx = (seed as usize) % (inputs * outputs);
+        let mut plus = layer.clone();
+        plus.weight_matrix_mut().unwrap().as_mut_slice()[idx] += eps;
+        let mut minus = layer.clone();
+        minus.weight_matrix_mut().unwrap().as_mut_slice()[idx] -= eps;
+        let fp = plus.forward(&x, Mode::Eval).unwrap().sum();
+        let fm = minus.forward(&x, Mode::Eval).unwrap().sum();
+        let numeric = (fp - fm) / (2.0 * eps);
+        let a = analytic.as_slice()[idx];
+        prop_assert!((numeric - a).abs() < 0.05 * (1.0 + a.abs()), "{numeric} vs {a}");
+    }
+
+    #[test]
+    fn softmax_ce_invariant_to_logit_shift(
+        batch in 1usize..4,
+        classes in 2usize..6,
+        shift in -50.0f32..50.0,
+        seed in 0u64..500,
+    ) {
+        let logits = Tensor::from_fn([batch, classes], |i| ((i as f32) + seed as f32 * 0.1).cos());
+        let labels: Vec<usize> = (0..batch).map(|i| i % classes).collect();
+        let base = softmax_cross_entropy(&logits, &labels).unwrap();
+        let shifted = logits.map(|x| x + shift);
+        let out = softmax_cross_entropy(&shifted, &labels).unwrap();
+        prop_assert!((base.loss - out.loss).abs() < 1e-3, "{} vs {}", base.loss, out.loss);
+    }
+
+    #[test]
+    fn cross_entropy_is_nonnegative_and_bounded_by_uniform_plus(
+        batch in 1usize..4,
+        classes in 2usize..8,
+        seed in 0u64..500,
+    ) {
+        let logits = Tensor::from_fn([batch, classes], |i| ((i * 7 + seed as usize) as f32 * 0.13).sin());
+        let labels: Vec<usize> = (0..batch).map(|i| (i + seed as usize) % classes).collect();
+        let out = softmax_cross_entropy(&logits, &labels).unwrap();
+        prop_assert!(out.loss >= 0.0);
+        prop_assert!(out.loss.is_finite());
+    }
+
+    #[test]
+    fn sgd_without_gradients_or_regularizer_is_identity(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Network::new(vec![
+            Box::new(Dense::new(3, 4, &mut rng)),
+            Box::new(Activation::new(ActivationFn::Tanh, 4)),
+            Box::new(Dense::new(4, 2, &mut rng)),
+        ])
+        .unwrap();
+        let before = net.weight_matrices();
+        let mut opt = Sgd::new(0.1, 0.9).unwrap();
+        opt.step(&mut net, &NoRegularizer).unwrap();
+        prop_assert_eq!(net.weight_matrices(), before);
+    }
+
+    #[test]
+    fn l2_penalty_is_even_and_skewed_is_not(w in 0.01f32..2.0) {
+        let l2 = L2::new(0.1);
+        prop_assert!((l2.penalty(0, w) - l2.penalty(0, -w)).abs() < 1e-12);
+        let sk = SkewedL2::new(vec![0.0], 1.0, 0.01);
+        prop_assert!(sk.penalty(0, -w) > sk.penalty(0, w));
+    }
+
+    #[test]
+    fn skewed_gradient_is_zero_only_at_beta(beta in -0.5f32..0.5, d in 0.01f32..1.0) {
+        let sk = SkewedL2::new(vec![beta], 0.3, 0.01);
+        prop_assert_eq!(sk.grad(0, beta), 0.0);
+        prop_assert!(sk.grad(0, beta - d) < 0.0);
+        prop_assert!(sk.grad(0, beta + d) > 0.0);
+    }
+
+    #[test]
+    fn network_forward_is_deterministic(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Network::new(vec![
+            Box::new(Dense::new(5, 6, &mut rng)),
+            Box::new(Activation::new(ActivationFn::Relu, 6)),
+            Box::new(Dense::new(6, 3, &mut rng)),
+        ])
+        .unwrap();
+        let x = Tensor::from_fn([2, 5], |i| (i as f32 * 0.29).sin());
+        let a = net.forward(&x, Mode::Eval).unwrap();
+        let b = net.forward(&x, Mode::Eval).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn set_weight_matrices_round_trips(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Network::new(vec![
+            Box::new(Dense::new(4, 4, &mut rng)),
+            Box::new(Dense::new(4, 2, &mut rng)),
+        ])
+        .unwrap();
+        let ws = net.weight_matrices();
+        let doubled: Vec<Tensor> = ws.iter().map(|w| w.scale(2.0)).collect();
+        net.set_weight_matrices(&doubled).unwrap();
+        prop_assert_eq!(net.weight_matrices(), doubled);
+    }
+}

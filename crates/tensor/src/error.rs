@@ -1,0 +1,120 @@
+//! Error types for tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::shape::Shape;
+
+/// Error produced by fallible tensor operations.
+///
+/// All public fallible operations in this crate return
+/// `Result<_, TensorError>`. The variants carry enough context (the offending
+/// shapes or indices) to diagnose a failure without re-running the operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that were required to match (element-wise op, reshape with
+    /// equal element count, ...) did not.
+    ShapeMismatch {
+        /// Shape of the left-hand / destination operand.
+        expected: Shape,
+        /// Shape of the right-hand / source operand.
+        actual: Shape,
+        /// The operation that failed, e.g. `"add"`.
+        op: &'static str,
+    },
+    /// The inner dimensions of a matrix product did not agree.
+    MatmulDimMismatch {
+        /// `(rows, cols)` of the left matrix.
+        lhs: (usize, usize),
+        /// `(rows, cols)` of the right matrix.
+        rhs: (usize, usize),
+    },
+    /// An index was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending multi-dimensional index.
+        index: Vec<usize>,
+        /// The tensor's shape.
+        shape: Shape,
+    },
+    /// A tensor with a different number of dimensions was required.
+    RankMismatch {
+        /// Required rank.
+        expected: usize,
+        /// Provided rank.
+        actual: usize,
+        /// The operation that failed.
+        op: &'static str,
+    },
+    /// The provided data length does not match the product of the shape dims.
+    DataLengthMismatch {
+        /// Element count implied by the shape.
+        expected: usize,
+        /// Length of the provided buffer.
+        actual: usize,
+    },
+    /// A parameter was outside its valid domain (e.g. zero-sized kernel).
+    InvalidArgument {
+        /// The operation that rejected the argument.
+        op: &'static str,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, actual, op } => {
+                write!(f, "shape mismatch in `{op}`: expected {expected}, got {actual}")
+            }
+            TensorError::MatmulDimMismatch { lhs, rhs } => write!(
+                f,
+                "matmul dimension mismatch: ({}x{}) x ({}x{})",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape}")
+            }
+            TensorError::RankMismatch { expected, actual, op } => {
+                write!(f, "rank mismatch in `{op}`: expected rank {expected}, got {actual}")
+            }
+            TensorError::DataLengthMismatch { expected, actual } => {
+                write!(f, "data length {actual} does not match shape element count {expected}")
+            }
+            TensorError::InvalidArgument { op, reason } => {
+                write!(f, "invalid argument to `{op}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = TensorError::ShapeMismatch {
+            expected: Shape::new(vec![2, 3]),
+            actual: Shape::new(vec![3, 2]),
+            op: "add",
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("add"));
+        assert!(msg.contains("[2, 3]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn matmul_mismatch_display() {
+        let err = TensorError::MatmulDimMismatch { lhs: (2, 3), rhs: (4, 5) };
+        assert_eq!(err.to_string(), "matmul dimension mismatch: (2x3) x (4x5)");
+    }
+}

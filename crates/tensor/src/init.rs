@@ -1,0 +1,123 @@
+//! Random tensor initialization (uniform, gaussian, Xavier/Glorot, He).
+//!
+//! Gaussian samples are produced with the Box–Muller transform on top of a
+//! caller-supplied [`rand::Rng`], so the whole workspace stays deterministic
+//! under seeded RNGs and needs no extra distribution crate.
+
+use rand::Rng;
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Draws one standard-normal sample via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    // Avoid ln(0) by sampling u1 from (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    (r * theta.cos()) as f32
+}
+
+/// Tensor with i.i.d. `N(mean, std²)` entries.
+pub fn gaussian<R: Rng + ?Sized>(
+    shape: impl Into<Shape>,
+    mean: f32,
+    std: f32,
+    rng: &mut R,
+) -> Tensor {
+    let shape = shape.into();
+    let n = shape.num_elements();
+    let data = (0..n).map(|_| mean + std * standard_normal(rng)).collect();
+    Tensor::from_vec(data, shape).expect("length matches by construction")
+}
+
+/// Tensor with i.i.d. `U(low, high)` entries.
+pub fn uniform<R: Rng + ?Sized>(
+    shape: impl Into<Shape>,
+    low: f32,
+    high: f32,
+    rng: &mut R,
+) -> Tensor {
+    let shape = shape.into();
+    let n = shape.num_elements();
+    let data = (0..n).map(|_| rng.gen_range(low..high)).collect();
+    Tensor::from_vec(data, shape).expect("length matches by construction")
+}
+
+/// Xavier/Glorot-uniform initialization for a layer with the given fan-in and
+/// fan-out: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng + ?Sized>(
+    shape: impl Into<Shape>,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut R,
+) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(shape, -a, a, rng)
+}
+
+/// He-normal initialization: `N(0, 2/fan_in)`, suited to ReLU layers.
+pub fn he_normal<R: Rng + ?Sized>(
+    shape: impl Into<Shape>,
+    fan_in: usize,
+    rng: &mut R,
+) -> Tensor {
+    let std = (2.0 / fan_in as f32).sqrt();
+    gaussian(shape, 0.0, std, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments_are_close() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = gaussian([10_000], 1.5, 0.5, &mut rng);
+        let mean = t.mean();
+        let var = t.map(|x| (x - mean) * (x - mean)).mean();
+        assert!((mean - 1.5).abs() < 0.03, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let t = uniform([1000], -2.0, 3.0, &mut rng);
+        assert!(t.as_slice().iter().all(|&x| (-2.0..3.0).contains(&x)));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = gaussian([64], 0.0, 1.0, &mut StdRng::seed_from_u64(9));
+        let b = gaussian([64], 0.0, 1.0, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn xavier_bound_scales_with_fan() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = xavier_uniform([1000], 300, 300, &mut rng);
+        let a = (6.0f32 / 600.0).sqrt();
+        assert!(t.max().unwrap() <= a && t.min().unwrap() >= -a);
+    }
+
+    #[test]
+    fn he_normal_std_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = he_normal([20_000], 50, &mut rng);
+        let var = t.norm_sq() / t.len() as f32;
+        assert!((var - 0.04).abs() < 0.005, "var {var}");
+    }
+
+    #[test]
+    fn standard_normal_is_finite() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(standard_normal(&mut rng).is_finite());
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! Linear-algebra operations: matmul, transpose, row/col reductions, softmax.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+
+/// Matrix product `C = A · B` for rank-2 tensors.
+///
+/// Uses a cache-friendly i-k-j loop order; adequate for the layer sizes the
+/// workspace simulates (the crossbar crate does its own analog VMM).
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if either input is not rank 2, or
+/// [`TensorError::MatmulDimMismatch`] if the inner dimensions disagree.
+///
+/// # Examples
+///
+/// ```
+/// use memaging_tensor::{ops, Tensor};
+///
+/// # fn main() -> Result<(), memaging_tensor::TensorError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2])?;
+/// let i = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], [2, 2])?;
+/// assert_eq!(ops::matmul(&a, &i)?, a);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: a.rank(), op: "matmul" });
+    }
+    if b.rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: b.rank(), op: "matmul" });
+    }
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch { lhs: (m, k), rhs: (k2, n) });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &aik) in arow.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &bv[p * n..(p + 1) * n];
+            for (o, &bpj) in orow.iter_mut().zip(brow.iter()) {
+                *o += aik * bpj;
+            }
+        }
+    }
+    Tensor::from_vec(out, [m, n])
+}
+
+/// `C = A · Bᵀ` without materializing the transpose.
+///
+/// # Errors
+///
+/// Same conditions as [`matmul`] after accounting for the implicit transpose.
+pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: a.rank(), op: "matmul_t_b" });
+    }
+    if b.rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: b.rank(), op: "matmul_t_b" });
+    }
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (n, k2) = (b.dims()[0], b.dims()[1]);
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch { lhs: (m, k), rhs: (k2, n) });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bv[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (x, y) in arow.iter().zip(brow.iter()) {
+                acc += x * y;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(out, [m, n])
+}
+
+/// `C = Aᵀ · B` without materializing the transpose.
+///
+/// # Errors
+///
+/// Same conditions as [`matmul`] after accounting for the implicit transpose.
+pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: a.rank(), op: "matmul_t_a" });
+    }
+    if b.rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: b.rank(), op: "matmul_t_a" });
+    }
+    let (k, m) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch { lhs: (m, k), rhs: (k2, n) });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    for p in 0..k {
+        let arow = &av[p * m..(p + 1) * m];
+        let brow = &bv[p * n..(p + 1) * n];
+        for (i, &api) in arow.iter().enumerate() {
+            if api == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bpj) in orow.iter_mut().zip(brow.iter()) {
+                *o += api * bpj;
+            }
+        }
+    }
+    Tensor::from_vec(out, [m, n])
+}
+
+/// Transposes a rank-2 tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if the input is not rank 2.
+pub fn transpose(t: &Tensor) -> Result<Tensor, TensorError> {
+    if t.rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: t.rank(), op: "transpose" });
+    }
+    let (m, n) = (t.dims()[0], t.dims()[1]);
+    let src = t.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = src[i * n + j];
+        }
+    }
+    Tensor::from_vec(out, [n, m])
+}
+
+/// Adds a length-`n` bias row-wise to an `m × n` matrix.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `bias.len() != n` or the matrix
+/// is not rank 2.
+pub fn add_bias_rows(matrix: &Tensor, bias: &Tensor) -> Result<Tensor, TensorError> {
+    if matrix.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: matrix.rank(),
+            op: "add_bias_rows",
+        });
+    }
+    let (m, n) = (matrix.dims()[0], matrix.dims()[1]);
+    if bias.len() != n {
+        return Err(TensorError::ShapeMismatch {
+            expected: matrix.shape().clone(),
+            actual: bias.shape().clone(),
+            op: "add_bias_rows",
+        });
+    }
+    let mut out = matrix.as_slice().to_vec();
+    let bv = bias.as_slice();
+    for i in 0..m {
+        for j in 0..n {
+            out[i * n + j] += bv[j];
+        }
+    }
+    Tensor::from_vec(out, [m, n])
+}
+
+/// Sums an `m × n` matrix over rows, producing a length-`n` vector.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if the input is not rank 2.
+pub fn sum_rows(matrix: &Tensor) -> Result<Tensor, TensorError> {
+    if matrix.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: matrix.rank(),
+            op: "sum_rows",
+        });
+    }
+    let (m, n) = (matrix.dims()[0], matrix.dims()[1]);
+    let src = matrix.as_slice();
+    let mut out = vec![0.0f32; n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j] += src[i * n + j];
+        }
+    }
+    Tensor::from_vec(out, [n])
+}
+
+/// Row-wise numerically-stable softmax of an `m × n` matrix.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if the input is not rank 2.
+pub fn softmax_rows(logits: &Tensor) -> Result<Tensor, TensorError> {
+    if logits.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: logits.rank(),
+            op: "softmax_rows",
+        });
+    }
+    let (m, n) = (logits.dims()[0], logits.dims()[1]);
+    let src = logits.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let row = &src[i * n..(i + 1) * n];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        for j in 0..n {
+            let e = (row[j] - max).exp();
+            out[i * n + j] = e;
+            denom += e;
+        }
+        let inv = 1.0 / denom;
+        for x in &mut out[i * n..(i + 1) * n] {
+            *x *= inv;
+        }
+    }
+    Tensor::from_vec(out, [m, n])
+}
+
+/// Per-row argmax of an `m × n` matrix: the predicted class per sample.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if the input is not rank 2.
+pub fn argmax_rows(matrix: &Tensor) -> Result<Vec<usize>, TensorError> {
+    if matrix.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: matrix.rank(),
+            op: "argmax_rows",
+        });
+    }
+    let (m, n) = (matrix.dims()[0], matrix.dims()[1]);
+    let src = matrix.as_slice();
+    let mut out = Vec::with_capacity(m);
+    for i in 0..m {
+        let row = &src[i * n..(i + 1) * n];
+        let mut best = 0;
+        for (j, &x) in row.iter().enumerate() {
+            if x > row[best] {
+                best = j;
+            }
+        }
+        out.push(best);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: Vec<f32>, shape: [usize; 2]) -> Tensor {
+        Tensor::from_vec(data, shape).unwrap()
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let i = t(vec![1.0, 0.0, 0.0, 1.0], [2, 2]);
+        assert_eq!(matmul(&a, &i).unwrap(), a);
+        assert_eq!(matmul(&i, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        // (2x3) * (3x2)
+        let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        let b = t(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], [3, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_dims() {
+        let a = t(vec![0.0; 6], [2, 3]);
+        let b = t(vec![0.0; 6], [2, 3]);
+        assert!(matches!(matmul(&a, &b), Err(TensorError::MatmulDimMismatch { .. })));
+        let v = Tensor::zeros([3]);
+        assert!(matches!(matmul(&v, &b), Err(TensorError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        let at = transpose(&a).unwrap();
+        assert_eq!(at.dims(), &[3, 2]);
+        assert_eq!(at.as_slice(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        assert_eq!(transpose(&at).unwrap(), a);
+    }
+
+    #[test]
+    fn transposed_matmuls_agree_with_explicit_transpose() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        let b = t(vec![1.0, -1.0, 0.5, 2.0, 3.0, -2.0], [2, 3]);
+        // A * B^T
+        let expected = matmul(&a, &transpose(&b).unwrap()).unwrap();
+        assert_eq!(matmul_transpose_b(&a, &b).unwrap(), expected);
+        // A^T * B
+        let expected2 = matmul(&transpose(&a).unwrap(), &b).unwrap();
+        assert_eq!(matmul_transpose_a(&a, &b).unwrap(), expected2);
+    }
+
+    #[test]
+    fn bias_and_row_sum() {
+        let m = t(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let b = Tensor::from_vec(vec![10.0, 20.0], [2]).unwrap();
+        let mb = add_bias_rows(&m, &b).unwrap();
+        assert_eq!(mb.as_slice(), &[11.0, 22.0, 13.0, 24.0]);
+        let s = sum_rows(&m).unwrap();
+        assert_eq!(s.as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_preserved() {
+        let m = t(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], [2, 3]);
+        let s = softmax_rows(&m).unwrap();
+        for i in 0..2 {
+            let row = &s.as_slice()[i * 3..(i + 1) * 3];
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(row[0] < row[1] && row[1] < row[2]);
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let m = t(vec![1000.0, 1001.0], [1, 2]);
+        let s = softmax_rows(&m).unwrap();
+        assert!(s.all_finite());
+        assert!((s.as_slice()[0] + s.as_slice()[1] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn argmax_rows_picks_column() {
+        let m = t(vec![0.1, 0.9, 0.0, 0.7, 0.2, 0.1], [2, 3]);
+        assert_eq!(argmax_rows(&m).unwrap(), vec![1, 0]);
+    }
+}

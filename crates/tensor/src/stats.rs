@@ -1,0 +1,252 @@
+//! Descriptive statistics and histograms over value slices.
+//!
+//! The paper's analysis revolves around weight/resistance/conductance
+//! *distributions* (Figs. 3, 6, 9). This module provides the summary
+//! statistics (mean, standard deviation, skewness) and fixed-bin histograms
+//! used to report and test those distributions.
+
+use std::fmt;
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Fisher skewness (third standardized moment); `0.0` when `std == 0`.
+    pub skewness: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics over `values`.
+    ///
+    /// Returns an all-zero summary for an empty slice.
+    pub fn of(values: &[f32]) -> Self {
+        if values.is_empty() {
+            return Summary { count: 0, mean: 0.0, std: 0.0, min: 0.0, max: 0.0, skewness: 0.0 };
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().map(|&x| x as f64).sum::<f64>() / n;
+        let mut m2 = 0.0;
+        let mut m3 = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &x in values {
+            let d = x as f64 - mean;
+            m2 += d * d;
+            m3 += d * d * d;
+            min = min.min(x as f64);
+            max = max.max(x as f64);
+        }
+        m2 /= n;
+        m3 /= n;
+        let std = m2.sqrt();
+        let skewness = if std > 0.0 { m3 / (std * std * std) } else { 0.0 };
+        Summary { count: values.len(), mean, std, min, max, skewness }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} std={:.4} min={:.4} max={:.4} skew={:.3}",
+            self.count, self.mean, self.std, self.min, self.max, self.skewness
+        )
+    }
+}
+
+/// A fixed-width-bin histogram over a closed value range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<usize>,
+    outliers: usize,
+}
+
+impl Histogram {
+    /// Builds a histogram of `values` with `bins` equal-width bins spanning
+    /// `[lo, hi]`. Values outside the range are tallied as outliers. The top
+    /// edge is inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(values: &[f32], lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be nonempty");
+        let mut counts = vec![0usize; bins];
+        let mut outliers = 0usize;
+        let width = (hi - lo) / bins as f64;
+        for &v in values {
+            let v = v as f64;
+            if v < lo || v > hi {
+                outliers += 1;
+                continue;
+            }
+            let mut idx = ((v - lo) / width) as usize;
+            if idx >= bins {
+                idx = bins - 1; // v == hi
+            }
+            counts[idx] += 1;
+        }
+        Histogram { lo, hi, counts, outliers }
+    }
+
+    /// Builds a histogram spanning the sample's own min..max range (or a unit
+    /// range around a constant sample).
+    pub fn auto(values: &[f32], bins: usize) -> Self {
+        let s = Summary::of(values);
+        let (lo, hi) = if s.max > s.min { (s.min, s.max) } else { (s.min - 0.5, s.max + 0.5) };
+        Histogram::new(values, lo, hi, bins)
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Number of samples outside `[lo, hi]`.
+    pub fn outliers(&self) -> usize {
+        self.outliers
+    }
+
+    /// Center value of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a valid bin index.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len());
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * width
+    }
+
+    /// Total in-range sample count.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of in-range mass at or below the bin containing `value`
+    /// (empirical CDF on the bin grid). Returns 0.0 for an empty histogram.
+    pub fn cdf_at(&self, value: f64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let mut acc = 0usize;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let edge = self.lo + (i as f64 + 1.0) * width;
+            if edge <= value {
+                acc += c;
+            } else {
+                break;
+            }
+        }
+        acc as f64 / total as f64
+    }
+
+    /// Renders a compact ASCII bar chart, one line per bin — used by the
+    /// experiment binaries to print paper-figure analogues.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = "#".repeat(c * width / max);
+            out.push_str(&format!("{:>10.4} | {:<w$} {}\n", self.bin_center(i), bar, c, w = width));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-9);
+        assert!((s.std - (1.25f64).sqrt()).abs() < 1e-6);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!(s.skewness.abs() < 1e-9, "symmetric sample has zero skew");
+    }
+
+    #[test]
+    fn summary_empty_is_zero() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn skewness_sign_matches_tail() {
+        // Right tail -> positive skewness.
+        let right: Vec<f32> = vec![0.0, 0.0, 0.0, 0.0, 10.0];
+        assert!(Summary::of(&right).skewness > 1.0);
+        let left: Vec<f32> = vec![0.0, 0.0, 0.0, 0.0, -10.0];
+        assert!(Summary::of(&left).skewness < -1.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_outliers() {
+        let h = Histogram::new(&[0.1, 0.9, 1.4, 1.6, -5.0, 7.0], 0.0, 2.0, 4);
+        assert_eq!(h.counts(), &[1, 1, 1, 1]);
+        assert_eq!(h.outliers(), 2);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn histogram_top_edge_inclusive() {
+        let h = Histogram::new(&[2.0], 0.0, 2.0, 4);
+        assert_eq!(h.counts(), &[0, 0, 0, 1]);
+        assert_eq!(h.outliers(), 0);
+    }
+
+    #[test]
+    fn auto_histogram_handles_constant_sample() {
+        let h = Histogram::auto(&[3.0, 3.0, 3.0], 4);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn bin_centers_are_monotone() {
+        let h = Histogram::new(&[], 0.0, 1.0, 5);
+        for i in 1..5 {
+            assert!(h.bin_center(i) > h.bin_center(i - 1));
+        }
+        assert!((h.bin_center(0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let vals: Vec<f32> = (0..100).map(|i| i as f32 / 100.0).collect();
+        let h = Histogram::new(&vals, 0.0, 1.0, 10);
+        let mut prev = 0.0;
+        for k in 0..=10 {
+            let c = h.cdf_at(k as f64 / 10.0);
+            assert!(c >= prev);
+            assert!((0.0..=1.0).contains(&c));
+            prev = c;
+        }
+        assert!((h.cdf_at(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_has_one_line_per_bin() {
+        let h = Histogram::new(&[0.5, 0.5, 1.5], 0.0, 2.0, 2);
+        let s = h.render(20);
+        assert_eq!(s.lines().count(), 2);
+    }
+}

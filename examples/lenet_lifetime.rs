@@ -1,0 +1,54 @@
+//! Lifetime comparison on the scaled LeNet-5 scenario: the paper's Table I
+//! row, printed as a live report.
+//!
+//! Runs the three strategies (T+T, ST+T, ST+AT) through the full pipeline —
+//! software training, hardware mapping, periodic drift + re-map + online
+//! tuning — until the tuning budget fails, and prints each strategy's
+//! lifetime and the normalized ratios.
+//!
+//! Run with (release strongly recommended):
+//! ```text
+//! cargo run --release -p memaging --example lenet_lifetime
+//! ```
+
+use memaging::lifetime::{compare_lifetimes, Strategy};
+use memaging::Scenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut scenario = Scenario::lenet();
+    // Keep the example snappy; the bench binary `exp_table1` runs the full
+    // budget.
+    scenario.framework.lifetime.max_sessions = 60;
+    println!("scenario: {}", scenario.name);
+
+    let mut outcomes = Vec::new();
+    for strategy in Strategy::ALL {
+        println!("--- {strategy} ---");
+        let outcome = scenario.run_strategy(strategy)?;
+        println!(
+            "  software accuracy: {:.1}%",
+            100.0 * outcome.software_accuracy
+        );
+        println!(
+            "  lifetime: {} applications over {} sessions (failed: {})",
+            outcome.lifetime.lifetime_applications,
+            outcome.lifetime.sessions.len(),
+            outcome.lifetime.failed
+        );
+        if let Some(last) = outcome.lifetime.sessions.last() {
+            println!(
+                "  final session: {} tuning iterations, accuracy {:.1}%",
+                last.tuning_iterations,
+                100.0 * last.accuracy
+            );
+        }
+        outcomes.push(outcome.lifetime);
+    }
+
+    let cmp = compare_lifetimes(&outcomes);
+    println!("\nlifetime ratios (normalized to T+T):");
+    for ((strategy, apps), ratio) in cmp.entries.iter().zip(&cmp.ratios) {
+        println!("  {strategy:>6}: {apps:>12} applications  ({ratio:.1}x)");
+    }
+    Ok(())
+}

@@ -1,0 +1,118 @@
+//! Strategy-level integration: the paper's qualitative claims must hold on
+//! a small accelerated testbed — skewed training maps to larger
+//! resistances, ages slower, and ST+AT lives at least as long as ST+T,
+//! which lives at least as long as T+T.
+
+use memaging::device::ArrheniusAging;
+use memaging::lifetime::{compare_lifetimes, Strategy};
+use memaging::Scenario;
+
+/// A further-accelerated variant of the calibrated quick scenario for
+/// ordering checks: stronger aging so every strategy dies within a small
+/// session cap even in debug builds.
+fn accelerated_scenario() -> Scenario {
+    let mut s = Scenario::quick();
+    s.framework.aging = ArrheniusAging {
+        a_f: 4.0e16,
+        a_g: 4.8e15,
+        ..Scenario::accelerated_aging()
+    };
+    s.framework.lifetime.max_sessions = 120;
+    s
+}
+
+#[test]
+fn skewed_training_maps_to_larger_resistances() {
+    let scenario = Scenario::quick();
+    let data = scenario.dataset().unwrap();
+    let traditional = scenario
+        .framework
+        .train_model(&data, Strategy::TT, scenario.seed)
+        .unwrap();
+    let skewed = scenario
+        .framework
+        .train_model(&data, Strategy::StT, scenario.seed)
+        .unwrap();
+    // Compare mean weight positions within their own ranges: the skewed
+    // network's mass must sit closer to its w_min (which maps to R_max).
+    let relative_position = |net: &memaging::nn::Network| -> f64 {
+        let all: Vec<f32> =
+            net.weight_matrices().iter().flat_map(|w| w.as_slice().to_vec()).collect();
+        let lo = all.iter().cloned().fold(f32::INFINITY, f32::min) as f64;
+        let hi = all.iter().cloned().fold(f32::NEG_INFINITY, f32::max) as f64;
+        let mean = all.iter().map(|&x| x as f64).sum::<f64>() / all.len() as f64;
+        (mean - lo) / (hi - lo)
+    };
+    let pos_t = relative_position(&traditional.network);
+    let pos_st = relative_position(&skewed.network);
+    assert!(
+        pos_st < pos_t,
+        "skewed weights should sit lower in their range: T {pos_t:.3} vs ST {pos_st:.3}"
+    );
+}
+
+#[test]
+fn skewed_strategy_ages_slower_per_session() {
+    let scenario = accelerated_scenario();
+    let outcomes = scenario.run_all().unwrap();
+    let tt = &outcomes[0];
+    let stt = &outcomes[1];
+    // Compare the mean aged upper bound at the same early-life checkpoint
+    // (the last sessions are dominated by the end-of-life collapse, which
+    // says nothing about the aging *rate*).
+    let checkpoint = tt
+        .lifetime
+        .sessions
+        .len()
+        .min(stt.lifetime.sessions.len())
+        .saturating_sub(1)
+        .min(10);
+    let mean = |o: &memaging::StrategyOutcome| -> f64 {
+        let b = &o.lifetime.sessions[checkpoint].per_layer_mean_r_max;
+        b.iter().sum::<f64>() / b.len() as f64
+    };
+    let r_tt = mean(tt);
+    let r_stt = mean(stt);
+    assert!(
+        r_stt >= r_tt,
+        "skewed strategy must retain a wider window at session {checkpoint}: \
+         T+T {r_tt:.0} vs ST+T {r_stt:.0} ohm"
+    );
+}
+
+#[test]
+fn lifetime_ordering_matches_paper() {
+    let scenario = accelerated_scenario();
+    let outcomes = scenario.run_all().unwrap();
+    let lifetimes: Vec<(Strategy, u64)> = outcomes
+        .iter()
+        .map(|o| (o.strategy, o.lifetime.lifetime_applications))
+        .collect();
+    // The paper's ordering: T+T <= ST+T <= ST+AT.
+    assert!(
+        lifetimes[1].1 >= lifetimes[0].1,
+        "ST+T must not lose to T+T: {lifetimes:?}"
+    );
+    assert!(
+        lifetimes[2].1 >= lifetimes[1].1,
+        "ST+AT must not lose to ST+T: {lifetimes:?}"
+    );
+    let cmp = compare_lifetimes(&outcomes.iter().map(|o| o.lifetime.clone()).collect::<Vec<_>>());
+    assert!((cmp.ratios[0] - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn accuracy_is_maintained_by_skewed_training() {
+    // Table I's accuracy columns: skewed within a couple points of baseline.
+    let scenario = Scenario::quick();
+    let data = scenario.dataset().unwrap();
+    let (base, skewed) = scenario
+        .framework
+        .accuracy_comparison(&data, scenario.seed)
+        .unwrap();
+    assert!(base > 0.85, "baseline should train well: {base}");
+    assert!(
+        skewed > base - 0.08,
+        "skewed training must roughly maintain accuracy: {base} -> {skewed}"
+    );
+}
