@@ -33,14 +33,9 @@ fn bench_vmm(c: &mut Criterion) {
 }
 
 fn bench_tiled_vmm(c: &mut Criterion) {
-    let mut tiled = TiledMatrix::new(
-        256,
-        256,
-        128,
-        DeviceSpec::default(),
-        ArrheniusAging::default(),
-    )
-    .expect("valid");
+    let mut tiled =
+        TiledMatrix::new(256, 256, 128, DeviceSpec::default(), ArrheniusAging::default())
+            .expect("valid");
     tiled.program_conductances(&Tensor::full([256, 256], 5.0e-5)).expect("programmable");
     let input: Vec<f32> = (0..256).map(|i| (i as f32 * 0.1).cos()).collect();
     c.bench_function("crossbar/tiled_vmm_256x256_tile128", |bench| {
@@ -114,8 +109,7 @@ fn bench_train_step(c: &mut Criterion) {
 }
 
 fn bench_conv_forward(c: &mut Criterion) {
-    let mut net =
-        models::lenet5_scaled(1, 10, &mut StdRng::seed_from_u64(5)).expect("valid dims");
+    let mut net = models::lenet5_scaled(1, 10, &mut StdRng::seed_from_u64(5)).expect("valid dims");
     let input = Tensor::full([8, 144], 0.3);
     c.bench_function("nn/lenet_scaled_forward_batch8", |bench| {
         bench.iter(|| net.forward(black_box(&input), Mode::Eval).expect("valid input"))

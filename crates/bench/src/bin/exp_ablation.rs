@@ -163,11 +163,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             n += 2 * w.len();
         }
         let diff = sum / n as f64;
-        t.row(&[
-            label.into(),
-            format!("{:.1}", eq4 * 1e6),
-            format!("{:.1}", diff * 1e6),
-        ]);
+        t.row(&[label.into(), format!("{:.1}", eq4 * 1e6), format!("{:.1}", diff * 1e6)]);
     }
     t.print();
     println!(
@@ -180,8 +176,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut t = TextTable::new(&["percentile", "post-map accuracy"]);
     for pct in [0.0f64, 0.005, 0.02] {
         let net = scenario.framework.model.build(scenario.seed)?;
-        let mut hw =
-            CrossbarNetwork::new(net, DeviceSpec::default(), scenario.framework.aging)?;
+        let mut hw = CrossbarNetwork::new(net, DeviceSpec::default(), scenario.framework.aging)?;
         hw.set_outlier_percentile(pct);
         hw.restore_software_weights(&trained.network.weight_matrices())?;
         let report = hw.map_weights(MappingStrategy::Fresh, Some((&calib, 32)))?;
@@ -205,8 +200,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     use rand::SeedableRng;
     for sigma in [0.0f64, 0.1, 0.3] {
         let net = scenario.framework.model.build(scenario.seed)?;
-        let mut hw =
-            CrossbarNetwork::new(net, DeviceSpec::default(), scenario.framework.aging)?;
+        let mut hw = CrossbarNetwork::new(net, DeviceSpec::default(), scenario.framework.aging)?;
         hw.restore_software_weights(&trained.network.weight_matrices())?;
         hw.map_weights(MappingStrategy::Fresh, None)?;
         // Re-program every layer with variability sigma.

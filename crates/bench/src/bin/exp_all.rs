@@ -1,5 +1,6 @@
 //! Runs every table/figure experiment in paper order by spawning the
-//! sibling binaries. Prefer the individual binaries while iterating.
+//! sibling binaries, then profiles one instrumented quick-scenario run and
+//! writes the per-phase wall-clock breakdown to `BENCH_obs.json`.
 //!
 //! ```text
 //! cargo run --release -p memaging-bench --bin exp_all
@@ -7,12 +8,25 @@
 
 use std::process::Command;
 
+use memaging::lifetime::Strategy;
+use memaging::obs::{MemorySink, Recorder};
+use memaging::Scenario;
+use memaging_bench::{banner, phase_profile_json, profile_phases, report};
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let exe = std::env::current_exe()?;
     let dir = exe.parent().expect("binary lives in a directory").to_path_buf();
     let order = [
-        "exp_fig3", "exp_fig4", "exp_fig6", "exp_fig7", "exp_fig9", "exp_fig10", "exp_fig11",
-        "exp_table2", "exp_ablation", "exp_table1",
+        "exp_fig3",
+        "exp_fig4",
+        "exp_fig6",
+        "exp_fig7",
+        "exp_fig9",
+        "exp_fig10",
+        "exp_fig11",
+        "exp_table2",
+        "exp_ablation",
+        "exp_table1",
     ];
     for name in order {
         let path = dir.join(name);
@@ -25,5 +39,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             return Err(format!("{name} failed with {status}").into());
         }
     }
+    write_phase_profile()?;
+    Ok(())
+}
+
+/// Runs the quick scenario with an in-memory recorder attached and writes
+/// the aggregated train/map/tune/evaluate wall-clock totals to
+/// `BENCH_obs.json` in the working directory.
+fn write_phase_profile() -> Result<(), Box<dyn std::error::Error>> {
+    banner("pipeline phase profile (quick scenario, ST+AT)");
+    let (sink, handle) = MemorySink::new();
+    let mut scenario = Scenario::quick();
+    scenario.framework.recorder = Recorder::new(vec![Box::new(sink)]);
+    scenario.run_strategy(Strategy::StAt)?;
+    let profiles = profile_phases(&handle.events());
+    for p in &profiles {
+        report(&format!(
+            "  {:<10} {:>5} spans  total {:>9.1} ms  max {:>8.1} ms",
+            p.name,
+            p.count,
+            p.total_us as f64 / 1e3,
+            p.max_us as f64 / 1e3,
+        ));
+    }
+    let json = phase_profile_json("quick scenario, ST+AT strategy", &profiles);
+    let path = "BENCH_obs.json";
+    std::fs::write(path, &json)?;
+    report(&format!("(phase profile saved to {path})"));
     Ok(())
 }

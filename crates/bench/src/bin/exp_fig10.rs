@@ -35,10 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|(_, (apps, iters))| (*apps as f64, *iters as f64))
             .collect();
         print_series("applications", "tuning iters", &shown);
-        let rows: Vec<Vec<String>> = series
-            .iter()
-            .map(|(a, i)| vec![a.to_string(), i.to_string()])
-            .collect();
+        let rows: Vec<Vec<String>> =
+            series.iter().map(|(a, i)| vec![a.to_string(), i.to_string()]).collect();
         save_csv(
             &format!("fig10_{}", strategy.label().replace('+', "_").to_lowercase()),
             &["applications", "tuning_iterations"],

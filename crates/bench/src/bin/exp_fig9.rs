@@ -7,8 +7,8 @@
 //! ```
 
 use memaging::lifetime::Strategy;
-use memaging::Scenario;
 use memaging::tensor::stats::Summary;
+use memaging::Scenario;
 use memaging_bench::{banner, fast_mode, print_histogram};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data = scenario.dataset()?;
     let (train, _) = scenario.train_calib_split(&data)?;
     let trained = scenario.framework.train_model(&train, Strategy::StT, scenario.seed)?;
-    println!("software accuracy after skewed training: {:.1}%\n", 100.0 * trained.software_accuracy);
+    println!(
+        "software accuracy after skewed training: {:.1}%\n",
+        100.0 * trained.software_accuracy
+    );
 
     let weights = trained.network.weight_matrices();
     let kinds = trained.network.mappable_kinds();
@@ -30,10 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // At this simulation scale the skewed penalty targets the FC layers
     // (DESIGN.md par.5), so also show the first FC layer's histogram.
-    if let Some(fc) = kinds
-        .iter()
-        .position(|k| *k == memaging::nn::LayerKind::FullyConnected)
-    {
+    if let Some(fc) = kinds.iter().position(|k| *k == memaging::nn::LayerKind::FullyConnected) {
         println!();
         print_histogram(
             &format!("layer {} weights (first fully-connected layer)", fc + 1),

@@ -13,8 +13,8 @@
 //! scenarios ship with.
 
 use memaging::lifetime::Strategy;
-use memaging::{Scenario, SkewParams};
 use memaging::tensor::stats::Summary;
+use memaging::{Scenario, SkewParams};
 use memaging_bench::{all_weights, banner, fast_mode, TextTable};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

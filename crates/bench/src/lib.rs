@@ -23,8 +23,23 @@
 
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
 
+use memaging::obs::{PrettySink, Recorder};
 use memaging::tensor::stats::{Histogram, Summary};
+
+/// The process-wide bench recorder: every experiment binary reports through
+/// it (a pretty sink printing message events verbatim), so harness output
+/// can be redirected to other sinks without touching the experiments.
+pub fn recorder() -> &'static Recorder {
+    static RECORDER: OnceLock<Recorder> = OnceLock::new();
+    RECORDER.get_or_init(|| Recorder::new(vec![Box::new(PrettySink::new())]))
+}
+
+/// Emits one line of experiment output through the bench [`recorder`].
+pub fn report(text: &str) {
+    recorder().message(text);
+}
 
 /// Returns `true` when the `MEMAGING_FAST` environment variable asks for
 /// reduced experiment budgets.
@@ -34,9 +49,9 @@ pub fn fast_mode() -> bool {
 
 /// Prints a section banner.
 pub fn banner(title: &str) {
-    println!("\n{}", "=".repeat(74));
-    println!("{title}");
-    println!("{}", "=".repeat(74));
+    report(&format!("\n{}", "=".repeat(74)));
+    report(title);
+    report(&"=".repeat(74));
 }
 
 /// A simple fixed-width text table.
@@ -85,13 +100,13 @@ impl TextTable {
             }
             out
         };
-        println!("{sep}");
-        println!("{}", line(&self.headers));
-        println!("{sep}");
+        report(&sep);
+        report(&line(&self.headers));
+        report(&sep);
         for row in &self.rows {
-            println!("{}", line(row));
+            report(&line(row));
         }
-        println!("{sep}");
+        report(&sep);
     }
 }
 
@@ -99,32 +114,34 @@ impl TextTable {
 /// bar per point — the text analogue of a paper figure.
 pub fn print_series(x_label: &str, y_label: &str, points: &[(f64, f64)]) {
     if points.is_empty() {
-        println!("  (no data)");
+        report("  (no data)");
         return;
     }
     let y_max = points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max).max(1e-12);
-    println!("  {x_label:>14} | {y_label:<12} |");
+    report(&format!("  {x_label:>14} | {y_label:<12} |"));
     for (x, y) in points {
         let bar = "#".repeat(((y / y_max) * 40.0).round() as usize);
-        println!("  {x:>14.0} | {y:<12.2} | {bar}");
+        report(&format!("  {x:>14.0} | {y:<12.2} | {bar}"));
     }
 }
 
 /// Prints a histogram of `values` with summary statistics.
 pub fn print_histogram(title: &str, values: &[f32], bins: usize) {
     let summary = Summary::of(values);
-    println!("{title}");
-    println!("  {summary}");
+    report(title);
+    report(&format!("  {summary}"));
     let hist = Histogram::auto(values, bins);
     for line in hist.render(40).lines() {
-        println!("  {line}");
+        report(&format!("  {line}"));
     }
 }
 
 /// The directory experiment binaries write CSV artifacts into
 /// (`results/`, next to the workspace root), honouring `MEMAGING_RESULTS`.
 pub fn results_dir() -> PathBuf {
-    std::env::var("MEMAGING_RESULTS").map(PathBuf::from).unwrap_or_else(|_| PathBuf::from("results"))
+    std::env::var("MEMAGING_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
 }
 
 /// Writes rows of named columns as a CSV artifact under [`results_dir`],
@@ -134,11 +151,7 @@ pub fn results_dir() -> PathBuf {
 /// # Errors
 ///
 /// Returns I/O errors from directory creation or writing.
-pub fn write_csv(
-    name: &str,
-    headers: &[&str],
-    rows: &[Vec<String>],
-) -> std::io::Result<PathBuf> {
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> std::io::Result<PathBuf> {
     let dir = results_dir();
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.csv"));
@@ -153,13 +166,75 @@ pub fn write_csv(
 /// Logs a best-effort CSV write, printing where it landed (or why not).
 pub fn save_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
     match write_csv(name, headers, rows) {
-        Ok(path) => println!("(series saved to {})", display_path(&path)),
+        Ok(path) => report(&format!("(series saved to {})", display_path(&path))),
         Err(e) => eprintln!("(could not save {name}.csv: {e})"),
     }
 }
 
 fn display_path(p: &Path) -> String {
     p.display().to_string()
+}
+
+/// Wall-clock totals for one pipeline phase, aggregated from span events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseProfile {
+    /// Span name ("train", "map", "tune", "evaluate").
+    pub name: String,
+    /// Number of spans observed.
+    pub count: u64,
+    /// Total wall-clock microseconds across all spans.
+    pub total_us: u64,
+    /// Longest single span, microseconds.
+    pub max_us: u64,
+}
+
+/// Aggregates recorded span events into per-phase wall-clock profiles,
+/// ordered by first appearance in the trace (i.e. pipeline order).
+pub fn profile_phases(events: &[memaging::obs::Event]) -> Vec<PhaseProfile> {
+    use memaging::obs::Event;
+    let mut profiles: Vec<PhaseProfile> = Vec::new();
+    for event in events {
+        if let Event::Span { name, duration_us, .. } = event {
+            match profiles.iter_mut().find(|p| p.name == *name) {
+                Some(p) => {
+                    p.count += 1;
+                    p.total_us += duration_us;
+                    p.max_us = p.max_us.max(*duration_us);
+                }
+                None => profiles.push(PhaseProfile {
+                    name: name.clone(),
+                    count: 1,
+                    total_us: *duration_us,
+                    max_us: *duration_us,
+                }),
+            }
+        }
+    }
+    profiles
+}
+
+/// Renders phase profiles as the `BENCH_obs.json` document: one object per
+/// phase with counts and wall-clock totals, plus the grand total.
+pub fn phase_profile_json(label: &str, profiles: &[PhaseProfile]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"benchmark\": {label:?},\n"));
+    out.push_str("  \"phases\": [\n");
+    for (i, p) in profiles.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"phase\": {:?}, \"count\": {}, \"total_ms\": {:.3}, \"mean_ms\": {:.3}, \"max_ms\": {:.3}}}{}\n",
+            p.name,
+            p.count,
+            p.total_us as f64 / 1e3,
+            if p.count == 0 { 0.0 } else { p.total_us as f64 / 1e3 / p.count as f64 },
+            p.max_us as f64 / 1e3,
+            if i + 1 == profiles.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    let total: u64 = profiles.iter().map(|p| p.total_us).sum();
+    out.push_str(&format!("  \"total_instrumented_ms\": {:.3}\n", total as f64 / 1e3));
+    out.push_str("}\n");
+    out
 }
 
 /// Flattens all mappable weights of a network into one vector.
@@ -209,6 +284,34 @@ mod tests {
         assert_eq!(text, "a,b\n1,2\n3,4\n");
         std::env::remove_var("MEMAGING_RESULTS");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn phase_profiles_aggregate_spans_in_pipeline_order() {
+        use memaging::obs::Event;
+        let span = |name: &str, d: u64| Event::Span {
+            name: name.into(),
+            session: None,
+            start_us: 0,
+            duration_us: d,
+        };
+        let events = vec![
+            span("train", 100),
+            span("map", 10),
+            span("tune", 5),
+            span("tune", 15),
+            Event::Message { text: "noise".into() },
+        ];
+        let profiles = profile_phases(&events);
+        assert_eq!(profiles.len(), 3);
+        assert_eq!(profiles[0].name, "train");
+        assert_eq!(
+            profiles[2],
+            PhaseProfile { name: "tune".into(), count: 2, total_us: 20, max_us: 15 }
+        );
+        let json = phase_profile_json("unit", &profiles);
+        assert!(json.contains("\"phase\": \"tune\", \"count\": 2, \"total_ms\": 0.020"));
+        assert!(json.contains("\"total_instrumented_ms\": 0.130"));
     }
 
     #[test]

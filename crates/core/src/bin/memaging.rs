@@ -3,6 +3,7 @@
 //! ```text
 //! memaging scenario quick --strategy all            # run a lifetime study
 //! memaging scenario lenet --strategy stat --seed 3
+//! memaging scenario quick --trace run.jsonl --metrics  # structured tracing
 //! memaging device                                   # single-cell aging trace
 //! memaging info                                     # scenario inventory
 //! ```
@@ -10,14 +11,22 @@
 //! Arguments are deliberately minimal (no CLI dependency): a subcommand,
 //! then `--key value` pairs.
 
-use memaging::lifetime::{compare_lifetimes, Strategy};
 use memaging::device::{ArrheniusAging, DeviceSpec, Memristor};
+use memaging::lifetime::{compare_lifetimes, Strategy};
+use memaging::obs::{JsonlSink, PrettySink, Recorder, Sink};
 use memaging::Scenario;
 
 /// Parsed command-line request.
 #[derive(Debug, Clone, PartialEq)]
 enum Command {
-    Scenario { name: String, strategy: StrategyArg, seed: Option<u64>, sessions: Option<usize> },
+    Scenario {
+        name: String,
+        strategy: StrategyArg,
+        seed: Option<u64>,
+        sessions: Option<usize>,
+        trace: Option<String>,
+        metrics: bool,
+    },
     Device,
     Info,
     Help,
@@ -50,17 +59,26 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
         "device" => Ok(Command::Device),
         "info" => Ok(Command::Info),
         "scenario" => {
-            let name = it
-                .next()
-                .ok_or("scenario needs a name: quick|lenet|vgg")?
-                .to_string();
+            let name = it.next().ok_or("scenario needs a name: quick|lenet|vgg")?.to_string();
             if !["quick", "lenet", "vgg"].contains(&name.as_str()) {
                 return Err(format!("unknown scenario `{name}` (expected quick|lenet|vgg)"));
             }
             let mut strategy = StrategyArg::All;
             let mut seed = None;
             let mut sessions = None;
+            let mut trace = None;
+            let mut metrics = false;
             while let Some(flag) = it.next() {
+                // `--metrics` is a bare switch; every other known flag takes
+                // a value. Reject unknown flags before demanding one so a
+                // typo reports "unknown flag", not "needs a value".
+                if flag == "--metrics" {
+                    metrics = true;
+                    continue;
+                }
+                if !["--strategy", "--seed", "--sessions", "--trace"].contains(&flag.as_str()) {
+                    return Err(format!("unknown flag `{flag}`"));
+                }
                 let value = it.next().ok_or_else(|| format!("flag {flag} needs a value"))?;
                 match flag.as_str() {
                     "--strategy" => strategy = parse_strategy(value)?,
@@ -71,10 +89,11 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                         sessions =
                             Some(value.parse().map_err(|_| format!("bad sessions `{value}`"))?)
                     }
-                    other => return Err(format!("unknown flag `{other}`")),
+                    "--trace" => trace = Some(value.to_string()),
+                    _ => unreachable!("flag validated above"),
                 }
             }
-            Ok(Command::Scenario { name, strategy, seed, sessions })
+            Ok(Command::Scenario { name, strategy, seed, sessions, trace, metrics })
         }
         other => Err(format!("unknown command `{other}`; try `memaging help`")),
     }
@@ -86,6 +105,10 @@ fn print_help() {
          USAGE:\n\
          \u{20}   memaging scenario <quick|lenet|vgg> [--strategy tt|stt|stat|all]\n\
          \u{20}                                       [--seed N] [--sessions N]\n\
+         \u{20}                                       [--trace out.jsonl] [--metrics]\n\
+         \u{20}                       --trace writes one JSON event per line (spans,\n\
+         \u{20}                       counters, gauges); --metrics prints a metrics\n\
+         \u{20}                       summary after the run\n\
          \u{20}   memaging device      single-cell aging trajectory (paper Fig. 4)\n\
          \u{20}   memaging info        list the calibrated scenarios\n\
          \u{20}   memaging help        this message\n"
@@ -100,11 +123,25 @@ fn scenario_by_name(name: &str) -> Scenario {
     }
 }
 
+/// Build the CLI recorder: a pretty sink for progress lines, plus a JSONL
+/// sink when `--trace` was given. Fails cleanly on an unwritable trace path.
+fn build_recorder(trace: Option<&str>) -> Result<Recorder, String> {
+    let mut sinks: Vec<Box<dyn Sink>> = vec![Box::new(PrettySink::new())];
+    if let Some(path) = trace {
+        let jsonl =
+            JsonlSink::create(path).map_err(|e| format!("cannot open trace file `{path}`: {e}"))?;
+        sinks.push(Box::new(jsonl));
+    }
+    Ok(Recorder::new(sinks))
+}
+
 fn run_scenario(
     name: &str,
     strategy: StrategyArg,
     seed: Option<u64>,
     sessions: Option<usize>,
+    trace: Option<&str>,
+    metrics: bool,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let mut scenario = scenario_by_name(name);
     if let Some(seed) = seed {
@@ -114,7 +151,13 @@ fn run_scenario(
     if let Some(sessions) = sessions {
         scenario.framework.lifetime.max_sessions = sessions;
     }
-    println!("scenario: {}", scenario.name);
+    let recorder = build_recorder(trace)?;
+    // The pipeline recorder is only attached when the user opted into
+    // observability, so the default CLI output is unchanged.
+    if trace.is_some() || metrics {
+        scenario.framework.recorder = recorder.clone();
+    }
+    recorder.message(&format!("scenario: {}", scenario.name));
     let strategies: Vec<Strategy> = match strategy {
         StrategyArg::One(s) => vec![s],
         StrategyArg::All => Strategy::ALL.to_vec(),
@@ -122,24 +165,30 @@ fn run_scenario(
     let mut results = Vec::new();
     for s in &strategies {
         let outcome = scenario.run_strategy(*s)?;
-        println!(
+        recorder.message(&format!(
             "{:>6}: software acc {:.1}%, {} sessions, {} applications (failed: {})",
             s.label(),
             100.0 * outcome.software_accuracy,
             outcome.lifetime.sessions.len(),
             outcome.lifetime.lifetime_applications,
             outcome.lifetime.failed,
-        );
+        ));
         results.push(outcome.lifetime);
     }
     if results.len() > 1 {
         let cmp = compare_lifetimes(&results);
-        print!("lifetime ratios:");
+        let mut line = String::from("lifetime ratios:");
         for ((s, _), r) in cmp.entries.iter().zip(&cmp.ratios) {
-            print!("  {}={:.1}x", s.label(), r);
+            line.push_str(&format!("  {}={:.1}x", s.label(), r));
         }
-        println!();
+        recorder.message(&line);
     }
+    if metrics {
+        if let Some(snapshot) = recorder.snapshot() {
+            print!("{snapshot}");
+        }
+    }
+    recorder.flush();
     Ok(())
 }
 
@@ -200,8 +249,9 @@ fn main() {
                 std::process::exit(1);
             }
         }
-        Ok(Command::Scenario { name, strategy, seed, sessions }) => {
-            if let Err(e) = run_scenario(&name, strategy, seed, sessions) {
+        Ok(Command::Scenario { name, strategy, seed, sessions, trace, metrics }) => {
+            if let Err(e) = run_scenario(&name, strategy, seed, sessions, trace.as_deref(), metrics)
+            {
                 eprintln!("error: {e}");
                 std::process::exit(1);
             }
@@ -231,8 +281,8 @@ mod tests {
 
     #[test]
     fn parses_scenario_with_flags() {
-        let cmd = parse_args(&argv("scenario quick --strategy stat --seed 9 --sessions 5"))
-            .unwrap();
+        let cmd =
+            parse_args(&argv("scenario quick --strategy stat --seed 9 --sessions 5")).unwrap();
         assert_eq!(
             cmd,
             Command::Scenario {
@@ -240,8 +290,46 @@ mod tests {
                 strategy: StrategyArg::One(Strategy::StAt),
                 seed: Some(9),
                 sessions: Some(5),
+                trace: None,
+                metrics: false,
             }
         );
+    }
+
+    #[test]
+    fn parses_trace_and_metrics() {
+        let cmd =
+            parse_args(&argv("scenario quick --trace /tmp/run.jsonl --metrics --seed 3")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Scenario {
+                name: "quick".into(),
+                strategy: StrategyArg::All,
+                seed: Some(3),
+                sessions: None,
+                trace: Some("/tmp/run.jsonl".into()),
+                metrics: true,
+            }
+        );
+    }
+
+    #[test]
+    fn trace_requires_a_value() {
+        let err = parse_args(&argv("scenario quick --trace")).unwrap_err();
+        assert!(err.contains("--trace"), "error should name the flag: {err}");
+        assert!(err.contains("needs a value"), "got: {err}");
+    }
+
+    #[test]
+    fn typoed_bare_flag_reports_unknown_not_missing_value() {
+        let err = parse_args(&argv("scenario quick --metrcs")).unwrap_err();
+        assert!(err.contains("unknown flag"), "got: {err}");
+    }
+
+    #[test]
+    fn unwritable_trace_path_is_a_clean_error() {
+        let err = build_recorder(Some("/nonexistent-dir/run.jsonl")).unwrap_err();
+        assert!(err.contains("cannot open trace file"), "got: {err}");
     }
 
     #[test]
@@ -254,6 +342,8 @@ mod tests {
                 strategy: StrategyArg::All,
                 seed: None,
                 sessions: None,
+                trace: None,
+                metrics: false,
             }
         );
     }

@@ -4,10 +4,9 @@
 
 use memaging_dataset::Dataset;
 use memaging_device::{ArrheniusAging, DeviceSpec};
-use memaging_lifetime::{run_lifetime, LifetimeConfig, LifetimeResult, Strategy};
-use memaging_nn::{
-    evaluate, train, Network, SkewedL2, TrainConfig, TrainReport, L2,
-};
+use memaging_lifetime::{run_lifetime_with_recorder, LifetimeConfig, LifetimeResult, Strategy};
+use memaging_nn::{evaluate, train_with_recorder, Network, SkewedL2, TrainConfig, TrainReport, L2};
+use memaging_obs::Recorder;
 
 use crate::error::FrameworkError;
 use crate::model::ModelKind;
@@ -136,6 +135,10 @@ pub struct Framework {
     /// Lifetime simulation parameters (its `strategy` field is overwritten
     /// per run).
     pub lifetime: LifetimeConfig,
+    /// Observability handle threaded through training, mapping, tuning and
+    /// the lifetime loop. Disabled (free) by default; see
+    /// [`Framework::with_recorder`].
+    pub recorder: Recorder,
 }
 
 impl Framework {
@@ -148,7 +151,16 @@ impl Framework {
             aging: ArrheniusAging::default(),
             plan: TrainingPlan::default(),
             lifetime: LifetimeConfig::default(),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches an observability recorder; every subsequent training,
+    /// mapping, tuning and lifetime stage reports through it.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Runs the software-training stage for `strategy`.
@@ -169,7 +181,7 @@ impl Framework {
         let mut network = self.model.build(seed)?;
         let pre_config = TrainConfig { epochs: self.plan.pre_epochs, ..self.plan.base };
         let l2 = L2::new(self.plan.l2_lambda);
-        let mut report = train(&mut network, data, &pre_config, &l2)?;
+        let mut report = train_with_recorder(&mut network, data, &pre_config, &l2, &self.recorder)?;
         let baseline_accuracy = evaluate(&mut network, data, self.plan.base.batch_size)?;
         let mut sigma = None;
         if strategy.uses_skewed_training() {
@@ -184,10 +196,9 @@ impl Framework {
             let mut last_err: Option<FrameworkError> = None;
             for _attempt in 0..3 {
                 let mut candidate = self.model.build(seed)?;
-                train(&mut candidate, data, &pre_config, &l2)?;
+                train_with_recorder(&mut candidate, data, &pre_config, &l2, &self.recorder)?;
                 let stds = candidate.weight_stds();
-                let skewed =
-                    SkewedL2::from_layer_stds(&stds, self.plan.skew.c, lambda1, lambda2);
+                let skewed = SkewedL2::from_layer_stds(&stds, self.plan.skew.c, lambda1, lambda2);
                 let kinds = candidate.mappable_kinds();
                 let reg = memaging_nn::PerLayer::new(
                     kinds
@@ -208,10 +219,10 @@ impl Framework {
                     learning_rate: self.plan.base.learning_rate * self.plan.skew_lr_scale,
                     ..self.plan.base
                 };
-                match train(&mut candidate, data, &skew_config, &reg) {
+                match train_with_recorder(&mut candidate, data, &skew_config, &reg, &self.recorder)
+                {
                     Ok(skew_report) => {
-                        let accuracy =
-                            evaluate(&mut candidate, data, self.plan.base.batch_size)?;
+                        let accuracy = evaluate(&mut candidate, data, self.plan.base.batch_size)?;
                         if accuracy >= 0.8 * baseline_accuracy {
                             network = candidate;
                             report = skew_report;
@@ -220,14 +231,13 @@ impl Framework {
                             break;
                         }
                         // Collapsed onto beta: halve the penalty and retry.
-                        last_err = Some(FrameworkError::Network(
-                            memaging_nn::NnError::InvalidConfig {
+                        last_err =
+                            Some(FrameworkError::Network(memaging_nn::NnError::InvalidConfig {
                                 reason: format!(
                                     "skewed stage collapsed to accuracy {accuracy:.3} \
                                      (baseline {baseline_accuracy:.3}) at lambda1 {lambda1}"
                                 ),
-                            },
-                        ));
+                            }));
                     }
                     Err(e) => last_err = Some(e.into()),
                 }
@@ -271,10 +281,19 @@ impl Framework {
         seed: u64,
     ) -> Result<StrategyOutcome, FrameworkError> {
         let trained = self.train_model(train_data, strategy, seed)?;
+        self.recorder.message_with(|| {
+            format!("{strategy}: software accuracy {:.3}", trained.software_accuracy)
+        });
         let layer_kinds = trained.network.mappable_kinds();
         let config = LifetimeConfig { strategy, ..self.lifetime };
-        let lifetime =
-            run_lifetime(trained.network, self.spec, self.aging, calib_data, &config)?;
+        let lifetime = run_lifetime_with_recorder(
+            trained.network,
+            self.spec,
+            self.aging,
+            calib_data,
+            &config,
+            &self.recorder,
+        )?;
         Ok(StrategyOutcome {
             strategy,
             software_accuracy: trained.software_accuracy,
@@ -294,10 +313,7 @@ impl Framework {
         data: &Dataset,
         seed: u64,
     ) -> Result<Vec<StrategyOutcome>, FrameworkError> {
-        Strategy::ALL
-            .iter()
-            .map(|&s| self.run_strategy(data, s, seed))
-            .collect()
+        Strategy::ALL.iter().map(|&s| self.run_strategy(data, s, seed)).collect()
     }
 
     /// Trains with and without the skewed penalty and reports both software
@@ -356,12 +372,8 @@ mod tests {
         assert_eq!(sigma.len(), 2);
         assert!(t.software_accuracy > 0.75, "accuracy {}", t.software_accuracy);
         // Weight mass should sit right of zero (toward beta > 0).
-        let all: Vec<f32> = t
-            .network
-            .weight_matrices()
-            .iter()
-            .flat_map(|w| w.as_slice().to_vec())
-            .collect();
+        let all: Vec<f32> =
+            t.network.weight_matrices().iter().flat_map(|w| w.as_slice().to_vec()).collect();
         let mean: f32 = all.iter().sum::<f32>() / all.len() as f32;
         assert!(mean > 0.0, "skewed weights should have positive mean, got {mean}");
     }

@@ -32,6 +32,7 @@
 //! | [`device`] | memristor cell: quantizer, Arrhenius aging, drift |
 //! | [`crossbar`] | arrays, eq. 4 mapping, tracing, range selection, eq. 5 tuning |
 //! | [`lifetime`] | serve → drift → re-map → tune loop; T+T / ST+T / ST+AT |
+//! | [`obs`] | dependency-free metrics registry, span timers, JSONL tracing |
 //!
 //! ## Quickstart
 //!
@@ -60,9 +61,7 @@ mod scenario;
 mod study;
 
 pub use error::FrameworkError;
-pub use framework::{
-    Framework, SkewParams, StrategyOutcome, TrainedModel, TrainingPlan,
-};
+pub use framework::{Framework, SkewParams, StrategyOutcome, TrainedModel, TrainingPlan};
 pub use model::ModelKind;
 pub use scenario::{DataGenerator, Scenario};
 pub use study::{run_study, StrategyStats, StudyReport};
@@ -72,4 +71,5 @@ pub use memaging_dataset as dataset;
 pub use memaging_device as device;
 pub use memaging_lifetime as lifetime;
 pub use memaging_nn as nn;
+pub use memaging_obs as obs;
 pub use memaging_tensor as tensor;

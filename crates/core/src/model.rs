@@ -53,7 +53,9 @@ impl ModelKind {
         let mut rng = StdRng::seed_from_u64(seed);
         match self {
             ModelKind::Mlp(dims) => models::mlp(dims, &mut rng),
-            ModelKind::Lenet5 { channels, classes } => models::lenet5(*channels, *classes, &mut rng),
+            ModelKind::Lenet5 { channels, classes } => {
+                models::lenet5(*channels, *classes, &mut rng)
+            }
             ModelKind::Lenet5Scaled { channels, classes } => {
                 models::lenet5_scaled(*channels, *classes, &mut rng)
             }
@@ -110,7 +112,10 @@ mod tests {
 
     #[test]
     fn names_are_stable() {
-        assert_eq!(ModelKind::Lenet5Scaled { channels: 1, classes: 10 }.to_string(), "LeNet-5 (scaled)");
+        assert_eq!(
+            ModelKind::Lenet5Scaled { channels: 1, classes: 10 }.to_string(),
+            "LeNet-5 (scaled)"
+        );
         assert_eq!(ModelKind::Vgg16 { channels: 3, classes: 100 }.name(), "VGG-16");
     }
 }

@@ -154,7 +154,10 @@ impl Crossbar {
     ///
     /// Returns [`CrossbarError::DimensionMismatch`] if the tensor shape
     /// differs from the array, or a device error for an invalid target.
-    pub fn program_conductances(&mut self, targets: &Tensor) -> Result<ProgramStats, CrossbarError> {
+    pub fn program_conductances(
+        &mut self,
+        targets: &Tensor,
+    ) -> Result<ProgramStats, CrossbarError> {
         if targets.dims() != [self.rows, self.cols] {
             return Err(CrossbarError::DimensionMismatch {
                 what: "conductance targets",

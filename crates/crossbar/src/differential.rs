@@ -151,13 +151,9 @@ impl DifferentialCrossbar {
             plus[i] = p as f32;
             minus[i] = m as f32;
         }
-        let mut stats = self
-            .positive
-            .program_conductances(&Tensor::from_vec(plus, [rows, cols])?)?;
-        stats.merge(
-            self.negative
-                .program_conductances(&Tensor::from_vec(minus, [rows, cols])?)?,
-        );
+        let mut stats =
+            self.positive.program_conductances(&Tensor::from_vec(plus, [rows, cols])?)?;
+        stats.merge(self.negative.program_conductances(&Tensor::from_vec(minus, [rows, cols])?)?);
         self.mapping = Some(mapping);
         Ok(stats)
     }
@@ -191,11 +187,7 @@ impl DifferentialCrossbar {
         })?;
         let plus = self.positive.vmm(input)?;
         let minus = self.negative.vmm(input)?;
-        Ok(plus
-            .iter()
-            .zip(&minus)
-            .map(|(p, m)| (p - m) / mapping.scale())
-            .collect())
+        Ok(plus.iter().zip(&minus).map(|(p, m)| (p - m) / mapping.scale()).collect())
     }
 
     /// Total programming pulses over both arrays.
@@ -258,8 +250,7 @@ mod tests {
 
     #[test]
     fn program_read_round_trip() {
-        let mut pair =
-            DifferentialCrossbar::new(4, 3, spec(), ArrheniusAging::default()).unwrap();
+        let mut pair = DifferentialCrossbar::new(4, 3, spec(), ArrheniusAging::default()).unwrap();
         let w = Tensor::from_fn([4, 3], |i| ((i as f32) - 5.5) * 0.1);
         pair.program_weights(&w).unwrap();
         let read = pair.read_weights().unwrap();
@@ -272,8 +263,7 @@ mod tests {
 
     #[test]
     fn differential_vmm_matches_matmul() {
-        let mut pair =
-            DifferentialCrossbar::new(5, 4, spec(), ArrheniusAging::default()).unwrap();
+        let mut pair = DifferentialCrossbar::new(5, 4, spec(), ArrheniusAging::default()).unwrap();
         let w = Tensor::from_fn([5, 4], |i| ((i as f32) * 0.37).sin() * 0.5);
         pair.program_weights(&w).unwrap();
         let x: Vec<f32> = (0..5).map(|i| ((i as f32) * 0.7).cos()).collect();
@@ -289,8 +279,7 @@ mod tests {
 
     #[test]
     fn unprogrammed_pair_errors() {
-        let pair =
-            DifferentialCrossbar::new(2, 2, spec(), ArrheniusAging::default()).unwrap();
+        let pair = DifferentialCrossbar::new(2, 2, spec(), ArrheniusAging::default()).unwrap();
         assert!(pair.read_weights().is_err());
         assert!(pair.vmm(&[1.0, 1.0]).is_err());
     }
@@ -300,8 +289,7 @@ mod tests {
         // A mostly-zero weight matrix: the differential scheme's mean
         // conductance (aging proxy) sits near g_min, while the paper's
         // single-device affine map would put zeros at mid conductance.
-        let mut pair =
-            DifferentialCrossbar::new(8, 8, spec(), ArrheniusAging::default()).unwrap();
+        let mut pair = DifferentialCrossbar::new(8, 8, spec(), ArrheniusAging::default()).unwrap();
         let w = Tensor::from_fn([8, 8], |i| if i == 0 { 1.0 } else { 0.0 });
         pair.program_weights(&w).unwrap();
         let g_min = 1.0 / spec().r_max;

@@ -39,11 +39,7 @@ impl Crossbar {
     /// Returns [`CrossbarError::DimensionMismatch`] for a wrong input length
     /// or [`CrossbarError::InvalidMapping`] for a negative/non-finite
     /// `r_wire`.
-    pub fn vmm_with_ir_drop(
-        &self,
-        input: &[f32],
-        r_wire: f64,
-    ) -> Result<Vec<f64>, CrossbarError> {
+    pub fn vmm_with_ir_drop(&self, input: &[f32], r_wire: f64) -> Result<Vec<f64>, CrossbarError> {
         if !r_wire.is_finite() || r_wire < 0.0 {
             return Err(CrossbarError::InvalidMapping {
                 reason: format!("wire resistance {r_wire} must be finite and >= 0"),
@@ -126,9 +122,7 @@ mod tests {
         for (ai, bi) in a.iter().zip(&b) {
             assert!(bi < ai, "more wire resistance must attenuate more");
         }
-        assert!(
-            x.worst_case_ir_attenuation(10.0) > x.worst_case_ir_attenuation(1.0)
-        );
+        assert!(x.worst_case_ir_attenuation(10.0) > x.worst_case_ir_attenuation(1.0));
     }
 
     #[test]

@@ -83,5 +83,5 @@ pub use network::{CrossbarNetwork, MapReport, MappingStrategy};
 pub use range_select::{select_range, RangeSelection};
 pub use tile::TiledMatrix;
 pub use tracer::{trace_estimates, traced_positions, traced_upper_bound_range, TracedEstimate};
-pub use tuner::{tune, TuneConfig, TuneReport};
+pub use tuner::{tune, tune_with_recorder, TuneConfig, TuneReport};
 pub use wear_level::{incremental_swap, wear_imbalance, wear_leveling_assignment, RowAssignment};

@@ -63,12 +63,7 @@ impl WeightMapping {
                 ),
             });
         }
-        Ok(WeightMapping {
-            w_min,
-            w_max,
-            g_min: 1.0 / window.r_max,
-            g_max: 1.0 / window.r_min,
-        })
+        Ok(WeightMapping { w_min, w_max, g_min: 1.0 / window.r_max, g_max: 1.0 / window.r_min })
     }
 
     /// Derives the weight range from the data (min/max of `weights`) and
@@ -187,6 +182,14 @@ impl WeightMapping {
     pub fn conductance_to_weight(&self, g: f64) -> f64 {
         (g - self.g_min) / self.slope() + self.w_min
     }
+
+    /// Number of weights falling outside `[w_min, w_max]` — the ones
+    /// [`WeightMapping::weight_to_conductance`] will clamp (percentile
+    /// outliers, or drifted read-backs). Feeds the
+    /// `mapping.out_of_range_weights` observability counter.
+    pub fn out_of_range_count(&self, weights: &[f32]) -> usize {
+        weights.iter().filter(|&&w| (w as f64) < self.w_min || (w as f64) > self.w_max).count()
+    }
 }
 
 #[cfg(test)]
@@ -252,7 +255,7 @@ mod tests {
     }
 
     #[test]
-    fn constant_weights_get_padded_range()  {
+    fn constant_weights_get_padded_range() {
         let m = WeightMapping::from_weights(&[0.3, 0.3], window()).unwrap();
         assert!(m.w_min() < 0.3 && m.w_max() > 0.3);
     }
@@ -285,8 +288,7 @@ mod tests {
         // Aging lowers r_max, which raises g_min: the mapped conductance of
         // the smallest weight grows.
         let fresh = WeightMapping::new(0.0, 1.0, window()).unwrap();
-        let aged =
-            WeightMapping::new(0.0, 1.0, AgedWindow { r_min: 1e4, r_max: 5e4 }).unwrap();
+        let aged = WeightMapping::new(0.0, 1.0, AgedWindow { r_min: 1e4, r_max: 5e4 }).unwrap();
         assert!(aged.g_min() > fresh.g_min());
         assert_eq!(aged.g_max(), fresh.g_max());
     }

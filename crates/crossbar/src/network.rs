@@ -33,6 +33,9 @@ pub struct MapReport {
     pub windows: Vec<AgedWindow>,
     /// Total candidate windows evaluated (aging-aware only).
     pub candidates_tried: usize,
+    /// Per mappable layer: trained weights outside the derived weight range
+    /// (clamped by eq. 4 during programming — percentile outliers).
+    pub out_of_range_weights: Vec<usize>,
     /// Calibration accuracy after mapping (before tuning), if calibration
     /// data was supplied.
     pub post_map_accuracy: Option<f64>,
@@ -68,10 +71,7 @@ impl std::fmt::Debug for CrossbarNetwork {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CrossbarNetwork")
             .field("layers", &self.arrays.len())
-            .field(
-                "devices",
-                &self.arrays.iter().map(|a| a.rows() * a.cols()).sum::<usize>(),
-            )
+            .field("devices", &self.arrays.iter().map(|a| a.rows() * a.cols()).sum::<usize>())
             .finish()
     }
 }
@@ -95,8 +95,7 @@ impl CrossbarNetwork {
         let kinds = software.mappable_kinds();
         let mappings = vec![None; arrays.len()];
         let last_windows = vec![None; arrays.len()];
-        let row_assignments =
-            arrays.iter().map(|a| RowAssignment::identity(a.rows())).collect();
+        let row_assignments = arrays.iter().map(|a| RowAssignment::identity(a.rows())).collect();
         Ok(CrossbarNetwork {
             software,
             arrays,
@@ -172,10 +171,54 @@ impl CrossbarNetwork {
         strategy: MappingStrategy,
         calibration: Option<(&Dataset, usize)>,
     ) -> Result<MapReport, CrossbarError> {
+        self.map_weights_with_recorder(strategy, calibration, &memaging_obs::Recorder::disabled())
+    }
+
+    /// [`CrossbarNetwork::map_weights`] with observability: the mapping is
+    /// wrapped in a `map` span, and per layer the
+    /// `mapping.out_of_range_weights` counter plus the
+    /// `mapping.window_r_max_ohms{layer}` gauges are recorded; afterwards
+    /// `mapping.candidates_tried` and `mapping.post_map_accuracy` summarize
+    /// the run. With a disabled recorder this is identical to
+    /// [`CrossbarNetwork::map_weights`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CrossbarNetwork::map_weights`].
+    pub fn map_weights_with_recorder(
+        &mut self,
+        strategy: MappingStrategy,
+        calibration: Option<(&Dataset, usize)>,
+        recorder: &memaging_obs::Recorder,
+    ) -> Result<MapReport, CrossbarError> {
+        let span = recorder.span("map");
+        let report = self.map_weights_inner(strategy, calibration)?;
+        drop(span);
+        if recorder.is_enabled() {
+            for (layer, window) in report.windows.iter().enumerate() {
+                recorder.gauge_labeled("mapping.window_r_max_ohms", "layer", layer, window.r_max);
+            }
+            let clamped: usize = report.out_of_range_weights.iter().sum();
+            recorder.counter("mapping.out_of_range_weights", clamped as u64);
+            recorder.counter("mapping.candidates_tried", report.candidates_tried as u64);
+            recorder.counter("mapping.pulses", report.stats.pulses);
+            if let Some(accuracy) = report.post_map_accuracy {
+                recorder.gauge("mapping.post_map_accuracy", accuracy);
+            }
+        }
+        Ok(report)
+    }
+
+    fn map_weights_inner(
+        &mut self,
+        strategy: MappingStrategy,
+        calibration: Option<(&Dataset, usize)>,
+    ) -> Result<MapReport, CrossbarError> {
         let weights = self.software.weight_matrices();
         let mut stats = ProgramStats::default();
         let mut windows = Vec::with_capacity(weights.len());
         let mut candidates_tried = 0usize;
+        let mut out_of_range_weights = Vec::with_capacity(weights.len());
         for (idx, w) in weights.iter().enumerate() {
             let window = match strategy {
                 MappingStrategy::Fresh => {
@@ -196,8 +239,7 @@ impl CrossbarNetwork {
                         .copied()
                         .filter(|e| e.window.r_max - spec.r_min >= usable_floor)
                         .collect();
-                    let candidates =
-                        if viable.is_empty() { estimates.clone() } else { viable };
+                    let candidates = if viable.is_empty() { estimates.clone() } else { viable };
                     // Borrow-splitting: candidate evaluation needs the
                     // software net mutably and the estimates immutably.
                     let software = &mut self.software;
@@ -219,8 +261,8 @@ impl CrossbarNetwork {
                             match self.last_windows[idx] {
                                 Some(prev) if prev.r_max > spec.r_min => {
                                     let prev_acc = simulate_layer_window_accuracy(
-                                        software, &weights, idx, prev, &estimates, &spec,
-                                        data, batch, percentile,
+                                        software, &weights, idx, prev, &estimates, &spec, data,
+                                        batch, percentile,
                                     )?;
                                     if prev_acc + 0.01 >= sel.accuracy {
                                         prev
@@ -246,6 +288,7 @@ impl CrossbarNetwork {
                 window,
                 self.outlier_percentile,
             )?;
+            out_of_range_weights.push(mapping.out_of_range_count(w.as_slice()));
             let targets = Tensor::from_fn([w.dims()[0], w.dims()[1]], |i| {
                 mapping.weight_to_conductance(w.as_slice()[i] as f64) as f32
             });
@@ -270,7 +313,7 @@ impl CrossbarNetwork {
             Some((data, batch)) => Some(self.evaluate(data, batch)?),
             None => None,
         };
-        Ok(MapReport { stats, windows, candidates_tried, post_map_accuracy })
+        Ok(MapReport { stats, windows, candidates_tried, out_of_range_weights, post_map_accuracy })
     }
 
     /// Reads the effective weight matrices back from the arrays (inverse of
@@ -367,10 +410,7 @@ impl CrossbarNetwork {
         sigma: f64,
         rng: &mut R,
     ) -> usize {
-        self.arrays
-            .iter_mut()
-            .map(|a| a.apply_conductance_drift(probability, sigma, rng))
-            .sum()
+        self.arrays.iter_mut().map(|a| a.apply_conductance_drift(probability, sigma, rng)).sum()
     }
 
     /// Restores the software model's mappable weights to `weights` (e.g. the
@@ -466,13 +506,13 @@ fn block_estimate(row: usize, col: usize, estimates: &[TracedEstimate]) -> AgedW
         // A block without a traced device (possible at ragged edges) is
         // assumed fresh-ish: use the widest traced window.
         .unwrap_or_else(|| {
-            estimates
-                .iter()
-                .map(|e| e.window)
-                .fold(AgedWindow { r_min: f64::MAX, r_max: 0.0 }, |acc, w| AgedWindow {
+            estimates.iter().map(|e| e.window).fold(
+                AgedWindow { r_min: f64::MAX, r_max: 0.0 },
+                |acc, w| AgedWindow {
                     r_min: acc.r_min.min(w.r_min),
                     r_max: acc.r_max.max(w.r_max),
-                })
+                },
+            )
         })
 }
 

@@ -118,7 +118,7 @@ mod tests {
         let v = [1.0f32; 8];
         let clean = x.vmm(&v).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
-        let mut acc = vec![0.0f64; 8];
+        let mut acc = [0.0f64; 8];
         let trials = 500;
         for _ in 0..trials {
             let noisy = x.vmm_noisy(&v, 0.05, &mut rng).unwrap();

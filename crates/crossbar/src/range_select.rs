@@ -117,10 +117,8 @@ mod tests {
     fn picks_highest_accuracy_candidate() {
         let estimates = vec![est(9e4), est(7e4), est(5e4)];
         // Peak accuracy at the middle candidate.
-        let sel = select_range(&estimates, 1e4, &mut |w| {
-            Ok(1.0 - ((w.r_max - 7e4).abs() / 1e5))
-        })
-        .unwrap();
+        let sel = select_range(&estimates, 1e4, &mut |w| Ok(1.0 - ((w.r_max - 7e4).abs() / 1e5)))
+            .unwrap();
         assert!((sel.window.r_max - 7e4).abs() < 1.0);
         assert_eq!(sel.candidates_tried, 3);
         assert_eq!(sel.window.r_min, 1e4);

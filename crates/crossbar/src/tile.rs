@@ -100,7 +100,10 @@ impl TiledMatrix {
     ///
     /// Returns [`CrossbarError::DimensionMismatch`] if `targets` is not
     /// `[rows, cols]`.
-    pub fn program_conductances(&mut self, targets: &Tensor) -> Result<ProgramStats, CrossbarError> {
+    pub fn program_conductances(
+        &mut self,
+        targets: &Tensor,
+    ) -> Result<ProgramStats, CrossbarError> {
         if targets.dims() != [self.rows, self.cols] {
             return Err(CrossbarError::DimensionMismatch {
                 what: "tiled conductance targets",
@@ -164,8 +167,8 @@ impl TiledMatrix {
         }
         let mut out = vec![0.0f64; self.cols];
         for tr in 0..self.tile_rows {
-            let band = &input[tr * self.tile_size..(tr * self.tile_size
-                + self.tiles[tr * self.tile_cols].rows())];
+            let band = &input[tr * self.tile_size
+                ..(tr * self.tile_size + self.tiles[tr * self.tile_cols].rows())];
             for tc in 0..self.tile_cols {
                 let tile = &self.tiles[tr * self.tile_cols + tc];
                 let partial = tile.vmm(band)?;
@@ -212,10 +215,12 @@ mod tests {
 
     #[test]
     fn validates_dimensions() {
-        assert!(TiledMatrix::new(0, 3, 2, DeviceSpec::default(), ArrheniusAging::default())
-            .is_err());
-        assert!(TiledMatrix::new(3, 3, 0, DeviceSpec::default(), ArrheniusAging::default())
-            .is_err());
+        assert!(
+            TiledMatrix::new(0, 3, 2, DeviceSpec::default(), ArrheniusAging::default()).is_err()
+        );
+        assert!(
+            TiledMatrix::new(3, 3, 0, DeviceSpec::default(), ArrheniusAging::default()).is_err()
+        );
     }
 
     #[test]

@@ -98,8 +98,7 @@ mod tests {
 
     #[test]
     fn estimates_reflect_per_device_history() {
-        let mut x =
-            Crossbar::new(3, 3, DeviceSpec::default(), ArrheniusAging::default()).unwrap();
+        let mut x = Crossbar::new(3, 3, DeviceSpec::default(), ArrheniusAging::default()).unwrap();
         // Age the center device only.
         for _ in 0..500 {
             x.device_mut(1, 1).pulse(1).unwrap();
@@ -113,8 +112,7 @@ mod tests {
 
     #[test]
     fn untraced_devices_are_invisible() {
-        let mut x =
-            Crossbar::new(3, 3, DeviceSpec::default(), ArrheniusAging::default()).unwrap();
+        let mut x = Crossbar::new(3, 3, DeviceSpec::default(), ArrheniusAging::default()).unwrap();
         // Heavily age a corner device (untraced).
         for _ in 0..2000 {
             if x.device_mut(0, 0).pulse(1).is_err() {
@@ -129,8 +127,7 @@ mod tests {
 
     #[test]
     fn upper_bound_range_spans_estimates() {
-        let mut x =
-            Crossbar::new(6, 3, DeviceSpec::default(), ArrheniusAging::default()).unwrap();
+        let mut x = Crossbar::new(6, 3, DeviceSpec::default(), ArrheniusAging::default()).unwrap();
         // Age the two block centers differently.
         for _ in 0..1500 {
             let _ = x.device_mut(1, 1).pulse(1);
@@ -149,8 +146,7 @@ mod tests {
 
     #[test]
     fn program_then_trace_smoke() {
-        let mut x =
-            Crossbar::new(5, 4, DeviceSpec::default(), ArrheniusAging::default()).unwrap();
+        let mut x = Crossbar::new(5, 4, DeviceSpec::default(), ArrheniusAging::default()).unwrap();
         x.program_conductances(&Tensor::full([5, 4], 5e-5)).unwrap();
         let est = trace_estimates(&x);
         assert_eq!(est.len(), traced_positions(5, 4).len());

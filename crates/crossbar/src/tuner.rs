@@ -17,6 +17,7 @@
 
 use memaging_dataset::Dataset;
 use memaging_nn::ParamKind;
+use memaging_obs::Recorder;
 use memaging_tensor::Tensor;
 
 use crate::error::CrossbarError;
@@ -73,6 +74,36 @@ pub struct TuneReport {
 ///
 /// Returns structural errors only (unmapped layers, shape mismatches).
 pub fn tune(
+    network: &mut CrossbarNetwork,
+    data: &Dataset,
+    config: &TuneConfig,
+) -> Result<TuneReport, CrossbarError> {
+    tune_with_recorder(network, data, config, &Recorder::disabled())
+}
+
+/// [`tune`] with observability: the session is wrapped in a `tune` span,
+/// and at exit the `tuner.iterations` / `tuner.pulses` counters and the
+/// `tuner.final_accuracy` gauge are recorded. With a disabled recorder this
+/// is identical to [`tune`].
+///
+/// # Errors
+///
+/// Same as [`tune`].
+pub fn tune_with_recorder(
+    network: &mut CrossbarNetwork,
+    data: &Dataset,
+    config: &TuneConfig,
+    recorder: &Recorder,
+) -> Result<TuneReport, CrossbarError> {
+    let _span = recorder.span("tune");
+    let report = tune_inner(network, data, config)?;
+    recorder.counter("tuner.iterations", report.iterations as u64);
+    recorder.counter("tuner.pulses", report.pulses);
+    recorder.gauge("tuner.final_accuracy", report.final_accuracy);
+    Ok(report)
+}
+
+fn tune_inner(
     network: &mut CrossbarNetwork,
     data: &Dataset,
     config: &TuneConfig,
@@ -210,11 +241,8 @@ mod tests {
     fn tuning_ages_devices() {
         let (mut cn, data) = mapped_setup(24);
         let stress_before: f64 = cn.arrays().iter().map(|a| a.total_stress()).sum();
-        let config = TuneConfig {
-            target_accuracy: 1.01,
-            max_iterations: 3,
-            ..TuneConfig::default()
-        };
+        let config =
+            TuneConfig { target_accuracy: 1.01, max_iterations: 3, ..TuneConfig::default() };
         tune(&mut cn, &data, &config).unwrap();
         let stress_after: f64 = cn.arrays().iter().map(|a| a.total_stress()).sum();
         assert!(stress_after > stress_before, "tuning pulses must add stress");

@@ -156,9 +156,8 @@ pub fn wear_leveling_assignment(
 pub fn wear_imbalance(array: &Crossbar) -> f64 {
     let rows = array.rows();
     let cols = array.cols();
-    let mut stresses: Vec<f64> = (0..rows)
-        .map(|r| (0..cols).map(|c| array.device(r, c).stress()).sum())
-        .collect();
+    let mut stresses: Vec<f64> =
+        (0..rows).map(|r| (0..cols).map(|c| array.device(r, c).stress()).sum()).collect();
     stresses.sort_by(|a, b| a.partial_cmp(b).expect("stress is finite"));
     let median = stresses[rows / 2];
     let max = stresses[rows - 1];
@@ -276,11 +275,8 @@ mod tests {
             array.device_mut(0, 0).pulse(-1).unwrap();
         }
         // Logical row 2 has the lowest-conductance (coldest) targets.
-        let targets = Tensor::from_vec(
-            vec![9e-5, 9e-5, 5e-5, 5e-5, 1.1e-5, 1.1e-5],
-            [3, 2],
-        )
-        .unwrap();
+        let targets =
+            Tensor::from_vec(vec![9e-5, 9e-5, 5e-5, 5e-5, 1.1e-5, 1.1e-5], [3, 2]).unwrap();
         let a = wear_leveling_assignment(&array, &targets).unwrap();
         assert_eq!(a.physical(2), 0, "coldest logical row must host the most-worn physical row");
     }
@@ -294,11 +290,9 @@ mod tests {
             array.device_mut(1, 0).pulse(-1).unwrap();
         }
         // Logical row 3 is the coldest.
-        let targets = Tensor::from_vec(
-            vec![9e-5, 9e-5, 8e-5, 8e-5, 5e-5, 5e-5, 1.1e-5, 1.1e-5],
-            [4, 2],
-        )
-        .unwrap();
+        let targets =
+            Tensor::from_vec(vec![9e-5, 9e-5, 8e-5, 8e-5, 5e-5, 5e-5, 1.1e-5, 1.1e-5], [4, 2])
+                .unwrap();
         let id = RowAssignment::identity(4);
         let next = incremental_swap(&array, &targets, &id).unwrap();
         assert_eq!(next.physical(3), 1, "coldest logical row hosts the hottest physical row");
@@ -313,8 +307,7 @@ mod tests {
 
     #[test]
     fn incremental_swap_single_row_is_identity() {
-        let array =
-            Crossbar::new(1, 2, DeviceSpec::default(), ArrheniusAging::default()).unwrap();
+        let array = Crossbar::new(1, 2, DeviceSpec::default(), ArrheniusAging::default()).unwrap();
         let id = RowAssignment::identity(1);
         let next = incremental_swap(&array, &Tensor::full([1, 2], 5e-5), &id).unwrap();
         assert_eq!(next, id);
@@ -322,8 +315,7 @@ mod tests {
 
     #[test]
     fn wear_leveling_on_fresh_array_is_stable() {
-        let array =
-            Crossbar::new(4, 2, DeviceSpec::default(), ArrheniusAging::default()).unwrap();
+        let array = Crossbar::new(4, 2, DeviceSpec::default(), ArrheniusAging::default()).unwrap();
         let targets = Tensor::full([4, 2], 5e-5);
         let a = wear_leveling_assignment(&array, &targets).unwrap();
         // All-equal wear and demand: any permutation is valid; check it IS one.

@@ -39,7 +39,11 @@ impl Dataset {
     ///
     /// Returns an error if the tensor is not rank 4, the counts disagree, or
     /// a label is `>= num_classes`.
-    pub fn new(images: Tensor, labels: Vec<usize>, num_classes: usize) -> Result<Self, DatasetError> {
+    pub fn new(
+        images: Tensor,
+        labels: Vec<usize>,
+        num_classes: usize,
+    ) -> Result<Self, DatasetError> {
         if images.rank() != 4 {
             return Err(DatasetError::BadImageRank { actual: images.rank() });
         }

@@ -337,12 +337,8 @@ mod tests {
             let mut best = 0;
             let mut best_d = f64::INFINITY;
             for (k, m) in means.iter().enumerate() {
-                let dist: f64 = img
-                    .as_slice()
-                    .iter()
-                    .zip(m)
-                    .map(|(&a, &b)| (a as f64 - b).powi(2))
-                    .sum();
+                let dist: f64 =
+                    img.as_slice().iter().zip(m).map(|(&a, &b)| (a as f64 - b).powi(2)).sum();
                 if dist < best_d {
                     best_d = dist;
                     best = k;

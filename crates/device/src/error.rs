@@ -53,11 +53,8 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = DeviceError::InvalidQuantity {
-            quantity: "resistance",
-            value: -1.0,
-            expected: "> 0",
-        };
+        let e =
+            DeviceError::InvalidQuantity { quantity: "resistance", value: -1.0, expected: "> 0" };
         assert!(e.to_string().contains("resistance"));
         assert!(DeviceError::ProgramOnDeadDevice.to_string().contains("worn-out"));
     }

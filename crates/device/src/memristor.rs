@@ -294,8 +294,7 @@ impl Memristor {
             // toward the target (the window may even recede under the
             // pulse's own stress — chasing it further would only burn the
             // device, so program-and-verify gives up here).
-            let progressed =
-                (target - self.effective_position()).abs() < distance.abs() - 1e-12;
+            let progressed = (target - self.effective_position()).abs() < distance.abs() - 1e-12;
             if !progressed {
                 break;
             }
@@ -303,11 +302,7 @@ impl Memristor {
                 break;
             }
         }
-        Ok(ProgramOutcome {
-            requested_level: requested,
-            achieved_level: self.level(),
-            pulses,
-        })
+        Ok(ProgramOutcome { requested_level: requested, achieved_level: self.level(), pulses })
     }
 
     /// Programs the device to the nearest level of a target resistance.
@@ -387,10 +382,7 @@ mod tests {
         m.nudge(1).unwrap();
         let r1 = m.resistance().value();
         let moved = (r1 - r0) / m.spec().level_width();
-        assert!(
-            (moved - m.spec().tuning_step_levels).abs() < 1e-9,
-            "nudge moved {moved} levels"
-        );
+        assert!((moved - m.spec().tuning_step_levels).abs() < 1e-9, "nudge moved {moved} levels");
         assert_eq!(m.pulse_count(), 1, "a nudge is a pulse");
         assert!(m.stress() > 0.0, "a nudge stresses the device");
     }
@@ -423,10 +415,7 @@ mod tests {
         }
         let d_low = low.stress() - s_low0;
         let d_high = high.stress() - s_high0;
-        assert!(
-            d_low > 3.0 * d_high,
-            "LRS cycling must stress more: {d_low} vs {d_high}"
-        );
+        assert!(d_low > 3.0 * d_high, "LRS cycling must stress more: {d_low} vs {d_high}");
     }
 
     #[test]

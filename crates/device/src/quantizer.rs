@@ -45,11 +45,7 @@ impl Quantizer {
     pub fn new(r_min: Ohms, r_max: Ohms, levels: usize) -> Result<Self, DeviceError> {
         if r_max.value() <= r_min.value() {
             return Err(DeviceError::InvalidSpec {
-                reason: format!(
-                    "quantizer window [{}, {}] is empty",
-                    r_min.value(),
-                    r_max.value()
-                ),
+                reason: format!("quantizer window [{}, {}] is empty", r_min.value(), r_max.value()),
             });
         }
         if levels < 2 {

@@ -92,7 +92,10 @@ impl DeviceSpec {
     pub fn validate(&self) -> Result<(), DeviceError> {
         if !(self.r_min.is_finite() && self.r_max.is_finite()) || self.r_min <= 0.0 {
             return Err(DeviceError::InvalidSpec {
-                reason: format!("resistance bounds ({}, {}) must be finite and > 0", self.r_min, self.r_max),
+                reason: format!(
+                    "resistance bounds ({}, {}) must be finite and > 0",
+                    self.r_min, self.r_max
+                ),
             });
         }
         if self.r_max <= self.r_min {
@@ -214,9 +217,11 @@ mod tests {
 
     #[test]
     fn literature_presets_are_valid_and_distinct() {
-        for (name, s) in
-            [("hfox", DeviceSpec::hfox()), ("taox", DeviceSpec::taox()), ("tiox", DeviceSpec::tiox())]
-        {
+        for (name, s) in [
+            ("hfox", DeviceSpec::hfox()),
+            ("taox", DeviceSpec::taox()),
+            ("tiox", DeviceSpec::tiox()),
+        ] {
             assert!(s.validate().is_ok(), "{name} preset must validate");
         }
         assert!(DeviceSpec::taox().r_max > DeviceSpec::hfox().r_max);

@@ -1,8 +1,6 @@
 //! Property-based tests for device-model invariants.
 
-use memaging_device::{
-    AgingModel, ArrheniusAging, DeviceSpec, Memristor, Ohms, Quantizer,
-};
+use memaging_device::{AgingModel, ArrheniusAging, DeviceSpec, Memristor, Ohms, Quantizer};
 use proptest::prelude::*;
 
 fn arb_spec() -> impl Strategy<Value = DeviceSpec> {

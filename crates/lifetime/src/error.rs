@@ -63,8 +63,7 @@ mod tests {
         let e = LifetimeError::InvalidConfig { reason: "x".into() };
         assert!(e.to_string().contains("invalid"));
         assert!(Error::source(&e).is_none());
-        let e: LifetimeError =
-            NnError::InvalidConfig { reason: "y".into() }.into();
+        let e: LifetimeError = NnError::InvalidConfig { reason: "y".into() }.into();
         assert!(Error::source(&e).is_some());
     }
 

@@ -50,6 +50,8 @@ mod strategy;
 mod telemetry;
 
 pub use error::LifetimeError;
-pub use simulator::{run_lifetime, LifetimeConfig, LifetimeResult, SessionRecord};
+pub use simulator::{
+    run_lifetime, run_lifetime_with_recorder, LifetimeConfig, LifetimeResult, SessionRecord,
+};
 pub use strategy::Strategy;
 pub use telemetry::{compare_lifetimes, conv_vs_fc_series, KindAgingPoint, LifetimeComparison};

@@ -8,10 +8,11 @@
 //! before a maintenance session fails to reach the target accuracy within
 //! the tuning budget (150 iterations in the paper).
 
-use memaging_crossbar::{tune, CrossbarNetwork, ProgramStats, TuneConfig};
+use memaging_crossbar::{tune_with_recorder, CrossbarNetwork, ProgramStats, TuneConfig};
 use memaging_dataset::Dataset;
 use memaging_device::{ArrheniusAging, DeviceSpec};
 use memaging_nn::Network;
+use memaging_obs::Recorder;
 use memaging_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -163,10 +164,7 @@ pub struct LifetimeResult {
 impl LifetimeResult {
     /// The tuning-iterations series for Fig. 10 (one point per session).
     pub fn tuning_iteration_series(&self) -> Vec<(u64, usize)> {
-        self.sessions
-            .iter()
-            .map(|s| (s.applications_before, s.tuning_iterations))
-            .collect()
+        self.sessions.iter().map(|s| (s.applications_before, s.tuning_iterations)).collect()
     }
 
     /// The per-layer mean `R_aged,max` series for Fig. 11: one `(apps,
@@ -207,6 +205,28 @@ pub fn run_lifetime(
     data: &Dataset,
     config: &LifetimeConfig,
 ) -> Result<LifetimeResult, LifetimeError> {
+    run_lifetime_with_recorder(network, spec, aging, data, config, &Recorder::disabled())
+}
+
+/// [`run_lifetime`] with observability. Each maintenance session is stamped
+/// with its index ([`Recorder::set_session`]) and traced as `map` (when the
+/// session maps), `evaluate` and `tune` spans; per session the recorder
+/// receives the `aging.r_max_ohms{layer}` gauges, wear counters, and a
+/// session-summary event carrying `tuner.iterations`, `tuner.pulses` and
+/// the session accuracies. With a disabled recorder this is identical to
+/// [`run_lifetime`].
+///
+/// # Errors
+///
+/// Same as [`run_lifetime`].
+pub fn run_lifetime_with_recorder(
+    network: Network,
+    spec: DeviceSpec,
+    aging: ArrheniusAging,
+    data: &Dataset,
+    config: &LifetimeConfig,
+    recorder: &Recorder,
+) -> Result<LifetimeResult, LifetimeError> {
     config.validate()?;
     let trained: Vec<Tensor> = network.weight_matrices();
     let mut hw = CrossbarNetwork::new(network, spec, aging)?;
@@ -221,31 +241,44 @@ pub fn run_lifetime(
         batch_size: config.batch_size,
         ..TuneConfig::default()
     };
-    let patience = ((config.max_tuning_iterations as f64) * config.remap_trigger)
-        .ceil()
-        .max(1.0) as usize;
+    let patience =
+        ((config.max_tuning_iterations as f64) * config.remap_trigger).ceil().max(1.0) as usize;
     let patience_config = TuneConfig { max_iterations: patience, ..tune_config };
     for session in 0..config.max_sessions {
+        recorder.set_session(Some(session as u64));
         let mut map_stats = ProgramStats::default();
         let mut remapped = false;
         let pre_tune_accuracy;
         if session == 0 {
             // Deployment: initial mapping.
             hw.restore_software_weights(&trained)?;
-            let report =
-                hw.map_weights(config.strategy.mapping(), Some((data, config.batch_size)))?;
+            let report = hw.map_weights_with_recorder(
+                config.strategy.mapping(),
+                Some((data, config.batch_size)),
+                recorder,
+            )?;
             map_stats.merge(report.stats);
             last_windows = report.windows.clone();
             remapped = true;
-            pre_tune_accuracy = report.post_map_accuracy.unwrap_or(0.0);
+            pre_tune_accuracy = if recorder.is_enabled() {
+                // Evaluation is pure, so this re-measures post_map_accuracy
+                // exactly — it exists to give session 0 an `evaluate` span
+                // like every later session.
+                let _span = recorder.span("evaluate");
+                hw.evaluate(data, config.batch_size)?
+            } else {
+                report.post_map_accuracy.unwrap_or(0.0)
+            };
         } else {
             // Serve applications: recoverable conductance drift.
             hw.apply_conductance_drift(config.drift_probability, config.drift_sigma, &mut rng);
             applications += config.applications_per_session;
+            let span = recorder.span("evaluate");
             pre_tune_accuracy = hw.evaluate(data, config.batch_size)?;
+            drop(span);
         }
         // Maintenance: online tuning (paper eq. 5) with limited patience.
-        let mut tune_report = tune(&mut hw, data, &patience_config)?;
+        let mut tune_report = tune_with_recorder(&mut hw, data, &patience_config, recorder)?;
         let mut iterations = tune_report.iterations;
         let mut pulses = tune_report.pulses;
         if !tune_report.converged {
@@ -254,16 +287,20 @@ pub fn run_lifetime(
             // for T+T/ST+T, aged ranges for ST+AT) and spend the remaining
             // budget tuning the re-mapped state.
             hw.restore_software_weights(&trained)?;
-            let report =
-                hw.map_weights(config.strategy.mapping(), Some((data, config.batch_size)))?;
+            let report = hw.map_weights_with_recorder(
+                config.strategy.mapping(),
+                Some((data, config.batch_size)),
+                recorder,
+            )?;
             map_stats.merge(report.stats);
             last_windows = report.windows.clone();
             remapped = true;
+            recorder.counter("lifetime.remaps", 1);
             let remaining = TuneConfig {
                 max_iterations: config.max_tuning_iterations.saturating_sub(patience).max(1),
                 ..tune_config
             };
-            tune_report = tune(&mut hw, data, &remaining)?;
+            tune_report = tune_with_recorder(&mut hw, data, &remaining, recorder)?;
             iterations += tune_report.iterations;
             pulses += tune_report.pulses;
         }
@@ -283,9 +320,29 @@ pub fn run_lifetime(
         };
         // Programming Joule heat spreads through the array substrate.
         hw.equilibrate_thermal();
+        if recorder.is_enabled() {
+            recorder.counter("lifetime.sessions", 1);
+            for (layer, r_max) in record.per_layer_mean_r_max.iter().enumerate() {
+                recorder.gauge_labeled("aging.r_max_ohms", "layer", layer, *r_max);
+            }
+            recorder.gauge("lifetime.worn_out_devices", record.worn_out_devices as f64);
+            recorder.session_summary(
+                session as u64,
+                &[
+                    ("tuner.iterations", record.tuning_iterations as f64),
+                    ("tuner.pulses", record.tuning_pulses as f64),
+                    ("pre_tune_accuracy", record.pre_tune_accuracy),
+                    ("accuracy", record.accuracy),
+                    ("remapped", if record.remapped { 1.0 } else { 0.0 }),
+                    ("converged", if record.converged { 1.0 } else { 0.0 }),
+                    ("worn_out_devices", record.worn_out_devices as f64),
+                ],
+            );
+        }
         let converged = record.converged;
         sessions.push(record);
         if !converged {
+            recorder.set_session(None);
             return Ok(LifetimeResult {
                 strategy: config.strategy,
                 sessions,
@@ -294,6 +351,7 @@ pub fn run_lifetime(
             });
         }
     }
+    recorder.set_session(None);
     applications += config.applications_per_session;
     Ok(LifetimeResult {
         strategy: config.strategy,
@@ -428,8 +486,7 @@ mod tests {
             drift_probability: 0.5,
             ..LifetimeConfig::default()
         };
-        let result =
-            run_lifetime(net, DeviceSpec::default(), aging, &data, &config).unwrap();
+        let result = run_lifetime(net, DeviceSpec::default(), aging, &data, &config).unwrap();
         assert!(result.failed, "accelerated aging must kill the crossbar: {result:?}");
         assert!(!result.sessions.last().unwrap().converged);
         assert!(result.sessions.len() < 40);

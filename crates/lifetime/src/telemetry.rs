@@ -74,10 +74,7 @@ pub fn compare_lifetimes(results: &[LifetimeResult]) -> LifetimeComparison {
     let baseline = results[0].lifetime_applications.max(1) as f64;
     let entries: Vec<(Strategy, u64)> =
         results.iter().map(|r| (r.strategy, r.lifetime_applications)).collect();
-    let ratios = results
-        .iter()
-        .map(|r| r.lifetime_applications as f64 / baseline)
-        .collect();
+    let ratios = results.iter().map(|r| r.lifetime_applications as f64 / baseline).collect();
     LifetimeComparison { entries, ratios }
 }
 
@@ -111,11 +108,7 @@ mod tests {
 
     #[test]
     fn conv_fc_split_averages_correct_layers() {
-        let kinds = [
-            LayerKind::Convolution,
-            LayerKind::Convolution,
-            LayerKind::FullyConnected,
-        ];
+        let kinds = [LayerKind::Convolution, LayerKind::Convolution, LayerKind::FullyConnected];
         let r = result(Strategy::TT, 100, vec![vec![90e3, 80e3, 99e3], vec![70e3, 60e3, 98e3]]);
         let series = conv_vs_fc_series(&r, &kinds);
         assert_eq!(series.len(), 2);
@@ -131,6 +124,41 @@ mod tests {
         let series = conv_vs_fc_series(&r, &kinds);
         assert_eq!(series[0].conv_mean_r_max, 0.0);
         assert!((series[0].fc_mean_r_max - 99e3).abs() < 1.0);
+    }
+
+    #[test]
+    fn conv_only_network_reports_zero_fc_mean() {
+        let kinds = [LayerKind::Convolution, LayerKind::Convolution];
+        let r = result(Strategy::StAt, 50, vec![vec![40e3, 60e3], vec![30e3, 50e3]]);
+        let series = conv_vs_fc_series(&r, &kinds);
+        assert_eq!(series.len(), 2);
+        assert!((series[0].conv_mean_r_max - 50e3).abs() < 1.0);
+        assert_eq!(series[0].fc_mean_r_max, 0.0);
+        assert!((series[1].conv_mean_r_max - 40e3).abs() < 1.0);
+        assert_eq!(series[1].fc_mean_r_max, 0.0);
+        assert!(series.iter().all(|p| p.fc_mean_r_max.is_finite()));
+    }
+
+    #[test]
+    fn empty_kind_list_yields_zero_means_per_checkpoint() {
+        let kinds: [LayerKind; 0] = [];
+        let r = result(Strategy::StT, 20, vec![vec![90e3], vec![80e3]]);
+        let series = conv_vs_fc_series(&r, &kinds);
+        // One point per session, with both group means collapsing to 0.0
+        // (never NaN) because neither group has any member layers.
+        assert_eq!(series.len(), 2);
+        for (i, point) in series.iter().enumerate() {
+            assert_eq!(point.applications, i as u64 * 100);
+            assert_eq!(point.conv_mean_r_max, 0.0);
+            assert_eq!(point.fc_mean_r_max, 0.0);
+        }
+    }
+
+    #[test]
+    fn no_sessions_yields_empty_series() {
+        let kinds = [LayerKind::Convolution, LayerKind::FullyConnected];
+        let r = result(Strategy::TT, 0, vec![]);
+        assert!(conv_vs_fc_series(&r, &kinds).is_empty());
     }
 
     #[test]

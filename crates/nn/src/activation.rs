@@ -175,10 +175,7 @@ mod tests {
                 let yp = l.forward(&xp, Mode::Eval).unwrap().sum();
                 let ym = l.forward(&xm, Mode::Eval).unwrap().sum();
                 let numeric = (yp - ym) / (2.0 * eps);
-                assert!(
-                    (numeric - dx.as_slice()[i]).abs() < 1e-2,
-                    "{func:?} grad mismatch at {i}"
-                );
+                assert!((numeric - dx.as_slice()[i]).abs() < 1e-2, "{func:?} grad mismatch at {i}");
             }
         }
     }

@@ -147,10 +147,8 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let cols_cache = self
-            .cached_cols
-            .as_ref()
-            .ok_or(NnError::BackwardBeforeForward { layer: "conv2d" })?;
+        let cols_cache =
+            self.cached_cols.as_ref().ok_or(NnError::BackwardBeforeForward { layer: "conv2d" })?;
         let g = self.geometry;
         let npatch = g.num_patches();
         let out_feat = self.out_channels * npatch;

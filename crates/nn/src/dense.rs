@@ -47,7 +47,12 @@ impl Dense {
     pub fn new<R: Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
         assert!(in_features > 0 && out_features > 0, "dense dims must be nonzero");
         Dense {
-            weights: init::xavier_uniform([in_features, out_features], in_features, out_features, rng),
+            weights: init::xavier_uniform(
+                [in_features, out_features],
+                in_features,
+                out_features,
+                rng,
+            ),
             bias: Tensor::zeros([out_features]),
             grad_weights: Tensor::zeros([in_features, out_features]),
             grad_bias: Tensor::zeros([out_features]),
@@ -123,10 +128,8 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let input = self
-            .cached_input
-            .as_ref()
-            .ok_or(NnError::BackwardBeforeForward { layer: "dense" })?;
+        let input =
+            self.cached_input.as_ref().ok_or(NnError::BackwardBeforeForward { layer: "dense" })?;
         // dW += x^T · dy ; db += column sums of dy ; dx = dy · W^T
         let dw = ops::matmul_transpose_a(input, grad_out)?;
         self.grad_weights.axpy(1.0, &dw)?;
@@ -198,10 +201,7 @@ mod tests {
     fn backward_before_forward_errors() {
         let mut layer = Dense::new(3, 2, &mut rng());
         let g = Tensor::ones([1, 2]);
-        assert!(matches!(
-            layer.backward(&g),
-            Err(NnError::BackwardBeforeForward { .. })
-        ));
+        assert!(matches!(layer.backward(&g), Err(NnError::BackwardBeforeForward { .. })));
     }
 
     #[test]

@@ -76,10 +76,8 @@ impl Layer for Dropout {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let mask = self
-            .cached_mask
-            .as_ref()
-            .ok_or(NnError::BackwardBeforeForward { layer: "dropout" })?;
+        let mask =
+            self.cached_mask.as_ref().ok_or(NnError::BackwardBeforeForward { layer: "dropout" })?;
         Ok(grad_out.mul(mask)?)
     }
 

@@ -78,8 +78,8 @@ pub use layer::{Layer, LayerKind, Mode, ParamKind};
 pub use network::Network;
 pub use optimizer::Sgd;
 pub use pool::{Pool2d, PoolKind};
-pub use schedule::LrSchedule;
 pub use regularizer::{
     applies_to, NoRegularizer, PerLayer, Regularizer, SkewedL2, WeightPenalty, L2,
 };
-pub use trainer::{evaluate, train, EpochStats, TrainConfig, TrainReport};
+pub use schedule::LrSchedule;
+pub use trainer::{evaluate, train, train_with_recorder, EpochStats, TrainConfig, TrainReport};

@@ -156,16 +156,12 @@ mod tests {
             softmax_cross_entropy(&logits, &[3]),
             Err(NnError::LabelOutOfRange { .. })
         ));
-        assert!(matches!(
-            softmax_cross_entropy(&logits, &[0, 1]),
-            Err(NnError::BadInput { .. })
-        ));
+        assert!(matches!(softmax_cross_entropy(&logits, &[0, 1]), Err(NnError::BadInput { .. })));
     }
 
     #[test]
     fn accuracy_counts_matches() {
-        let logits =
-            Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], [3, 2]).unwrap();
+        let logits = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], [3, 2]).unwrap();
         let acc = accuracy(&logits, &[0, 1, 1]).unwrap();
         assert!((acc - 2.0 / 3.0).abs() < 1e-9);
     }

@@ -112,8 +112,7 @@ pub fn lenet5_scaled<R: Rng + ?Sized>(
 }
 
 /// VGG-16 channel plan: 13 convolutions in 5 blocks.
-const VGG16_PLAN: [(usize, usize); 5] =
-    [(2, 64), (2, 128), (3, 256), (3, 512), (3, 512)];
+const VGG16_PLAN: [(usize, usize); 5] = [(2, 64), (2, 128), (3, 256), (3, 512), (3, 512)];
 
 /// Builds the full VGG-16 (13 conv + 3 FC) for `channels × 32 × 32` inputs,
 /// as the paper applies it to Cifar100. This is a large network intended for
@@ -266,10 +265,7 @@ mod tests {
         let mut net = vgg16_scaled(1, 100, &mut rng()).unwrap();
         let kinds = net.mappable_kinds();
         assert_eq!(kinds.len(), 16);
-        assert_eq!(
-            kinds.iter().filter(|k| **k == LayerKind::Convolution).count(),
-            13
-        );
+        assert_eq!(kinds.iter().filter(|k| **k == LayerKind::Convolution).count(), 13);
         let y = net.forward(&Tensor::zeros([1, 256]), Mode::Eval).unwrap();
         assert_eq!(y.dims(), &[1, 100]);
     }

@@ -53,7 +53,9 @@ impl Network {
     /// consecutive feature counts.
     pub fn new(layers: Vec<Box<dyn Layer>>) -> Result<Self, NnError> {
         if layers.is_empty() {
-            return Err(NnError::InvalidConfig { reason: "network needs at least one layer".into() });
+            return Err(NnError::InvalidConfig {
+                reason: "network needs at least one layer".into(),
+            });
         }
         for pair in layers.windows(2) {
             let (a, b) = (&pair[0], &pair[1]);
@@ -206,11 +208,7 @@ impl Network {
     /// The [`LayerKind`] of each mappable layer, in network order — used to
     /// separate conv from FC aging in the lifetime study.
     pub fn mappable_kinds(&self) -> Vec<LayerKind> {
-        self.layers
-            .iter()
-            .filter(|l| l.weight_matrix().is_some())
-            .map(|l| l.kind())
-            .collect()
+        self.layers.iter().filter(|l| l.weight_matrix().is_some()).map(|l| l.kind()).collect()
     }
 
     /// Overwrites the mappable weight matrices (e.g. with hardware-read
@@ -231,9 +229,8 @@ impl Network {
             });
         }
         for (idx, w) in mappable.into_iter().zip(weights) {
-            let target = self.layers[idx]
-                .weight_matrix_mut()
-                .expect("mappable layer has weight matrix");
+            let target =
+                self.layers[idx].weight_matrix_mut().expect("mappable layer has weight matrix");
             if target.shape() != w.shape() {
                 return Err(NnError::InvalidConfig {
                     reason: format!(

@@ -203,8 +203,7 @@ impl Layer for Pool2d {
                     for c in 0..self.channels {
                         for oy in 0..oh {
                             for ox in 0..ow {
-                                let share =
-                                    g[s * out_feat + (c * oh + oy) * ow + ox] * inv_area;
+                                let share = g[s * out_feat + (c * oh + oy) * ow + ox] * inv_area;
                                 for dy in 0..w {
                                     for dx in 0..w {
                                         let y = oy * w + dy;

@@ -262,7 +262,8 @@ mod tests {
         assert!((r.grad(0, 2.0) - 0.4).abs() < 1e-6);
         // Numeric check: d/dw (λw²) at w=1.5
         let eps = 1e-3;
-        let numeric = ((r.penalty(0, 1.5 + eps) - r.penalty(0, 1.5 - eps)) / (2.0 * eps as f64)) as f32;
+        let numeric =
+            ((r.penalty(0, 1.5 + eps) - r.penalty(0, 1.5 - eps)) / (2.0 * eps as f64)) as f32;
         assert!((numeric - r.grad(0, 1.5)).abs() < 1e-3);
     }
 
@@ -289,10 +290,7 @@ mod tests {
         for w in [-0.5f32, -0.1, 0.05, 0.3, 0.8] {
             let numeric =
                 ((r.penalty(0, w + eps) - r.penalty(0, w - eps)) / (2.0 * eps as f64)) as f32;
-            assert!(
-                (numeric - r.grad(0, w)).abs() < 1e-3,
-                "skewed grad mismatch at w={w}"
-            );
+            assert!((numeric - r.grad(0, w)).abs() < 1e-3, "skewed grad mismatch at w={w}");
         }
     }
 
@@ -331,10 +329,7 @@ mod tests {
 
     #[test]
     fn per_layer_dispatches_by_index() {
-        let reg = PerLayer::new(vec![
-            WeightPenalty::None,
-            WeightPenalty::L2(L2::new(1.0)),
-        ]);
+        let reg = PerLayer::new(vec![WeightPenalty::None, WeightPenalty::L2(L2::new(1.0))]);
         assert_eq!(reg.grad(0, 2.0), 0.0);
         assert!((reg.grad(1, 2.0) - 4.0).abs() < 1e-6);
         // Deeper layers reuse the last entry.

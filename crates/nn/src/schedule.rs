@@ -2,9 +2,10 @@
 
 /// A learning-rate schedule: maps the (0-based) epoch to a multiplier of
 /// the base learning rate.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub enum LrSchedule {
     /// Constant rate (multiplier 1 everywhere).
+    #[default]
     Constant,
     /// Multiply by `gamma` every `every` epochs: `gamma^(epoch / every)`.
     Step {
@@ -48,12 +49,6 @@ impl LrSchedule {
     /// The absolute rate at `epoch` for a `base` learning rate.
     pub fn rate(&self, base: f32, epoch: usize) -> f32 {
         base * self.multiplier(epoch)
-    }
-}
-
-impl Default for LrSchedule {
-    fn default() -> Self {
-        LrSchedule::Constant
     }
 }
 

@@ -1,6 +1,7 @@
 //! Mini-batch training loop with accuracy tracking.
 
 use memaging_dataset::Dataset;
+use memaging_obs::Recorder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -100,10 +101,27 @@ pub fn train<R: Regularizer + ?Sized>(
     config: &TrainConfig,
     regularizer: &R,
 ) -> Result<TrainReport, NnError> {
+    train_with_recorder(network, data, config, regularizer, &Recorder::disabled())
+}
+
+/// [`train`] with observability: the run is wrapped in a `train` span, and
+/// each epoch records `train.epochs`, `train.epoch_loss` and
+/// `train.accuracy` on `recorder`. With a disabled recorder this is
+/// identical to [`train`].
+///
+/// # Errors
+///
+/// Same as [`train`].
+pub fn train_with_recorder<R: Regularizer + ?Sized>(
+    network: &mut Network,
+    data: &Dataset,
+    config: &TrainConfig,
+    regularizer: &R,
+    recorder: &Recorder,
+) -> Result<TrainReport, NnError> {
+    let _span = recorder.span("train");
     if config.epochs == 0 || config.batch_size == 0 {
-        return Err(NnError::InvalidConfig {
-            reason: "epochs and batch_size must be > 0".into(),
-        });
+        return Err(NnError::InvalidConfig { reason: "epochs and batch_size must be > 0".into() });
     }
     let mut optimizer = Sgd::new(config.learning_rate, config.momentum)?;
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -126,7 +144,11 @@ pub fn train<R: Regularizer + ?Sized>(
             return Err(NnError::Diverged { epoch });
         }
         let accuracy = evaluate(network, data, config.batch_size)?;
-        history.push(EpochStats { epoch, loss: loss_sum / batches.max(1) as f64, accuracy });
+        let loss = loss_sum / batches.max(1) as f64;
+        recorder.counter("train.epochs", 1);
+        recorder.observe("train.epoch_loss", loss);
+        recorder.gauge("train.accuracy", accuracy);
+        history.push(EpochStats { epoch, loss, accuracy });
         if accuracy >= config.target_accuracy {
             break;
         }

@@ -1,0 +1,228 @@
+//! The event vocabulary shared by every sink, with hand-rolled JSON
+//! serialization (the crate is dependency-free by design).
+
+use std::fmt::Write as _;
+
+/// One observability event, as delivered to [`crate::Sink`]s.
+///
+/// Times are microseconds relative to the recorder's creation instant, so a
+/// trace is self-contained and replayable without wall-clock context.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A closed scoped timer (emitted when the [`crate::SpanGuard`] drops).
+    Span {
+        /// Phase name, e.g. `train`, `map`, `tune`, `evaluate`.
+        name: String,
+        /// Lifetime session index the span ran under, if any.
+        session: Option<u64>,
+        /// Start offset from recorder creation, microseconds.
+        start_us: u64,
+        /// Wall-clock duration, microseconds.
+        duration_us: u64,
+    },
+    /// A counter increment.
+    Counter {
+        /// Metric name, e.g. `tuner.pulses`.
+        name: String,
+        /// Session index the increment happened under, if any.
+        session: Option<u64>,
+        /// Amount added by this increment.
+        delta: u64,
+        /// Cumulative value after the increment.
+        total: u64,
+    },
+    /// A gauge update (last-value-wins metric).
+    Gauge {
+        /// Metric name, possibly labeled, e.g. `aging.r_max_ohms{layer=0}`.
+        name: String,
+        /// Session index the update happened under, if any.
+        session: Option<u64>,
+        /// The new value.
+        value: f64,
+    },
+    /// A single histogram observation.
+    Observation {
+        /// Histogram name, e.g. `train.epoch_loss`.
+        name: String,
+        /// Session index the observation happened under, if any.
+        session: Option<u64>,
+        /// The observed value.
+        value: f64,
+    },
+    /// A per-lifetime-session summary of the pipeline's key metrics.
+    Session {
+        /// Session index.
+        index: u64,
+        /// Named metric values for this session (name → value).
+        metrics: Vec<(String, f64)>,
+    },
+    /// A human-readable progress line (printed verbatim by
+    /// [`crate::PrettySink`]).
+    Message {
+        /// The text, without a trailing newline.
+        text: String,
+    },
+}
+
+impl Event {
+    /// The event's metric/span name, if it has one.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            Event::Span { name, .. }
+            | Event::Counter { name, .. }
+            | Event::Gauge { name, .. }
+            | Event::Observation { name, .. } => Some(name),
+            Event::Session { .. } | Event::Message { .. } => None,
+        }
+    }
+
+    /// Serializes the event as a single-line JSON object (no trailing
+    /// newline) — the record format of [`crate::JsonlSink`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        match self {
+            Event::Span { name, session, start_us, duration_us } => {
+                out.push_str("{\"type\":\"span\",\"name\":");
+                push_json_str(&mut out, name);
+                push_session(&mut out, *session);
+                let _ = write!(out, ",\"start_us\":{start_us},\"duration_us\":{duration_us}}}");
+            }
+            Event::Counter { name, session, delta, total } => {
+                out.push_str("{\"type\":\"counter\",\"name\":");
+                push_json_str(&mut out, name);
+                push_session(&mut out, *session);
+                let _ = write!(out, ",\"delta\":{delta},\"total\":{total}}}");
+            }
+            Event::Gauge { name, session, value } => {
+                out.push_str("{\"type\":\"gauge\",\"name\":");
+                push_json_str(&mut out, name);
+                push_session(&mut out, *session);
+                out.push_str(",\"value\":");
+                push_json_f64(&mut out, *value);
+                out.push('}');
+            }
+            Event::Observation { name, session, value } => {
+                out.push_str("{\"type\":\"histogram\",\"name\":");
+                push_json_str(&mut out, name);
+                push_session(&mut out, *session);
+                out.push_str(",\"value\":");
+                push_json_f64(&mut out, *value);
+                out.push('}');
+            }
+            Event::Session { index, metrics } => {
+                let _ = write!(out, "{{\"type\":\"session\",\"index\":{index},\"metrics\":{{");
+                for (i, (name, value)) in metrics.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_json_str(&mut out, name);
+                    out.push(':');
+                    push_json_f64(&mut out, *value);
+                }
+                out.push_str("}}");
+            }
+            Event::Message { text } => {
+                out.push_str("{\"type\":\"message\",\"text\":");
+                push_json_str(&mut out, text);
+                out.push('}');
+            }
+        }
+        out
+    }
+}
+
+fn push_session(out: &mut String, session: Option<u64>) {
+    if let Some(s) = session {
+        let _ = write!(out, ",\"session\":{s}");
+    }
+}
+
+/// Appends `value` as a JSON string literal, escaping as per RFC 8259.
+fn push_json_str(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a finite float as a JSON number; non-finite values become `null`
+/// (JSON has no NaN/Inf).
+fn push_json_f64(out: &mut String, value: f64) {
+    if value.is_finite() {
+        if value == value.trunc() && value.abs() < 1e15 {
+            // Keep integral values compact and round-trippable.
+            let _ = write!(out, "{:.1}", value);
+        } else {
+            let _ = write!(out, "{}", value);
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_serializes_with_session() {
+        let event =
+            Event::Span { name: "tune".into(), session: Some(3), start_us: 10, duration_us: 250 };
+        assert_eq!(
+            event.to_json(),
+            r#"{"type":"span","name":"tune","session":3,"start_us":10,"duration_us":250}"#
+        );
+    }
+
+    #[test]
+    fn span_omits_missing_session() {
+        let event =
+            Event::Span { name: "train".into(), session: None, start_us: 0, duration_us: 1 };
+        assert!(!event.to_json().contains("session"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let event = Event::Message { text: "a \"quoted\"\nline\t\\".into() };
+        assert_eq!(event.to_json(), r#"{"type":"message","text":"a \"quoted\"\nline\t\\"}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let event = Event::Gauge { name: "g".into(), session: None, value: f64::NAN };
+        assert!(event.to_json().ends_with("\"value\":null}"));
+    }
+
+    #[test]
+    fn session_event_serializes_metrics_map() {
+        let event = Event::Session {
+            index: 2,
+            metrics: vec![("tuner.iterations".into(), 12.0), ("accuracy".into(), 0.91)],
+        };
+        assert_eq!(
+            event.to_json(),
+            r#"{"type":"session","index":2,"metrics":{"tuner.iterations":12.0,"accuracy":0.91}}"#
+        );
+    }
+
+    #[test]
+    fn counter_carries_delta_and_total() {
+        let event =
+            Event::Counter { name: "tuner.pulses".into(), session: Some(0), delta: 7, total: 19 };
+        assert_eq!(
+            event.to_json(),
+            r#"{"type":"counter","name":"tuner.pulses","session":0,"delta":7,"total":19}"#
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! # memaging-obs
+//!
+//! Structured tracing, metrics and profiling for the memaging lifetime
+//! pipeline. Dependency-free: events are hand-serialized to JSON, timing
+//! uses `std::time`, and everything threads through one cheap-to-clone
+//! handle, the [`Recorder`].
+//!
+//! ## Model
+//!
+//! * A [`Recorder`] is either **disabled** (the default — every call is a
+//!   branch on a `None` and returns without allocating) or **enabled**,
+//!   holding an `Arc` of shared state: a metrics [`Registry`] and a list of
+//!   [`Sink`]s.
+//! * Instrumented code emits three kinds of signal:
+//!   - **metrics** — named [counters](Recorder::counter),
+//!     [gauges](Recorder::gauge) and fixed-bucket
+//!     [histograms](Recorder::observe), aggregated in the registry and also
+//!     forwarded to sinks as [`Event`]s;
+//!   - **spans** — RAII scoped timers ([`Recorder::span`]) profiling the
+//!     pipeline phases `train` → `map` → `tune` → `evaluate`;
+//!   - **messages** — human-readable progress lines
+//!     ([`Recorder::message`]), which the [`PrettySink`] prints verbatim so
+//!     CLI output stays byte-compatible with the old `println!` reporting.
+//! * Sinks receive every event: [`JsonlSink`] writes one JSON object per
+//!   line (the `--trace` format), [`PrettySink`] renders for humans, and
+//!   [`MemorySink`] buffers events for test assertions.
+//!
+//! ## Example
+//!
+//! ```
+//! use memaging_obs::{MemorySink, Recorder};
+//!
+//! let (sink, handle) = MemorySink::new();
+//! let recorder = Recorder::new(vec![Box::new(sink)]);
+//! {
+//!     let _span = recorder.span("tune");
+//!     recorder.counter("tuner.iterations", 12);
+//! }
+//! let events = handle.events();
+//! assert_eq!(events.len(), 2); // counter + closed span
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod event;
+mod metrics;
+mod recorder;
+mod sink;
+
+pub use event::Event;
+pub use metrics::{HistogramSnapshot, MetricsSnapshot, Registry};
+pub use recorder::{Recorder, SpanGuard};
+pub use sink::{JsonlSink, MemoryHandle, MemorySink, PrettySink, Sink};

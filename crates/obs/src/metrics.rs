@@ -1,0 +1,283 @@
+//! The metrics registry: named counters, gauges and fixed-bucket
+//! histograms, aggregated for end-of-run reporting (`--metrics`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Default histogram bucket upper bounds: a 1-2-5 decade ladder wide enough
+/// for losses (~1e-3..10) and iteration/pulse counts (~1..1e6).
+const DEFAULT_BOUNDS: [f64; 19] = [
+    0.001,
+    0.002,
+    0.005,
+    0.01,
+    0.02,
+    0.05,
+    0.1,
+    0.2,
+    0.5,
+    1.0,
+    2.0,
+    5.0,
+    10.0,
+    100.0,
+    1_000.0,
+    10_000.0,
+    100_000.0,
+    1_000_000.0,
+    10_000_000.0,
+];
+
+/// A fixed-bucket histogram (cumulative-style buckets, Prometheus-like).
+#[derive(Debug, Clone, PartialEq)]
+struct Histogram {
+    /// Upper bounds, ascending; an implicit `+inf` bucket follows.
+    bounds: Vec<f64>,
+    /// One count per bound plus the overflow bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    fn with_bounds(bounds: &[f64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let bucket = self.bounds.iter().position(|&b| value <= b).unwrap_or(self.bounds.len());
+        self.counts[bucket] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+}
+
+/// Aggregated state of one histogram at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds (ascending; overflow bucket is implicit).
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts, one per bound plus the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation (`+inf` when empty).
+    pub min: f64,
+    /// Largest observation (`-inf` when empty).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the observations, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}
+
+/// The named-metric store behind an enabled recorder.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// Adds `delta` to the named counter and returns the new total.
+    pub fn add(&mut self, name: &str, delta: u64) -> u64 {
+        let cell = match self.counters.get_mut(name) {
+            Some(cell) => cell,
+            None => self.counters.entry(name.to_string()).or_insert(0),
+        };
+        *cell += delta;
+        *cell
+    }
+
+    /// Sets the named gauge.
+    pub fn set(&mut self, name: &str, value: f64) {
+        match self.gauges.get_mut(name) {
+            Some(cell) => *cell = value,
+            None => {
+                self.gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    /// Records one observation into the named histogram, creating it with
+    /// the default 1-2-5 decade buckets on first use.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        match self.histograms.get_mut(name) {
+            Some(histogram) => histogram.observe(value),
+            None => {
+                let mut histogram = Histogram::with_bounds(&DEFAULT_BOUNDS);
+                histogram.observe(value);
+                self.histograms.insert(name.to_string(), histogram);
+            }
+        }
+    }
+
+    /// Declares the named histogram with explicit bucket bounds (a no-op if
+    /// it already exists — the first declaration wins).
+    pub fn declare_histogram(&mut self, name: &str, bounds: &[f64]) {
+        if !self.histograms.contains_key(name) {
+            self.histograms.insert(name.to_string(), Histogram::with_bounds(bounds));
+        }
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge, if set.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// An immutable copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: self.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        HistogramSnapshot {
+                            bounds: h.bounds.clone(),
+                            counts: h.counts.clone(),
+                            count: h.count,
+                            sum: h.sum,
+                            min: h.min,
+                            max: h.max,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of the registry, ready for display.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, total)` pairs, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` pairs, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, snapshot)` pairs, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// True when no metric was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "metrics:")?;
+        for (name, total) in &self.counters {
+            writeln!(f, "  counter    {name:<40} {total}")?;
+        }
+        for (name, value) in &self.gauges {
+            writeln!(f, "  gauge      {name:<40} {value:.6}")?;
+        }
+        for (name, histogram) in &self.histograms {
+            let mean = histogram.mean().unwrap_or(f64::NAN);
+            writeln!(
+                f,
+                "  histogram  {name:<40} n={} mean={:.4} min={:.4} max={:.4}",
+                histogram.count, mean, histogram.min, histogram.max
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut registry = Registry::default();
+        assert_eq!(registry.add("tuner.pulses", 5), 5);
+        assert_eq!(registry.add("tuner.pulses", 7), 12);
+        assert_eq!(registry.counter_value("tuner.pulses"), 12);
+        assert_eq!(registry.counter_value("absent"), 0);
+    }
+
+    #[test]
+    fn gauges_keep_last_value() {
+        let mut registry = Registry::default();
+        registry.set("aging.r_max_ohms{layer=0}", 10_000.0);
+        registry.set("aging.r_max_ohms{layer=0}", 9_500.0);
+        assert_eq!(registry.gauge_value("aging.r_max_ohms{layer=0}"), Some(9_500.0));
+        assert_eq!(registry.gauge_value("absent"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut registry = Registry::default();
+        registry.declare_histogram("loss", &[0.1, 1.0, 10.0]);
+        for v in [0.05, 0.5, 0.5, 5.0, 50.0] {
+            registry.observe("loss", v);
+        }
+        let snapshot = registry.snapshot();
+        let (_, h) = &snapshot.histograms[0];
+        assert_eq!(h.counts, vec![1, 2, 1, 1]);
+        assert_eq!(h.count, 5);
+        assert!((h.sum - 56.05).abs() < 1e-9);
+        assert_eq!(h.min, 0.05);
+        assert_eq!(h.max, 50.0);
+        assert!((h.mean().unwrap() - 11.21).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_buckets_cover_boundary_values() {
+        let mut registry = Registry::default();
+        registry.observe("x", 0.0005); // below first bound
+        registry.observe("x", 1e9); // above last bound -> overflow bucket
+        let snapshot = registry.snapshot();
+        let (_, h) = &snapshot.histograms[0];
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(*h.counts.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_displayable() {
+        let mut registry = Registry::default();
+        registry.add("b.counter", 1);
+        registry.add("a.counter", 2);
+        registry.set("z.gauge", 1.5);
+        registry.observe("m.hist", 3.0);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counters[0].0, "a.counter");
+        assert_eq!(snapshot.counters[1].0, "b.counter");
+        let text = snapshot.to_string();
+        assert!(text.contains("a.counter"));
+        assert!(text.contains("z.gauge"));
+        assert!(text.contains("m.hist"));
+        assert!(!snapshot.is_empty());
+        assert!(MetricsSnapshot::default().is_empty());
+    }
+}

@@ -1,0 +1,329 @@
+//! The [`Recorder`] handle threaded through the pipeline, and its RAII
+//! span timer.
+
+use std::fmt::Display;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::event::Event;
+use crate::metrics::{MetricsSnapshot, Registry};
+use crate::sink::Sink;
+
+/// Shared state behind an enabled recorder.
+struct Inner {
+    /// Time zero for span offsets.
+    epoch: Instant,
+    /// Current lifetime-session index; negative means "no session".
+    session: AtomicI64,
+    registry: Mutex<Registry>,
+    sinks: Mutex<Vec<Box<dyn Sink>>>,
+}
+
+/// A cheap-to-clone observability handle.
+///
+/// The default ([`Recorder::disabled`]) recorder holds no state: every
+/// method is a branch on `None` that returns immediately, without
+/// allocating or formatting — instrumented hot paths cost ~nothing unless
+/// someone asked for a trace. An enabled recorder aggregates metrics in a
+/// [`Registry`] and forwards every event to its [`Sink`]s.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder").field("enabled", &self.inner.is_some()).finish()
+    }
+}
+
+impl Recorder {
+    /// The no-op recorder (also the `Default`).
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// A recorder forwarding to `sinks`.
+    pub fn new(sinks: Vec<Box<dyn Sink>>) -> Self {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                session: AtomicI64::new(-1),
+                registry: Mutex::new(Registry::default()),
+                sinks: Mutex::new(sinks),
+            })),
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Sets (or clears) the lifetime-session index stamped onto subsequent
+    /// events.
+    pub fn set_session(&self, session: Option<u64>) {
+        if let Some(inner) = &self.inner {
+            let value = session.map_or(-1, |s| s as i64);
+            inner.session.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn counter(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            let total = inner.registry.lock().expect("registry poisoned").add(name, delta);
+            inner.emit(&Event::Counter {
+                name: name.to_string(),
+                session: inner.current_session(),
+                delta,
+                total,
+            });
+        }
+    }
+
+    /// Sets the named gauge.
+    pub fn gauge(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.lock().expect("registry poisoned").set(name, value);
+            inner.emit(&Event::Gauge {
+                name: name.to_string(),
+                session: inner.current_session(),
+                value,
+            });
+        }
+    }
+
+    /// Sets the gauge `name{key=label}` — e.g.
+    /// `aging.r_max_ohms{layer=0}`. The labeled name is only formatted when
+    /// the recorder is enabled.
+    pub fn gauge_labeled(&self, name: &str, key: &str, label: impl Display, value: f64) {
+        if let Some(inner) = &self.inner {
+            let labeled = format!("{name}{{{key}={label}}}");
+            inner.registry.lock().expect("registry poisoned").set(&labeled, value);
+            inner.emit(&Event::Gauge { name: labeled, session: inner.current_session(), value });
+        }
+    }
+
+    /// Records one observation into the named fixed-bucket histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.lock().expect("registry poisoned").observe(name, value);
+            inner.emit(&Event::Observation {
+                name: name.to_string(),
+                session: inner.current_session(),
+                value,
+            });
+        }
+    }
+
+    /// Declares a histogram with explicit bucket bounds (first declaration
+    /// wins; see [`Registry::declare_histogram`]).
+    pub fn declare_histogram(&self, name: &str, bounds: &[f64]) {
+        if let Some(inner) = &self.inner {
+            inner.registry.lock().expect("registry poisoned").declare_histogram(name, bounds);
+        }
+    }
+
+    /// Opens a scoped span timer; the span event is emitted when the
+    /// returned guard drops.
+    #[must_use = "the span closes (and is recorded) when the guard drops"]
+    pub fn span(&self, name: &str) -> SpanGuard {
+        SpanGuard {
+            state: self.inner.as_ref().map(|inner| SpanState {
+                inner: Arc::clone(inner),
+                name: name.to_string(),
+                started: Instant::now(),
+            }),
+        }
+    }
+
+    /// Emits a human-readable progress line ([`crate::PrettySink`] prints
+    /// it verbatim).
+    pub fn message(&self, text: &str) {
+        if let Some(inner) = &self.inner {
+            inner.emit(&Event::Message { text: text.to_string() });
+        }
+    }
+
+    /// Like [`Recorder::message`] but defers building the string until the
+    /// recorder is known to be enabled — use with `format!` in hot paths.
+    pub fn message_with(&self, build: impl FnOnce() -> String) {
+        if let Some(inner) = &self.inner {
+            inner.emit(&Event::Message { text: build() });
+        }
+    }
+
+    /// Emits a per-lifetime-session summary event.
+    pub fn session_summary(&self, index: u64, metrics: &[(&str, f64)]) {
+        if let Some(inner) = &self.inner {
+            inner.emit(&Event::Session {
+                index,
+                metrics: metrics.iter().map(|(name, value)| (name.to_string(), *value)).collect(),
+            });
+        }
+    }
+
+    /// A copy of the aggregated metrics, or `None` when disabled.
+    pub fn snapshot(&self) -> Option<MetricsSnapshot> {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.registry.lock().expect("registry poisoned").snapshot())
+    }
+
+    /// Flushes every sink (best-effort).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            for sink in inner.sinks.lock().expect("sinks poisoned").iter_mut() {
+                sink.flush();
+            }
+        }
+    }
+}
+
+impl Inner {
+    fn current_session(&self) -> Option<u64> {
+        let raw = self.session.load(Ordering::Relaxed);
+        (raw >= 0).then_some(raw as u64)
+    }
+
+    fn emit(&self, event: &Event) {
+        for sink in self.sinks.lock().expect("sinks poisoned").iter_mut() {
+            sink.record(event);
+        }
+    }
+}
+
+/// Live state of an open span (only present when recording).
+struct SpanState {
+    inner: Arc<Inner>,
+    name: String,
+    started: Instant,
+}
+
+/// RAII guard returned by [`Recorder::span`]; emits an [`Event::Span`] with
+/// the measured duration when dropped.
+#[must_use = "the span closes (and is recorded) when the guard drops"]
+pub struct SpanGuard {
+    state: Option<SpanState>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(state) = self.state.take() {
+            let start_us =
+                state.started.duration_since(state.inner.epoch).as_micros().min(u64::MAX as u128)
+                    as u64;
+            let duration_us = state.started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            let event = Event::Span {
+                name: state.name,
+                session: state.inner.current_session(),
+                start_us,
+                duration_us,
+            };
+            state.inner.emit(&event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    #[test]
+    fn disabled_recorder_ignores_everything() {
+        let recorder = Recorder::disabled();
+        assert!(!recorder.is_enabled());
+        recorder.counter("c", 1);
+        recorder.gauge("g", 1.0);
+        recorder.gauge_labeled("g", "layer", 0, 1.0);
+        recorder.observe("h", 1.0);
+        recorder.message("hello");
+        recorder.session_summary(0, &[("a", 1.0)]);
+        let _span = recorder.span("tune");
+        assert!(recorder.snapshot().is_none());
+    }
+
+    #[test]
+    fn counter_events_carry_running_total() {
+        let (sink, handle) = MemorySink::new();
+        let recorder = Recorder::new(vec![Box::new(sink)]);
+        recorder.counter("tuner.iterations", 3);
+        recorder.counter("tuner.iterations", 4);
+        let events = handle.events();
+        assert_eq!(events.len(), 2);
+        match &events[1] {
+            Event::Counter { delta, total, .. } => {
+                assert_eq!((*delta, *total), (4, 7));
+            }
+            other => panic!("expected counter, got {other:?}"),
+        }
+        let snapshot = recorder.snapshot().unwrap();
+        assert_eq!(snapshot.counters, vec![("tuner.iterations".to_string(), 7)]);
+    }
+
+    #[test]
+    fn span_guard_emits_on_drop_with_session() {
+        let (sink, handle) = MemorySink::new();
+        let recorder = Recorder::new(vec![Box::new(sink)]);
+        recorder.set_session(Some(5));
+        {
+            let _span = recorder.span("map");
+            assert!(handle.is_empty(), "span must not be emitted before drop");
+        }
+        let events = handle.events();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            Event::Span { name, session, .. } => {
+                assert_eq!(name, "map");
+                assert_eq!(*session, Some(5));
+            }
+            other => panic!("expected span, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn labeled_gauge_formats_prometheus_style() {
+        let (sink, handle) = MemorySink::new();
+        let recorder = Recorder::new(vec![Box::new(sink)]);
+        recorder.gauge_labeled("aging.r_max_ohms", "layer", 2, 9500.0);
+        match &handle.events()[0] {
+            Event::Gauge { name, value, .. } => {
+                assert_eq!(name, "aging.r_max_ohms{layer=2}");
+                assert_eq!(*value, 9500.0);
+            }
+            other => panic!("expected gauge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let (sink, handle) = MemorySink::new();
+        let recorder = Recorder::new(vec![Box::new(sink)]);
+        let clone = recorder.clone();
+        clone.counter("c", 1);
+        recorder.counter("c", 1);
+        assert_eq!(recorder.snapshot().unwrap().counters[0].1, 2);
+        assert_eq!(handle.len(), 2);
+    }
+
+    #[test]
+    fn session_stamp_clears() {
+        let (sink, handle) = MemorySink::new();
+        let recorder = Recorder::new(vec![Box::new(sink)]);
+        recorder.set_session(Some(1));
+        recorder.counter("c", 1);
+        recorder.set_session(None);
+        recorder.counter("c", 1);
+        let events = handle.events();
+        match (&events[0], &events[1]) {
+            (Event::Counter { session: a, .. }, Event::Counter { session: b, .. }) => {
+                assert_eq!(*a, Some(1));
+                assert_eq!(*b, None);
+            }
+            other => panic!("expected counters, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Pluggable event sinks: JSONL traces, human-readable output, and an
+//! in-memory buffer for tests.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::event::Event;
+
+/// Receives every event an enabled recorder emits.
+pub trait Sink: Send {
+    /// Handles one event.
+    fn record(&mut self, event: &Event);
+
+    /// Flushes any buffered output (best-effort; called by
+    /// [`crate::Recorder::flush`] and on drop of the recorder's last clone).
+    fn flush(&mut self) {}
+}
+
+/// Writes one JSON object per line — the `--trace <path.jsonl>` format.
+pub struct JsonlSink {
+    writer: BufWriter<File>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error when the path is not writable.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink { writer: BufWriter::new(file) })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&mut self, event: &Event) {
+        // A failed write on a trace sink must not take down the pipeline;
+        // drop the line and carry on.
+        let _ = writeln!(self.writer, "{}", event.to_json());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// Renders events for humans on stdout.
+///
+/// By default only [`Event::Message`] lines are printed, verbatim — this is
+/// what keeps the CLI's default output byte-compatible with the historical
+/// `println!` reporting. [`PrettySink::verbose`] additionally renders spans,
+/// metric updates and session summaries.
+#[derive(Debug, Clone, Default)]
+pub struct PrettySink {
+    verbose: bool,
+}
+
+impl PrettySink {
+    /// A sink printing only message events (byte-compatible CLI output).
+    pub fn new() -> Self {
+        PrettySink::default()
+    }
+
+    /// A sink that also renders spans, metrics and session summaries.
+    pub fn verbose() -> Self {
+        PrettySink { verbose: true }
+    }
+}
+
+impl Sink for PrettySink {
+    fn record(&mut self, event: &Event) {
+        match event {
+            Event::Message { text } => println!("{text}"),
+            _ if !self.verbose => {}
+            Event::Span { name, session, duration_us, .. } => {
+                let in_session = session.map_or(String::new(), |s| format!(" [session {s}]"));
+                println!("  span {name}{in_session}: {:.3} ms", *duration_us as f64 / 1000.0);
+            }
+            Event::Counter { name, delta, total, .. } => {
+                println!("  counter {name}: +{delta} -> {total}")
+            }
+            Event::Gauge { name, value, .. } => println!("  gauge {name} = {value:.6}"),
+            Event::Observation { name, value, .. } => println!("  observe {name} <- {value:.6}"),
+            Event::Session { index, metrics } => {
+                let rendered: Vec<String> =
+                    metrics.iter().map(|(name, value)| format!("{name}={value:.3}")).collect();
+                println!("  session {index}: {}", rendered.join(" "));
+            }
+        }
+    }
+}
+
+/// Buffers every event in memory; tests read them back through the
+/// [`MemoryHandle`] returned by [`MemorySink::new`].
+pub struct MemorySink {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl MemorySink {
+    /// Creates the sink and the handle that survives handing the sink to a
+    /// recorder.
+    pub fn new() -> (Self, MemoryHandle) {
+        let events = Arc::new(Mutex::new(Vec::new()));
+        (MemorySink { events: Arc::clone(&events) }, MemoryHandle { events })
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&mut self, event: &Event) {
+        self.events.lock().expect("memory sink poisoned").push(event.clone());
+    }
+}
+
+/// Read side of a [`MemorySink`].
+#[derive(Debug, Clone)]
+pub struct MemoryHandle {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl MemoryHandle {
+    /// A copy of every event recorded so far, in emission order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("memory sink poisoned").len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_round_trips_events() {
+        let (mut sink, handle) = MemorySink::new();
+        assert!(handle.is_empty());
+        let event = Event::Message { text: "hi".into() };
+        sink.record(&event);
+        assert_eq!(handle.len(), 1);
+        assert_eq!(handle.events(), vec![event]);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_valid_lines() {
+        let path = std::env::temp_dir().join("memaging_obs_sink_test.jsonl");
+        {
+            let mut sink = JsonlSink::create(&path).unwrap();
+            sink.record(&Event::Message { text: "a".into() });
+            sink.record(&Event::Counter { name: "c".into(), session: None, delta: 1, total: 1 });
+            sink.flush();
+        }
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = contents.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn jsonl_sink_rejects_unwritable_path() {
+        assert!(JsonlSink::create("/nonexistent-dir/trace.jsonl").is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! Proves the acceptance criterion that a disabled recorder adds no heap
+//! allocation per metric call: a counting global allocator observes zero
+//! new allocations across a burst of instrumentation calls.
+//!
+//! This file intentionally holds a single `#[test]` — a sibling test
+//! running concurrently would allocate and race the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use memaging_obs::Recorder;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn disabled_recorder_makes_no_heap_allocations() {
+    let recorder = Recorder::disabled();
+    let layer_resistances = [10_000.0_f64, 9_800.0, 9_650.0];
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..1_000_u64 {
+        let _span = recorder.span("tune");
+        recorder.counter("tuner.iterations", 1);
+        recorder.counter("tuner.pulses", 42);
+        recorder.gauge("train.epoch_loss", 0.25);
+        recorder.observe("tune.accuracy", 0.9);
+        for (layer, r_max) in layer_resistances.iter().enumerate() {
+            recorder.gauge_labeled("aging.r_max_ohms", "layer", layer, *r_max);
+        }
+        recorder.message_with(|| format!("session {i} done"));
+        recorder.set_session(Some(i));
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "disabled recorder allocated {} times over 9000 metric calls",
+        after - before
+    );
+}

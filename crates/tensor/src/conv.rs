@@ -261,18 +261,10 @@ mod tests {
         let y = Tensor::from_fn(y_shape, |i| (i as f32 * 0.11).cos());
         let ax = im2col(&x, &g).unwrap();
         let aty = col2im(&y, &g).unwrap();
-        let lhs: f64 = ax
-            .as_slice()
-            .iter()
-            .zip(y.as_slice())
-            .map(|(&a, &b)| (a as f64) * (b as f64))
-            .sum();
-        let rhs: f64 = x
-            .as_slice()
-            .iter()
-            .zip(aty.as_slice())
-            .map(|(&a, &b)| (a as f64) * (b as f64))
-            .sum();
+        let lhs: f64 =
+            ax.as_slice().iter().zip(y.as_slice()).map(|(&a, &b)| (a as f64) * (b as f64)).sum();
+        let rhs: f64 =
+            x.as_slice().iter().zip(aty.as_slice()).map(|(&a, &b)| (a as f64) * (b as f64)).sum();
         assert!((lhs - rhs).abs() < 1e-3, "adjoint mismatch: {lhs} vs {rhs}");
     }
 

@@ -58,11 +58,7 @@ pub fn xavier_uniform<R: Rng + ?Sized>(
 }
 
 /// He-normal initialization: `N(0, 2/fan_in)`, suited to ReLU layers.
-pub fn he_normal<R: Rng + ?Sized>(
-    shape: impl Into<Shape>,
-    fan_in: usize,
-    rng: &mut R,
-) -> Tensor {
+pub fn he_normal<R: Rng + ?Sized>(shape: impl Into<Shape>, fan_in: usize, rng: &mut R) -> Tensor {
     let std = (2.0 / fan_in as f32).sqrt();
     gaussian(shape, 0.0, std, rng)
 }

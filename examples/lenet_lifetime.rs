@@ -25,10 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for strategy in Strategy::ALL {
         println!("--- {strategy} ---");
         let outcome = scenario.run_strategy(strategy)?;
-        println!(
-            "  software accuracy: {:.1}%",
-            100.0 * outcome.software_accuracy
-        );
+        println!("  software accuracy: {:.1}%", 100.0 * outcome.software_accuracy);
         println!(
             "  lifetime: {} applications over {} sessions (failed: {})",
             outcome.lifetime.lifetime_applications,

@@ -28,16 +28,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut data = Dataset::gaussian_blobs(&SyntheticSpec::small(4, 31))?;
     data.normalize();
     let target = 0.9;
-    let tune_cfg = TuneConfig {
-        target_accuracy: target,
-        max_iterations: 400,
-        ..TuneConfig::default()
-    };
+    let tune_cfg =
+        TuneConfig { target_accuracy: target, max_iterations: 400, ..TuneConfig::default() };
 
     // Approach 1: online training — random weights straight onto hardware.
     let net = models::mlp(&[144, 24, 4], &mut StdRng::seed_from_u64(1))?;
-    let mut online =
-        CrossbarNetwork::new(net, DeviceSpec::default(), ArrheniusAging::default())?;
+    let mut online = CrossbarNetwork::new(net, DeviceSpec::default(), ArrheniusAging::default())?;
     online.map_weights(MappingStrategy::Fresh, Some((&data, 64)))?;
     let report = tune(&mut online, &data, &tune_cfg)?;
     println!("online training (random init, hardware-only):");
@@ -58,8 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &TrainConfig { epochs: 10, target_accuracy: 0.97, ..TrainConfig::default() },
         &NoRegularizer,
     )?;
-    let mut offline =
-        CrossbarNetwork::new(net, DeviceSpec::default(), ArrheniusAging::default())?;
+    let mut offline = CrossbarNetwork::new(net, DeviceSpec::default(), ArrheniusAging::default())?;
     offline.map_weights(MappingStrategy::Fresh, Some((&data, 64)))?;
     let report = tune(&mut offline, &data, &tune_cfg)?;
     println!("\nsoftware training + online tuning (the paper's flow):");

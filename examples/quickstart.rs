@@ -42,7 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 4. Online tuning (paper §II-C, eq. 5).
-    let tune_cfg = TuneConfig { target_accuracy: software_accuracy - 0.02, ..TuneConfig::default() };
+    let tune_cfg =
+        TuneConfig { target_accuracy: software_accuracy - 0.02, ..TuneConfig::default() };
     let tuned = tune(&mut hardware, &data, &tune_cfg)?;
     println!(
         "online tuning: {} iterations, {} pulses, final accuracy {:.1}% (converged: {})",

@@ -30,8 +30,8 @@ fn print_histogram(title: &str, values: &[f32]) {
 
 fn resistances(weights: &[f32], spec: &DeviceSpec) -> Vec<f32> {
     let window = AgedWindow { r_min: spec.r_min, r_max: spec.r_max };
-    let mapping = WeightMapping::from_weights_percentile(weights, window, 0.005)
-        .expect("nonempty weights");
+    let mapping =
+        WeightMapping::from_weights_percentile(weights, window, 0.005).expect("nonempty weights");
     let quantizer = Quantizer::from_spec(spec).expect("valid spec");
     weights
         .iter()

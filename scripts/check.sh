@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the full test suite.
+#
+#   scripts/check.sh            # run everything
+#   scripts/check.sh --fix      # apply rustfmt instead of checking
+#
+# Every step must pass; the script stops at the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--fix" ]]; then
+    cargo fmt
+else
+    cargo fmt --check
+fi
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test -q
+
+echo "check.sh: all green"

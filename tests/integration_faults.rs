@@ -31,18 +31,15 @@ fn stuck_faults_degrade_and_tuning_partially_recovers() {
     let (mut hw, data, base) = mapped_network(300);
     let mut rng = StdRng::seed_from_u64(1);
     for idx in 0..hw.arrays().len() {
-        hw.array_mut(idx).inject_stuck_faults(0.10, &mut rng);
+        hw.array_mut(idx).inject_stuck_faults(0.25, &mut rng);
     }
     let faulted = hw.evaluate(&data, 64).unwrap();
-    assert!(
-        faulted < base,
-        "10% stuck faults must cost accuracy: {base} -> {faulted}"
-    );
+    assert!(faulted < base - 0.02, "25% stuck faults must cost accuracy: {base} -> {faulted}");
     // Tuning reroutes around the dead devices using the healthy ones.
     let report = tune(
         &mut hw,
         &data,
-        &TuneConfig { target_accuracy: base - 0.1, max_iterations: 200, ..TuneConfig::default() },
+        &TuneConfig { target_accuracy: base, max_iterations: 200, ..TuneConfig::default() },
     )
     .unwrap();
     assert!(
@@ -62,10 +59,7 @@ fn small_read_noise_barely_moves_column_currents() {
     let noisy = array.vmm_noisy(&input, 0.01, &mut rng).unwrap();
     for (c, n) in clean.iter().zip(&noisy) {
         let denom = c.abs().max(1e-9);
-        assert!(
-            ((c - n).abs() / denom) < 0.1,
-            "1% read noise should stay small: {c} vs {n}"
-        );
+        assert!(((c - n).abs() / denom) < 0.1, "1% read noise should stay small: {c} vs {n}");
     }
 }
 

@@ -28,27 +28,17 @@ fn lenet_scaled_full_pipeline() {
     // Quantization on the resistance-uniform grid costs real accuracy for
     // conv nets (coarse conductance steps near g_max, paper Fig. 3c); online
     // tuning is what recovers it (paper SII-C).
-    assert!(
-        map.post_map_accuracy.unwrap() > 0.3,
-        "mapping should leave a tunable network"
-    );
+    assert!(map.post_map_accuracy.unwrap() > 0.3, "mapping should leave a tunable network");
     let tuned = tune(
         &mut hw,
         &data,
         &TuneConfig { target_accuracy: report.final_accuracy - 0.05, ..TuneConfig::default() },
     )
     .unwrap();
-    assert!(
-        tuned.converged,
-        "tuning must recover quantization loss: {:?}",
-        tuned.final_accuracy
-    );
+    assert!(tuned.converged, "tuning must recover quantization loss: {:?}", tuned.final_accuracy);
     // 5 mappable layers: 2 conv + 3 FC.
     assert_eq!(hw.arrays().len(), 5);
-    assert_eq!(
-        hw.layer_kinds().iter().filter(|k| **k == LayerKind::Convolution).count(),
-        2
-    );
+    assert_eq!(hw.layer_kinds().iter().filter(|k| **k == LayerKind::Convolution).count(), 2);
 }
 
 #[test]
@@ -83,12 +73,8 @@ fn vgg_scaled_trains_a_little_and_maps() {
     let mut data = Dataset::shapes(&spec).unwrap();
     data.normalize();
     let mut net = models::vgg16_scaled(1, 5, &mut StdRng::seed_from_u64(2)).unwrap();
-    let config = TrainConfig {
-        epochs: 4,
-        learning_rate: 0.02,
-        batch_size: 10,
-        ..TrainConfig::default()
-    };
+    let config =
+        TrainConfig { epochs: 4, learning_rate: 0.02, batch_size: 10, ..TrainConfig::default() };
     let report = train(&mut net, &data, &config, &NoRegularizer).unwrap();
     assert!(
         report.history.last().unwrap().loss < report.history.first().unwrap().loss,
@@ -105,13 +91,11 @@ fn vgg_scaled_trains_a_little_and_maps() {
 #[test]
 fn device_counts_scale_with_architecture() {
     let lenet = ModelKind::Lenet5Scaled { channels: 1, classes: 10 }.build(3).unwrap();
-    let lenet_devices: usize =
-        lenet.weight_matrices().iter().map(|w| w.len()).sum();
+    let lenet_devices: usize = lenet.weight_matrices().iter().map(|w| w.len()).sum();
     let mlp = ModelKind::Mlp(vec![144, 16, 10]).build(3).unwrap();
     let mlp_devices: usize = mlp.weight_matrices().iter().map(|w| w.len()).sum();
     assert!(lenet_devices > mlp_devices / 2, "sanity: both in the thousands");
-    let hw = CrossbarNetwork::new(lenet, DeviceSpec::default(), ArrheniusAging::default())
-        .unwrap();
+    let hw = CrossbarNetwork::new(lenet, DeviceSpec::default(), ArrheniusAging::default()).unwrap();
     let array_devices: usize = hw.arrays().iter().map(|a| a.rows() * a.cols()).sum();
     assert_eq!(array_devices, lenet_devices, "one device per weight");
 }

@@ -1,0 +1,131 @@
+//! Integration tests for the observability layer (`memaging-obs`) threaded
+//! through the full pipeline: JSONL traces carry span events for every phase,
+//! and per-session metrics reflect the paper's aging story (tuning effort
+//! grows as devices wear out).
+
+use memaging::lifetime::Strategy;
+use memaging::obs::{Event, JsonlSink, MemorySink, Recorder};
+use memaging::Scenario;
+
+/// Run the quick scenario with the given strategy, recording into memory.
+fn run_recorded(strategy: Strategy) -> Vec<Event> {
+    let (sink, handle) = MemorySink::new();
+    let mut scenario = Scenario::quick();
+    scenario.framework.recorder = Recorder::new(vec![Box::new(sink)]);
+    scenario.run_strategy(strategy).expect("quick scenario should run");
+    handle.events()
+}
+
+#[test]
+fn trace_covers_all_pipeline_phases() {
+    let events = run_recorded(Strategy::StAt);
+    let span_names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Span { name, .. } => Some(name.as_str()),
+            _ => None,
+        })
+        .collect();
+    for phase in ["train", "map", "tune", "evaluate"] {
+        assert!(
+            span_names.contains(&phase),
+            "missing span for phase `{phase}`; saw {span_names:?}"
+        );
+    }
+}
+
+#[test]
+fn spans_inside_sessions_carry_the_session_index() {
+    let events = run_recorded(Strategy::TT);
+    // Tuning only ever happens inside a maintenance session, so every tune
+    // span must be stamped with one.
+    let tune_spans: Vec<_> =
+        events.iter().filter(|e| matches!(e, Event::Span { name, .. } if name == "tune")).collect();
+    assert!(!tune_spans.is_empty(), "expected at least one tune span");
+    for span in tune_spans {
+        if let Event::Span { session, .. } = span {
+            assert!(session.is_some(), "tune span without a session index");
+        }
+    }
+}
+
+#[test]
+fn tuner_iterations_accumulate_monotonically_across_sessions() {
+    // `tuner.iterations` is a counter: its running total must be
+    // monotonically non-decreasing across sessions, and because every
+    // maintenance session runs at least one tuning iteration, it must
+    // strictly grow from the first session to the last.
+    let events = run_recorded(Strategy::TT);
+    let totals: Vec<(Option<u64>, u64)> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Counter { name, session, total, .. } if name == "tuner.iterations" => {
+                Some((*session, *total))
+            }
+            _ => None,
+        })
+        .collect();
+    assert!(totals.len() >= 2, "need at least two tuning sessions, got {}", totals.len());
+    let mut last_session = None;
+    for pair in totals.windows(2) {
+        assert!(pair[1].1 >= pair[0].1, "counter total regressed: {pair:?}");
+    }
+    for (session, _) in &totals {
+        let session = session.expect("tuner.iterations outside a session");
+        if let Some(prev) = last_session {
+            assert!(session >= prev, "session index went backwards");
+        }
+        last_session = Some(session);
+    }
+    let first = totals.first().unwrap().1;
+    let last = totals.last().unwrap().1;
+    assert!(last > first, "tuning effort should accumulate over the lifetime ({first} -> {last})");
+
+    // The per-session effort series (paper Fig. 10) ends with the terminal
+    // session exhausting the tuning budget — the failure criterion.
+    let per_session: Vec<f64> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Session { metrics, .. } => {
+                metrics.iter().find(|(name, _)| name == "tuner.iterations").map(|(_, value)| *value)
+            }
+            _ => None,
+        })
+        .collect();
+    let max = per_session.iter().cloned().fold(f64::MIN, f64::max);
+    assert_eq!(
+        per_session.last().copied(),
+        Some(max),
+        "terminal session should need the most tuning iterations"
+    );
+}
+
+#[test]
+fn jsonl_trace_is_valid_line_delimited_json() {
+    let dir = std::env::temp_dir().join("memaging_obs_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("trace.jsonl");
+    {
+        let sink = JsonlSink::create(&path).expect("create trace file");
+        let mut scenario = Scenario::quick();
+        scenario.framework.recorder = Recorder::new(vec![Box::new(sink)]);
+        scenario.run_strategy(Strategy::StAt).expect("quick scenario should run");
+        scenario.framework.recorder.flush();
+    }
+    let text = std::fs::read_to_string(&path).expect("read trace back");
+    let mut spans = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "line {} is not a JSON object: {line}",
+            lineno + 1
+        );
+        assert!(line.contains("\"type\":\""), "line {} has no type tag: {line}", lineno + 1);
+        if line.contains("\"type\":\"span\"") {
+            spans += 1;
+            assert!(line.contains("\"duration_us\":"), "span without duration: {line}");
+        }
+    }
+    assert!(spans > 0, "trace contains no span events");
+    std::fs::remove_file(&path).ok();
+}

@@ -66,8 +66,7 @@ fn aging_aware_mapping_beats_fresh_on_aged_hardware() {
         for _ in 0..20 {
             hw.restore_software_weights(&trained).unwrap();
             hw.map_weights(MappingStrategy::Fresh, None).unwrap();
-            hw.apply_drift(1.0, &mut StdRng::seed_from_u64(3))
-                ;
+            hw.apply_drift(1.0, &mut StdRng::seed_from_u64(3));
         }
         hw
     };
@@ -82,8 +81,7 @@ fn aging_aware_mapping_beats_fresh_on_aged_hardware() {
     };
 
     fresh_mapped.restore_software_weights(&trained).unwrap();
-    let fresh_report =
-        fresh_mapped.map_weights(MappingStrategy::Fresh, Some((&data, 64))).unwrap();
+    let fresh_report = fresh_mapped.map_weights(MappingStrategy::Fresh, Some((&data, 64))).unwrap();
     aware_mapped.restore_software_weights(&trained).unwrap();
     let aware_report =
         aware_mapped.map_weights(MappingStrategy::AgingAware, Some((&data, 64))).unwrap();
@@ -128,13 +126,8 @@ fn tuning_accuracy_is_reported_against_hardware_reads() {
     // After tuning, the software model must equal the hardware read-back.
     let data = blobs(3, 103);
     let mut net = models::mlp(&[144, 12, 3], &mut StdRng::seed_from_u64(7)).unwrap();
-    train(
-        &mut net,
-        &data,
-        &TrainConfig { epochs: 8, ..TrainConfig::default() },
-        &NoRegularizer,
-    )
-    .unwrap();
+    train(&mut net, &data, &TrainConfig { epochs: 8, ..TrainConfig::default() }, &NoRegularizer)
+        .unwrap();
     let mut hw =
         CrossbarNetwork::new(net, DeviceSpec::default(), ArrheniusAging::default()).unwrap();
     hw.map_weights(MappingStrategy::Fresh, None).unwrap();

@@ -12,11 +12,8 @@ use memaging::Scenario;
 /// session cap even in debug builds.
 fn accelerated_scenario() -> Scenario {
     let mut s = Scenario::quick();
-    s.framework.aging = ArrheniusAging {
-        a_f: 4.0e16,
-        a_g: 4.8e15,
-        ..Scenario::accelerated_aging()
-    };
+    s.framework.aging =
+        ArrheniusAging { a_f: 4.0e16, a_g: 4.8e15, ..Scenario::accelerated_aging() };
     s.framework.lifetime.max_sessions = 120;
     s
 }
@@ -25,14 +22,8 @@ fn accelerated_scenario() -> Scenario {
 fn skewed_training_maps_to_larger_resistances() {
     let scenario = Scenario::quick();
     let data = scenario.dataset().unwrap();
-    let traditional = scenario
-        .framework
-        .train_model(&data, Strategy::TT, scenario.seed)
-        .unwrap();
-    let skewed = scenario
-        .framework
-        .train_model(&data, Strategy::StT, scenario.seed)
-        .unwrap();
+    let traditional = scenario.framework.train_model(&data, Strategy::TT, scenario.seed).unwrap();
+    let skewed = scenario.framework.train_model(&data, Strategy::StT, scenario.seed).unwrap();
     // Compare mean weight positions within their own ranges: the skewed
     // network's mass must sit closer to its w_min (which maps to R_max).
     let relative_position = |net: &memaging::nn::Network| -> f64 {
@@ -60,13 +51,8 @@ fn skewed_strategy_ages_slower_per_session() {
     // Compare the mean aged upper bound at the same early-life checkpoint
     // (the last sessions are dominated by the end-of-life collapse, which
     // says nothing about the aging *rate*).
-    let checkpoint = tt
-        .lifetime
-        .sessions
-        .len()
-        .min(stt.lifetime.sessions.len())
-        .saturating_sub(1)
-        .min(10);
+    let checkpoint =
+        tt.lifetime.sessions.len().min(stt.lifetime.sessions.len()).saturating_sub(1).min(10);
     let mean = |o: &memaging::StrategyOutcome| -> f64 {
         let b = &o.lifetime.sessions[checkpoint].per_layer_mean_r_max;
         b.iter().sum::<f64>() / b.len() as f64
@@ -84,19 +70,11 @@ fn skewed_strategy_ages_slower_per_session() {
 fn lifetime_ordering_matches_paper() {
     let scenario = accelerated_scenario();
     let outcomes = scenario.run_all().unwrap();
-    let lifetimes: Vec<(Strategy, u64)> = outcomes
-        .iter()
-        .map(|o| (o.strategy, o.lifetime.lifetime_applications))
-        .collect();
+    let lifetimes: Vec<(Strategy, u64)> =
+        outcomes.iter().map(|o| (o.strategy, o.lifetime.lifetime_applications)).collect();
     // The paper's ordering: T+T <= ST+T <= ST+AT.
-    assert!(
-        lifetimes[1].1 >= lifetimes[0].1,
-        "ST+T must not lose to T+T: {lifetimes:?}"
-    );
-    assert!(
-        lifetimes[2].1 >= lifetimes[1].1,
-        "ST+AT must not lose to ST+T: {lifetimes:?}"
-    );
+    assert!(lifetimes[1].1 >= lifetimes[0].1, "ST+T must not lose to T+T: {lifetimes:?}");
+    assert!(lifetimes[2].1 >= lifetimes[1].1, "ST+AT must not lose to ST+T: {lifetimes:?}");
     let cmp = compare_lifetimes(&outcomes.iter().map(|o| o.lifetime.clone()).collect::<Vec<_>>());
     assert!((cmp.ratios[0] - 1.0).abs() < 1e-9);
 }
@@ -106,10 +84,7 @@ fn accuracy_is_maintained_by_skewed_training() {
     // Table I's accuracy columns: skewed within a couple points of baseline.
     let scenario = Scenario::quick();
     let data = scenario.dataset().unwrap();
-    let (base, skewed) = scenario
-        .framework
-        .accuracy_comparison(&data, scenario.seed)
-        .unwrap();
+    let (base, skewed) = scenario.framework.accuracy_comparison(&data, scenario.seed).unwrap();
     assert!(base > 0.85, "baseline should train well: {base}");
     assert!(
         skewed > base - 0.08,

@@ -1,0 +1,145 @@
+//! Offline stand-in for the parts of the [`criterion`] benchmarking crate
+//! this workspace uses: [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical machinery it runs a short warm-up,
+//! then times a fixed measurement window and reports mean ns/iter on
+//! stdout. Good enough for relative, local comparisons in an offline
+//! environment; not a substitute for real criterion numbers.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier re-exported for benchmark bodies.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// How per-iteration setup output is batched (accepted for API
+/// compatibility; this stub always runs setup once per iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output; upstream batches many per allocation.
+    SmallInput,
+    /// Large setup output; upstream batches few per allocation.
+    LargeInput,
+    /// One setup call per iteration.
+    PerIteration,
+}
+
+/// Timing harness handed to each benchmark body.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with fresh input from `setup` each iteration; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            hint::black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+/// Benchmark registry / runner.
+pub struct Criterion {
+    warmup_iters: u64,
+    measure_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { warmup_iters: 3, measure_iters: 30 }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its mean time per iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut body: F) -> &mut Self {
+        let mut warmup = Bencher { iterations: self.warmup_iters, elapsed: Duration::ZERO };
+        body(&mut warmup);
+
+        let mut bencher = Bencher { iterations: self.measure_iters, elapsed: Duration::ZERO };
+        body(&mut bencher);
+
+        let per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64;
+        println!("bench {name:<40} {} iters  {per_iter:>14.1} ns/iter", bencher.iterations);
+        self
+    }
+}
+
+/// Declares a benchmark group: a function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_bench(criterion: &mut Criterion) {
+        criterion.bench_function("sum_0_99", |bencher| bencher.iter(|| (0u64..100).sum::<u64>()));
+    }
+
+    fn batched_bench(criterion: &mut Criterion) {
+        criterion.bench_function("reverse_vec", |bencher| {
+            bencher.iter_batched(
+                || (0u32..64).collect::<Vec<_>>(),
+                |mut v| {
+                    v.reverse();
+                    v
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    criterion_group!(stub_benches, sum_bench, batched_bench);
+
+    #[test]
+    fn group_runs_all_targets() {
+        stub_benches();
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(42), 42);
+    }
+}

@@ -1,0 +1,356 @@
+//! Offline stand-in for the parts of the [`proptest`] crate this workspace
+//! uses: the `proptest!` macro, `prop_assert*` / `prop_assume!`, a
+//! [`Strategy`] trait with `prop_map` / `prop_flat_map`, range and tuple
+//! strategies, and [`collection::vec`].
+//!
+//! Differences from upstream, by design (the build environment is offline
+//! and the workspace only needs deterministic property *sampling*):
+//!
+//! * cases are sampled from a generator seeded by the test's name, so every
+//!   run explores the same deterministic case sequence;
+//! * there is no shrinking — a failing case reports its index and message;
+//! * `ProptestConfig` carries only `cases`.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::distributions::uniform::SampleUniform;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod collection;
+
+/// The deterministic generator handed to strategies.
+pub type TestRng = StdRng;
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the no-shrinking stub fast
+        // while still exercising a meaningful sample.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// A `prop_assert*` failed.
+    Fail(String),
+    /// A `prop_assume!` filtered the case out (not a failure).
+    Reject(String),
+}
+
+/// Builds the deterministic per-test generator (FNV-1a over the test name).
+pub fn test_rng(test_name: &str) -> TestRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    TestRng::seed_from_u64(hash)
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn sample(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$v:ident/$i:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(S0 / V0 / 0);
+impl_tuple_strategy!(S0 / V0 / 0, S1 / V1 / 1);
+impl_tuple_strategy!(S0 / V0 / 0, S1 / V1 / 1, S2 / V2 / 2);
+impl_tuple_strategy!(S0 / V0 / 0, S1 / V1 / 1, S2 / V2 / 2, S3 / V3 / 3);
+impl_tuple_strategy!(S0 / V0 / 0, S1 / V1 / 1, S2 / V2 / 2, S3 / V3 / 3, S4 / V4 / 4);
+impl_tuple_strategy!(S0 / V0 / 0, S1 / V1 / 1, S2 / V2 / 2, S3 / V3 / 3, S4 / V4 / 4, S5 / V5 / 5);
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Declares a block of property tests.
+///
+/// Supported grammar (the subset upstream code in this workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn name(a in 0usize..5, b in strategy_expr()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expands each `fn` of a `proptest!` block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident $args:tt $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut proptest_rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for proptest_case in 0..config.cases {
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = {
+                    $crate::__proptest_bind!(proptest_rng, $args);
+                    (move || {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    })()
+                };
+                match outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => continue,
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(message)) => panic!(
+                        "property `{}` failed at case {}: {}",
+                        stringify!($name),
+                        proptest_case,
+                        message
+                    ),
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Internal: turns `(a in strat, b in strat)` into `let` bindings.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, ( $($arg:ident in $strategy:expr),* $(,)? )) => {
+        $( let $arg = $crate::Strategy::sample(&($strategy), &mut $rng); )*
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}` ({:?} vs {:?})",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Fails the current case if the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}` (both {:?})",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Skips the current case (counted as neither pass nor failure) unless the
+/// assumption holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn even() -> impl Strategy<Value = u64> {
+        (0u64..1000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 2usize..9, f in -1.0f64..1.0) {
+            prop_assert!((2..9).contains(&a));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn mapped_strategy_applies_function(x in even()) {
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn flat_map_builds_dependent_vectors(
+            v in (1usize..6).prop_flat_map(|n| crate::collection::vec(0u32..10, n)),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn vec_with_range_size(v in crate::collection::vec(0.0f32..1.0, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_name() {
+        let mut a = crate::test_rng("x");
+        let mut b = crate::test_rng("x");
+        let s = 0u64..1_000_000;
+        for _ in 0..50 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! The `Standard` distribution and uniform range sampling.
+
+use crate::RngCore;
+
+/// Maps raw generator output to values of a type.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard distribution: uniform `[0, 1)` for floats, full-range for
+/// integers, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 mantissa bits -> uniform on [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // Use a high bit; low bits of some generators are weaker.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform range sampling (`Rng::gen_range`).
+pub mod uniform {
+    use crate::RngCore;
+
+    /// Types sampleable uniformly from a bounded range.
+    pub trait SampleUniform: Sized + Copy + PartialOrd {
+        /// Samples uniformly from `[low, high)` (`high` exclusive), or
+        /// `[low, high]` when `inclusive`.
+        fn sample_uniform<R: RngCore + ?Sized>(
+            low: Self,
+            high: Self,
+            inclusive: bool,
+            rng: &mut R,
+        ) -> Self;
+    }
+
+    macro_rules! impl_sample_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    inclusive: bool,
+                    rng: &mut R,
+                ) -> Self {
+                    let span = if inclusive {
+                        (high as i128 - low as i128 + 1) as u128
+                    } else {
+                        (high as i128 - low as i128) as u128
+                    };
+                    assert!(span > 0, "cannot sample from empty range {low}..{high}");
+                    // Modulo bias is < 2^-64 * span; negligible for the
+                    // simulation-scale spans used in this workspace.
+                    let offset = (rng.next_u64() as u128 % span) as i128;
+                    (low as i128 + offset) as $t
+                }
+            }
+        )*};
+    }
+    impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_sample_uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    _inclusive: bool,
+                    rng: &mut R,
+                ) -> Self {
+                    assert!(low < high, "cannot sample from empty range {low}..{high}");
+                    let unit =
+                        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                    let value = low as f64 + unit * (high as f64 - low as f64);
+                    // Rounding can land exactly on `high`; clamp just inside.
+                    if value >= high as f64 { low } else { value as $t }
+                }
+            }
+        )*};
+    }
+    impl_sample_uniform_float!(f32, f64);
+
+    /// Range expressions accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Samples one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_uniform(self.start, self.end, false, rng)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_uniform(*self.start(), *self.end(), true, rng)
+        }
+    }
+}
