@@ -20,6 +20,11 @@
 //! | `exp_all` | all of the above, in order |
 //!
 //! Set `MEMAGING_FAST=1` to run reduced budgets (useful in CI).
+//!
+//! The extra `bench-diff` binary compares two `BENCH_*.json` phase
+//! profiles (see [`profile`]) and exits nonzero on a perf regression.
+
+pub mod profile;
 
 use std::io::Write as _;
 use std::path::{Path, PathBuf};

@@ -4,6 +4,8 @@
 //! memaging scenario quick --strategy all            # run a lifetime study
 //! memaging scenario lenet --strategy stat --seed 3
 //! memaging scenario quick --trace run.jsonl --metrics  # structured tracing
+//! memaging scenario quick --trace-chrome run.trace.json  # Perfetto timeline
+//! memaging serve quick --port 9464                  # scrapeable monitoring
 //! memaging device                                   # single-cell aging trace
 //! memaging info                                     # scenario inventory
 //! ```
@@ -12,24 +14,43 @@
 //! then `--key value` pairs.
 
 use memaging::device::{ArrheniusAging, DeviceSpec, Memristor};
-use memaging::lifetime::{compare_lifetimes, Strategy};
-use memaging::obs::{JsonlSink, PrettySink, Recorder, Sink};
+use memaging::lifetime::{compare_lifetimes, LifetimeResult, Strategy};
+use memaging::obs::{ChromeTraceSink, JsonlSink, PrettySink, Recorder, Sink};
 use memaging::Scenario;
+use memaging_monitor::{MonitorServer, MonitorSink, MonitorState, RunStatus};
 
 /// Parsed command-line request.
 #[derive(Debug, Clone, PartialEq)]
 enum Command {
-    Scenario {
-        name: String,
-        strategy: StrategyArg,
-        seed: Option<u64>,
-        sessions: Option<usize>,
-        trace: Option<String>,
-        metrics: bool,
-    },
+    Scenario { name: String, opts: RunOpts },
+    Serve { name: String, opts: RunOpts, port: u16, linger: bool },
     Device,
     Info,
     Help,
+}
+
+/// Options shared by `scenario` and `serve`.
+#[derive(Debug, Clone, PartialEq)]
+struct RunOpts {
+    strategy: StrategyArg,
+    seed: Option<u64>,
+    sessions: Option<usize>,
+    trace: Option<String>,
+    trace_chrome: Option<String>,
+    metrics: bool,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            strategy: StrategyArg::All,
+            seed: None,
+            sessions: None,
+            trace: None,
+            trace_chrome: None,
+            metrics: false,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +69,66 @@ fn parse_strategy(s: &str) -> Result<StrategyArg, String> {
     }
 }
 
+fn parse_scenario_name(it: &mut std::slice::Iter<'_, String>, sub: &str) -> Result<String, String> {
+    let name = it.next().ok_or(format!("{sub} needs a name: quick|lenet|vgg"))?.to_string();
+    if !["quick", "lenet", "vgg"].contains(&name.as_str()) {
+        return Err(format!("unknown scenario `{name}` (expected quick|lenet|vgg)"));
+    }
+    Ok(name)
+}
+
+/// Parses the flags shared by `scenario` and `serve` (plus `--port` /
+/// `--linger` when `serve` is set). Returns `(opts, port, linger)`.
+fn parse_run_opts(
+    it: &mut std::slice::Iter<'_, String>,
+    serve: bool,
+) -> Result<(RunOpts, u16, bool), String> {
+    let mut opts = RunOpts::default();
+    if serve {
+        // A monitored deployment serves one strategy; default to the
+        // paper's proposed ST+AT.
+        opts.strategy = StrategyArg::One(Strategy::StAt);
+    }
+    let mut port: u16 = DEFAULT_PORT;
+    let mut linger = false;
+    while let Some(flag) = it.next() {
+        // `--metrics` and `--linger` are bare switches; every other known
+        // flag takes a value. Reject unknown flags before demanding one so
+        // a typo reports "unknown flag", not "needs a value".
+        if flag == "--metrics" {
+            opts.metrics = true;
+            continue;
+        }
+        if serve && flag == "--linger" {
+            linger = true;
+            continue;
+        }
+        let known = ["--strategy", "--seed", "--sessions", "--trace", "--trace-chrome"];
+        let known = known.contains(&flag.as_str()) || (serve && flag == "--port");
+        if !known {
+            return Err(format!("unknown flag `{flag}`"));
+        }
+        let value = it.next().ok_or_else(|| format!("flag {flag} needs a value"))?;
+        match flag.as_str() {
+            "--strategy" => opts.strategy = parse_strategy(value)?,
+            "--seed" => {
+                opts.seed = Some(value.parse().map_err(|_| format!("bad seed `{value}`"))?);
+            }
+            "--sessions" => {
+                opts.sessions = Some(value.parse().map_err(|_| format!("bad sessions `{value}`"))?);
+            }
+            "--trace" => opts.trace = Some(value.to_string()),
+            "--trace-chrome" => opts.trace_chrome = Some(value.to_string()),
+            "--port" => port = value.parse().map_err(|_| format!("bad port `{value}`"))?,
+            _ => unreachable!("flag validated above"),
+        }
+    }
+    Ok((opts, port, linger))
+}
+
+/// Default `serve` port (the Prometheus unallocated-exporter range).
+const DEFAULT_PORT: u16 = 9464;
+
 fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter();
     let sub = match it.next() {
@@ -59,41 +140,14 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
         "device" => Ok(Command::Device),
         "info" => Ok(Command::Info),
         "scenario" => {
-            let name = it.next().ok_or("scenario needs a name: quick|lenet|vgg")?.to_string();
-            if !["quick", "lenet", "vgg"].contains(&name.as_str()) {
-                return Err(format!("unknown scenario `{name}` (expected quick|lenet|vgg)"));
-            }
-            let mut strategy = StrategyArg::All;
-            let mut seed = None;
-            let mut sessions = None;
-            let mut trace = None;
-            let mut metrics = false;
-            while let Some(flag) = it.next() {
-                // `--metrics` is a bare switch; every other known flag takes
-                // a value. Reject unknown flags before demanding one so a
-                // typo reports "unknown flag", not "needs a value".
-                if flag == "--metrics" {
-                    metrics = true;
-                    continue;
-                }
-                if !["--strategy", "--seed", "--sessions", "--trace"].contains(&flag.as_str()) {
-                    return Err(format!("unknown flag `{flag}`"));
-                }
-                let value = it.next().ok_or_else(|| format!("flag {flag} needs a value"))?;
-                match flag.as_str() {
-                    "--strategy" => strategy = parse_strategy(value)?,
-                    "--seed" => {
-                        seed = Some(value.parse().map_err(|_| format!("bad seed `{value}`"))?)
-                    }
-                    "--sessions" => {
-                        sessions =
-                            Some(value.parse().map_err(|_| format!("bad sessions `{value}`"))?)
-                    }
-                    "--trace" => trace = Some(value.to_string()),
-                    _ => unreachable!("flag validated above"),
-                }
-            }
-            Ok(Command::Scenario { name, strategy, seed, sessions, trace, metrics })
+            let name = parse_scenario_name(&mut it, "scenario")?;
+            let (opts, _, _) = parse_run_opts(&mut it, false)?;
+            Ok(Command::Scenario { name, opts })
+        }
+        "serve" => {
+            let name = parse_scenario_name(&mut it, "serve")?;
+            let (opts, port, linger) = parse_run_opts(&mut it, true)?;
+            Ok(Command::Serve { name, opts, port, linger })
         }
         other => Err(format!("unknown command `{other}`; try `memaging help`")),
     }
@@ -105,10 +159,21 @@ fn print_help() {
          USAGE:\n\
          \u{20}   memaging scenario <quick|lenet|vgg> [--strategy tt|stt|stat|all]\n\
          \u{20}                                       [--seed N] [--sessions N]\n\
-         \u{20}                                       [--trace out.jsonl] [--metrics]\n\
+         \u{20}                                       [--trace out.jsonl]\n\
+         \u{20}                                       [--trace-chrome out.json] [--metrics]\n\
          \u{20}                       --trace writes one JSON event per line (spans,\n\
-         \u{20}                       counters, gauges); --metrics prints a metrics\n\
-         \u{20}                       summary after the run\n\
+         \u{20}                       counters, gauges); --trace-chrome writes a\n\
+         \u{20}                       chrome://tracing / Perfetto timeline; --metrics\n\
+         \u{20}                       prints a metrics summary after the run\n\
+         \u{20}   memaging serve <quick|lenet|vgg>    [--port N (default 9464)] [--linger]\n\
+         \u{20}                                       [--strategy tt|stt|stat|all]\n\
+         \u{20}                                       [--seed N] [--sessions N]\n\
+         \u{20}                                       [--trace out.jsonl]\n\
+         \u{20}                                       [--trace-chrome out.json] [--metrics]\n\
+         \u{20}                       runs the scenario while serving GET /metrics\n\
+         \u{20}                       (Prometheus text format), /health and /wear\n\
+         \u{20}                       (per-tile wear JSON) on 127.0.0.1; --linger keeps\n\
+         \u{20}                       serving after the run finishes\n\
          \u{20}   memaging device      single-cell aging trajectory (paper Fig. 4)\n\
          \u{20}   memaging info        list the calibrated scenarios\n\
          \u{20}   memaging help        this message\n"
@@ -123,48 +188,58 @@ fn scenario_by_name(name: &str) -> Scenario {
     }
 }
 
-/// Build the CLI recorder: a pretty sink for progress lines, plus a JSONL
-/// sink when `--trace` was given. Fails cleanly on an unwritable trace path.
-fn build_recorder(trace: Option<&str>) -> Result<Recorder, String> {
+fn configured_scenario(name: &str, opts: &RunOpts) -> Scenario {
+    let mut scenario = scenario_by_name(name);
+    if let Some(seed) = opts.seed {
+        scenario.seed = seed;
+        scenario.framework.lifetime.seed = seed;
+    }
+    if let Some(sessions) = opts.sessions {
+        scenario.framework.lifetime.max_sessions = sessions;
+    }
+    scenario
+}
+
+/// Build the CLI recorder: a pretty sink for progress lines, a JSONL sink
+/// when `--trace` was given, a Chrome trace-event sink when
+/// `--trace-chrome` was given, plus any caller-provided sink (the monitor's
+/// wear-state feed). Fails cleanly on an unwritable trace path.
+fn build_recorder(
+    trace: Option<&str>,
+    trace_chrome: Option<&str>,
+    extra: Option<Box<dyn Sink>>,
+) -> Result<Recorder, String> {
     let mut sinks: Vec<Box<dyn Sink>> = vec![Box::new(PrettySink::new())];
     if let Some(path) = trace {
         let jsonl =
             JsonlSink::create(path).map_err(|e| format!("cannot open trace file `{path}`: {e}"))?;
         sinks.push(Box::new(jsonl));
     }
+    if let Some(path) = trace_chrome {
+        let chrome = ChromeTraceSink::create(path)
+            .map_err(|e| format!("cannot open chrome trace file `{path}`: {e}"))?;
+        sinks.push(Box::new(chrome));
+    }
+    if let Some(sink) = extra {
+        sinks.push(sink);
+    }
     Ok(Recorder::new(sinks))
 }
 
-fn run_scenario(
-    name: &str,
+/// Runs the selected strategies, logging per-strategy summaries and the
+/// lifetime-ratio comparison through the recorder. Returns the lifetimes.
+fn run_strategies(
+    scenario: &Scenario,
     strategy: StrategyArg,
-    seed: Option<u64>,
-    sessions: Option<usize>,
-    trace: Option<&str>,
-    metrics: bool,
-) -> Result<(), Box<dyn std::error::Error>> {
-    let mut scenario = scenario_by_name(name);
-    if let Some(seed) = seed {
-        scenario.seed = seed;
-        scenario.framework.lifetime.seed = seed;
-    }
-    if let Some(sessions) = sessions {
-        scenario.framework.lifetime.max_sessions = sessions;
-    }
-    let recorder = build_recorder(trace)?;
-    // The pipeline recorder is only attached when the user opted into
-    // observability, so the default CLI output is unchanged.
-    if trace.is_some() || metrics {
-        scenario.framework.recorder = recorder.clone();
-    }
-    recorder.message(&format!("scenario: {}", scenario.name));
+    recorder: &Recorder,
+) -> Result<Vec<LifetimeResult>, String> {
     let strategies: Vec<Strategy> = match strategy {
         StrategyArg::One(s) => vec![s],
         StrategyArg::All => Strategy::ALL.to_vec(),
     };
     let mut results = Vec::new();
     for s in &strategies {
-        let outcome = scenario.run_strategy(*s)?;
+        let outcome = scenario.run_strategy(*s).map_err(|e| e.to_string())?;
         recorder.message(&format!(
             "{:>6}: software acc {:.1}%, {} sessions, {} applications (failed: {})",
             s.label(),
@@ -183,12 +258,77 @@ fn run_scenario(
         }
         recorder.message(&line);
     }
-    if metrics {
+    Ok(results)
+}
+
+fn run_scenario(name: &str, opts: &RunOpts) -> Result<(), Box<dyn std::error::Error>> {
+    let mut scenario = configured_scenario(name, opts);
+    let recorder = build_recorder(opts.trace.as_deref(), opts.trace_chrome.as_deref(), None)?;
+    // The pipeline recorder is only attached when the user opted into
+    // observability, so the default CLI output is unchanged.
+    if opts.trace.is_some() || opts.trace_chrome.is_some() || opts.metrics {
+        scenario.framework.recorder = recorder.clone();
+    }
+    recorder.message(&format!("scenario: {}", scenario.name));
+    run_strategies(&scenario, opts.strategy, &recorder)?;
+    if opts.metrics {
         if let Some(snapshot) = recorder.snapshot() {
             print!("{snapshot}");
         }
     }
     recorder.flush();
+    Ok(())
+}
+
+/// `memaging serve`: run the lifetime scenario on a worker thread while the
+/// monitoring endpoint answers scrapes on the main thread's behalf.
+fn run_serve(
+    name: &str,
+    opts: &RunOpts,
+    port: u16,
+    linger: bool,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut scenario = configured_scenario(name, opts);
+    let (sink, wear) = MonitorSink::new();
+    let recorder =
+        build_recorder(opts.trace.as_deref(), opts.trace_chrome.as_deref(), Some(Box::new(sink)))?;
+    scenario.framework.recorder = recorder.clone();
+    let server =
+        MonitorServer::bind(("127.0.0.1", port), MonitorState::new(recorder.clone(), wear.clone()))
+            .map_err(|e| format!("cannot bind monitor port {port}: {e}"))?;
+    let addr = server.local_addr();
+    println!("monitor: http://{addr}/metrics  /health  /wear");
+    recorder.message(&format!("scenario: {}", scenario.name));
+    let worker = {
+        let recorder = recorder.clone();
+        let strategy = opts.strategy;
+        std::thread::spawn(move || -> Result<Vec<LifetimeResult>, String> {
+            run_strategies(&scenario, strategy, &recorder)
+        })
+    };
+    // The monitor server answers scrapes from its own thread while we wait.
+    let outcome = worker.join().map_err(|_| "lifetime worker panicked")?;
+    match &outcome {
+        Ok(results) => {
+            let any_failed = results.iter().any(|r| r.failed);
+            wear.set_status(if any_failed { RunStatus::Failed } else { RunStatus::Survived });
+        }
+        Err(_) => wear.set_status(RunStatus::Error),
+    }
+    if opts.metrics {
+        if let Some(snapshot) = recorder.snapshot() {
+            print!("{snapshot}");
+        }
+    }
+    recorder.flush();
+    if linger && outcome.is_ok() {
+        println!("run complete; monitor still serving on http://{addr} (ctrl-c to exit)");
+        loop {
+            std::thread::park();
+        }
+    }
+    server.shutdown();
+    outcome?;
     Ok(())
 }
 
@@ -249,9 +389,14 @@ fn main() {
                 std::process::exit(1);
             }
         }
-        Ok(Command::Scenario { name, strategy, seed, sessions, trace, metrics }) => {
-            if let Err(e) = run_scenario(&name, strategy, seed, sessions, trace.as_deref(), metrics)
-            {
+        Ok(Command::Scenario { name, opts }) => {
+            if let Err(e) = run_scenario(&name, &opts) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        Ok(Command::Serve { name, opts, port, linger }) => {
+            if let Err(e) = run_serve(&name, &opts, port, linger) {
                 eprintln!("error: {e}");
                 std::process::exit(1);
             }
@@ -287,11 +432,12 @@ mod tests {
             cmd,
             Command::Scenario {
                 name: "quick".into(),
-                strategy: StrategyArg::One(Strategy::StAt),
-                seed: Some(9),
-                sessions: Some(5),
-                trace: None,
-                metrics: false,
+                opts: RunOpts {
+                    strategy: StrategyArg::One(Strategy::StAt),
+                    seed: Some(9),
+                    sessions: Some(5),
+                    ..RunOpts::default()
+                },
             }
         );
     }
@@ -304,13 +450,63 @@ mod tests {
             cmd,
             Command::Scenario {
                 name: "quick".into(),
-                strategy: StrategyArg::All,
-                seed: Some(3),
-                sessions: None,
-                trace: Some("/tmp/run.jsonl".into()),
-                metrics: true,
+                opts: RunOpts {
+                    seed: Some(3),
+                    trace: Some("/tmp/run.jsonl".into()),
+                    metrics: true,
+                    ..RunOpts::default()
+                },
             }
         );
+    }
+
+    #[test]
+    fn parses_chrome_trace_flag() {
+        let cmd = parse_args(&argv("scenario quick --trace-chrome /tmp/run.json")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Scenario {
+                name: "quick".into(),
+                opts: RunOpts { trace_chrome: Some("/tmp/run.json".into()), ..RunOpts::default() },
+            }
+        );
+    }
+
+    #[test]
+    fn parses_serve_with_defaults_and_flags() {
+        let cmd = parse_args(&argv("serve quick")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                name: "quick".into(),
+                opts: RunOpts { strategy: StrategyArg::One(Strategy::StAt), ..RunOpts::default() },
+                port: DEFAULT_PORT,
+                linger: false,
+            }
+        );
+        let cmd =
+            parse_args(&argv("serve lenet --port 0 --linger --strategy tt --sessions 8")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                name: "lenet".into(),
+                opts: RunOpts {
+                    strategy: StrategyArg::One(Strategy::TT),
+                    sessions: Some(8),
+                    ..RunOpts::default()
+                },
+                port: 0,
+                linger: true,
+            }
+        );
+    }
+
+    #[test]
+    fn serve_only_flags_are_rejected_by_scenario() {
+        let err = parse_args(&argv("scenario quick --port 9000")).unwrap_err();
+        assert!(err.contains("unknown flag"), "got: {err}");
+        let err = parse_args(&argv("scenario quick --linger")).unwrap_err();
+        assert!(err.contains("unknown flag"), "got: {err}");
     }
 
     #[test]
@@ -328,24 +524,16 @@ mod tests {
 
     #[test]
     fn unwritable_trace_path_is_a_clean_error() {
-        let err = build_recorder(Some("/nonexistent-dir/run.jsonl")).unwrap_err();
+        let err = build_recorder(Some("/nonexistent-dir/run.jsonl"), None, None).unwrap_err();
         assert!(err.contains("cannot open trace file"), "got: {err}");
+        let err = build_recorder(None, Some("/nonexistent-dir/run.json"), None).unwrap_err();
+        assert!(err.contains("cannot open chrome trace file"), "got: {err}");
     }
 
     #[test]
     fn defaults_to_all_strategies() {
         let cmd = parse_args(&argv("scenario lenet")).unwrap();
-        assert_eq!(
-            cmd,
-            Command::Scenario {
-                name: "lenet".into(),
-                strategy: StrategyArg::All,
-                seed: None,
-                sessions: None,
-                trace: None,
-                metrics: false,
-            }
-        );
+        assert_eq!(cmd, Command::Scenario { name: "lenet".into(), opts: RunOpts::default() });
     }
 
     #[test]
@@ -356,6 +544,8 @@ mod tests {
         assert!(parse_args(&argv("scenario quick --seed")).is_err());
         assert!(parse_args(&argv("frobnicate")).is_err());
         assert!(parse_args(&argv("scenario")).is_err());
+        assert!(parse_args(&argv("serve nope")).is_err());
+        assert!(parse_args(&argv("serve quick --port abc")).is_err());
     }
 
     #[test]

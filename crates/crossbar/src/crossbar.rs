@@ -25,6 +25,38 @@ impl ProgramStats {
     }
 }
 
+/// A point-in-time wear summary of one crossbar array (one "tile" of the
+/// monitor's `/wear` heatmap).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TileWear {
+    /// Array rows.
+    pub rows: usize,
+    /// Array columns.
+    pub cols: usize,
+    /// Devices whose window can no longer hold the required levels.
+    pub worn_out: usize,
+    /// Mean aged upper resistance bound, ohms (Fig. 11 series).
+    pub mean_r_max: f64,
+    /// Mean aged lower resistance bound, ohms.
+    pub mean_r_min: f64,
+    /// Narrowest remaining window across the array, ohms (the weakest
+    /// device bounds what the tile can still store).
+    pub min_window_width: f64,
+    /// Mean remaining window as a fraction of the fresh window, in `[0, 1]`.
+    pub mean_window_fraction: f64,
+    /// Total programming pulses absorbed by the array.
+    pub total_pulses: u64,
+    /// Total accumulated effective stress, seconds.
+    pub total_stress: f64,
+}
+
+impl TileWear {
+    /// Number of devices in the tile.
+    pub fn devices(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
 /// A `rows × cols` memristor crossbar (paper Fig. 1).
 ///
 /// Row voltages drive the array; each column output is the current
@@ -295,6 +327,36 @@ impl Crossbar {
         self.devices.iter().map(|d| d.aged_window().r_max).sum::<f64>() / n
     }
 
+    /// A point-in-time wear summary of the whole array — the per-tile record
+    /// behind the monitor's `/wear` heatmap and the lifetime health
+    /// forecaster.
+    pub fn wear_snapshot(&self) -> TileWear {
+        let fresh_width = (self.devices[0].spec().r_max - self.devices[0].spec().r_min).max(1e-12);
+        let n = self.devices.len() as f64;
+        let mut mean_r_max = 0.0;
+        let mut mean_r_min = 0.0;
+        let mut min_width = f64::INFINITY;
+        for device in &self.devices {
+            let w = device.aged_window();
+            mean_r_max += w.r_max;
+            mean_r_min += w.r_min;
+            min_width = min_width.min(w.width());
+        }
+        mean_r_max /= n;
+        mean_r_min /= n;
+        TileWear {
+            rows: self.rows,
+            cols: self.cols,
+            worn_out: self.worn_out_count(),
+            mean_r_max,
+            mean_r_min,
+            min_window_width: min_width,
+            mean_window_fraction: ((mean_r_max - mean_r_min) / fresh_width).clamp(0.0, 1.0),
+            total_pulses: self.total_pulses(),
+            total_stress: self.total_stress(),
+        }
+    }
+
     /// The aged window of the device at `(row, col)`.
     ///
     /// # Panics
@@ -320,6 +382,39 @@ mod tests {
         let x = xbar(3, 5);
         assert_eq!(x.rows(), 3);
         assert_eq!(x.cols(), 5);
+    }
+
+    #[test]
+    fn wear_snapshot_of_a_fresh_array() {
+        let x = xbar(3, 4);
+        let spec = DeviceSpec::default();
+        let snap = x.wear_snapshot();
+        assert_eq!((snap.rows, snap.cols, snap.devices()), (3, 4, 12));
+        assert_eq!(snap.worn_out, 0);
+        assert_eq!(snap.total_pulses, 0);
+        assert_eq!(snap.total_stress, 0.0);
+        assert!((snap.mean_r_max - spec.r_max).abs() < 1e-9);
+        assert!((snap.mean_r_min - spec.r_min).abs() < 1e-9);
+        assert!((snap.mean_window_fraction - 1.0).abs() < 1e-12);
+        assert!((snap.min_window_width - (spec.r_max - spec.r_min)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wear_snapshot_tracks_programming_stress() {
+        let mut x = xbar(2, 2);
+        let spec = DeviceSpec::default();
+        // Repeated full-swing reprogramming ages the window.
+        for k in 0..40 {
+            let r = if k % 2 == 0 { spec.r_min } else { spec.r_max };
+            let targets = Tensor::full([2, 2], (1.0 / r) as f32);
+            x.program_conductances(&targets).unwrap();
+        }
+        let snap = x.wear_snapshot();
+        assert!(snap.total_pulses > 0);
+        assert!(snap.total_stress > 0.0);
+        assert!(snap.mean_r_max < spec.r_max, "upper bound must have aged");
+        assert!(snap.mean_window_fraction < 1.0);
+        assert!(snap.min_window_width <= snap.mean_r_max - snap.mean_r_min + 1e-9);
     }
 
     #[test]

@@ -75,7 +75,7 @@ mod tracer;
 mod tuner;
 mod wear_level;
 
-pub use crossbar::{Crossbar, ProgramStats};
+pub use crossbar::{Crossbar, ProgramStats, TileWear};
 pub use differential::{DifferentialCrossbar, DifferentialMapping};
 pub use error::CrossbarError;
 pub use mapping::WeightMapping;

@@ -450,6 +450,12 @@ impl CrossbarNetwork {
     pub fn per_layer_mean_r_max(&self) -> Vec<f64> {
         self.arrays.iter().map(Crossbar::mean_aged_r_max).collect()
     }
+
+    /// Per-layer wear summaries, in mapping order — the tile records behind
+    /// the monitor's `/wear` heatmap and the lifetime health forecaster.
+    pub fn wear_snapshots(&self) -> Vec<crate::TileWear> {
+        self.arrays.iter().map(Crossbar::wear_snapshot).collect()
+    }
 }
 
 /// Simulates the post-mapping accuracy of candidate window `cand` for layer

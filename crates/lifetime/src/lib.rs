@@ -45,11 +45,13 @@
 #![forbid(unsafe_code)]
 
 mod error;
+mod health;
 mod simulator;
 mod strategy;
 mod telemetry;
 
 pub use error::LifetimeError;
+pub use health::{HealthAlert, HealthConfig, HealthMonitor, HealthReport, LayerHealth};
 pub use simulator::{
     run_lifetime, run_lifetime_with_recorder, LifetimeConfig, LifetimeResult, SessionRecord,
 };

@@ -18,6 +18,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::error::LifetimeError;
+use crate::health::{HealthConfig, HealthMonitor};
 use crate::strategy::Strategy;
 
 /// Configuration of a lifetime simulation.
@@ -54,6 +55,10 @@ pub struct LifetimeConfig {
     /// Enables the row-swapping wear-leveling baseline of the paper's
     /// ref. [12] on top of the selected strategy (prior-work comparison).
     pub wear_leveling: bool,
+    /// Thresholds of the wear-health subsystem (forecaster + alerts). The
+    /// monitor only runs when a recorder is enabled — its reports flow
+    /// through the recorder's sinks.
+    pub health: HealthConfig,
 }
 
 impl Default for LifetimeConfig {
@@ -70,6 +75,7 @@ impl Default for LifetimeConfig {
             seed: 0,
             remap_trigger: 0.3,
             wear_leveling: false,
+            health: HealthConfig::default(),
         }
     }
 }
@@ -111,6 +117,7 @@ impl LifetimeConfig {
                 reason: format!("remap trigger {} not in [0, 1]", self.remap_trigger),
             });
         }
+        self.health.validate()?;
         Ok(())
     }
 }
@@ -211,9 +218,11 @@ pub fn run_lifetime(
 /// [`run_lifetime`] with observability. Each maintenance session is stamped
 /// with its index ([`Recorder::set_session`]) and traced as `map` (when the
 /// session maps), `evaluate` and `tune` spans; per session the recorder
-/// receives the `aging.r_max_ohms{layer}` gauges, wear counters, and a
-/// session-summary event carrying `tuner.iterations`, `tuner.pulses` and
-/// the session accuracies. With a disabled recorder this is identical to
+/// receives the wear-health report of [`crate::HealthMonitor`] (the
+/// `aging.*`/`wear.*`/`health.*` gauges, the sessions-to-failure forecast
+/// and any warn/critical alerts), wear counters, and a session-summary
+/// event carrying `tuner.iterations`, `tuner.pulses` and the session
+/// accuracies. With a disabled recorder this is identical to
 /// [`run_lifetime`].
 ///
 /// # Errors
@@ -229,6 +238,8 @@ pub fn run_lifetime_with_recorder(
 ) -> Result<LifetimeResult, LifetimeError> {
     config.validate()?;
     let trained: Vec<Tensor> = network.weight_matrices();
+    let mut health =
+        HealthMonitor::new(spec.r_min, spec.r_max, config.max_tuning_iterations, config.health);
     let mut hw = CrossbarNetwork::new(network, spec, aging)?;
     hw.set_wear_leveling(config.wear_leveling);
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -322,9 +333,11 @@ pub fn run_lifetime_with_recorder(
         hw.equilibrate_thermal();
         if recorder.is_enabled() {
             recorder.counter("lifetime.sessions", 1);
-            for (layer, r_max) in record.per_layer_mean_r_max.iter().enumerate() {
-                recorder.gauge_labeled("aging.r_max_ohms", "layer", layer, *r_max);
-            }
+            // Wear-health assessment: per-layer aged-bound gauges, the
+            // sessions-to-failure forecast, and threshold alerts.
+            health
+                .observe(session as u64, &hw.wear_snapshots(), record.tuning_iterations)
+                .emit(recorder);
             recorder.gauge("lifetime.worn_out_devices", record.worn_out_devices as f64);
             recorder.session_summary(
                 session as u64,

@@ -1,0 +1,52 @@
+//! # memaging-monitor
+//!
+//! The scrapeable monitoring tier over [`memaging-obs`](memaging_obs): turns
+//! a live [`Recorder`](memaging_obs::Recorder) into an HTTP endpoint a
+//! Prometheus scraper (or a plain `curl`) can watch while the lifetime
+//! pipeline runs. Dependency-free, like the recorder beneath it: the server
+//! is a [`std::net::TcpListener`] accept loop, the exposition and JSON are
+//! hand-rolled.
+//!
+//! The pieces:
+//!
+//! * [`prometheus::render`]: text-format exposition (version 0.0.4) of a
+//!   sorted [`MetricsSnapshot`](memaging_obs::MetricsSnapshot) — counters as
+//!   `_total`, internal `name{layer=0}` labels as `name{layer="0"}`,
+//!   histograms as cumulative `_bucket{le=...}` series;
+//! * [`MonitorSink`]: an [`memaging_obs::Sink`] folding the wear-health
+//!   gauges and alerts of `memaging-lifetime` into a shared [`WearState`];
+//! * [`MonitorServer`]: the HTTP server routing `GET /metrics` (exposition),
+//!   `GET /health` (liveness JSON, `503` after a failed run) and `GET
+//!   /wear` (per-tile wear heatmap JSON).
+//!
+//! # Example
+//!
+//! ```
+//! use memaging_monitor::{MonitorServer, MonitorSink, MonitorState};
+//! use memaging_obs::Recorder;
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let (sink, wear) = MonitorSink::new();
+//! let recorder = Recorder::new(vec![Box::new(sink)]);
+//! let server =
+//!     MonitorServer::bind("127.0.0.1:0", MonitorState::new(recorder.clone(), wear))?;
+//! println!("scrape http://{}/metrics", server.local_addr());
+//! // ... run the pipeline with `recorder`, then:
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The `memaging serve <scenario>` subcommand wires this up end to end.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod prometheus;
+mod server;
+mod state;
+
+pub use server::MonitorServer;
+pub use state::{
+    AlertRecord, LayerWear, MonitorSink, MonitorState, RunStatus, WearHandle, WearState,
+};

@@ -1,0 +1,242 @@
+//! The scrape endpoint: a minimal HTTP/1.1 server on
+//! [`std::net::TcpListener`] — dependency-free, like everything in the
+//! observability stack.
+//!
+//! Routes:
+//!
+//! * `GET /metrics` — Prometheus text exposition of the recorder's registry;
+//! * `GET /health`  — compact JSON liveness summary (`503` once the
+//!   monitored run has failed — scrapers and load balancers alike read it);
+//! * `GET /wear`    — the per-tile wear heatmap JSON of
+//!   [`crate::WearState::to_json`].
+//!
+//! The accept loop runs on one background thread and handles connections
+//! serially: scrapes are tiny, the responses are built from cheap snapshots,
+//! and a serial loop cannot be wedged open by a slow client thanks to the
+//! per-connection read timeout.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::prometheus;
+use crate::state::{MonitorState, RunStatus};
+
+/// Per-connection socket timeout: a stalled scraper cannot block the loop
+/// for longer than this.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// The monitoring HTTP server. Shuts down when dropped (or explicitly via
+/// [`MonitorServer::shutdown`]).
+pub struct MonitorServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MonitorServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9464"`, port 0 for ephemeral) and
+    /// starts serving `state` on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (port in use, permission, bad address).
+    pub fn bind(addr: impl ToSocketAddrs, state: MonitorState) -> io::Result<MonitorServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("memaging-monitor".into())
+            .spawn(move || accept_loop(&listener, &state, &thread_stop))?;
+        Ok(MonitorServer { addr, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MonitorServer {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &MonitorState, stop: &AtomicBool) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Best-effort per connection: a broken scrape must not kill the
+        // server.
+        let _ = handle_connection(stream, state);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &MonitorState) -> io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let Some(path) = read_request_path(&mut stream)? else {
+        return respond(&mut stream, 400, "text/plain; charset=utf-8", "bad request\n");
+    };
+    match path.as_str() {
+        "/metrics" => {
+            let snapshot = state.recorder.snapshot().unwrap_or_default();
+            respond(&mut stream, 200, prometheus::CONTENT_TYPE, &prometheus::render(&snapshot))
+        }
+        "/health" => {
+            let wear = state.wear();
+            let status = if wear.status == RunStatus::Failed { 503 } else { 200 };
+            respond(&mut stream, status, "application/json", &wear.to_health_json())
+        }
+        "/wear" => respond(&mut stream, 200, "application/json", &state.wear().to_json()),
+        _ => respond(&mut stream, 404, "text/plain; charset=utf-8", "not found\n"),
+    }
+}
+
+/// Reads the request head and returns the path of a `GET` request (`None`
+/// for anything unparsable or non-GET — the caller answers 400).
+fn read_request_path(stream: &mut TcpStream) -> io::Result<Option<String>> {
+    // 8 KiB is plenty for a scrape request head; anything longer is cut off
+    // and will fail to parse.
+    let mut buf = [0u8; 8192];
+    let mut len = 0;
+    while len < buf.len() {
+        let n = match stream.read(&mut buf[len..]) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => break,
+            Err(e) => return Err(e),
+        };
+        len += n;
+        if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    match (parts.next(), parts.next()) {
+        (Some("GET"), Some(path)) => Ok(Some(path.split('?').next().unwrap_or(path).to_string())),
+        _ => Ok(None),
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memaging_obs::Recorder;
+
+    /// Minimal test-side HTTP GET; returns (status, body).
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let status: u16 =
+            response.split_whitespace().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+        let body = response.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+        (status, body)
+    }
+
+    fn serving_state() -> (MonitorState, Recorder) {
+        let (sink, wear) = crate::MonitorSink::new();
+        // A recorder that feeds the monitor sink *and* owns a registry.
+        let recorder = Recorder::new(vec![Box::new(sink)]);
+        (MonitorState::new(recorder.clone(), wear), recorder)
+    }
+
+    #[test]
+    fn serves_metrics_health_wear_and_404() {
+        let (state, recorder) = serving_state();
+        recorder.counter("tuner.iterations", 42);
+        recorder.gauge_labeled("aging.r_max_ohms", "layer", 0usize, 91_000.0);
+        let server = MonitorServer::bind("127.0.0.1:0", state.clone()).unwrap();
+        let addr = server.local_addr();
+
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(body.contains("tuner_iterations_total 42\n"), "got: {body}");
+        assert!(body.contains("aging_r_max_ohms{layer=\"0\"} 91000\n"));
+
+        let (status, body) = get(addr, "/health");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"running\""));
+
+        let (status, body) = get(addr, "/wear");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"layers\":[{\"layer\":0,\"r_max_ohms\":91000.0,"));
+
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn health_goes_503_when_the_run_fails() {
+        let (state, _recorder) = serving_state();
+        let server = MonitorServer::bind("127.0.0.1:0", state.clone()).unwrap();
+        state.set_status(RunStatus::Failed);
+        let (status, body) = get(server.local_addr(), "/health");
+        assert_eq!(status, 503);
+        assert!(body.contains("\"status\":\"failed\""));
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_get_400_and_do_not_kill_the_server() {
+        let (state, _recorder) = serving_state();
+        let server = MonitorServer::bind("127.0.0.1:0", state).unwrap();
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"BOGUS\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 400 "), "got: {response}");
+        // Server still answers afterwards.
+        let (status, _) = get(addr, "/health");
+        assert_eq!(status, 200);
+        server.shutdown();
+    }
+}

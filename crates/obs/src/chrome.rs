@@ -1,0 +1,224 @@
+//! Chrome trace-event export: a [`Sink`] writing the JSON array format
+//! consumed by `chrome://tracing` and [Perfetto](https://ui.perfetto.dev).
+//!
+//! Mapping from [`Event`]s to trace records:
+//!
+//! * spans → complete events (`"ph":"X"`) with the recorder-relative
+//!   `start_us`/`duration_us` timestamps;
+//! * counters and gauges → counter tracks (`"ph":"C"`);
+//! * messages and alerts → instant events (`"ph":"i"`);
+//! * the lifetime-session index becomes the track id (`tid`), so Perfetto
+//!   renders one row per maintenance session (tid 0 collects everything
+//!   that fired outside a session, e.g. software training).
+//!
+//! Span timestamps come from the recorder's epoch while counter/instant
+//! timestamps come from the sink's own creation instant; the two are created
+//! back-to-back so the skew is microseconds — well below the phase durations
+//! the export is meant to visualize.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::time::Instant;
+
+use crate::event::Event;
+use crate::sink::Sink;
+
+/// Writes the `--trace-chrome <path.json>` format (a Chrome trace-event
+/// JSON array). The closing `]` is written when the sink drops, so the file
+/// is only strictly valid JSON after the recorder (and every clone) is gone;
+/// both Chrome and Perfetto tolerate a truncated array if the process dies
+/// mid-run.
+pub struct ChromeTraceSink {
+    writer: BufWriter<File>,
+    epoch: Instant,
+    wrote_any: bool,
+    closed: bool,
+}
+
+impl ChromeTraceSink {
+    /// Creates (truncating) the trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error when the path is not writable.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        let mut writer = BufWriter::new(file);
+        writer.write_all(b"[")?;
+        Ok(ChromeTraceSink { writer, epoch: Instant::now(), wrote_any: false, closed: false })
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+
+    /// Writes one raw trace record, handling the array comma.
+    fn push_record(&mut self, record: &str) {
+        // Like JsonlSink: a failed trace write must not take down the run.
+        let sep = if self.wrote_any { "," } else { "" };
+        let _ = write!(self.writer, "{sep}\n{record}");
+        self.wrote_any = true;
+    }
+
+    fn track(session: Option<u64>) -> u64 {
+        session.map_or(0, |s| s + 1)
+    }
+
+    fn close(&mut self) {
+        if !self.closed {
+            let _ = self.writer.write_all(b"\n]\n");
+            let _ = self.writer.flush();
+            self.closed = true;
+        }
+    }
+}
+
+impl Sink for ChromeTraceSink {
+    fn record(&mut self, event: &Event) {
+        if self.closed {
+            return;
+        }
+        match event {
+            Event::Span { name, session, start_us, duration_us } => {
+                let record = format!(
+                    "{{\"name\":{},\"cat\":\"phase\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}",
+                    json_str(name),
+                    start_us,
+                    duration_us,
+                    Self::track(*session),
+                );
+                self.push_record(&record);
+            }
+            Event::Counter { name, session, total, .. } => {
+                let record = format!(
+                    "{{\"name\":{},\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":{},\"args\":{{\"value\":{}}}}}",
+                    json_str(name),
+                    self.now_us(),
+                    Self::track(*session),
+                    total,
+                );
+                self.push_record(&record);
+            }
+            Event::Gauge { name, session, value } => {
+                let record = format!(
+                    "{{\"name\":{},\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":{},\"args\":{{\"value\":{}}}}}",
+                    json_str(name),
+                    self.now_us(),
+                    Self::track(*session),
+                    json_f64(*value),
+                );
+                self.push_record(&record);
+            }
+            Event::Message { text } => {
+                let record = format!(
+                    "{{\"name\":{},\"ph\":\"i\",\"s\":\"g\",\"ts\":{},\"pid\":1,\"tid\":0}}",
+                    json_str(text),
+                    self.now_us(),
+                );
+                self.push_record(&record);
+            }
+            Event::Alert { severity, name, session, message, .. } => {
+                let record = format!(
+                    "{{\"name\":{},\"cat\":\"alert\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{},\"pid\":1,\"tid\":{},\"args\":{{\"message\":{}}}}}",
+                    json_str(&format!("alert:{severity}:{name}")),
+                    self.now_us(),
+                    Self::track(*session),
+                    json_str(message),
+                );
+                self.push_record(&record);
+            }
+            // Session summaries are a pre-folded convenience for JSONL
+            // replay; the per-metric counter tracks already carry the data.
+            Event::Observation { .. } | Event::Session { .. } => {}
+        }
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+impl Drop for ChromeTraceSink {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// A JSON string literal of `value`, using the event serializer's escaping.
+fn json_str(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    crate::event::push_json_str(&mut out, value);
+    out
+}
+
+/// A JSON number for `value` (`null` when non-finite), matching the JSONL
+/// serializer.
+fn json_f64(value: f64) -> String {
+    let mut out = String::with_capacity(24);
+    crate::event::push_json_f64(&mut out, value);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::AlertSeverity;
+
+    fn events() -> Vec<Event> {
+        vec![
+            Event::Message { text: "hello \"world\"".into() },
+            Event::Span { name: "tune".into(), session: Some(3), start_us: 10, duration_us: 250 },
+            Event::Counter { name: "tuner.pulses".into(), session: Some(3), delta: 2, total: 9 },
+            Event::Gauge { name: "aging.r_max_ohms{layer=0}".into(), session: None, value: 9.5e4 },
+            Event::Observation { name: "train.epoch_loss".into(), session: None, value: 0.5 },
+            Event::Alert {
+                severity: AlertSeverity::Warn,
+                name: "health.window".into(),
+                session: Some(3),
+                value: 0.4,
+                threshold: 0.5,
+                message: "shrinking".into(),
+            },
+        ]
+    }
+
+    fn write_trace(path: &std::path::Path) -> String {
+        {
+            let mut sink = ChromeTraceSink::create(path).unwrap();
+            for event in events() {
+                sink.record(&event);
+            }
+        }
+        std::fs::read_to_string(path).unwrap()
+    }
+
+    #[test]
+    fn trace_is_a_closed_json_array_of_records() {
+        let path =
+            std::env::temp_dir().join(format!("memaging_chrome_{}.json", std::process::id()));
+        let text = write_trace(&path);
+        let trimmed = text.trim();
+        assert!(trimmed.starts_with('[') && trimmed.ends_with(']'), "not an array: {text}");
+        // One record per event except the histogram observation and session.
+        let records: Vec<&str> =
+            trimmed[1..trimmed.len() - 1].split(",\n").map(str::trim).collect();
+        assert_eq!(records.len(), 5, "records: {records:#?}");
+        assert!(records.iter().all(|r| r.starts_with('{') && r.ends_with('}')));
+        // The span keeps its recorder-relative timestamps and session track.
+        let span = records.iter().find(|r| r.contains("\"ph\":\"X\"")).unwrap();
+        assert!(span.contains("\"ts\":10") && span.contains("\"dur\":250"), "{span}");
+        assert!(span.contains("\"tid\":4"), "session 3 must map to track 4: {span}");
+        // Counter and gauge become counter tracks.
+        assert_eq!(records.iter().filter(|r| r.contains("\"ph\":\"C\"")).count(), 2);
+        // Message and alert become instants; escaping is preserved.
+        assert!(records[0].contains("hello \\\"world\\\""), "{}", records[0]);
+        assert!(records.iter().any(|r| r.contains("alert:warn:health.window")));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unwritable_path_is_an_error() {
+        assert!(ChromeTraceSink::create("/nonexistent-dir/trace.json").is_err());
+    }
+}

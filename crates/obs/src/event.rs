@@ -3,6 +3,31 @@
 
 use std::fmt::Write as _;
 
+/// Severity of an [`Event::Alert`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AlertSeverity {
+    /// Degradation is under way; schedule maintenance.
+    Warn,
+    /// Failure is imminent; act now.
+    Critical,
+}
+
+impl AlertSeverity {
+    /// The lowercase wire label (`"warn"` / `"critical"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            AlertSeverity::Warn => "warn",
+            AlertSeverity::Critical => "critical",
+        }
+    }
+}
+
+impl std::fmt::Display for AlertSeverity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// One observability event, as delivered to [`crate::Sink`]s.
 ///
 /// Times are microseconds relative to the recorder's creation instant, so a
@@ -62,6 +87,21 @@ pub enum Event {
         /// The text, without a trailing newline.
         text: String,
     },
+    /// A threshold crossing raised by the wear-health subsystem.
+    Alert {
+        /// How bad it is.
+        severity: AlertSeverity,
+        /// The rule that fired, e.g. `health.sessions_left`.
+        name: String,
+        /// Session index the alert fired under, if any.
+        session: Option<u64>,
+        /// The observed value that crossed the threshold.
+        value: f64,
+        /// The threshold it crossed.
+        threshold: f64,
+        /// Human-readable explanation.
+        message: String,
+    },
 }
 
 impl Event {
@@ -71,7 +111,8 @@ impl Event {
             Event::Span { name, .. }
             | Event::Counter { name, .. }
             | Event::Gauge { name, .. }
-            | Event::Observation { name, .. } => Some(name),
+            | Event::Observation { name, .. }
+            | Event::Alert { name, .. } => Some(name),
             Event::Session { .. } | Event::Message { .. } => None,
         }
     }
@@ -126,6 +167,18 @@ impl Event {
                 push_json_str(&mut out, text);
                 out.push('}');
             }
+            Event::Alert { severity, name, session, value, threshold, message } => {
+                let _ = write!(out, "{{\"type\":\"alert\",\"severity\":\"{severity}\",\"name\":");
+                push_json_str(&mut out, name);
+                push_session(&mut out, *session);
+                out.push_str(",\"value\":");
+                push_json_f64(&mut out, *value);
+                out.push_str(",\"threshold\":");
+                push_json_f64(&mut out, *threshold);
+                out.push_str(",\"message\":");
+                push_json_str(&mut out, message);
+                out.push('}');
+            }
         }
         out
     }
@@ -138,7 +191,7 @@ fn push_session(out: &mut String, session: Option<u64>) {
 }
 
 /// Appends `value` as a JSON string literal, escaping as per RFC 8259.
-fn push_json_str(out: &mut String, value: &str) {
+pub(crate) fn push_json_str(out: &mut String, value: &str) {
     out.push('"');
     for c in value.chars() {
         match c {
@@ -158,7 +211,7 @@ fn push_json_str(out: &mut String, value: &str) {
 
 /// Appends a finite float as a JSON number; non-finite values become `null`
 /// (JSON has no NaN/Inf).
-fn push_json_f64(out: &mut String, value: f64) {
+pub(crate) fn push_json_f64(out: &mut String, value: f64) {
     if value.is_finite() {
         if value == value.trunc() && value.abs() < 1e15 {
             // Keep integral values compact and round-trippable.
@@ -214,6 +267,24 @@ mod tests {
             event.to_json(),
             r#"{"type":"session","index":2,"metrics":{"tuner.iterations":12.0,"accuracy":0.91}}"#
         );
+    }
+
+    #[test]
+    fn alert_serializes_severity_and_thresholds() {
+        let event = Event::Alert {
+            severity: AlertSeverity::Critical,
+            name: "health.sessions_left".into(),
+            session: Some(7),
+            value: 1.5,
+            threshold: 3.0,
+            message: "layer 0 forecast".into(),
+        };
+        assert_eq!(
+            event.to_json(),
+            r#"{"type":"alert","severity":"critical","name":"health.sessions_left","session":7,"value":1.5,"threshold":3.0,"message":"layer 0 forecast"}"#
+        );
+        assert_eq!(event.name(), Some("health.sessions_left"));
+        assert!(AlertSeverity::Warn < AlertSeverity::Critical);
     }
 
     #[test]

@@ -22,8 +22,14 @@
 //!     ([`Recorder::message`]), which the [`PrettySink`] prints verbatim so
 //!     CLI output stays byte-compatible with the old `println!` reporting.
 //! * Sinks receive every event: [`JsonlSink`] writes one JSON object per
-//!   line (the `--trace` format), [`PrettySink`] renders for humans, and
-//!   [`MemorySink`] buffers events for test assertions.
+//!   line (the `--trace` format), [`ChromeTraceSink`] writes the Chrome
+//!   trace-event array (the `--trace-chrome` format, loadable in Perfetto),
+//!   [`PrettySink`] renders for humans, and [`MemorySink`] buffers events
+//!   for test assertions.
+//! * The wear-health subsystem raises [`Event::Alert`]s
+//!   ([`Recorder::alert`]) when a degradation threshold is crossed; the
+//!   `memaging-monitor` crate exports the aggregated [`Registry`] in
+//!   Prometheus text format over HTTP.
 //!
 //! ## Example
 //!
@@ -43,12 +49,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod chrome;
 mod event;
 mod metrics;
 mod recorder;
 mod sink;
 
-pub use event::Event;
+pub use chrome::ChromeTraceSink;
+pub use event::{AlertSeverity, Event};
 pub use metrics::{HistogramSnapshot, MetricsSnapshot, Registry};
 pub use recorder::{Recorder, SpanGuard};
 pub use sink::{JsonlSink, MemoryHandle, MemorySink, PrettySink, Sink};

@@ -155,6 +155,30 @@ impl Recorder {
         }
     }
 
+    /// Raises a threshold-crossing alert: bumps the `alerts.<severity>`
+    /// counter in the registry and emits an [`Event::Alert`] to every sink.
+    pub fn alert(
+        &self,
+        severity: crate::AlertSeverity,
+        name: &str,
+        value: f64,
+        threshold: f64,
+        message: &str,
+    ) {
+        if let Some(inner) = &self.inner {
+            let counter = format!("alerts.{severity}");
+            inner.registry.lock().expect("registry poisoned").add(&counter, 1);
+            inner.emit(&Event::Alert {
+                severity,
+                name: name.to_string(),
+                session: inner.current_session(),
+                value,
+                threshold,
+                message: message.to_string(),
+            });
+        }
+    }
+
     /// Emits a per-lifetime-session summary event.
     pub fn session_summary(&self, index: u64, metrics: &[(&str, f64)]) {
         if let Some(inner) = &self.inner {
@@ -241,6 +265,7 @@ mod tests {
         recorder.gauge_labeled("g", "layer", 0, 1.0);
         recorder.observe("h", 1.0);
         recorder.message("hello");
+        recorder.alert(crate::AlertSeverity::Warn, "a", 1.0, 2.0, "m");
         recorder.session_summary(0, &[("a", 1.0)]);
         let _span = recorder.span("tune");
         assert!(recorder.snapshot().is_none());
@@ -307,6 +332,28 @@ mod tests {
         recorder.counter("c", 1);
         assert_eq!(recorder.snapshot().unwrap().counters[0].1, 2);
         assert_eq!(handle.len(), 2);
+    }
+
+    #[test]
+    fn alerts_count_in_registry_and_reach_sinks() {
+        let (sink, handle) = MemorySink::new();
+        let recorder = Recorder::new(vec![Box::new(sink)]);
+        recorder.set_session(Some(4));
+        recorder.alert(crate::AlertSeverity::Warn, "health.window", 0.4, 0.5, "shrinking");
+        recorder.alert(crate::AlertSeverity::Critical, "health.window", 0.2, 0.25, "collapsing");
+        let snapshot = recorder.snapshot().unwrap();
+        assert_eq!(
+            snapshot.counters,
+            vec![("alerts.critical".to_string(), 1), ("alerts.warn".to_string(), 1)]
+        );
+        match &handle.events()[0] {
+            Event::Alert { severity, session, threshold, .. } => {
+                assert_eq!(*severity, crate::AlertSeverity::Warn);
+                assert_eq!(*session, Some(4));
+                assert_eq!(*threshold, 0.5);
+            }
+            other => panic!("expected alert, got {other:?}"),
+        }
     }
 
     #[test]

@@ -80,6 +80,13 @@ impl Sink for PrettySink {
     fn record(&mut self, event: &Event) {
         match event {
             Event::Message { text } => println!("{text}"),
+            // Alerts are operator-facing: print them even when not verbose.
+            Event::Alert { severity, name, session, value, threshold, message } => {
+                let in_session = session.map_or(String::new(), |s| format!(" [session {s}]"));
+                println!(
+                    "  ALERT {severity}{in_session} {name}: {message} (value {value:.4}, threshold {threshold:.4})"
+                );
+            }
             _ if !self.verbose => {}
             Event::Span { name, session, duration_us, .. } => {
                 let in_session = session.map_or(String::new(), |s| format!(" [session {s}]"));

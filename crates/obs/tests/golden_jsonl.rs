@@ -1,0 +1,81 @@
+//! Golden-file test pinning the JSONL event schema (DESIGN.md §7/§8).
+//!
+//! The exporters added on top of the trace format (Prometheus rendering,
+//! Chrome traces, the monitor's wear state) all consume these events; a
+//! silent field rename or re-ordering would break replay of archived
+//! traces. If a schema change is *intentional*, update
+//! `tests/golden/events.jsonl` in the same commit and document the change
+//! in DESIGN.md.
+
+use memaging_obs::{AlertSeverity, Event};
+
+/// One event of every variant, with fixed values covering the optional
+/// `session` field, string escaping, and non-finite floats.
+fn fixture() -> Vec<Event> {
+    vec![
+        Event::Message { text: "scenario: MLP / synthetic-8 (quick)".into() },
+        Event::Message { text: "escaped: \"quote\" back\\slash \n tab\t".into() },
+        Event::Span { name: "train".into(), session: None, start_us: 0, duration_us: 1250 },
+        Event::Span { name: "tune".into(), session: Some(3), start_us: 104_523, duration_us: 2481 },
+        Event::Counter { name: "tuner.iterations".into(), session: Some(3), delta: 5, total: 38 },
+        Event::Counter { name: "lifetime.remaps".into(), session: None, delta: 1, total: 1 },
+        Event::Gauge {
+            name: "aging.r_max_ohms{layer=1}".into(),
+            session: Some(3),
+            value: 83_912.4,
+        },
+        Event::Gauge { name: "health.sessions_left{layer=0}".into(), session: None, value: 12.0 },
+        Event::Gauge { name: "broken.gauge".into(), session: None, value: f64::NAN },
+        Event::Observation { name: "train.epoch_loss".into(), session: None, value: 0.3007 },
+        Event::Session {
+            index: 3,
+            metrics: vec![("tuner.iterations".into(), 5.0), ("accuracy".into(), 0.91)],
+        },
+        Event::Alert {
+            severity: AlertSeverity::Warn,
+            name: "health.window_fraction".into(),
+            session: Some(3),
+            value: 0.48,
+            threshold: 0.5,
+            message: "layer 1 window below 50% of fresh".into(),
+        },
+        Event::Alert {
+            severity: AlertSeverity::Critical,
+            name: "health.sessions_left".into(),
+            session: Some(9),
+            value: 2.0,
+            threshold: 3.0,
+            message: "forecast: 2 sessions to window collapse".into(),
+        },
+    ]
+}
+
+#[test]
+fn jsonl_schema_matches_golden_file() {
+    let golden = include_str!("golden/events.jsonl");
+    let rendered: String = fixture().iter().map(|e| e.to_json() + "\n").collect();
+    if golden != rendered {
+        // Print a per-line diff so an intentional schema change is easy to
+        // review before re-blessing the golden file.
+        for (i, (want, got)) in golden.lines().zip(rendered.lines()).enumerate() {
+            if want != got {
+                eprintln!("line {}:\n  golden: {want}\n  actual: {got}", i + 1);
+            }
+        }
+        panic!(
+            "JSONL schema drifted from tests/golden/events.jsonl \
+             (intentional? re-bless the golden file and update DESIGN.md)"
+        );
+    }
+}
+
+#[test]
+fn golden_file_covers_every_event_type() {
+    let golden = include_str!("golden/events.jsonl");
+    for tag in ["message", "span", "counter", "gauge", "histogram", "session", "alert"] {
+        assert!(
+            golden.contains(&format!("{{\"type\":\"{tag}\"")),
+            "golden file lost coverage of event type `{tag}`"
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the hand-rolled JSON serializer: arbitrary strings —
+//! including control characters, quotes, backslashes and astral-plane
+//! unicode — must round-trip through `Event::to_json` and survive as valid
+//! single-line JSON.
+
+use memaging_obs::Event;
+use proptest::prelude::*;
+
+/// Arbitrary unicode strings biased toward the hostile ranges: C0 controls
+/// (U+0000–U+001F), the JSON escapes `"` and `\`, and non-BMP code points.
+fn hostile_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u32..0x0011_0000, 0..48).prop_map(|codes| {
+        codes
+            .into_iter()
+            .map(|c| match c % 7 {
+                // Oversample the interesting classes; the raw draw keeps
+                // full unicode coverage (surrogates filtered out).
+                0 => char::from_u32(c % 0x20).unwrap_or('\u{1}'),
+                1 => '"',
+                2 => '\\',
+                _ => char::from_u32(c).unwrap_or('\u{FFFD}'),
+            })
+            .collect()
+    })
+}
+
+/// Minimal RFC 8259 string-literal parser: reads the first JSON string in
+/// `json` starting at byte `start` (which must index a `"`), returning the
+/// decoded value. Panics on malformed input — that's the property failing.
+fn parse_json_string(json: &str, start: usize) -> String {
+    let chars: Vec<char> = json[start..].chars().collect();
+    assert_eq!(chars.first(), Some(&'"'), "expected string start at {start}: {json}");
+    let mut out = String::new();
+    let mut i = 1;
+    loop {
+        let c = *chars.get(i).unwrap_or_else(|| panic!("unterminated string: {json}"));
+        i += 1;
+        match c {
+            '"' => return out,
+            '\\' => {
+                let escape = chars[i];
+                i += 1;
+                match escape {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let hex: String = chars[i..i + 4].iter().collect();
+                        i += 4;
+                        let code = u32::from_str_radix(&hex, 16).expect("bad \\u escape");
+                        assert!(
+                            !(0xD800..=0xDFFF).contains(&code),
+                            "serializer must not emit surrogate escapes"
+                        );
+                        out.push(char::from_u32(code).expect("bad code point"));
+                    }
+                    other => panic!("invalid escape \\{other} in {json}"),
+                }
+            }
+            c => {
+                assert!((c as u32) >= 0x20, "raw control character {:#x} in {json}", c as u32);
+                out.push(c);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn message_text_round_trips(text in hostile_string()) {
+        let event = Event::Message { text: text.clone() };
+        let json = event.to_json();
+        // Single line, and every control character is escaped.
+        prop_assert!(!json.contains('\n'), "serialized event spans lines: {json:?}");
+        prop_assert!(
+            json.chars().all(|c| (c as u32) >= 0x20),
+            "raw control character leaked into {json:?}"
+        );
+        let start = json.find("\"text\":").expect("text field") + "\"text\":".len();
+        let decoded = parse_json_string(&json, start);
+        prop_assert_eq!(decoded, text);
+    }
+
+    #[test]
+    fn metric_names_round_trip(name in hostile_string(), value in -1.0e9f64..1.0e9) {
+        let event = Event::Gauge { name: name.clone(), session: Some(1), value };
+        let json = event.to_json();
+        let start = json.find("\"name\":").expect("name field") + "\"name\":".len();
+        let decoded = parse_json_string(&json, start);
+        prop_assert_eq!(decoded, name);
+    }
+}

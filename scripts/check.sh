@@ -16,4 +16,16 @@ fi
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q
 
+# Perf-regression gate over the committed phase profile. The self-compare is
+# a structural sanity check (the gate must parse the baseline and exit 0);
+# when a fresh candidate profile exists (exp_all writes one, or set
+# MEMAGING_BENCH_CANDIDATE), diff it against the baseline with a loose
+# cross-machine tolerance.
+cargo run -q -p memaging-bench --bin bench-diff -- BENCH_obs.json BENCH_obs.json
+candidate="${MEMAGING_BENCH_CANDIDATE:-}"
+if [[ -n "$candidate" && -f "$candidate" ]]; then
+    cargo run -q -p memaging-bench --bin bench-diff -- \
+        BENCH_obs.json "$candidate" --tolerance 3.0
+fi
+
 echo "check.sh: all green"
