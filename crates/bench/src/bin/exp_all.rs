@@ -27,6 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "exp_table2",
         "exp_ablation",
         "exp_table1",
+        "exp_par",
     ];
     for name in order {
         let path = dir.join(name);

@@ -1,0 +1,110 @@
+//! `exp_par` — parallel-runtime benchmark and determinism check.
+//!
+//! Runs the instrumented quick scenario (ST+AT, the full train → map →
+//! tune → serve pipeline) once with a single worker thread and once with
+//! the configured thread count, asserts the two runs are **bit-identical**
+//! (same per-session records, same final accuracy bits), and writes the
+//! thread-suffixed phase profile (`map_1t` vs `map_4t`, …) to
+//! `BENCH_par.json` for the `bench-diff` perf gate.
+//!
+//! ```text
+//! cargo run --release -p memaging-bench --bin exp_par
+//! MEMAGING_THREADS=4 cargo run --release -p memaging-bench --bin exp_par
+//! ```
+
+use memaging::lifetime::Strategy;
+use memaging::obs::{MemorySink, Recorder};
+use memaging::{par, Scenario};
+use memaging_bench::{banner, phase_profile_json, profile_phases, report, PhaseProfile};
+
+/// Everything one profiled run produces: the phase profile (span names
+/// suffixed with `_{threads}t`) plus the observable outcome used for the
+/// determinism assertion.
+struct ProfiledRun {
+    profiles: Vec<PhaseProfile>,
+    lifetime: memaging::lifetime::LifetimeResult,
+    accuracy_bits: u64,
+}
+
+fn profiled_run(threads: usize) -> Result<ProfiledRun, Box<dyn std::error::Error>> {
+    par::set_threads(threads);
+    let (sink, handle) = MemorySink::new();
+    let mut scenario = Scenario::quick();
+    scenario.framework.recorder = Recorder::new(vec![Box::new(sink)]);
+    let outcome = scenario.run_strategy(Strategy::StAt)?;
+    let mut profiles = profile_phases(&handle.events());
+    for p in &mut profiles {
+        p.name = format!("{}_{threads}t", p.name);
+    }
+    Ok(ProfiledRun {
+        profiles,
+        lifetime: outcome.lifetime,
+        accuracy_bits: outcome.software_accuracy.to_bits(),
+    })
+}
+
+fn total_ms(profiles: &[PhaseProfile], name: &str) -> f64 {
+    profiles.iter().find(|p| p.name == name).map(|p| p.total_us as f64 / 1e3).unwrap_or(0.0)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The multi-thread leg honours --threads / MEMAGING_THREADS / the
+    // machine; at least 2 so the parallel code paths are exercised even on
+    // a single-core box.
+    let threads = par::num_threads().max(2);
+    banner(&format!("parallel runtime profile (quick scenario, ST+AT, 1 vs {threads} threads)"));
+
+    let single = profiled_run(1)?;
+    let multi = profiled_run(threads)?;
+    par::set_threads(0);
+
+    // The whole point of the runtime: thread count must not change a single
+    // bit of the simulation.
+    assert_eq!(
+        single.lifetime, multi.lifetime,
+        "lifetime result differs between 1 and {threads} threads"
+    );
+    assert_eq!(
+        single.accuracy_bits, multi.accuracy_bits,
+        "software accuracy differs between 1 and {threads} threads"
+    );
+    report(&format!(
+        "  determinism: 1t and {threads}t runs bit-identical \
+         ({} sessions, {} applications)",
+        single.lifetime.sessions.len(),
+        single.lifetime.lifetime_applications,
+    ));
+
+    let mut profiles = single.profiles;
+    profiles.extend(multi.profiles);
+    for p in &profiles {
+        report(&format!(
+            "  {:<16} {:>5} spans  total {:>9.1} ms  max {:>8.1} ms",
+            p.name,
+            p.count,
+            p.total_us as f64 / 1e3,
+            p.max_us as f64 / 1e3,
+        ));
+    }
+    for phase in ["map", "tune", "evaluate"] {
+        let (one, many) = (
+            total_ms(&profiles, &format!("{phase}_1t")),
+            total_ms(&profiles, &format!("{phase}_{threads}t")),
+        );
+        if one > 0.0 && many > 0.0 {
+            report(&format!(
+                "  {phase}: {one:.1} ms @1t -> {many:.1} ms @{threads}t  ({:.2}x)",
+                one / many
+            ));
+        }
+    }
+
+    let json = phase_profile_json(
+        &format!("quick scenario, ST+AT strategy, 1 vs {threads} threads"),
+        &profiles,
+    );
+    let path = "BENCH_par.json";
+    std::fs::write(path, &json)?;
+    report(&format!("(parallel phase profile saved to {path})"));
+    Ok(())
+}

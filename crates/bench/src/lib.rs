@@ -17,6 +17,7 @@
 //! | `exp_fig10` | Fig. 10 — tuning iterations vs applications |
 //! | `exp_fig11` | Fig. 11 — conv vs FC aging |
 //! | `exp_ablation` | design-choice sensitivity studies (extra) |
+//! | `exp_par` | parallel-runtime speedup + determinism profile (extra) |
 //! | `exp_all` | all of the above, in order |
 //!
 //! Set `MEMAGING_FAST=1` to run reduced budgets (useful in CI).
@@ -297,6 +298,7 @@ mod tests {
         let span = |name: &str, d: u64| Event::Span {
             name: name.into(),
             session: None,
+            worker: None,
             start_us: 0,
             duration_us: d,
         };

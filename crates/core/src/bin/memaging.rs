@@ -35,6 +35,7 @@ struct RunOpts {
     strategy: StrategyArg,
     seed: Option<u64>,
     sessions: Option<usize>,
+    threads: Option<usize>,
     trace: Option<String>,
     trace_chrome: Option<String>,
     metrics: bool,
@@ -46,6 +47,7 @@ impl Default for RunOpts {
             strategy: StrategyArg::All,
             seed: None,
             sessions: None,
+            threads: None,
             trace: None,
             trace_chrome: None,
             metrics: false,
@@ -103,7 +105,8 @@ fn parse_run_opts(
             linger = true;
             continue;
         }
-        let known = ["--strategy", "--seed", "--sessions", "--trace", "--trace-chrome"];
+        let known =
+            ["--strategy", "--seed", "--sessions", "--threads", "--trace", "--trace-chrome"];
         let known = known.contains(&flag.as_str()) || (serve && flag == "--port");
         if !known {
             return Err(format!("unknown flag `{flag}`"));
@@ -116,6 +119,13 @@ fn parse_run_opts(
             }
             "--sessions" => {
                 opts.sessions = Some(value.parse().map_err(|_| format!("bad sessions `{value}`"))?);
+            }
+            "--threads" => {
+                let n: usize = value.parse().map_err(|_| format!("bad threads `{value}`"))?;
+                if n == 0 {
+                    return Err("bad threads `0` (must be at least 1)".into());
+                }
+                opts.threads = Some(n);
             }
             "--trace" => opts.trace = Some(value.to_string()),
             "--trace-chrome" => opts.trace_chrome = Some(value.to_string()),
@@ -158,16 +168,19 @@ fn print_help() {
         "memaging — aging-aware lifetime enhancement for memristor crossbars (DATE'19)\n\n\
          USAGE:\n\
          \u{20}   memaging scenario <quick|lenet|vgg> [--strategy tt|stt|stat|all]\n\
-         \u{20}                                       [--seed N] [--sessions N]\n\
+         \u{20}                                       [--seed N] [--sessions N] [--threads N]\n\
          \u{20}                                       [--trace out.jsonl]\n\
          \u{20}                                       [--trace-chrome out.json] [--metrics]\n\
+         \u{20}                       --threads N sizes the worker pool (default:\n\
+         \u{20}                       MEMAGING_THREADS, then available cores); results\n\
+         \u{20}                       are bit-identical at any thread count\n\
          \u{20}                       --trace writes one JSON event per line (spans,\n\
          \u{20}                       counters, gauges); --trace-chrome writes a\n\
          \u{20}                       chrome://tracing / Perfetto timeline; --metrics\n\
          \u{20}                       prints a metrics summary after the run\n\
          \u{20}   memaging serve <quick|lenet|vgg>    [--port N (default 9464)] [--linger]\n\
          \u{20}                                       [--strategy tt|stt|stat|all]\n\
-         \u{20}                                       [--seed N] [--sessions N]\n\
+         \u{20}                                       [--seed N] [--sessions N] [--threads N]\n\
          \u{20}                                       [--trace out.jsonl]\n\
          \u{20}                                       [--trace-chrome out.json] [--metrics]\n\
          \u{20}                       runs the scenario while serving GET /metrics\n\
@@ -261,7 +274,17 @@ fn run_strategies(
     Ok(results)
 }
 
+/// Applies `--threads` to the process-wide worker pool. Without the flag
+/// the `MEMAGING_THREADS` environment variable (then the machine's
+/// available parallelism) decides.
+fn apply_threads(opts: &RunOpts) {
+    if let Some(n) = opts.threads {
+        memaging::par::set_threads(n);
+    }
+}
+
 fn run_scenario(name: &str, opts: &RunOpts) -> Result<(), Box<dyn std::error::Error>> {
+    apply_threads(opts);
     let mut scenario = configured_scenario(name, opts);
     let recorder = build_recorder(opts.trace.as_deref(), opts.trace_chrome.as_deref(), None)?;
     // The pipeline recorder is only attached when the user opted into
@@ -288,6 +311,7 @@ fn run_serve(
     port: u16,
     linger: bool,
 ) -> Result<(), Box<dyn std::error::Error>> {
+    apply_threads(opts);
     let mut scenario = configured_scenario(name, opts);
     let (sink, wear) = MonitorSink::new();
     let recorder =
@@ -440,6 +464,23 @@ mod tests {
                 },
             }
         );
+    }
+
+    #[test]
+    fn parses_threads_flag() {
+        let cmd = parse_args(&argv("scenario quick --threads 4")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Scenario {
+                name: "quick".into(),
+                opts: RunOpts { threads: Some(4), ..RunOpts::default() },
+            }
+        );
+        let err = parse_args(&argv("scenario quick --threads 0")).unwrap_err();
+        assert!(err.contains("at least 1"), "got: {err}");
+        assert!(parse_args(&argv("scenario quick --threads abc")).is_err());
+        // `serve` accepts the flag too.
+        assert!(parse_args(&argv("serve quick --threads 2")).is_ok());
     }
 
     #[test]

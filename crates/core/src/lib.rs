@@ -33,6 +33,7 @@
 //! | [`crossbar`] | arrays, eq. 4 mapping, tracing, range selection, eq. 5 tuning |
 //! | [`lifetime`] | serve → drift → re-map → tune loop; T+T / ST+T / ST+AT |
 //! | [`obs`] | dependency-free metrics registry, span timers, JSONL tracing |
+//! | [`par`] | scoped thread pool: deterministic parallel loops, `--threads` control |
 //!
 //! ## Quickstart
 //!
@@ -72,4 +73,5 @@ pub use memaging_device as device;
 pub use memaging_lifetime as lifetime;
 pub use memaging_nn as nn;
 pub use memaging_obs as obs;
+pub use memaging_par as par;
 pub use memaging_tensor as tensor;

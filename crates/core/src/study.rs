@@ -115,16 +115,28 @@ impl StudyReport {
 /// Propagates framework errors; a failed seed aborts the study (the seeds
 /// are part of the experiment definition, not best-effort trials).
 pub fn run_study(scenario: &Scenario, seeds: &[u64]) -> Result<StudyReport, FrameworkError> {
+    // Seeds are independent experiments (each worker runs its own scenario
+    // clone with its own RNG streams), so they evaluate in parallel. Results
+    // are merged in seed order and the first error in seed order wins, so
+    // the report is identical at any thread count.
+    let per_seed = memaging_par::par_map_collect(seeds.len(), |si| {
+        let mut s = scenario.clone();
+        s.seed = seeds[si];
+        s.framework.lifetime.seed = seeds[si];
+        Strategy::ALL
+            .iter()
+            .map(|&strategy| {
+                let outcome = s.run_strategy(strategy)?;
+                Ok((outcome.lifetime.lifetime_applications, outcome.software_accuracy))
+            })
+            .collect::<Result<Vec<_>, FrameworkError>>()
+    });
     let mut lifetimes: Vec<Vec<u64>> = vec![Vec::new(); Strategy::ALL.len()];
     let mut accuracies: Vec<Vec<f64>> = vec![Vec::new(); Strategy::ALL.len()];
-    for &seed in seeds {
-        let mut s = scenario.clone();
-        s.seed = seed;
-        s.framework.lifetime.seed = seed;
-        for (i, &strategy) in Strategy::ALL.iter().enumerate() {
-            let outcome = s.run_strategy(strategy)?;
-            lifetimes[i].push(outcome.lifetime.lifetime_applications);
-            accuracies[i].push(outcome.software_accuracy);
+    for seed_runs in per_seed {
+        for (i, (lifetime, accuracy)) in seed_runs?.into_iter().enumerate() {
+            lifetimes[i].push(lifetime);
+            accuracies[i].push(accuracy);
         }
     }
     let strategies = Strategy::ALL

@@ -80,7 +80,7 @@ pub use differential::{DifferentialCrossbar, DifferentialMapping};
 pub use error::CrossbarError;
 pub use mapping::WeightMapping;
 pub use network::{CrossbarNetwork, MapReport, MappingStrategy};
-pub use range_select::{select_range, RangeSelection};
+pub use range_select::{select_range, select_range_par, RangeSelection};
 pub use tile::TiledMatrix;
 pub use tracer::{trace_estimates, traced_positions, traced_upper_bound_range, TracedEstimate};
 pub use tuner::{tune, tune_with_recorder, TuneConfig, TuneReport};

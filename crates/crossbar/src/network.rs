@@ -8,7 +8,7 @@ use memaging_tensor::Tensor;
 use crate::crossbar::{Crossbar, ProgramStats};
 use crate::error::CrossbarError;
 use crate::mapping::WeightMapping;
-use crate::range_select::select_range;
+use crate::range_select::select_range_par;
 use crate::tracer::{trace_estimates, TracedEstimate};
 use crate::wear_level::RowAssignment;
 
@@ -192,7 +192,7 @@ impl CrossbarNetwork {
         recorder: &memaging_obs::Recorder,
     ) -> Result<MapReport, CrossbarError> {
         let span = recorder.span("map");
-        let report = self.map_weights_inner(strategy, calibration)?;
+        let report = self.map_weights_inner(strategy, calibration, recorder)?;
         drop(span);
         if recorder.is_enabled() {
             for (layer, window) in report.windows.iter().enumerate() {
@@ -213,6 +213,7 @@ impl CrossbarNetwork {
         &mut self,
         strategy: MappingStrategy,
         calibration: Option<(&Dataset, usize)>,
+        recorder: &memaging_obs::Recorder,
     ) -> Result<MapReport, CrossbarError> {
         let weights = self.software.weight_matrices();
         let mut stats = ProgramStats::default();
@@ -240,16 +241,26 @@ impl CrossbarNetwork {
                         .filter(|e| e.window.r_max - spec.r_min >= usable_floor)
                         .collect();
                     let candidates = if viable.is_empty() { estimates.clone() } else { viable };
-                    // Borrow-splitting: candidate evaluation needs the
-                    // software net mutably and the estimates immutably.
-                    let software = &mut self.software;
                     let percentile = self.outlier_percentile;
-                    let selection = select_range(&candidates, spec.r_min, &mut |cand| {
-                        simulate_layer_window_accuracy(
-                            software, &weights, idx, cand, &estimates, &spec, data, batch,
-                            percentile,
-                        )
-                    });
+                    // Candidate evaluations are independent software
+                    // simulations: fan them out across workers, each owning
+                    // a cloned network plus one reusable weight-matrix
+                    // scratch (instead of rebuilding the simulated matrix
+                    // and saving/restoring the live network per candidate).
+                    let software = &self.software;
+                    let blocks = BlockEstimates::new(&estimates);
+                    let selection = select_range_par(
+                        &candidates,
+                        spec.r_min,
+                        |worker| (worker, software.clone(), weights.to_vec()),
+                        |(worker, net, scratch), cand| {
+                            let _span = recorder.worker_span("map.candidate", *worker);
+                            simulate_layer_window_accuracy(
+                                net, scratch, &weights, idx, cand, &blocks, &spec, data, batch,
+                                percentile,
+                            )
+                        },
+                    );
                     match selection {
                         Ok(sel) => {
                             candidates_tried += sel.candidates_tried;
@@ -260,9 +271,19 @@ impl CrossbarNetwork {
                             // the new one is meaningfully more accurate.
                             match self.last_windows[idx] {
                                 Some(prev) if prev.r_max > spec.r_min => {
+                                    let (mut net, mut scratch) =
+                                        (software.clone(), weights.to_vec());
                                     let prev_acc = simulate_layer_window_accuracy(
-                                        software, &weights, idx, prev, &estimates, &spec, data,
-                                        batch, percentile,
+                                        &mut net,
+                                        &mut scratch,
+                                        &weights,
+                                        idx,
+                                        prev,
+                                        &blocks,
+                                        &spec,
+                                        data,
+                                        batch,
+                                        percentile,
                                     )?;
                                     if prev_acc + 0.01 >= sel.accuracy {
                                         prev
@@ -384,16 +405,12 @@ impl CrossbarNetwork {
         &mut self.arrays[idx]
     }
 
-    /// The device implementing weight `(row, col)` of mappable layer `idx`,
-    /// honouring the layer's logical→physical row assignment.
-    pub(crate) fn device_for_weight(
-        &mut self,
-        idx: usize,
-        row: usize,
-        col: usize,
-    ) -> &mut memaging_device::Memristor {
-        let physical = self.row_assignments[idx].physical(row);
-        self.arrays[idx].device_mut(physical, col)
+    /// One `(array, row assignment)` pair per mappable layer, with the
+    /// arrays borrowed mutably. The pairs are disjoint, so callers may pulse
+    /// different layers from different worker threads; the assignment
+    /// translates logical weight rows to physical device rows.
+    pub(crate) fn pulse_lanes_mut(&mut self) -> Vec<(&mut Crossbar, &RowAssignment)> {
+        self.arrays.iter_mut().zip(self.row_assignments.iter()).collect()
     }
 
     /// Applies one session of read-disturb drift to every array; returns the
@@ -465,13 +482,19 @@ impl CrossbarNetwork {
 /// weight → conductance (eq. 4 against `cand`) → nearest fresh quantization
 /// level → clamp into the device's *estimated* aged window (its 3×3 block
 /// center's estimate) → inverse map → evaluate.
+///
+/// `software` and `scratch` are the caller's (per-worker) evaluation state:
+/// the simulated matrix is written into `scratch[layer_idx]` in place, while
+/// the other scratch entries keep the trained values — no per-candidate
+/// matrix allocation, no save/restore of the live network.
 #[allow(clippy::too_many_arguments)]
 fn simulate_layer_window_accuracy(
     software: &mut Network,
+    scratch: &mut [Tensor],
     trained: &[Tensor],
     layer_idx: usize,
     cand: AgedWindow,
-    estimates: &[TracedEstimate],
+    blocks: &BlockEstimates,
     spec: &DeviceSpec,
     data: &Dataset,
     batch: usize,
@@ -482,44 +505,47 @@ fn simulate_layer_window_accuracy(
     let quantizer = Quantizer::from_spec(spec)?;
     let w = &trained[layer_idx];
     let cols = w.dims()[1];
-    let simulated = Tensor::from_fn([w.dims()[0], cols], |i| {
+    for (i, slot) in scratch[layer_idx].as_mut_slice().iter_mut().enumerate() {
         let (row, col) = (i / cols, i % cols);
         let g = mapping.weight_to_conductance(w.as_slice()[i] as f64);
         // Fresh-grid quantization in the resistance domain.
         let r = quantizer.quantize(memaging_device::Ohms::new(1.0 / g).expect("g > 0")).value();
         // Clamp into the estimated window of this device's block.
-        let est = block_estimate(row, col, estimates);
-        let r = est.clamp(r);
-        mapping.conductance_to_weight(1.0 / r) as f32
-    });
-    let mut weights = trained.to_vec();
-    weights[layer_idx] = simulated;
-    let saved = software.weight_matrices();
-    software.set_weight_matrices(&weights)?;
-    let acc = memaging_nn::evaluate(software, data, batch)?;
-    software.set_weight_matrices(&saved)?;
-    Ok(acc)
+        let r = blocks.at(row, col).clamp(r);
+        *slot = mapping.conductance_to_weight(1.0 / r) as f32;
+    }
+    software.set_weight_matrices(scratch)?;
+    Ok(memaging_nn::evaluate(software, data, batch)?)
 }
 
-/// The estimated aged window covering `(row, col)`: the estimate of its 3×3
-/// block center.
-fn block_estimate(row: usize, col: usize, estimates: &[TracedEstimate]) -> AgedWindow {
-    let (br, bc) = (row / 3, col / 3);
-    estimates
-        .iter()
-        .find(|e| e.row / 3 == br && e.col / 3 == bc)
-        .map(|e| e.window)
-        // A block without a traced device (possible at ragged edges) is
-        // assumed fresh-ish: use the widest traced window.
-        .unwrap_or_else(|| {
-            estimates.iter().map(|e| e.window).fold(
-                AgedWindow { r_min: f64::MAX, r_max: 0.0 },
-                |acc, w| AgedWindow {
-                    r_min: acc.r_min.min(w.r_min),
-                    r_max: acc.r_max.max(w.r_max),
-                },
-            )
-        })
+/// Per-block aged-window estimates, indexed once per range selection instead
+/// of linearly scanning the trace list for every device of every candidate.
+struct BlockEstimates {
+    map: std::collections::HashMap<(usize, usize), AgedWindow>,
+    /// Fallback for blocks without a traced device (possible at ragged
+    /// edges): assumed fresh-ish, i.e. the widest traced window.
+    widest: AgedWindow,
+}
+
+impl BlockEstimates {
+    fn new(estimates: &[TracedEstimate]) -> Self {
+        let mut map = std::collections::HashMap::new();
+        for e in estimates {
+            // First estimate per block wins, matching the old linear scan.
+            map.entry((e.row / 3, e.col / 3)).or_insert(e.window);
+        }
+        let widest = estimates.iter().map(|e| e.window).fold(
+            AgedWindow { r_min: f64::MAX, r_max: 0.0 },
+            |acc, w| AgedWindow { r_min: acc.r_min.min(w.r_min), r_max: acc.r_max.max(w.r_max) },
+        );
+        BlockEstimates { map, widest }
+    }
+
+    /// The estimated aged window covering device `(row, col)`: the estimate
+    /// of its 3×3 block center.
+    fn at(&self, row: usize, col: usize) -> AgedWindow {
+        *self.map.get(&(row / 3, col / 3)).unwrap_or(&self.widest)
+    }
 }
 
 #[cfg(test)]

@@ -13,6 +13,12 @@ use memaging_device::AgedWindow;
 use crate::error::CrossbarError;
 use crate::tracer::{traced_upper_bound_range, TracedEstimate};
 
+/// Minimum accuracy gain a *narrower* candidate window must deliver to be
+/// adopted over a wider one: narrow windows park every device at low
+/// resistance (maximum programming current), so an accuracy-neutral
+/// narrowing would trade nothing for a much faster aging rate.
+const MIN_IMPROVEMENT: f64 = 0.005;
+
 /// The outcome of a range selection.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RangeSelection {
@@ -70,12 +76,7 @@ pub fn select_range(
     candidates.sort_by(|a, b| b.partial_cmp(a).expect("aged bounds are finite"));
     candidates.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
 
-    // Candidates are iterated widest-first. A narrower window is only
-    // adopted when it improves accuracy *meaningfully*: narrow windows park
-    // every device at low resistance (maximum programming current), so an
-    // accuracy-neutral narrowing would trade nothing for a much faster
-    // aging rate.
-    const MIN_IMPROVEMENT: f64 = 0.005;
+    // Candidates are iterated widest-first; see MIN_IMPROVEMENT.
     let mut best: Option<RangeSelection> = None;
     let mut tried = 0usize;
     for r_max in candidates {
@@ -85,6 +86,82 @@ pub fn select_range(
         let window = AgedWindow { r_min: fresh_r_min, r_max };
         let accuracy = evaluate(window)?;
         tried += 1;
+        let better = match &best {
+            None => true,
+            Some(b) => accuracy > b.accuracy + MIN_IMPROVEMENT,
+        };
+        if better {
+            best = Some(RangeSelection { window, accuracy, candidates_tried: 0 });
+        }
+    }
+    let mut sel = best.ok_or(CrossbarError::InvalidMapping {
+        reason: "no viable candidate window (all collapsed below fresh r_min)".into(),
+    })?;
+    sel.candidates_tried = tried;
+    Ok(sel)
+}
+
+/// [`select_range`] with the candidate evaluations run in parallel.
+///
+/// Candidate windows are independent software simulations, so they fan out
+/// across the `memaging-par` worker threads; the winner is then folded
+/// serially in widest-first candidate order, reproducing [`select_range`]'s
+/// result (window, accuracy, tie-breaks, first evaluator error) **exactly**
+/// at every thread count.
+///
+/// `init(worker_index)` builds one evaluation state per worker (worker 0 is
+/// the calling thread) — typically a cloned network plus reusable mapping
+/// scratch — and `evaluate` receives that state with each candidate window.
+///
+/// # Errors
+///
+/// Returns [`CrossbarError::InvalidMapping`] if `estimates` is empty, and
+/// propagates the widest-candidate-first evaluator error.
+///
+/// # Examples
+///
+/// ```
+/// use memaging_crossbar::{select_range_par, TracedEstimate};
+/// use memaging_device::AgedWindow;
+///
+/// # fn main() -> Result<(), memaging_crossbar::CrossbarError> {
+/// let estimates = vec![
+///     TracedEstimate { row: 1, col: 1, window: AgedWindow { r_min: 9e3, r_max: 9e4 } },
+///     TracedEstimate { row: 1, col: 4, window: AgedWindow { r_min: 9e3, r_max: 7e4 } },
+/// ];
+/// let sel = select_range_par(&estimates, 1e4, |_worker| (), |(), w| Ok(1.0 - w.r_max / 1e6))?;
+/// assert_eq!(sel.candidates_tried, 2);
+/// assert!((sel.window.r_max - 7e4).abs() < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn select_range_par<S>(
+    estimates: &[TracedEstimate],
+    fresh_r_min: f64,
+    init: impl Fn(usize) -> S + Sync,
+    evaluate: impl Fn(&mut S, AgedWindow) -> Result<f64, CrossbarError> + Sync,
+) -> Result<RangeSelection, CrossbarError> {
+    traced_upper_bound_range(estimates).ok_or(CrossbarError::InvalidMapping {
+        reason: "range selection needs at least one traced estimate".into(),
+    })?;
+    let mut candidates: Vec<f64> = estimates.iter().map(|e| e.window.r_max).collect();
+    candidates.sort_by(|a, b| b.partial_cmp(a).expect("aged bounds are finite"));
+    candidates.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+    candidates.retain(|&r_max| r_max > fresh_r_min);
+
+    let results = memaging_par::par_map_init(candidates.len(), init, |state, i| {
+        evaluate(state, AgedWindow { r_min: fresh_r_min, r_max: candidates[i] })
+    });
+
+    // Serial widest-first fold: identical adoption decisions (and identical
+    // error precedence) to the serial loop, whatever order the workers
+    // finished in.
+    let mut best: Option<RangeSelection> = None;
+    let mut tried = 0usize;
+    for (i, result) in results.into_iter().enumerate() {
+        let accuracy = result?;
+        tried += 1;
+        let window = AgedWindow { r_min: fresh_r_min, r_max: candidates[i] };
         let better = match &best {
             None => true,
             Some(b) => accuracy > b.accuracy + MIN_IMPROVEMENT,
@@ -163,6 +240,56 @@ mod tests {
             Err(CrossbarError::InvalidMapping { reason: "boom".into() })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn parallel_selection_matches_serial_at_every_thread_count() {
+        let estimates = vec![est(9e4), est(7e4), est(5e4), est(3e4), est(8.5e4)];
+        let acc = |w: AgedWindow| Ok(1.0 - ((w.r_max - 7e4).abs() / 1e5));
+        let serial = select_range(&estimates, 1e4, &mut acc.clone()).unwrap();
+        for threads in [1, 2, 8] {
+            memaging_par::set_threads(threads);
+            let par = select_range_par(&estimates, 1e4, |_worker| (), |(), w| acc(w)).unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+        }
+        memaging_par::set_threads(0);
+    }
+
+    #[test]
+    fn parallel_selection_propagates_widest_candidate_error_first() {
+        let estimates = vec![est(9e4), est(7e4)];
+        let result = select_range_par(
+            &estimates,
+            1e4,
+            |_worker| (),
+            |(), w| {
+                Err(CrossbarError::InvalidMapping { reason: format!("boom at {:.0}", w.r_max) })
+            },
+        );
+        match result {
+            Err(CrossbarError::InvalidMapping { reason }) => {
+                assert_eq!(reason, "boom at 90000");
+            }
+            other => panic!("expected widest-first error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_selection_builds_one_state_per_worker() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let estimates = vec![est(9e4), est(8e4), est(7e4), est(6e4)];
+        let inits = AtomicUsize::new(0);
+        let sel = select_range_par(
+            &estimates,
+            1e4,
+            |_worker| {
+                inits.fetch_add(1, Ordering::SeqCst);
+            },
+            |(), _w| Ok(0.5),
+        )
+        .unwrap();
+        assert_eq!(sel.candidates_tried, 4);
+        assert!(inits.load(Ordering::SeqCst) <= memaging_par::num_threads().min(4));
     }
 
     #[test]

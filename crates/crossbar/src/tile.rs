@@ -11,6 +11,10 @@ use memaging_tensor::Tensor;
 use crate::crossbar::{Crossbar, ProgramStats};
 use crate::error::CrossbarError;
 
+/// Rough scalar-op cost of programming one device (iterative pulse/read
+/// loop), used to size the parallel grain for tile programming.
+const PROGRAM_OPS_PER_DEVICE: usize = 64;
+
 /// A `rows × cols` logical matrix realized as a grid of crossbar tiles of at
 /// most `tile_size × tile_size` devices each.
 ///
@@ -115,18 +119,31 @@ impl TiledMatrix {
                 },
             });
         }
-        let mut stats = ProgramStats::default();
         let src = targets.as_slice();
-        for tr in 0..self.tile_rows {
-            for tc in 0..self.tile_cols {
-                let tile = &mut self.tiles[tr * self.tile_cols + tc];
-                let (h, w) = (tile.rows(), tile.cols());
-                let sub = Tensor::from_fn([h, w], |i| {
-                    let (r, c) = (i / w, i % w);
-                    src[(tr * self.tile_size + r) * self.cols + tc * self.tile_size + c]
-                });
-                stats.merge(tile.program_conductances(&sub)?);
+        let (tile_cols, tile_size, cols) = (self.tile_cols, self.tile_size, self.cols);
+        // Tiles are physically independent arrays, so they program in
+        // parallel; pulse counts per tile do not depend on scheduling, and
+        // the stats fold below runs in tile order.
+        let threads = memaging_par::parallelism_for(self.rows * self.cols * PROGRAM_OPS_PER_DEVICE);
+        let results: std::sync::Mutex<Vec<Option<Result<ProgramStats, CrossbarError>>>> =
+            std::sync::Mutex::new((0..self.tiles.len()).map(|_| None).collect());
+        memaging_par::par_chunks_mut(&mut self.tiles, 1, threads, |ti, tile| {
+            let (tr, tc) = (ti / tile_cols, ti % tile_cols);
+            let tile = &mut tile[0];
+            let (h, w) = (tile.rows(), tile.cols());
+            let sub = Tensor::from_fn([h, w], |i| {
+                let (r, c) = (i / w, i % w);
+                src[(tr * tile_size + r) * cols + tc * tile_size + c]
+            });
+            let result = tile.program_conductances(&sub);
+            if let Ok(mut slots) = results.lock() {
+                slots[ti] = Some(result);
             }
+        });
+        let mut stats = ProgramStats::default();
+        let slots = results.into_inner().unwrap_or_else(|poison| poison.into_inner());
+        for result in slots {
+            stats.merge(result.expect("every tile programmed")?);
         }
         Ok(stats)
     }
@@ -166,16 +183,36 @@ impl TiledMatrix {
             });
         }
         let mut out = vec![0.0f64; self.cols];
-        for tr in 0..self.tile_rows {
-            let band = &input[tr * self.tile_size
-                ..(tr * self.tile_size + self.tiles[tr * self.tile_cols].rows())];
-            for tc in 0..self.tile_cols {
+        // One worker per tile *column*: each owns a disjoint slice of the
+        // output and folds its partial currents over the tile rows in
+        // ascending `tr` order, exactly as the serial loop — results are
+        // bit-identical at any thread count. (Tile dimensions are
+        // consistent by construction, so per-tile errors cannot occur
+        // once the input length check passed; any is still propagated.)
+        let first_err = std::sync::Mutex::new(None);
+        let threads = memaging_par::parallelism_for(2 * self.rows * self.cols);
+        memaging_par::par_chunks_mut(&mut out, self.tile_size, threads, |tc, chunk| {
+            for tr in 0..self.tile_rows {
+                let band = &input[tr * self.tile_size
+                    ..(tr * self.tile_size + self.tiles[tr * self.tile_cols].rows())];
                 let tile = &self.tiles[tr * self.tile_cols + tc];
-                let partial = tile.vmm(band)?;
-                for (j, p) in partial.iter().enumerate() {
-                    out[tc * self.tile_size + j] += p;
+                match tile.vmm(band) {
+                    Ok(partial) => {
+                        for (o, p) in chunk.iter_mut().zip(partial.iter()) {
+                            *o += p;
+                        }
+                    }
+                    Err(e) => {
+                        if let Ok(mut slot) = first_err.lock() {
+                            slot.get_or_insert(e);
+                        }
+                        return;
+                    }
                 }
             }
+        });
+        if let Some(e) = first_err.into_inner().unwrap_or_else(|poison| poison.into_inner()) {
+            return Err(e);
         }
         Ok(out)
     }

@@ -159,13 +159,26 @@ fn collect_weight_grads(network: &mut CrossbarNetwork) -> Vec<Tensor> {
     grads
 }
 
+/// Rough scalar-op cost of gating plus nudging one device, used to size the
+/// parallel grain for pulse application.
+const PULSE_OPS_PER_WEIGHT: usize = 16;
+
 /// Applies one ±1-level pulse per gated device: positive gradient means the
 /// weight must shrink, i.e. conductance down, i.e. resistance level up.
+///
+/// Layers pulse in parallel — each worker owns one layer's array, and a
+/// device's pulse depends only on its own gradient entry, so the outcome is
+/// identical at any thread count.
 fn apply_sign_pulses(network: &mut CrossbarNetwork, grads: &[Tensor], gate_fraction: f32) {
-    for (layer, grad) in grads.iter().enumerate() {
+    let total: usize = grads.iter().map(Tensor::len).sum();
+    let threads = memaging_par::parallelism_for(total * PULSE_OPS_PER_WEIGHT);
+    let mut lanes = network.pulse_lanes_mut();
+    memaging_par::par_chunks_mut(&mut lanes, 1, threads, |layer, lane| {
+        let (array, assignment) = &mut lane[0];
+        let grad = &grads[layer];
         let max_mag = grad.as_slice().iter().fold(0.0f32, |m, &g| m.max(g.abs()));
         if max_mag == 0.0 {
-            continue;
+            return;
         }
         let threshold = gate_fraction * max_mag;
         let cols = grad.dims()[1];
@@ -176,9 +189,9 @@ fn apply_sign_pulses(network: &mut CrossbarNetwork, grads: &[Tensor], gate_fract
             let (row, col) = (i / cols, i % cols);
             let direction: i8 = if g > 0.0 { 1 } else { -1 };
             // Worn-out devices reject pulses; tuning simply skips them.
-            let _ = network.device_for_weight(layer, row, col).nudge(direction);
+            let _ = array.device_mut(assignment.physical(row), col).nudge(direction);
         }
-    }
+    });
 }
 
 #[cfg(test)]

@@ -81,6 +81,10 @@ impl Activation {
 }
 
 impl Layer for Activation {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         match self.func {
             ActivationFn::Relu => "relu",

@@ -1,6 +1,9 @@
 //! 2-D convolution layer (im2col-lowered).
 
-use memaging_tensor::conv::{col2im, im2col, ConvGeometry};
+use std::sync::Mutex;
+
+use memaging_par::{par_chunks_mut, parallelism_for};
+use memaging_tensor::conv::{col2im, im2col_slice, ConvGeometry};
 use memaging_tensor::{init, ops, Tensor};
 use rand::Rng;
 
@@ -100,6 +103,10 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "conv2d"
     }
@@ -118,30 +125,79 @@ impl Layer for Conv2d {
             });
         }
         let batch = input.dims()[0];
-        let g = &self.geometry;
+        let g = self.geometry;
         let npatch = g.num_patches();
         let out_feat = self.out_channels * npatch;
         let mut out = vec![0.0f32; batch * out_feat];
-        let mut cols_cache = Vec::with_capacity(if mode == Mode::Train { batch } else { 0 });
-        for s in 0..batch {
-            let row = &input.as_slice()[s * in_feat..(s + 1) * in_feat];
-            let image = Tensor::from_vec(row.to_vec(), [g.in_channels, g.in_h, g.in_w])?;
-            let cols = im2col(&image, g)?;
+        let iv = input.as_slice();
+        let kernels = &self.kernels;
+        let bias = self.bias.as_slice();
+        let out_channels = self.out_channels;
+        // One sample = one im2col + one kernel matmul; samples are
+        // independent, so the batch parallelizes over disjoint output rows
+        // (each sample's arithmetic is untouched — results stay
+        // bit-identical at any thread count).
+        let sample_ops = 2 * out_channels * g.patch_len() * npatch;
+        // Lowers and convolves sample `s` straight from the batch buffer
+        // (no per-sample image copy), returning its column matrix.
+        let forward_sample = |s: usize, dst: &mut [f32]| -> Result<Tensor, NnError> {
+            let row = &iv[s * in_feat..(s + 1) * in_feat];
+            let cols = im2col_slice(row, &g)?;
             // [out_c, patch] x [patch, npatch] = [out_c, npatch]
-            let conv = ops::matmul(&self.kernels, &cols)?;
-            let dst = &mut out[s * out_feat..(s + 1) * out_feat];
-            for oc in 0..self.out_channels {
-                let b = self.bias.as_slice()[oc];
+            let conv = ops::matmul(kernels, &cols)?;
+            for oc in 0..out_channels {
+                let b = bias[oc];
                 for p in 0..npatch {
                     dst[oc * npatch + p] = conv.as_slice()[oc * npatch + p] + b;
                 }
             }
-            if mode == Mode::Train {
-                cols_cache.push(cols);
+            Ok(cols)
+        };
+        let threads = parallelism_for(batch * sample_ops);
+        // Any per-sample error (structurally impossible once the width
+        // check above passed, but surfaced faithfully) — first in batch
+        // order wins.
+        let first_err: Mutex<Option<(usize, NnError)>> = Mutex::new(None);
+        let record_err = |s: usize, e: NnError| {
+            if let Ok(mut slot) = first_err.lock() {
+                if slot.as_ref().is_none_or(|(prev, _)| s < *prev) {
+                    *slot = Some((s, e));
+                }
             }
-        }
+        };
         if mode == Mode::Train {
+            // Keep every sample's columns for backward, collected in batch
+            // order; each worker owns one slot and one output row, both
+            // disjoint.
+            let mut slots: Vec<(Option<Tensor>, Vec<f32>)> =
+                std::iter::repeat_with(|| (None, vec![0.0f32; out_feat])).take(batch).collect();
+            par_chunks_mut(&mut slots, 1, threads, |s, slot| {
+                let (cols_slot, dst) = &mut slot[0];
+                match forward_sample(s, dst) {
+                    Ok(cols) => *cols_slot = Some(cols),
+                    Err(e) => record_err(s, e),
+                }
+            });
+            if let Some((_, e)) = first_err.lock().map(|mut g| g.take()).unwrap_or(None) {
+                return Err(e);
+            }
+            let mut cols_cache = Vec::with_capacity(batch);
+            for (s, (cols, row)) in slots.into_iter().enumerate() {
+                out[s * out_feat..(s + 1) * out_feat].copy_from_slice(&row);
+                cols_cache.push(cols.expect("sample columns computed"));
+            }
             self.cached_cols = Some(cols_cache);
+        } else {
+            // Inference writes each sample's row straight into the batch
+            // output buffer; the columns are dropped.
+            par_chunks_mut(&mut out, out_feat, threads, |s, dst| {
+                if let Err(e) = forward_sample(s, dst) {
+                    record_err(s, e);
+                }
+            });
+            if let Some((_, e)) = first_err.lock().map(|mut g| g.take()).unwrap_or(None) {
+                return Err(e);
+            }
         }
         Tensor::from_vec(out, [batch, out_feat]).map_err(NnError::from)
     }

@@ -103,6 +103,10 @@ impl Dense {
 }
 
 impl Layer for Dense {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "dense"
     }

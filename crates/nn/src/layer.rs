@@ -46,7 +46,11 @@ pub enum ParamKind {
 /// must cache whatever `backward` needs; `backward` consumes the cache and
 /// accumulates parameter gradients (they are *not* zeroed implicitly — call
 /// [`Layer::zero_grads`] between steps).
-pub trait Layer {
+///
+/// `Send + Sync` is a supertrait so networks can be cloned into parallel
+/// workers (e.g. per-worker evaluation copies in the mapping pipeline); all
+/// layers are plain owned data, so this costs nothing.
+pub trait Layer: Send + Sync {
     /// Short static name for error messages and reports.
     fn name(&self) -> &'static str;
 
@@ -104,6 +108,11 @@ pub trait Layer {
     fn bias_vector(&self) -> Option<&Tensor> {
         None
     }
+
+    /// Clones this layer behind a fresh box, preserving parameters and any
+    /// stochastic state (networks are cloned into parallel evaluation
+    /// workers, so cached activations need not survive the copy).
+    fn clone_box(&self) -> Box<dyn Layer>;
 }
 
 #[cfg(test)]
@@ -117,6 +126,7 @@ mod tests {
         assert_ne!(ParamKind::Weight, ParamKind::Bias);
     }
 
+    #[derive(Clone)]
     struct Null;
     impl Layer for Null {
         fn name(&self) -> &'static str {
@@ -136,6 +146,9 @@ mod tests {
         }
         fn out_features(&self) -> usize {
             0
+        }
+        fn clone_box(&self) -> Box<dyn Layer> {
+            Box::new(self.clone())
         }
     }
 

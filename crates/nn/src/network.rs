@@ -44,6 +44,14 @@ impl std::fmt::Debug for Network {
     }
 }
 
+impl Clone for Network {
+    /// Deep-copies every layer via [`Layer::clone_box`], so parallel workers
+    /// can evaluate independent copies of the same trained network.
+    fn clone(&self) -> Self {
+        Network { layers: self.layers.iter().map(|l| l.clone_box()).collect() }
+    }
+}
+
 impl Network {
     /// Creates a network, validating inter-layer feature compatibility.
     ///

@@ -87,6 +87,10 @@ impl Pool2d {
 }
 
 impl Layer for Pool2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         match self.kind {
             PoolKind::Max => "maxpool2d",

@@ -9,7 +9,11 @@
 //! * messages and alerts → instant events (`"ph":"i"`);
 //! * the lifetime-session index becomes the track id (`tid`), so Perfetto
 //!   renders one row per maintenance session (tid 0 collects everything
-//!   that fired outside a session, e.g. software training).
+//!   that fired outside a session, e.g. software training);
+//! * worker-tagged spans (from `Recorder::worker_span` inside a
+//!   `memaging-par` region) go to a second process group (`pid` 2) with
+//!   `tid` = worker index, so parallel regions render one timeline row per
+//!   worker thread.
 //!
 //! Span timestamps come from the recorder's epoch while counter/instant
 //! timestamps come from the sink's own creation instant; the two are created
@@ -80,13 +84,21 @@ impl Sink for ChromeTraceSink {
             return;
         }
         match event {
-            Event::Span { name, session, start_us, duration_us } => {
+            Event::Span { name, session, worker, start_us, duration_us } => {
+                // Worker spans get their own process group so Perfetto draws
+                // one row per parallel worker instead of piling every worker
+                // onto the session track.
+                let (pid, tid) = match worker {
+                    Some(w) => (2, *w),
+                    None => (1, Self::track(*session)),
+                };
                 let record = format!(
-                    "{{\"name\":{},\"cat\":\"phase\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}",
+                    "{{\"name\":{},\"cat\":\"phase\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{}}}",
                     json_str(name),
                     start_us,
                     duration_us,
-                    Self::track(*session),
+                    pid,
+                    tid,
                 );
                 self.push_record(&record);
             }
@@ -168,7 +180,20 @@ mod tests {
     fn events() -> Vec<Event> {
         vec![
             Event::Message { text: "hello \"world\"".into() },
-            Event::Span { name: "tune".into(), session: Some(3), start_us: 10, duration_us: 250 },
+            Event::Span {
+                name: "tune".into(),
+                session: Some(3),
+                worker: None,
+                start_us: 10,
+                duration_us: 250,
+            },
+            Event::Span {
+                name: "map.candidate".into(),
+                session: Some(3),
+                worker: Some(2),
+                start_us: 12,
+                duration_us: 40,
+            },
             Event::Counter { name: "tuner.pulses".into(), session: Some(3), delta: 2, total: 9 },
             Event::Gauge { name: "aging.r_max_ohms{layer=0}".into(), session: None, value: 9.5e4 },
             Event::Observation { name: "train.epoch_loss".into(), session: None, value: 0.5 },
@@ -203,12 +228,16 @@ mod tests {
         // One record per event except the histogram observation and session.
         let records: Vec<&str> =
             trimmed[1..trimmed.len() - 1].split(",\n").map(str::trim).collect();
-        assert_eq!(records.len(), 5, "records: {records:#?}");
+        assert_eq!(records.len(), 6, "records: {records:#?}");
         assert!(records.iter().all(|r| r.starts_with('{') && r.ends_with('}')));
         // The span keeps its recorder-relative timestamps and session track.
-        let span = records.iter().find(|r| r.contains("\"ph\":\"X\"")).unwrap();
+        let span = records.iter().find(|r| r.contains("\"name\":\"tune\"")).unwrap();
         assert!(span.contains("\"ts\":10") && span.contains("\"dur\":250"), "{span}");
+        assert!(span.contains("\"pid\":1"), "{span}");
         assert!(span.contains("\"tid\":4"), "session 3 must map to track 4: {span}");
+        // A worker-tagged span lands on the worker process group instead.
+        let wspan = records.iter().find(|r| r.contains("map.candidate")).unwrap();
+        assert!(wspan.contains("\"pid\":2") && wspan.contains("\"tid\":2"), "{wspan}");
         // Counter and gauge become counter tracks.
         assert_eq!(records.iter().filter(|r| r.contains("\"ph\":\"C\"")).count(), 2);
         // Message and alert become instants; escaping is preserved.

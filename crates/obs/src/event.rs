@@ -40,6 +40,9 @@ pub enum Event {
         name: String,
         /// Lifetime session index the span ran under, if any.
         session: Option<u64>,
+        /// Parallel worker index the span ran on, if it was recorded from
+        /// inside a `memaging-par` region (worker 0 is the calling thread).
+        worker: Option<u64>,
         /// Start offset from recorder creation, microseconds.
         start_us: u64,
         /// Wall-clock duration, microseconds.
@@ -122,10 +125,13 @@ impl Event {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(96);
         match self {
-            Event::Span { name, session, start_us, duration_us } => {
+            Event::Span { name, session, worker, start_us, duration_us } => {
                 out.push_str("{\"type\":\"span\",\"name\":");
                 push_json_str(&mut out, name);
                 push_session(&mut out, *session);
+                if let Some(w) = worker {
+                    let _ = write!(out, ",\"worker\":{w}");
+                }
                 let _ = write!(out, ",\"start_us\":{start_us},\"duration_us\":{duration_us}}}");
             }
             Event::Counter { name, session, delta, total } => {
@@ -230,8 +236,13 @@ mod tests {
 
     #[test]
     fn span_serializes_with_session() {
-        let event =
-            Event::Span { name: "tune".into(), session: Some(3), start_us: 10, duration_us: 250 };
+        let event = Event::Span {
+            name: "tune".into(),
+            session: Some(3),
+            worker: None,
+            start_us: 10,
+            duration_us: 250,
+        };
         assert_eq!(
             event.to_json(),
             r#"{"type":"span","name":"tune","session":3,"start_us":10,"duration_us":250}"#
@@ -240,9 +251,30 @@ mod tests {
 
     #[test]
     fn span_omits_missing_session() {
-        let event =
-            Event::Span { name: "train".into(), session: None, start_us: 0, duration_us: 1 };
+        let event = Event::Span {
+            name: "train".into(),
+            session: None,
+            worker: None,
+            start_us: 0,
+            duration_us: 1,
+        };
         assert!(!event.to_json().contains("session"));
+        assert!(!event.to_json().contains("worker"));
+    }
+
+    #[test]
+    fn span_serializes_worker_index() {
+        let event = Event::Span {
+            name: "map.candidate".into(),
+            session: Some(2),
+            worker: Some(1),
+            start_us: 5,
+            duration_us: 9,
+        };
+        assert_eq!(
+            event.to_json(),
+            r#"{"type":"span","name":"map.candidate","session":2,"worker":1,"start_us":5,"duration_us":9}"#
+        );
     }
 
     #[test]

@@ -130,10 +130,25 @@ impl Recorder {
     /// returned guard drops.
     #[must_use = "the span closes (and is recorded) when the guard drops"]
     pub fn span(&self, name: &str) -> SpanGuard {
+        self.span_impl(name, None)
+    }
+
+    /// Opens a scoped span timer tagged with a parallel worker index — use
+    /// inside `memaging-par` regions so the Chrome trace export renders one
+    /// timeline row per worker thread. The recorder is `Send + Sync`
+    /// (clone-free: a `&Recorder` capture suffices), so worker closures can
+    /// call this directly.
+    #[must_use = "the span closes (and is recorded) when the guard drops"]
+    pub fn worker_span(&self, name: &str, worker: usize) -> SpanGuard {
+        self.span_impl(name, Some(worker as u64))
+    }
+
+    fn span_impl(&self, name: &str, worker: Option<u64>) -> SpanGuard {
         SpanGuard {
             state: self.inner.as_ref().map(|inner| SpanState {
                 inner: Arc::clone(inner),
                 name: name.to_string(),
+                worker,
                 started: Instant::now(),
             }),
         }
@@ -223,6 +238,7 @@ impl Inner {
 struct SpanState {
     inner: Arc<Inner>,
     name: String,
+    worker: Option<u64>,
     started: Instant,
 }
 
@@ -243,6 +259,7 @@ impl Drop for SpanGuard {
             let event = Event::Span {
                 name: state.name,
                 session: state.inner.current_session(),
+                worker: state.worker,
                 start_us,
                 duration_us,
             };
@@ -307,6 +324,34 @@ mod tests {
             }
             other => panic!("expected span, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn worker_span_tags_the_worker_index() {
+        let (sink, handle) = MemorySink::new();
+        let recorder = Recorder::new(vec![Box::new(sink)]);
+        drop(recorder.worker_span("map.candidate", 3));
+        drop(recorder.span("map"));
+        match (&handle.events()[0], &handle.events()[1]) {
+            (Event::Span { worker: a, .. }, Event::Span { worker: b, .. }) => {
+                assert_eq!(*a, Some(3));
+                assert_eq!(*b, None);
+            }
+            other => panic!("expected spans, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recorder_is_usable_from_worker_threads() {
+        let (sink, handle) = MemorySink::new();
+        let recorder = Recorder::new(vec![Box::new(sink)]);
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let recorder = &recorder;
+                scope.spawn(move || drop(recorder.worker_span("study.seed", w)));
+            }
+        });
+        assert_eq!(handle.len(), 4);
     }
 
     #[test]

@@ -15,8 +15,27 @@ fn fixture() -> Vec<Event> {
     vec![
         Event::Message { text: "scenario: MLP / synthetic-8 (quick)".into() },
         Event::Message { text: "escaped: \"quote\" back\\slash \n tab\t".into() },
-        Event::Span { name: "train".into(), session: None, start_us: 0, duration_us: 1250 },
-        Event::Span { name: "tune".into(), session: Some(3), start_us: 104_523, duration_us: 2481 },
+        Event::Span {
+            name: "train".into(),
+            session: None,
+            worker: None,
+            start_us: 0,
+            duration_us: 1250,
+        },
+        Event::Span {
+            name: "tune".into(),
+            session: Some(3),
+            worker: None,
+            start_us: 104_523,
+            duration_us: 2481,
+        },
+        Event::Span {
+            name: "map.candidate".into(),
+            session: Some(3),
+            worker: Some(1),
+            start_us: 104_600,
+            duration_us: 310,
+        },
         Event::Counter { name: "tuner.iterations".into(), session: Some(3), delta: 5, total: 38 },
         Event::Counter { name: "lifetime.remaps".into(), session: None, delta: 1, total: 1 },
         Event::Gauge {

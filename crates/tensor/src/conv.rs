@@ -99,19 +99,41 @@ impl ConvGeometry {
 /// geometry's `[C, H, W]`, or [`TensorError::InvalidArgument`] for an invalid
 /// geometry.
 pub fn im2col(image: &Tensor, geom: &ConvGeometry) -> Result<Tensor, TensorError> {
-    geom.validate()?;
     let expected = [geom.in_channels, geom.in_h, geom.in_w];
-    if image.dims() != expected {
+    if image.rank() != 3 || image.dims() != expected {
+        geom.validate()?;
         return Err(TensorError::ShapeMismatch {
             expected: expected.into(),
             actual: image.shape().clone(),
             op: "im2col",
         });
     }
+    im2col_slice(image.as_slice(), geom)
+}
+
+/// [`im2col`] over a borrowed row-major `C·H·W` slice.
+///
+/// This is the batched-forward fast path: a conv layer iterating over the
+/// rows of a `[batch, C·H·W]` input can lower each sample directly from the
+/// batch buffer, instead of copying the row into a temporary image tensor
+/// first.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `src.len()` is not `C·H·W`, or
+/// [`TensorError::InvalidArgument`] for an invalid geometry.
+pub fn im2col_slice(src: &[f32], geom: &ConvGeometry) -> Result<Tensor, TensorError> {
+    geom.validate()?;
+    if src.len() != geom.in_channels * geom.in_h * geom.in_w {
+        return Err(TensorError::ShapeMismatch {
+            expected: [geom.in_channels, geom.in_h, geom.in_w].into(),
+            actual: [src.len()].into(),
+            op: "im2col",
+        });
+    }
     let (out_h, out_w) = (geom.out_h(), geom.out_w());
     let rows = geom.patch_len();
     let cols = geom.num_patches();
-    let src = image.as_slice();
     let mut out = vec![0.0f32; rows * cols];
     let (ih, iw) = (geom.in_h as isize, geom.in_w as isize);
     for c in 0..geom.in_channels {

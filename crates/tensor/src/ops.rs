@@ -1,12 +1,86 @@
 //! Linear-algebra operations: matmul, transpose, row/col reductions, softmax.
+//!
+//! The matmul family is cache-blocked and row-parallel. Every kernel keeps
+//! the per-output-element accumulation order strictly `k`-increasing, so
+//! results are **bit-identical** to the naive serial i-k-j loop at every
+//! thread count (see `memaging-par`'s determinism contract).
+
+use memaging_par::{par_chunks_mut, parallelism_for};
 
 use crate::error::TensorError;
 use crate::tensor::Tensor;
 
+/// Depth (`k`) tile of the blocked matmul kernels: a 128-row panel of `B`
+/// stays resident in cache while it is streamed over a band of `A` rows.
+const K_BLOCK: usize = 128;
+
+/// Column (`j`) tile: 128 f32 output columns (512 B of `C` and of each `B`
+/// row) keep the inner saxpy loop inside L1.
+const J_BLOCK: usize = 128;
+
+/// Row band processed per work chunk. Rows in one band share the cached
+/// `B` panel; bands are the unit of parallel distribution.
+const I_BLOCK: usize = 8;
+
+/// Validates a rank-2 × rank-2 product and returns `(m, k, n)` where the
+/// left operand is `m × k` and the right is `k × n` (after `transpose`
+/// adjustment by the caller).
+fn check_matmul(
+    a: &Tensor,
+    b: &Tensor,
+    lhs: (usize, usize),
+    rhs: (usize, usize),
+    op: &'static str,
+) -> Result<(), TensorError> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: a.rank(), op });
+    }
+    if b.rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: b.rank(), op });
+    }
+    if lhs.1 != rhs.0 {
+        return Err(TensorError::MatmulDimMismatch { lhs, rhs });
+    }
+    Ok(())
+}
+
+/// Blocked serial kernel for a band of output rows: `out` holds `rows`
+/// rows of `C`, `a_rows` the matching rows of `A`. Tiling runs `k`-block
+/// outermost so each `B` panel is reused across the whole band, and the
+/// accumulation per output element stays strictly `k`-increasing — the
+/// bit-exactness guarantee the tests pin down.
+fn matmul_band(a_rows: &[f32], bv: &[f32], out: &mut [f32], k: usize, n: usize) {
+    let rows = out.len() / n;
+    for kb in (0..k).step_by(K_BLOCK) {
+        let kend = (kb + K_BLOCK).min(k);
+        for jb in (0..n).step_by(J_BLOCK) {
+            let jend = (jb + J_BLOCK).min(n);
+            for r in 0..rows {
+                let arow = &a_rows[r * k + kb..r * k + kend];
+                let orow = &mut out[r * n + jb..r * n + jend];
+                for (off, &aik) in arow.iter().enumerate() {
+                    let p = kb + off;
+                    let brow = &bv[p * n + jb..p * n + jend];
+                    for (o, &bpj) in orow.iter_mut().zip(brow.iter()) {
+                        *o += aik * bpj;
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Matrix product `C = A · B` for rank-2 tensors.
 ///
-/// Uses a cache-friendly i-k-j loop order; adequate for the layer sizes the
-/// workspace simulates (the crossbar crate does its own analog VMM).
+/// Cache-blocked (`k`/`j` tiles over row bands) and parallel over output
+/// rows when the operation is large enough to amortize worker threads
+/// (`memaging_par::parallelism_for`). The result is bit-identical to the
+/// naive serial i-k-j loop at every thread count: row bands are disjoint
+/// and per-element accumulation order never changes.
+///
+/// Dense by design — zero entries in `A` are multiplied, not skipped, so
+/// the inner loop is branch-free. Use [`matmul_sparse_a`] when `A` is known
+/// to be mostly zeros.
 ///
 /// # Errors
 ///
@@ -26,23 +100,43 @@ use crate::tensor::Tensor;
 /// # }
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    if a.rank() != 2 {
-        return Err(TensorError::RankMismatch { expected: 2, actual: a.rank(), op: "matmul" });
-    }
-    if b.rank() != 2 {
-        return Err(TensorError::RankMismatch { expected: 2, actual: b.rank(), op: "matmul" });
-    }
-    let (m, k) = (a.dims()[0], a.dims()[1]);
-    let (k2, n) = (b.dims()[0], b.dims()[1]);
-    if k != k2 {
-        return Err(TensorError::MatmulDimMismatch { lhs: (m, k), rhs: (k2, n) });
-    }
+    let (m, k) = (a.dims().first().copied().unwrap_or(0), a.dims().get(1).copied().unwrap_or(0));
+    let (k2, n) = (b.dims().first().copied().unwrap_or(0), b.dims().get(1).copied().unwrap_or(0));
+    check_matmul(a, b, (m, k), (k2, n), "matmul")?;
     let mut out = vec![0.0f32; m * n];
     let av = a.as_slice();
     let bv = b.as_slice();
-    for i in 0..m {
+    let threads = parallelism_for(2 * m * k * n);
+    par_chunks_mut(&mut out, n * I_BLOCK, threads, |band, chunk| {
+        let i0 = band * I_BLOCK;
+        let rows = chunk.len() / n;
+        matmul_band(&av[i0 * k..(i0 + rows) * k], bv, chunk, k, n);
+    });
+    Tensor::from_vec(out, [m, n])
+}
+
+/// [`matmul`] for a left operand that is mostly zeros: rows of `B` whose
+/// matching `A` entry is exactly `0.0` are skipped instead of multiplied.
+///
+/// This is the explicit home of the sparsity fast path that used to hide
+/// inside the dense kernel (where the branch cost every dense caller ~15%
+/// and never paid off — trained weights are essentially never exact zeros).
+/// For finite inputs the result equals [`matmul`] bitwise, since skipping
+/// `0.0 · x` only elides additions of `±0.0`.
+///
+/// # Errors
+///
+/// Same conditions as [`matmul`].
+pub fn matmul_sparse_a(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, k) = (a.dims().first().copied().unwrap_or(0), a.dims().get(1).copied().unwrap_or(0));
+    let (k2, n) = (b.dims().first().copied().unwrap_or(0), b.dims().get(1).copied().unwrap_or(0));
+    check_matmul(a, b, (m, k), (k2, n), "matmul_sparse_a")?;
+    let mut out = vec![0.0f32; m * n];
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let threads = parallelism_for(2 * m * k * n);
+    par_chunks_mut(&mut out, n, threads, |i, orow| {
         let arow = &av[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
         for (p, &aik) in arow.iter().enumerate() {
             if aik == 0.0 {
                 continue;
@@ -52,77 +146,68 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
                 *o += aik * bpj;
             }
         }
-    }
+    });
     Tensor::from_vec(out, [m, n])
 }
 
 /// `C = A · Bᵀ` without materializing the transpose.
 ///
+/// Parallel over output rows; each element is one contiguous dot product
+/// accumulated in `k`-increasing order, so results match the serial kernel
+/// exactly at every thread count.
+///
 /// # Errors
 ///
 /// Same conditions as [`matmul`] after accounting for the implicit transpose.
 pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    if a.rank() != 2 {
-        return Err(TensorError::RankMismatch { expected: 2, actual: a.rank(), op: "matmul_t_b" });
-    }
-    if b.rank() != 2 {
-        return Err(TensorError::RankMismatch { expected: 2, actual: b.rank(), op: "matmul_t_b" });
-    }
-    let (m, k) = (a.dims()[0], a.dims()[1]);
-    let (n, k2) = (b.dims()[0], b.dims()[1]);
-    if k != k2 {
-        return Err(TensorError::MatmulDimMismatch { lhs: (m, k), rhs: (k2, n) });
-    }
+    let (m, k) = (a.dims().first().copied().unwrap_or(0), a.dims().get(1).copied().unwrap_or(0));
+    let (n, k2) = (b.dims().first().copied().unwrap_or(0), b.dims().get(1).copied().unwrap_or(0));
+    check_matmul(a, b, (m, k), (k2, n), "matmul_t_b")?;
     let mut out = vec![0.0f32; m * n];
     let av = a.as_slice();
     let bv = b.as_slice();
-    for i in 0..m {
+    let threads = parallelism_for(2 * m * k * n);
+    par_chunks_mut(&mut out, n, threads, |i, orow| {
         let arow = &av[i * k..(i + 1) * k];
-        for j in 0..n {
+        for (j, o) in orow.iter_mut().enumerate() {
             let brow = &bv[j * k..(j + 1) * k];
             let mut acc = 0.0f32;
             for (x, y) in arow.iter().zip(brow.iter()) {
                 acc += x * y;
             }
-            out[i * n + j] = acc;
+            *o = acc;
         }
-    }
+    });
     Tensor::from_vec(out, [m, n])
 }
 
 /// `C = Aᵀ · B` without materializing the transpose.
 ///
+/// Runs output-row-outermost (reading `A`'s column `i` with stride `m`) so
+/// rows parallelize without sharing accumulators; per-element accumulation
+/// stays `p`-increasing, matching [`matmul`] on an explicit transpose
+/// bitwise.
+///
 /// # Errors
 ///
 /// Same conditions as [`matmul`] after accounting for the implicit transpose.
 pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    if a.rank() != 2 {
-        return Err(TensorError::RankMismatch { expected: 2, actual: a.rank(), op: "matmul_t_a" });
-    }
-    if b.rank() != 2 {
-        return Err(TensorError::RankMismatch { expected: 2, actual: b.rank(), op: "matmul_t_a" });
-    }
-    let (k, m) = (a.dims()[0], a.dims()[1]);
-    let (k2, n) = (b.dims()[0], b.dims()[1]);
-    if k != k2 {
-        return Err(TensorError::MatmulDimMismatch { lhs: (m, k), rhs: (k2, n) });
-    }
+    let (k, m) = (a.dims().first().copied().unwrap_or(0), a.dims().get(1).copied().unwrap_or(0));
+    let (k2, n) = (b.dims().first().copied().unwrap_or(0), b.dims().get(1).copied().unwrap_or(0));
+    check_matmul(a, b, (m, k), (k2, n), "matmul_t_a")?;
     let mut out = vec![0.0f32; m * n];
     let av = a.as_slice();
     let bv = b.as_slice();
-    for p in 0..k {
-        let arow = &av[p * m..(p + 1) * m];
-        let brow = &bv[p * n..(p + 1) * n];
-        for (i, &api) in arow.iter().enumerate() {
-            if api == 0.0 {
-                continue;
-            }
-            let orow = &mut out[i * n..(i + 1) * n];
+    let threads = parallelism_for(2 * m * k * n);
+    par_chunks_mut(&mut out, n, threads, |i, orow| {
+        for p in 0..k {
+            let api = av[p * m + i];
+            let brow = &bv[p * n..(p + 1) * n];
             for (o, &bpj) in orow.iter_mut().zip(brow.iter()) {
                 *o += api * bpj;
             }
         }
-    }
+    });
     Tensor::from_vec(out, [m, n])
 }
 
@@ -297,6 +382,41 @@ mod tests {
         assert!(matches!(matmul(&a, &b), Err(TensorError::MatmulDimMismatch { .. })));
         let v = Tensor::zeros([3]);
         assert!(matches!(matmul(&v, &b), Err(TensorError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn matmul_sparse_a_matches_dense_kernel() {
+        // 70% zeros in A: the skip branch must not change the result.
+        let a = Tensor::from_fn([7, 9], |i| if i % 10 < 7 { 0.0 } else { (i as f32 * 0.3).sin() });
+        let b = Tensor::from_fn([9, 5], |i| (i as f32 * 0.7).cos());
+        assert_eq!(matmul_sparse_a(&a, &b).unwrap(), matmul(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn matmul_sparse_a_rejects_bad_dims() {
+        let a = t(vec![0.0; 6], [2, 3]);
+        let b = t(vec![0.0; 6], [2, 3]);
+        assert!(matches!(matmul_sparse_a(&a, &b), Err(TensorError::MatmulDimMismatch { .. })));
+    }
+
+    #[test]
+    fn blocked_matmul_spans_multiple_tiles() {
+        // Dimensions straddling the K/J/I block boundaries exercise every
+        // partial-tile edge; verify against a plain triple loop exactly.
+        let (m, k, n) = (I_BLOCK + 3, K_BLOCK + 5, J_BLOCK + 2);
+        let a = Tensor::from_fn([m, k], |i| ((i % 101) as f32 - 50.0) * 0.13);
+        let b = Tensor::from_fn([k, n], |i| ((i % 97) as f32 - 48.0) * 0.29);
+        let got = matmul(&a, &b).unwrap();
+        let (av, bv) = (a.as_slice(), b.as_slice());
+        let mut want = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                for j in 0..n {
+                    want[i * n + j] += av[i * k + p] * bv[p * n + j];
+                }
+            }
+        }
+        assert_eq!(got.as_slice(), &want[..]);
     }
 
     #[test]

@@ -83,6 +83,35 @@ proptest! {
     }
 
     #[test]
+    fn blocked_matmul_is_bit_identical_to_naive_reference(
+        m in 1usize..24, k in 1usize..24, n in 1usize..24, seed in 0u64..1000,
+    ) {
+        let f = |i: usize, s: u64| (((i as f64) * 0.61 + s as f64).sin() * 4.0) as f32;
+        let a = Tensor::from_fn([m, k], |i| f(i, seed));
+        let b = Tensor::from_fn([k, n], |i| f(i, seed + 1));
+        let got = ops::matmul(&a, &b).unwrap();
+        // Naive i-k-j reference with the same per-element accumulation
+        // order: the blocked/parallel kernel must match it EXACTLY, not
+        // within a tolerance.
+        let (av, bv) = (a.as_slice(), b.as_slice());
+        let mut want = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                for j in 0..n {
+                    want[i * n + j] += av[i * k + p] * bv[p * n + j];
+                }
+            }
+        }
+        prop_assert_eq!(got.as_slice(), &want[..]);
+        // And the sparse-A variant agrees bitwise on finite inputs.
+        let sparse = a.map(|x| if x.abs() < 2.0 { 0.0 } else { x });
+        prop_assert_eq!(
+            ops::matmul_sparse_a(&sparse, &b).unwrap(),
+            ops::matmul(&sparse, &b).unwrap()
+        );
+    }
+
+    #[test]
     fn softmax_rows_are_distributions(a in small_matrix()) {
         let s = ops::softmax_rows(&a).unwrap();
         let n = a.dims()[1];

@@ -28,4 +28,14 @@ if [[ -n "$candidate" && -f "$candidate" ]]; then
         BENCH_obs.json "$candidate" --tolerance 3.0
 fi
 
+# Same gate over the parallel-runtime profile (exp_par writes a fresh one;
+# set MEMAGING_BENCH_CANDIDATE_PAR to diff it against the committed
+# baseline).
+cargo run -q -p memaging-bench --bin bench-diff -- BENCH_par.json BENCH_par.json
+candidate_par="${MEMAGING_BENCH_CANDIDATE_PAR:-}"
+if [[ -n "$candidate_par" && -f "$candidate_par" ]]; then
+    cargo run -q -p memaging-bench --bin bench-diff -- \
+        BENCH_par.json "$candidate_par" --tolerance 3.0
+fi
+
 echo "check.sh: all green"
