@@ -1,0 +1,151 @@
+//! `exp_map` — incremental range-selection engine benchmark and oracle
+//! check.
+//!
+//! Runs the instrumented quick scenario (ST+AT) four ways — naive vs
+//! incremental candidate evaluation, single- vs multi-threaded — asserts
+//! all four runs are **bit-identical** (the incremental engine and the
+//! thread count must not change a single session record), and writes the
+//! mode/thread-suffixed phase profile to `BENCH_map.json`:
+//!
+//! * `map.candidate_naive_1t` vs `map.candidate_incr_1t` is the headline
+//!   speedup of the incremental engine (prefix caching + quantization
+//!   memoization + matrix dedup + exact-bound pruning);
+//! * `map.sweep_incr_1t` vs `map.sweep_incr_{N}t` is the sweep wall-clock
+//!   scaling gate (enforced when the machine actually has >1 core).
+//!
+//! ```text
+//! cargo run --release -p memaging-bench --bin exp_map
+//! MEMAGING_THREADS=4 cargo run --release -p memaging-bench --bin exp_map
+//! ```
+
+use memaging::lifetime::Strategy;
+use memaging::obs::{MemorySink, Recorder};
+use memaging::{par, Scenario};
+use memaging_bench::{banner, phase_profile_json, profile_phases, report, PhaseProfile};
+
+/// One profiled run: the phase profile (span names suffixed with the mode
+/// and thread count) plus the outcome used for the determinism assertion.
+struct ProfiledRun {
+    profiles: Vec<PhaseProfile>,
+    lifetime: memaging::lifetime::LifetimeResult,
+    accuracy_bits: u64,
+}
+
+fn profiled_run(
+    incremental: bool,
+    threads: usize,
+) -> Result<ProfiledRun, Box<dyn std::error::Error>> {
+    par::set_threads(threads);
+    let (sink, handle) = MemorySink::new();
+    let mut scenario = Scenario::quick();
+    scenario.framework.lifetime.incremental_eval = incremental;
+    scenario.framework.recorder = Recorder::new(vec![Box::new(sink)]);
+    let outcome = scenario.run_strategy(Strategy::StAt)?;
+    let mode = if incremental { "incr" } else { "naive" };
+    let mut profiles = profile_phases(&handle.events());
+    for p in &mut profiles {
+        p.name = format!("{}_{mode}_{threads}t", p.name);
+    }
+    Ok(ProfiledRun {
+        profiles,
+        lifetime: outcome.lifetime,
+        accuracy_bits: outcome.software_accuracy.to_bits(),
+    })
+}
+
+fn total_ms(profiles: &[PhaseProfile], name: &str) -> f64 {
+    profiles.iter().find(|p| p.name == name).map(|p| p.total_us as f64 / 1e3).unwrap_or(0.0)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let threads = par::num_threads().max(2);
+    banner(&format!(
+        "range-selection engine profile (quick scenario, ST+AT, naive vs incremental, 1 vs {threads} threads)"
+    ));
+
+    let legs = [
+        profiled_run(false, 1)?,
+        profiled_run(true, 1)?,
+        profiled_run(false, threads)?,
+        profiled_run(true, threads)?,
+    ];
+    par::set_threads(0);
+
+    // The whole point: neither the incremental engine nor the thread count
+    // may change a single bit of the simulation.
+    for leg in &legs[1..] {
+        assert_eq!(
+            legs[0].lifetime, leg.lifetime,
+            "lifetime result differs between evaluation modes/thread counts"
+        );
+        assert_eq!(
+            legs[0].accuracy_bits, leg.accuracy_bits,
+            "software accuracy differs between evaluation modes/thread counts"
+        );
+    }
+    report(&format!(
+        "  determinism: naive/incremental x 1t/{threads}t all bit-identical \
+         ({} sessions, {} applications)",
+        legs[0].lifetime.sessions.len(),
+        legs[0].lifetime.lifetime_applications,
+    ));
+
+    let mut profiles = Vec::new();
+    for leg in legs {
+        profiles.extend(leg.profiles);
+    }
+    for p in &profiles {
+        report(&format!(
+            "  {:<24} {:>5} spans  total {:>9.1} ms  max {:>8.1} ms",
+            p.name,
+            p.count,
+            p.total_us as f64 / 1e3,
+            p.max_us as f64 / 1e3,
+        ));
+    }
+
+    // Headline: total candidate-evaluation time, naive vs incremental.
+    let naive_1t = total_ms(&profiles, "map.candidate_naive_1t");
+    let incr_1t = total_ms(&profiles, "map.candidate_incr_1t");
+    if naive_1t > 0.0 && incr_1t > 0.0 {
+        report(&format!(
+            "  map.candidate @1t: naive {naive_1t:.1} ms -> incremental {incr_1t:.1} ms  ({:.2}x)",
+            naive_1t / incr_1t
+        ));
+        assert!(
+            incr_1t < naive_1t,
+            "incremental candidate evaluation must beat the naive sweep at 1 thread \
+             (naive {naive_1t:.1} ms, incremental {incr_1t:.1} ms)"
+        );
+    }
+
+    // Sweep wall-clock scaling: only gate where parallel hardware exists —
+    // on a single-core box the multi-thread leg measures pure overhead.
+    let sweep_1t = total_ms(&profiles, "map.sweep_incr_1t");
+    let sweep_nt = total_ms(&profiles, &format!("map.sweep_incr_{threads}t"));
+    if sweep_1t > 0.0 && sweep_nt > 0.0 {
+        report(&format!(
+            "  map.sweep wall: {sweep_1t:.1} ms @1t -> {sweep_nt:.1} ms @{threads}t  ({:.2}x, {} cores)",
+            sweep_1t / sweep_nt,
+            par::available_parallelism(),
+        ));
+        if par::available_parallelism() >= 2 {
+            assert!(
+                sweep_nt < sweep_1t,
+                "multi-threaded sweep must beat single-threaded wall-clock on \
+                 multi-core hardware ({sweep_nt:.1} ms @{threads}t vs {sweep_1t:.1} ms @1t)"
+            );
+        }
+    }
+
+    let json = phase_profile_json(
+        &format!(
+            "quick scenario, ST+AT strategy, naive vs incremental range selection, 1 vs {threads} threads"
+        ),
+        &profiles,
+    );
+    let path = "BENCH_map.json";
+    std::fs::write(path, &json)?;
+    report(&format!("(range-selection phase profile saved to {path})"));
+    Ok(())
+}

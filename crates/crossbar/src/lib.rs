@@ -65,6 +65,7 @@ mod analog;
 mod crossbar;
 mod differential;
 mod error;
+mod incremental;
 mod ir_drop;
 mod mapping;
 mod network;
@@ -78,10 +79,10 @@ mod wear_level;
 pub use crossbar::{Crossbar, ProgramStats, TileWear};
 pub use differential::{DifferentialCrossbar, DifferentialMapping};
 pub use error::CrossbarError;
-pub use mapping::WeightMapping;
+pub use mapping::{WeightMapping, WeightRange};
 pub use network::{CrossbarNetwork, MapReport, MappingStrategy};
 pub use range_select::{select_range, select_range_par, RangeSelection};
-pub use tile::TiledMatrix;
+pub use tile::{BlockMap, TiledMatrix};
 pub use tracer::{trace_estimates, traced_positions, traced_upper_bound_range, TracedEstimate};
 pub use tuner::{tune, tune_with_recorder, TuneConfig, TuneReport};
 pub use wear_level::{incremental_swap, wear_imbalance, wear_leveling_assignment, RowAssignment};

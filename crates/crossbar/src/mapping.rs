@@ -41,6 +41,94 @@ pub struct WeightMapping {
     g_max: f64,
 }
 
+/// A derived `[w_min, w_max]` weight range, decoupled from the resistance
+/// window it will be mapped onto.
+///
+/// The range derivation (percentile clipping, constant-slice padding) looks
+/// only at the weights — it is *window-independent* — while a range-selection
+/// sweep builds one [`WeightMapping`] per candidate window over the **same**
+/// weights. Deriving the range once and instantiating per-candidate mappings
+/// with [`WeightMapping::from_range`] skips the per-candidate sort without
+/// changing a single bit of the resulting mapping:
+/// `WeightMapping::from_weights_percentile(w, win, p)` is defined as
+/// `WeightMapping::from_range(WeightRange::from_weights_percentile(w, p)?, win)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightRange {
+    lo: f64,
+    hi: f64,
+}
+
+impl WeightRange {
+    /// Derives the raw min/max range of `weights`, padding a constant slice
+    /// by ±0.5 — the range behind [`WeightMapping::from_weights`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidMapping`] for an empty slice.
+    pub fn from_weights(weights: &[f32]) -> Result<Self, CrossbarError> {
+        if weights.is_empty() {
+            return Err(CrossbarError::InvalidMapping {
+                reason: "cannot derive weight range from empty slice".into(),
+            });
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &w in weights {
+            let w = w as f64;
+            lo = lo.min(w);
+            hi = hi.max(w);
+        }
+        if hi <= lo {
+            lo -= 0.5;
+            hi += 0.5;
+        }
+        Ok(WeightRange { lo, hi })
+    }
+
+    /// Derives the percentile-clipped range of `weights` — the range behind
+    /// [`WeightMapping::from_weights_percentile`], falling back to
+    /// [`WeightRange::from_weights`] when the clipped range collapses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidMapping`] for an empty slice or a
+    /// percentile outside `[0, 0.5)`.
+    pub fn from_weights_percentile(
+        weights: &[f32],
+        percentile: f64,
+    ) -> Result<Self, CrossbarError> {
+        if weights.is_empty() {
+            return Err(CrossbarError::InvalidMapping {
+                reason: "cannot derive weight range from empty slice".into(),
+            });
+        }
+        if !(0.0..0.5).contains(&percentile) {
+            return Err(CrossbarError::InvalidMapping {
+                reason: format!("percentile {percentile} not in [0, 0.5)"),
+            });
+        }
+        let mut sorted: Vec<f32> = weights.to_vec();
+        sorted.sort_by(f32::total_cmp);
+        let k = ((sorted.len() as f64) * percentile).floor() as usize;
+        let lo = sorted[k.min(sorted.len() - 1)] as f64;
+        let hi = sorted[sorted.len() - 1 - k.min(sorted.len() - 1)] as f64;
+        if hi <= lo {
+            return WeightRange::from_weights(weights);
+        }
+        Ok(WeightRange { lo, hi })
+    }
+
+    /// Lower end of the range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper end of the range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
 impl WeightMapping {
     /// Creates a mapping from a weight range onto the conductance range
     /// induced by a (possibly aged) common resistance window.
@@ -75,23 +163,18 @@ impl WeightMapping {
     /// Returns [`CrossbarError::InvalidMapping`] for an empty slice or a
     /// degenerate window.
     pub fn from_weights(weights: &[f32], window: AgedWindow) -> Result<Self, CrossbarError> {
-        if weights.is_empty() {
-            return Err(CrossbarError::InvalidMapping {
-                reason: "cannot derive weight range from empty slice".into(),
-            });
-        }
-        let mut lo = f64::INFINITY;
-        let mut hi = f64::NEG_INFINITY;
-        for &w in weights {
-            let w = w as f64;
-            lo = lo.min(w);
-            hi = hi.max(w);
-        }
-        if hi <= lo {
-            lo -= 0.5;
-            hi += 0.5;
-        }
-        WeightMapping::new(lo, hi, window)
+        WeightMapping::from_range(WeightRange::from_weights(weights)?, window)
+    }
+
+    /// Builds the mapping for a pre-derived weight range over `window` —
+    /// identical to re-deriving the range from the same weights, but lets a
+    /// candidate sweep derive the (window-independent) range once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidMapping`] for a degenerate window.
+    pub fn from_range(range: WeightRange, window: AgedWindow) -> Result<Self, CrossbarError> {
+        WeightMapping::new(range.lo, range.hi, window)
     }
 
     /// Derives the weight range from percentiles of the data, clamping the
@@ -110,25 +193,10 @@ impl WeightMapping {
         window: AgedWindow,
         percentile: f64,
     ) -> Result<Self, CrossbarError> {
-        if weights.is_empty() {
-            return Err(CrossbarError::InvalidMapping {
-                reason: "cannot derive weight range from empty slice".into(),
-            });
-        }
-        if !(0.0..0.5).contains(&percentile) {
-            return Err(CrossbarError::InvalidMapping {
-                reason: format!("percentile {percentile} not in [0, 0.5)"),
-            });
-        }
-        let mut sorted: Vec<f32> = weights.to_vec();
-        sorted.sort_by(f32::total_cmp);
-        let k = ((sorted.len() as f64) * percentile).floor() as usize;
-        let lo = sorted[k.min(sorted.len() - 1)] as f64;
-        let hi = sorted[sorted.len() - 1 - k.min(sorted.len() - 1)] as f64;
-        if hi <= lo {
-            return WeightMapping::from_weights(weights, window);
-        }
-        WeightMapping::new(lo, hi, window)
+        WeightMapping::from_range(
+            WeightRange::from_weights_percentile(weights, percentile)?,
+            window,
+        )
     }
 
     /// The fresh-window mapping of a device spec for a given weight range.
@@ -281,6 +349,30 @@ mod tests {
     fn percentile_range_of_constant_weights_falls_back() {
         let m = WeightMapping::from_weights_percentile(&[0.2; 10], window(), 0.01).unwrap();
         assert!(m.w_min() < 0.2 && m.w_max() > 0.2);
+    }
+
+    #[test]
+    fn from_range_equals_from_weights_percentile_bitwise() {
+        let ws: Vec<f32> = (0..500).map(|i| ((i as f32) * 0.173).sin()).collect();
+        for pct in [0.0, 0.005, 0.1] {
+            let range = WeightRange::from_weights_percentile(&ws, pct).unwrap();
+            for r_max in [1e5, 7.3e4, 2.1e4] {
+                let w = AgedWindow { r_min: 1e4, r_max };
+                let direct = WeightMapping::from_weights_percentile(&ws, w, pct).unwrap();
+                let via_range = WeightMapping::from_range(range, w).unwrap();
+                assert_eq!(direct, via_range, "pct={pct} r_max={r_max}");
+            }
+        }
+        // Constant weights exercise the from_weights fallback path.
+        let range = WeightRange::from_weights_percentile(&[0.2; 10], 0.01).unwrap();
+        let direct = WeightMapping::from_weights_percentile(&[0.2; 10], window(), 0.01).unwrap();
+        assert_eq!(direct, WeightMapping::from_range(range, window()).unwrap());
+        // Range errors surface at derivation time.
+        assert!(WeightRange::from_weights_percentile(&[], 0.1).is_err());
+        assert!(WeightRange::from_weights_percentile(&ws, 0.5).is_err());
+        assert!(WeightRange::from_weights(&[]).is_err());
+        assert_eq!(range.lo(), direct.w_min());
+        assert_eq!(range.hi(), direct.w_max());
     }
 
     #[test]

@@ -7,10 +7,13 @@ use memaging_tensor::Tensor;
 
 use crate::crossbar::{Crossbar, ProgramStats};
 use crate::error::CrossbarError;
+use crate::incremental::{EvalEngine, SweepParams};
 use crate::mapping::WeightMapping;
 use crate::range_select::select_range_par;
+use crate::tile::BlockMap;
 use crate::tracer::{trace_estimates, TracedEstimate};
 use crate::wear_level::RowAssignment;
+use memaging_obs::names;
 
 /// How trained weights are mapped onto the (possibly aged) arrays.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +68,12 @@ pub struct CrossbarNetwork {
     aging: ArrheniusAging,
     outlier_percentile: f64,
     wear_leveling: bool,
+    /// Persistent incremental candidate-evaluation engine (per-worker
+    /// network contexts, prefix caches, quantization memos).
+    engine: EvalEngine,
+    /// Whether range selection uses the incremental engine (default) or the
+    /// naive per-candidate re-simulation.
+    incremental_eval: bool,
 }
 
 impl std::fmt::Debug for CrossbarNetwork {
@@ -107,7 +116,17 @@ impl CrossbarNetwork {
             aging,
             outlier_percentile: 0.005,
             wear_leveling: false,
+            engine: EvalEngine::new(),
+            incremental_eval: true,
         })
+    }
+
+    /// Selects between the incremental candidate-evaluation engine (the
+    /// default) and the naive per-candidate re-simulation for aging-aware
+    /// range selection. Both produce bit-identical [`MapReport`]s; the
+    /// naive path exists as the reference oracle and escape hatch.
+    pub fn set_incremental_eval(&mut self, enabled: bool) {
+        self.incremental_eval = enabled;
     }
 
     /// Enables the row-swapping wear-leveling baseline of the paper's
@@ -215,22 +234,45 @@ impl CrossbarNetwork {
         calibration: Option<(&Dataset, usize)>,
         recorder: &memaging_obs::Recorder,
     ) -> Result<MapReport, CrossbarError> {
-        let weights = self.software.weight_matrices();
+        // Disjoint field borrows: `trained` borrows the software weights
+        // for the whole loop (no per-map clone of every matrix), while the
+        // engine, arrays and bookkeeping vectors are mutated alongside.
+        let CrossbarNetwork {
+            software,
+            arrays,
+            mappings,
+            last_windows,
+            row_assignments,
+            spec,
+            outlier_percentile,
+            wear_leveling,
+            engine,
+            incremental_eval,
+            ..
+        } = &mut *self;
+        let software: &Network = software;
+        let spec = *spec;
+        let percentile = *outlier_percentile;
+        let wear_leveling = *wear_leveling;
+        let incremental = *incremental_eval;
+        // New mapping epoch: worker contexts lazily re-sync the (possibly
+        // retrained) software weights at their first lease.
+        engine.begin_epoch();
+        let trained: Vec<&Tensor> = (0..arrays.len())
+            .map(|i| software.weight_matrix(i).expect("one array per mappable layer"))
+            .collect();
         let mut stats = ProgramStats::default();
-        let mut windows = Vec::with_capacity(weights.len());
+        let mut windows = Vec::with_capacity(arrays.len());
         let mut candidates_tried = 0usize;
-        let mut out_of_range_weights = Vec::with_capacity(weights.len());
-        for (idx, w) in weights.iter().enumerate() {
+        let mut out_of_range_weights = Vec::with_capacity(arrays.len());
+        for (idx, &w) in trained.iter().enumerate() {
             let window = match strategy {
-                MappingStrategy::Fresh => {
-                    AgedWindow { r_min: self.spec.r_min, r_max: self.spec.r_max }
-                }
+                MappingStrategy::Fresh => AgedWindow { r_min: spec.r_min, r_max: spec.r_max },
                 MappingStrategy::AgingAware => {
                     let (data, batch) = calibration.ok_or(CrossbarError::InvalidMapping {
                         reason: "aging-aware mapping needs calibration data".into(),
                     })?;
-                    let estimates = trace_estimates(&self.arrays[idx]);
-                    let spec = self.spec;
+                    let estimates = trace_estimates(&arrays[idx]);
                     // Candidate upper bounds come only from *usable* traced
                     // devices: a worn-out block center (collapsed window)
                     // would drag the common range down to a useless sliver.
@@ -240,27 +282,44 @@ impl CrossbarNetwork {
                         .copied()
                         .filter(|e| e.window.r_max - spec.r_min >= usable_floor)
                         .collect();
-                    let candidates = if viable.is_empty() { estimates.clone() } else { viable };
-                    let percentile = self.outlier_percentile;
-                    // Candidate evaluations are independent software
-                    // simulations: fan them out across workers, each owning
-                    // a cloned network plus one reusable weight-matrix
-                    // scratch (instead of rebuilding the simulated matrix
-                    // and saving/restoring the live network per candidate).
-                    let software = &self.software;
-                    let blocks = BlockEstimates::new(&estimates);
-                    let selection = select_range_par(
-                        &candidates,
-                        spec.r_min,
-                        |worker| (worker, software.clone(), weights.to_vec()),
-                        |(worker, net, scratch), cand| {
-                            let _span = recorder.worker_span("map.candidate", *worker);
-                            simulate_layer_window_accuracy(
-                                net, scratch, &weights, idx, cand, &blocks, &spec, data, batch,
-                                percentile,
-                            )
-                        },
-                    );
+                    let candidates: &[TracedEstimate] =
+                        if viable.is_empty() { &estimates } else { &viable };
+                    let blocks = BlockMap::new(arrays[idx].rows(), arrays[idx].cols(), &estimates);
+                    let params = SweepParams {
+                        trained: &trained,
+                        layer: idx,
+                        net_layer: software
+                            .mappable_layer_index(idx)
+                            .expect("one array per mappable layer"),
+                        blocks: &blocks,
+                        spec: &spec,
+                        data,
+                        batch,
+                        percentile,
+                    };
+                    let selection = if incremental {
+                        engine.sweep(software, candidates, spec.r_min, &params, recorder)
+                    } else {
+                        // Naive reference path: every candidate re-simulates
+                        // the full matrix and forward pass on a per-sweep
+                        // cloned network.
+                        select_range_par(
+                            candidates,
+                            spec.r_min,
+                            |worker| {
+                                let scratch: Vec<Tensor> =
+                                    trained.iter().map(|&t| t.clone()).collect();
+                                (worker, software.clone(), scratch)
+                            },
+                            |(worker, net, scratch), cand| {
+                                let _span = recorder.worker_span(names::MAP_CANDIDATE, *worker);
+                                simulate_layer_window_accuracy(
+                                    net, scratch, &trained, idx, cand, &blocks, &spec, data, batch,
+                                    percentile,
+                                )
+                            },
+                        )
+                    };
                     match selection {
                         Ok(sel) => {
                             candidates_tried += sel.candidates_tried;
@@ -269,22 +328,31 @@ impl CrossbarNetwork {
                             // new window costs a pulse burst across the
                             // whole array. Keep the previous window unless
                             // the new one is meaningfully more accurate.
-                            match self.last_windows[idx] {
+                            match last_windows[idx] {
                                 Some(prev) if prev.r_max > spec.r_min => {
-                                    let (mut net, mut scratch) =
-                                        (software.clone(), weights.to_vec());
-                                    let prev_acc = simulate_layer_window_accuracy(
-                                        &mut net,
-                                        &mut scratch,
-                                        &weights,
-                                        idx,
-                                        prev,
-                                        &blocks,
-                                        &spec,
-                                        data,
-                                        batch,
-                                        percentile,
-                                    )?;
+                                    let prev_acc = if incremental {
+                                        engine.evaluate_window(software, prev, &params, recorder)?
+                                    } else {
+                                        let (mut net, mut scratch) = (
+                                            software.clone(),
+                                            trained
+                                                .iter()
+                                                .map(|&t| t.clone())
+                                                .collect::<Vec<Tensor>>(),
+                                        );
+                                        simulate_layer_window_accuracy(
+                                            &mut net,
+                                            &mut scratch,
+                                            &trained,
+                                            idx,
+                                            prev,
+                                            &blocks,
+                                            &spec,
+                                            data,
+                                            batch,
+                                            percentile,
+                                        )?
+                                    };
                                     if prev_acc + 0.01 >= sel.accuracy {
                                         prev
                                     } else {
@@ -304,28 +372,24 @@ impl CrossbarNetwork {
                     }
                 }
             };
-            let mapping = WeightMapping::from_weights_percentile(
-                w.as_slice(),
-                window,
-                self.outlier_percentile,
-            )?;
+            let mapping = WeightMapping::from_weights_percentile(w.as_slice(), window, percentile)?;
             out_of_range_weights.push(mapping.out_of_range_count(w.as_slice()));
             let targets = Tensor::from_fn([w.dims()[0], w.dims()[1]], |i| {
                 mapping.weight_to_conductance(w.as_slice()[i] as f64) as f32
             });
-            if self.wear_leveling && crate::wear_level::wear_imbalance(&self.arrays[idx]) > 1.5 {
+            if wear_leveling && crate::wear_level::wear_imbalance(&arrays[idx]) > 1.5 {
                 // Swap only under a real wear imbalance: each swap
                 // reprograms two whole rows, which is itself aging cost.
-                self.row_assignments[idx] = crate::wear_level::incremental_swap(
-                    &self.arrays[idx],
+                row_assignments[idx] = crate::wear_level::incremental_swap(
+                    &arrays[idx],
                     &targets,
-                    &self.row_assignments[idx],
+                    &row_assignments[idx],
                 )?;
             }
-            let physical = self.row_assignments[idx].to_physical(&targets)?;
-            stats.merge(self.arrays[idx].program_conductances(&physical)?);
-            self.mappings[idx] = Some(mapping);
-            self.last_windows[idx] = Some(window);
+            let physical = row_assignments[idx].to_physical(&targets)?;
+            stats.merge(arrays[idx].program_conductances(&physical)?);
+            mappings[idx] = Some(mapping);
+            last_windows[idx] = Some(window);
             windows.push(window);
         }
         // Leave the software model consistent with what the hardware now holds.
@@ -491,10 +555,10 @@ impl CrossbarNetwork {
 fn simulate_layer_window_accuracy(
     software: &mut Network,
     scratch: &mut [Tensor],
-    trained: &[Tensor],
+    trained: &[&Tensor],
     layer_idx: usize,
     cand: AgedWindow,
-    blocks: &BlockEstimates,
+    blocks: &BlockMap,
     spec: &DeviceSpec,
     data: &Dataset,
     batch: usize,
@@ -503,7 +567,7 @@ fn simulate_layer_window_accuracy(
     let mapping =
         WeightMapping::from_weights_percentile(trained[layer_idx].as_slice(), cand, percentile)?;
     let quantizer = Quantizer::from_spec(spec)?;
-    let w = &trained[layer_idx];
+    let w = trained[layer_idx];
     let cols = w.dims()[1];
     for (i, slot) in scratch[layer_idx].as_mut_slice().iter_mut().enumerate() {
         let (row, col) = (i / cols, i % cols);
@@ -516,36 +580,6 @@ fn simulate_layer_window_accuracy(
     }
     software.set_weight_matrices(scratch)?;
     Ok(memaging_nn::evaluate(software, data, batch)?)
-}
-
-/// Per-block aged-window estimates, indexed once per range selection instead
-/// of linearly scanning the trace list for every device of every candidate.
-struct BlockEstimates {
-    map: std::collections::HashMap<(usize, usize), AgedWindow>,
-    /// Fallback for blocks without a traced device (possible at ragged
-    /// edges): assumed fresh-ish, i.e. the widest traced window.
-    widest: AgedWindow,
-}
-
-impl BlockEstimates {
-    fn new(estimates: &[TracedEstimate]) -> Self {
-        let mut map = std::collections::HashMap::new();
-        for e in estimates {
-            // First estimate per block wins, matching the old linear scan.
-            map.entry((e.row / 3, e.col / 3)).or_insert(e.window);
-        }
-        let widest = estimates.iter().map(|e| e.window).fold(
-            AgedWindow { r_min: f64::MAX, r_max: 0.0 },
-            |acc, w| AgedWindow { r_min: acc.r_min.min(w.r_min), r_max: acc.r_max.max(w.r_max) },
-        );
-        BlockEstimates { map, widest }
-    }
-
-    /// The estimated aged window covering device `(row, col)`: the estimate
-    /// of its 3×3 block center.
-    fn at(&self, row: usize, col: usize) -> AgedWindow {
-        *self.map.get(&(row / 3, col / 3)).unwrap_or(&self.widest)
-    }
 }
 
 #[cfg(test)]

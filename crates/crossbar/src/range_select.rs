@@ -17,7 +17,50 @@ use crate::tracer::{traced_upper_bound_range, TracedEstimate};
 /// adopted over a wider one: narrow windows park every device at low
 /// resistance (maximum programming current), so an accuracy-neutral
 /// narrowing would trade nothing for a much faster aging rate.
-const MIN_IMPROVEMENT: f64 = 0.005;
+pub(crate) const MIN_IMPROVEMENT: f64 = 0.005;
+
+/// The candidate upper bounds of a sweep: the distinct traced aged maxima,
+/// descending (widest-first), with collapsed candidates (`r_max <=
+/// fresh_r_min`) dropped. Every selection flavor — serial, parallel,
+/// incremental — derives its candidate list here, so they agree bit-for-bit
+/// on the iteration order, the dedup tolerance, and `candidates_tried`.
+pub(crate) fn candidate_upper_bounds(estimates: &[TracedEstimate], fresh_r_min: f64) -> Vec<f64> {
+    let mut candidates: Vec<f64> = estimates.iter().map(|e| e.window.r_max).collect();
+    candidates.sort_by(|a, b| b.partial_cmp(a).expect("aged bounds are finite"));
+    candidates.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+    candidates.retain(|&r_max| r_max > fresh_r_min);
+    candidates
+}
+
+/// Folds evaluated candidates (in widest-first order) into the selection:
+/// the first candidate is adopted, and each later one only if it beats the
+/// running best by more than [`MIN_IMPROVEMENT`]. The fold is shared by
+/// every selection flavor so adoption decisions, tie-breaks and error
+/// precedence are identical whatever produced the accuracies.
+pub(crate) fn fold_candidates(
+    fresh_r_min: f64,
+    evaluated: impl Iterator<Item = (f64, Result<f64, CrossbarError>)>,
+) -> Result<RangeSelection, CrossbarError> {
+    let mut best: Option<RangeSelection> = None;
+    let mut tried = 0usize;
+    for (r_max, result) in evaluated {
+        let accuracy = result?;
+        tried += 1;
+        let window = AgedWindow { r_min: fresh_r_min, r_max };
+        let better = match &best {
+            None => true,
+            Some(b) => accuracy > b.accuracy + MIN_IMPROVEMENT,
+        };
+        if better {
+            best = Some(RangeSelection { window, accuracy, candidates_tried: 0 });
+        }
+    }
+    let mut sel = best.ok_or(CrossbarError::InvalidMapping {
+        reason: "no viable candidate window (all collapsed below fresh r_min)".into(),
+    })?;
+    sel.candidates_tried = tried;
+    Ok(sel)
+}
 
 /// The outcome of a range selection.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,34 +114,15 @@ pub fn select_range(
     let (_lo, _hi) = traced_upper_bound_range(estimates).ok_or(CrossbarError::InvalidMapping {
         reason: "range selection needs at least one traced estimate".into(),
     })?;
-    // Candidate upper bounds: the distinct traced aged maxima, descending.
-    let mut candidates: Vec<f64> = estimates.iter().map(|e| e.window.r_max).collect();
-    candidates.sort_by(|a, b| b.partial_cmp(a).expect("aged bounds are finite"));
-    candidates.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
-
-    // Candidates are iterated widest-first; see MIN_IMPROVEMENT.
-    let mut best: Option<RangeSelection> = None;
-    let mut tried = 0usize;
-    for r_max in candidates {
-        if r_max <= fresh_r_min {
-            continue; // collapsed candidate cannot host a mapping
-        }
-        let window = AgedWindow { r_min: fresh_r_min, r_max };
-        let accuracy = evaluate(window)?;
-        tried += 1;
-        let better = match &best {
-            None => true,
-            Some(b) => accuracy > b.accuracy + MIN_IMPROVEMENT,
-        };
-        if better {
-            best = Some(RangeSelection { window, accuracy, candidates_tried: 0 });
-        }
-    }
-    let mut sel = best.ok_or(CrossbarError::InvalidMapping {
-        reason: "no viable candidate window (all collapsed below fresh r_min)".into(),
-    })?;
-    sel.candidates_tried = tried;
-    Ok(sel)
+    // Candidates are iterated widest-first; see MIN_IMPROVEMENT. The map
+    // below is lazy, so evaluations stay serial and stop at the first error.
+    let candidates = candidate_upper_bounds(estimates, fresh_r_min);
+    fold_candidates(
+        fresh_r_min,
+        candidates
+            .into_iter()
+            .map(|r_max| (r_max, evaluate(AgedWindow { r_min: fresh_r_min, r_max }))),
+    )
 }
 
 /// [`select_range`] with the candidate evaluations run in parallel.
@@ -144,10 +168,7 @@ pub fn select_range_par<S>(
     traced_upper_bound_range(estimates).ok_or(CrossbarError::InvalidMapping {
         reason: "range selection needs at least one traced estimate".into(),
     })?;
-    let mut candidates: Vec<f64> = estimates.iter().map(|e| e.window.r_max).collect();
-    candidates.sort_by(|a, b| b.partial_cmp(a).expect("aged bounds are finite"));
-    candidates.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
-    candidates.retain(|&r_max| r_max > fresh_r_min);
+    let candidates = candidate_upper_bounds(estimates, fresh_r_min);
 
     let results = memaging_par::par_map_init(candidates.len(), init, |state, i| {
         evaluate(state, AgedWindow { r_min: fresh_r_min, r_max: candidates[i] })
@@ -156,25 +177,7 @@ pub fn select_range_par<S>(
     // Serial widest-first fold: identical adoption decisions (and identical
     // error precedence) to the serial loop, whatever order the workers
     // finished in.
-    let mut best: Option<RangeSelection> = None;
-    let mut tried = 0usize;
-    for (i, result) in results.into_iter().enumerate() {
-        let accuracy = result?;
-        tried += 1;
-        let window = AgedWindow { r_min: fresh_r_min, r_max: candidates[i] };
-        let better = match &best {
-            None => true,
-            Some(b) => accuracy > b.accuracy + MIN_IMPROVEMENT,
-        };
-        if better {
-            best = Some(RangeSelection { window, accuracy, candidates_tried: 0 });
-        }
-    }
-    let mut sel = best.ok_or(CrossbarError::InvalidMapping {
-        reason: "no viable candidate window (all collapsed below fresh r_min)".into(),
-    })?;
-    sel.candidates_tried = tried;
-    Ok(sel)
+    fold_candidates(fresh_r_min, candidates.into_iter().zip(results))
 }
 
 #[cfg(test)]

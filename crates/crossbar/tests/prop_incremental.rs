@@ -1,0 +1,99 @@
+//! Property test for the incremental range-selection engine: across random
+//! training seeds and deterministic-but-irregular aging patterns, the
+//! incremental sweep must produce a [`MapReport`] identical to the naive
+//! per-candidate re-simulation — same windows, same accuracy, same
+//! `candidates_tried`, same programming statistics — at every thread count,
+//! including the hysteresis re-map of a second epoch.
+
+use memaging_crossbar::{CrossbarNetwork, MapReport, MappingStrategy};
+use memaging_dataset::{Dataset, SyntheticSpec};
+use memaging_device::{ArrheniusAging, DeviceSpec};
+use memaging_nn::{models, train, Network, NoRegularizer, TrainConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn trained_setup(seed: u64) -> (Network, Dataset) {
+    let mut data = Dataset::gaussian_blobs(&SyntheticSpec::small(3, seed)).unwrap();
+    data.normalize();
+    let mut net = models::mlp(&[144, 8, 3], &mut StdRng::seed_from_u64(seed)).unwrap();
+    let config = TrainConfig { epochs: 6, target_accuracy: 0.95, ..TrainConfig::default() };
+    train(&mut net, &data, &config, &NoRegularizer).unwrap();
+    (net, data)
+}
+
+/// Accelerated aging so a handful of cycles produces visibly distinct
+/// per-device windows (and thus many distinct selection candidates).
+fn fast_aging() -> ArrheniusAging {
+    ArrheniusAging { a_f: 1.0e17, a_g: 1.0e16, ..ArrheniusAging::default() }
+}
+
+/// Deterministically cycles every device a position-dependent number of
+/// times: no RNG, so two networks built from the same trained model end up
+/// with bitwise-identical device state.
+fn apply_aging(cn: &mut CrossbarNetwork, base_cycles: usize) {
+    for l in 0..cn.arrays().len() {
+        let arr = cn.array_mut(l);
+        for r in 0..arr.rows() {
+            for c in 0..arr.cols() {
+                let cycles = 1 + (base_cycles + r * 7 + c * 13 + l * 29) % (base_cycles + 4);
+                let d = arr.device_mut(r, c);
+                for _ in 0..cycles {
+                    if d.pulse(-1).is_err() || d.pulse(1).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Two mapping epochs (the second exercises the hysteresis re-check) on a
+/// freshly built, deterministically aged copy of `net`.
+fn two_epoch_reports(
+    net: &Network,
+    data: &Dataset,
+    cycles: usize,
+    incremental: bool,
+) -> (MapReport, MapReport) {
+    let mut cn = CrossbarNetwork::new(net.clone(), DeviceSpec::default(), fast_aging()).unwrap();
+    cn.set_incremental_eval(incremental);
+    apply_aging(&mut cn, cycles);
+    let first = cn.map_weights(MappingStrategy::AgingAware, Some((data, 16))).unwrap();
+    // Restore the trained weights (mapping synced the quantized hardware
+    // view back into software), age a little more, re-map.
+    cn.software_mut().set_weight_matrices(&net.weight_matrices()).unwrap();
+    apply_aging(&mut cn, 3);
+    let second = cn.map_weights(MappingStrategy::AgingAware, Some((data, 16))).unwrap();
+    (first, second)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn incremental_sweep_matches_naive_at_every_thread_count(
+        seed in 0u64..64,
+        cycles in 4usize..24,
+    ) {
+        let (net, data) = trained_setup(seed);
+        let (naive_first, naive_second) = two_epoch_reports(&net, &data, cycles, false);
+        prop_assert!(
+            naive_first.candidates_tried > 0,
+            "aging-aware sweep must evaluate candidates"
+        );
+        for threads in [1usize, 2, 8] {
+            memaging_par::set_threads(threads);
+            let (first, second) = two_epoch_reports(&net, &data, cycles, true);
+            memaging_par::set_threads(0);
+            prop_assert_eq!(
+                &first, &naive_first,
+                "first-epoch report diverged at {} threads", threads
+            );
+            prop_assert_eq!(
+                &second, &naive_second,
+                "second-epoch (hysteresis) report diverged at {} threads", threads
+            );
+        }
+    }
+}

@@ -55,6 +55,10 @@ pub struct LifetimeConfig {
     /// Enables the row-swapping wear-leveling baseline of the paper's
     /// ref. [12] on top of the selected strategy (prior-work comparison).
     pub wear_leveling: bool,
+    /// Uses the incremental candidate-evaluation engine for aging-aware
+    /// range selection (default). The naive per-candidate re-simulation is
+    /// kept as a reference oracle; both produce identical map reports.
+    pub incremental_eval: bool,
     /// Thresholds of the wear-health subsystem (forecaster + alerts). The
     /// monitor only runs when a recorder is enabled — its reports flow
     /// through the recorder's sinks.
@@ -75,6 +79,7 @@ impl Default for LifetimeConfig {
             seed: 0,
             remap_trigger: 0.3,
             wear_leveling: false,
+            incremental_eval: true,
             health: HealthConfig::default(),
         }
     }
@@ -242,6 +247,7 @@ pub fn run_lifetime_with_recorder(
         HealthMonitor::new(spec.r_min, spec.r_max, config.max_tuning_iterations, config.health);
     let mut hw = CrossbarNetwork::new(network, spec, aging)?;
     hw.set_wear_leveling(config.wear_leveling);
+    hw.set_incremental_eval(config.incremental_eval);
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut sessions = Vec::new();
     let mut applications: u64 = 0;

@@ -115,6 +115,65 @@ impl Network {
         Ok(x)
     }
 
+    /// Runs the forward pass starting at layer `start` on an activation that
+    /// has already passed through layers `0..start` — the replay entry point
+    /// of the crossbar crate's incremental range-selection engine: the
+    /// calibration batch is forwarded through the unchanged prefix once per
+    /// sweep, and every candidate window replays only the suffix from the
+    /// cached activation.
+    ///
+    /// `forward_from(0, x, mode)` is exactly [`Network::forward`]: layers are
+    /// applied in the same order with the same code path, so splitting a
+    /// forward pass at any boundary is bit-identical to running it whole.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if `start` exceeds the layer
+    /// count, and propagates the first layer error encountered.
+    pub fn forward_from(
+        &mut self,
+        start: usize,
+        input: &Tensor,
+        mode: Mode,
+    ) -> Result<Tensor, NnError> {
+        if start > self.layers.len() {
+            return Err(NnError::InvalidConfig {
+                reason: format!("forward_from start {start} exceeds {} layers", self.layers.len()),
+            });
+        }
+        let mut x = input.clone();
+        for layer in &mut self.layers[start..] {
+            x = layer.forward(&x, mode)?;
+        }
+        Ok(x)
+    }
+
+    /// Runs the forward pass of layers `0..end` only, returning the
+    /// intermediate activation that [`Network::forward_from`]`(end, ..)`
+    /// accepts. `forward_prefix(num_layers(), ..)` is the full forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if `end` exceeds the layer count,
+    /// and propagates the first layer error encountered.
+    pub fn forward_prefix(
+        &mut self,
+        end: usize,
+        input: &Tensor,
+        mode: Mode,
+    ) -> Result<Tensor, NnError> {
+        if end > self.layers.len() {
+            return Err(NnError::InvalidConfig {
+                reason: format!("forward_prefix end {end} exceeds {} layers", self.layers.len()),
+            });
+        }
+        let mut x = input.clone();
+        for layer in &mut self.layers[..end] {
+            x = layer.forward(&x, mode)?;
+        }
+        Ok(x)
+    }
+
     /// Runs a single layer's forward pass — the hook the analog crossbar
     /// executor uses to run the digital periphery (activations, pooling)
     /// around its own handling of the mappable layers.
@@ -213,6 +272,12 @@ impl Network {
         self.layers.iter().filter_map(|l| l.weight_matrix().cloned()).collect()
     }
 
+    /// Borrows the `mappable_index`-th mappable weight matrix without
+    /// cloning, or `None` when out of range.
+    pub fn weight_matrix(&self, mappable_index: usize) -> Option<&Tensor> {
+        self.layers.iter().filter_map(|l| l.weight_matrix()).nth(mappable_index)
+    }
+
     /// The [`LayerKind`] of each mappable layer, in network order — used to
     /// separate conv from FC aging in the lifetime study.
     pub fn mappable_kinds(&self) -> Vec<LayerKind> {
@@ -250,6 +315,52 @@ impl Network {
             }
             *target = w.clone();
         }
+        Ok(())
+    }
+
+    /// Network layer index of the `mappable_index`-th mappable layer, or
+    /// `None` when out of range. Equivalent to
+    /// `self.mappable_layers().get(mappable_index)` without the allocation.
+    pub fn mappable_layer_index(&self, mappable_index: usize) -> Option<usize> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.weight_matrix().is_some())
+            .nth(mappable_index)
+            .map(|(i, _)| i)
+    }
+
+    /// Overwrites a single mappable layer's weight matrix in place from a
+    /// flat row-major slice — the allocation-free write used by the
+    /// incremental candidate-evaluation engine, which replays hundreds of
+    /// candidate weight matrices per sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if `mappable_index` is out of
+    /// range or `values` does not match the matrix's element count.
+    pub fn set_weight_matrix(
+        &mut self,
+        mappable_index: usize,
+        values: &[f32],
+    ) -> Result<(), NnError> {
+        let Some(layer_idx) = self.mappable_layer_index(mappable_index) else {
+            return Err(NnError::InvalidConfig {
+                reason: format!("mappable layer index {mappable_index} out of range"),
+            });
+        };
+        let target =
+            self.layers[layer_idx].weight_matrix_mut().expect("mappable layer has weight matrix");
+        if target.len() != values.len() {
+            return Err(NnError::InvalidConfig {
+                reason: format!(
+                    "weight length mismatch at layer {layer_idx}: {} vs {}",
+                    target.len(),
+                    values.len()
+                ),
+            });
+        }
+        target.as_mut_slice().copy_from_slice(values);
         Ok(())
     }
 
@@ -360,6 +471,48 @@ mod tests {
         // Wrong shape rejected.
         let bad = vec![Tensor::zeros([1, 1]), Tensor::zeros([6, 3])];
         assert!(net.set_weight_matrices(&bad).is_err());
+    }
+
+    #[test]
+    fn forward_from_zero_matches_full_forward_bitwise() {
+        let mut net = mlp(10);
+        let x = Tensor::from_fn([5, 4], |i| (i as f32 * 0.3) - ((i % 4) as f32 * 0.7));
+        let full = net.forward(&x, Mode::Eval).unwrap();
+        let replay = net.forward_from(0, &x, Mode::Eval).unwrap();
+        assert_eq!(full.as_slice(), replay.as_slice());
+    }
+
+    #[test]
+    fn prefix_then_suffix_matches_full_forward_bitwise() {
+        let mut net = mlp(11);
+        let x = Tensor::from_fn([3, 4], |i| i as f32 * 0.1 - 0.2);
+        let full = net.forward(&x, Mode::Eval).unwrap();
+        for split in 0..=net.num_layers() {
+            let prefix = net.forward_prefix(split, &x, Mode::Eval).unwrap();
+            let out = net.forward_from(split, &prefix, Mode::Eval).unwrap();
+            assert_eq!(full.as_slice(), out.as_slice(), "split at layer {split} must be exact");
+        }
+        assert!(net.forward_from(net.num_layers() + 1, &x, Mode::Eval).is_err());
+        assert!(net.forward_prefix(net.num_layers() + 1, &x, Mode::Eval).is_err());
+    }
+
+    #[test]
+    fn set_weight_matrix_writes_in_place() {
+        let mut net = mlp(12);
+        let mut flat = net.weight_matrices()[1].as_slice().to_vec();
+        flat[3] = -9.5;
+        net.set_weight_matrix(1, &flat).unwrap();
+        assert_eq!(net.weight_matrices()[1].as_slice()[3], -9.5);
+        assert_eq!(net.mappable_layer_index(0), Some(0));
+        assert_eq!(
+            net.mappable_layer_index(1),
+            Some(2),
+            "dense layers sit at 0 and 2 (tanh between)"
+        );
+        assert_eq!(net.mappable_layer_index(2), None);
+        // Wrong index and wrong length rejected.
+        assert!(net.set_weight_matrix(2, &flat).is_err());
+        assert!(net.set_weight_matrix(1, &flat[..4]).is_err());
     }
 
     #[test]

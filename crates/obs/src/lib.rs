@@ -55,6 +55,23 @@ mod metrics;
 mod recorder;
 mod sink;
 
+/// Canonical span names for the mapping hot path, shared between the
+/// crossbar instrumentation and the bench profilers so a renamed span can
+/// never silently drop out of a BENCH report.
+pub mod names {
+    /// One full range-selection sweep over a layer's candidate windows
+    /// (wall-clock, emitted by the thread driving the sweep).
+    pub const MAP_SWEEP: &str = "map.sweep";
+    /// Forwarding the calibration batch through the unchanged layers
+    /// `0..idx` once per sweep — the prefix the incremental engine caches.
+    pub const MAP_PREFIX: &str = "map.prefix";
+    /// Evaluating one candidate window (per-worker span).
+    pub const MAP_CANDIDATE: &str = "map.candidate";
+    /// Replaying one candidate from the cached prefix activation through
+    /// the remaining layers (per-worker span, nested in [`MAP_CANDIDATE`]).
+    pub const MAP_REPLAY: &str = "map.replay";
+}
+
 pub use chrome::ChromeTraceSink;
 pub use event::{AlertSeverity, Event};
 pub use metrics::{HistogramSnapshot, MetricsSnapshot, Registry};

@@ -227,6 +227,102 @@ pub fn par_chunks_mut<T: Send>(
     });
 }
 
+/// A pool of per-worker states that persists *across* parallel regions.
+///
+/// [`par_map_init`] rebuilds its per-worker state on every call, which is
+/// fine for cheap state but wasteful when the state is an expensive clone
+/// (a whole network, large scratch buffers). A `SlotPool` keeps one slot
+/// per worker index alive between calls: inside a parallel region each
+/// worker leases its own slot — worker indices are unique within a region,
+/// so the mutexes are never contended and exist only to make the pool
+/// `Sync`.
+///
+/// Call [`SlotPool::ensure_slots`]`(num_threads())` (requires `&mut`)
+/// before fanning out, then `lease(worker)` from each worker's `init`
+/// closure.
+///
+/// # Examples
+///
+/// ```
+/// let mut pool: memaging_par::SlotPool<Vec<u8>> = memaging_par::SlotPool::new();
+/// pool.ensure_slots(memaging_par::num_threads());
+/// let sums = memaging_par::par_map_init(
+///     16,
+///     |worker| pool.lease(worker),
+///     |lease, i| {
+///         let buf = lease.get_or_insert_with(Vec::new);
+///         buf.push(i as u8);
+///         i
+///     },
+/// );
+/// assert_eq!(sums, (0..16).collect::<Vec<_>>());
+/// ```
+#[derive(Debug, Default)]
+pub struct SlotPool<S> {
+    slots: Vec<std::sync::Mutex<Option<S>>>,
+}
+
+/// An exclusive lease on one worker slot; dereferences to `Option<S>` so
+/// the state can be lazily created with [`Option::get_or_insert_with`].
+/// Dropping the lease returns the state to the pool.
+pub type SlotLease<'a, S> = std::sync::MutexGuard<'a, Option<S>>;
+
+impl<S> SlotPool<S> {
+    /// Creates an empty pool (no slots yet).
+    pub fn new() -> Self {
+        SlotPool { slots: Vec::new() }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when the pool has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Grows the pool to at least `n` slots (never shrinks — a shrink would
+    /// discard live worker states).
+    pub fn ensure_slots(&mut self, n: usize) {
+        while self.slots.len() < n {
+            self.slots.push(std::sync::Mutex::new(None));
+        }
+    }
+
+    /// Leases slot `worker` for exclusive use. Worker indices inside one
+    /// parallel region are unique, so this never blocks in the intended
+    /// usage pattern; a poisoned slot (a previous worker panicked) is
+    /// recovered as-is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker >= self.len()` — call [`SlotPool::ensure_slots`]
+    /// before fanning out.
+    pub fn lease(&self, worker: usize) -> SlotLease<'_, S> {
+        self.slots[worker].lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Mutably visits every populated slot (for maintenance between
+    /// parallel regions: cache invalidation, weight refresh, ...).
+    pub fn for_each_mut(&mut self, mut f: impl FnMut(&mut S)) {
+        for slot in &mut self.slots {
+            let state = slot.get_mut().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(state) = state.as_mut() {
+                f(state);
+            }
+        }
+    }
+
+    /// Drops every stored state, keeping the slots.
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            *slot.get_mut().unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+        }
+    }
+}
+
 /// Joins every handle, propagating the first panic.
 fn join_all<T>(handles: Vec<std::thread::ScopedJoinHandle<'_, T>>) {
     for handle in handles {
@@ -341,6 +437,44 @@ mod tests {
         assert_eq!(parallelism_for(OPS_PER_THREAD * 3), 3);
         assert_eq!(parallelism_for(OPS_PER_THREAD * 100), 8, "capped at num_threads");
         set_threads(0);
+    }
+
+    #[test]
+    fn slot_pool_persists_state_across_regions() {
+        let _guard = lock();
+        set_threads(3);
+        let mut pool: SlotPool<usize> = SlotPool::new();
+        pool.ensure_slots(num_threads());
+        for round in 0..3 {
+            let out = par_map_init(
+                12,
+                |worker| pool.lease(worker),
+                |lease, i| {
+                    *lease.get_or_insert_with(|| 0) += 1;
+                    i
+                },
+            );
+            assert_eq!(out, (0..12).collect::<Vec<_>>(), "round {round}");
+        }
+        let mut total = 0;
+        pool.for_each_mut(|count| total += *count);
+        assert_eq!(total, 36, "every item increments exactly one persistent slot");
+        pool.clear();
+        let mut populated = 0;
+        pool.for_each_mut(|_| populated += 1);
+        assert_eq!(populated, 0);
+        set_threads(0);
+    }
+
+    #[test]
+    fn slot_pool_never_shrinks() {
+        let mut pool: SlotPool<u8> = SlotPool::new();
+        assert!(pool.is_empty());
+        pool.ensure_slots(4);
+        pool.ensure_slots(2);
+        assert_eq!(pool.len(), 4);
+        *pool.lease(3) = Some(9);
+        assert_eq!(*pool.lease(3), Some(9));
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //! * [`init`]: seeded random initialization (Box–Muller gaussian, Xavier,
 //!   He);
 //! * [`stats`]: distribution summaries and histograms used to reproduce the
-//!   paper's weight/resistance/conductance figures.
+//!   paper's weight/resistance/conductance figures;
+//! * [`scratch`]: reusable per-worker buffer arenas keeping allocation off
+//!   hot evaluation loops.
 //!
 //! # Example
 //!
@@ -46,6 +48,7 @@ mod tensor;
 pub mod conv;
 pub mod init;
 pub mod ops;
+pub mod scratch;
 pub mod stats;
 
 pub use error::TensorError;

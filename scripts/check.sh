@@ -38,4 +38,14 @@ if [[ -n "$candidate_par" && -f "$candidate_par" ]]; then
         BENCH_par.json "$candidate_par" --tolerance 3.0
 fi
 
+# Same gate over the range-selection engine profile (exp_map writes a fresh
+# one; set MEMAGING_BENCH_CANDIDATE_MAP to diff it against the committed
+# baseline).
+cargo run -q -p memaging-bench --bin bench-diff -- BENCH_map.json BENCH_map.json
+candidate_map="${MEMAGING_BENCH_CANDIDATE_MAP:-}"
+if [[ -n "$candidate_map" && -f "$candidate_map" ]]; then
+    cargo run -q -p memaging-bench --bin bench-diff -- \
+        BENCH_map.json "$candidate_map" --tolerance 3.0
+fi
+
 echo "check.sh: all green"
