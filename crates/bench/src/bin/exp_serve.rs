@@ -1,0 +1,274 @@
+//! `exp_serve` — serving-tier benchmark: closed-loop load against the
+//! batched inference service with aging-aware live remapping.
+//!
+//! Three legs over the same deployment recipe (quick-scenario MLP,
+//! aging-aware mapping, read-disturb wear calibrated so the warn
+//! threshold crosses mid-run):
+//!
+//! * single submitter @ 1 worker thread — the determinism reference;
+//! * single submitter @ N worker threads — must be **bit-identical** to
+//!   the reference (per-request outputs *and* final wear state): worker
+//!   count is a pure performance knob;
+//! * 8 concurrent clients @ N worker threads — exercises real batching;
+//!   admission interleaving is racy, but wear accrues from the
+//!   admitted-request *count*, so the final hardware state must still be
+//!   bit-identical to the reference.
+//!
+//! Every leg must observe at least one aging-triggered live remap and
+//! zero queue-full rejections. Phase profiles (boundary / remap / batch /
+//! forward spans, suffixed per leg) and throughput / latency summaries go
+//! to `BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run --release -p memaging-bench --bin exp_serve
+//! MEMAGING_THREADS=4 cargo run --release -p memaging-bench --bin exp_serve
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use memaging::crossbar::CrossbarNetwork;
+use memaging::dataset::Dataset;
+use memaging::device::{ArrheniusAging, DeviceSpec};
+use memaging::lifetime::Strategy;
+use memaging::nn::Network;
+use memaging::obs::{MemorySink, Recorder};
+use memaging::serve::{InferRequest, InferenceService, ServeConfig, ServeReport};
+use memaging::{par, Scenario};
+use memaging_bench::{banner, phase_profile_json, profile_phases, report, PhaseProfile};
+
+/// Requests per leg.
+const TOTAL: usize = 384;
+/// Maintenance boundary every this many admitted requests.
+const INTERVAL: u64 = 32;
+
+/// Everything one leg must reproduce bit-for-bit.
+#[derive(Debug, PartialEq)]
+struct Digest {
+    outputs: Vec<(u64, u64, usize, Vec<u32>)>,
+    tiles: Vec<(u64, u64, u64, usize)>,
+    boundaries: u64,
+    remaps: u64,
+}
+
+struct Leg {
+    profiles: Vec<PhaseProfile>,
+    digest: Digest,
+    elapsed_s: f64,
+    latency_us: Vec<u64>,
+    served: u64,
+}
+
+fn trained() -> (Network, Dataset, DeviceSpec, ArrheniusAging) {
+    let mut scenario = Scenario::quick();
+    scenario.framework.plan.pre_epochs = 6;
+    scenario.framework.plan.skew_epochs = 4;
+    let data = scenario.dataset().expect("dataset");
+    let (train, calib) = scenario.train_calib_split(&data).expect("split");
+    let model =
+        scenario.framework.train_model(&train, Strategy::TT, scenario.seed).expect("training");
+    (model.network, calib, scenario.framework.spec, scenario.framework.aging)
+}
+
+fn serve_config(spec: &DeviceSpec, aging: &ArrheniusAging) -> ServeConfig {
+    // Calibrated so the shared warn threshold (half the fresh window)
+    // crosses near the midpoint of the run: the bench must observe the
+    // full live-remap path, not just steady-state forwards.
+    let width = spec.r_max - spec.r_min;
+    ServeConfig {
+        maintenance_interval: INTERVAL,
+        stress_per_read: aging.stress_for_degradation(spec.temperature, 0.55 * width)
+            / (TOTAL as f64 / 2.0),
+        remap_drift_fraction: 0.01,
+        ..ServeConfig::default()
+    }
+}
+
+fn sample(calib: &Dataset, k: usize) -> Vec<f32> {
+    let i = k % calib.len();
+    calib.batch_matrix(i, i + 1).as_slice().to_vec()
+}
+
+fn wear_tiles(r: &ServeReport) -> Vec<(u64, u64, u64, usize)> {
+    r.network
+        .wear_snapshots()
+        .iter()
+        .map(|t| (t.mean_r_max.to_bits(), t.mean_r_min.to_bits(), t.total_pulses, t.worn_out))
+        .collect()
+}
+
+/// One leg: deploy fresh hardware, push the load, shut down, digest.
+fn run_leg(
+    label: &str,
+    threads: usize,
+    clients: usize,
+    seed_model: &(Network, Dataset, DeviceSpec, ArrheniusAging),
+) -> Leg {
+    par::set_threads(threads);
+    let (network, calib, spec, aging) = seed_model;
+    let (sink, handle) = MemorySink::new();
+    let recorder = Recorder::new(vec![Box::new(sink)]);
+    let hardware = CrossbarNetwork::new(network.clone(), *spec, *aging).expect("hardware");
+    let service = Arc::new(
+        InferenceService::deploy(hardware, calib.clone(), serve_config(spec, aging), recorder)
+            .expect("deploy"),
+    );
+
+    let started = Instant::now();
+    let mut outputs: Vec<(u64, u64, usize, Vec<u32>)> = Vec::with_capacity(TOTAL);
+    let mut latency_us: Vec<u64> = Vec::with_capacity(TOTAL);
+    if clients <= 1 {
+        // Single submitter: the admission sequence IS the submission
+        // sequence, so per-request outputs are comparable across legs.
+        for k in 0..TOTAL {
+            let response = service
+                .infer(InferRequest::new(sample(calib, k)))
+                .unwrap_or_else(|e| panic!("request {k} failed: {e}"));
+            latency_us.push(response.queue_us + response.service_us);
+            outputs.push((
+                response.seq,
+                response.generation,
+                response.prediction,
+                response.output.iter().map(|v| v.to_bits()).collect(),
+            ));
+        }
+    } else {
+        // Concurrent clients share one input so racy admission order
+        // cannot change any request's result; only throughput and the
+        // (count-keyed) wear trajectory are exercised.
+        let input = sample(calib, 0);
+        let per_client = TOTAL / clients;
+        let collected = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|_| {
+                    let service = Arc::clone(&service);
+                    let input = input.clone();
+                    scope.spawn(move || {
+                        let mut lat = Vec::with_capacity(per_client);
+                        for _ in 0..per_client {
+                            let response = service
+                                .infer(InferRequest::new(input.clone()))
+                                .expect("request failed");
+                            lat.push(response.queue_us + response.service_us);
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("client panicked")).collect::<Vec<_>>()
+        });
+        latency_us = collected;
+    }
+    let elapsed_s = started.elapsed().as_secs_f64();
+
+    let outcome = Arc::try_unwrap(service).ok().expect("sole owner").shutdown();
+    assert_eq!(outcome.rejected_full, 0, "{label}: closed-loop load must never be rejected");
+    assert_eq!(outcome.expired, 0, "{label}: no deadlines in play");
+    assert_eq!(outcome.served, TOTAL as u64, "{label}: every request served");
+    assert!(
+        outcome.remaps >= 1,
+        "{label}: the calibrated wear must trigger at least one live remap"
+    );
+    let mut profiles = profile_phases(&handle.events());
+    for p in &mut profiles {
+        p.name = format!("{}_{label}", p.name);
+    }
+    Leg {
+        profiles,
+        digest: Digest {
+            outputs,
+            tiles: wear_tiles(&outcome),
+            boundaries: outcome.boundaries,
+            remaps: outcome.remaps,
+        },
+        elapsed_s,
+        latency_us,
+        served: outcome.served,
+    }
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn summarize(leg: &Leg, label: &str) {
+    let mut sorted = leg.latency_us.clone();
+    sorted.sort_unstable();
+    report(&format!(
+        "  {label:<14} {:>7.0} req/s   p50 {:>6} us  p99 {:>6} us  max {:>6} us  \
+         ({} boundaries, {} remaps)",
+        leg.served as f64 / leg.elapsed_s,
+        percentile(&sorted, 0.50),
+        percentile(&sorted, 0.99),
+        sorted.last().copied().unwrap_or(0),
+        leg.digest.boundaries,
+        leg.digest.remaps,
+    ));
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let threads = par::num_threads().max(2);
+    banner(&format!(
+        "inference service under load (quick MLP, {TOTAL} requests, boundary every {INTERVAL}, \
+         1 vs {threads} worker threads)"
+    ));
+    let seed_model = trained();
+
+    let reference = run_leg("1t", 1, 1, &seed_model);
+    let scaled = run_leg(&format!("{threads}t"), threads, 1, &seed_model);
+    let batched = run_leg(&format!("{threads}t_8c"), threads, 8, &seed_model);
+    par::set_threads(0);
+
+    // The headline guarantee: worker count is a pure performance knob.
+    assert_eq!(
+        scaled.digest, reference.digest,
+        "per-request outputs or final wear diverged between 1 and {threads} worker threads"
+    );
+    // Concurrent admission interleaving may reorder requests, but wear is
+    // keyed to the admitted-request count: the hardware must land in the
+    // exact same state.
+    assert_eq!(
+        (&batched.digest.tiles, batched.digest.boundaries, batched.digest.remaps),
+        (&reference.digest.tiles, reference.digest.boundaries, reference.digest.remaps),
+        "concurrent-client leg drifted from the reference wear state"
+    );
+    report(&format!(
+        "  determinism: 1t vs {threads}t bit-identical ({} requests, {} generations observed, \
+         {} remaps); concurrent leg wear-identical",
+        TOTAL,
+        reference.digest.outputs.iter().map(|o| o.1).max().unwrap_or(0) + 1,
+        reference.digest.remaps,
+    ));
+    summarize(&reference, "1t x 1 client");
+    summarize(&scaled, &format!("{threads}t x 1 client"));
+    summarize(&batched, &format!("{threads}t x 8 clients"));
+
+    let mut profiles = Vec::new();
+    for leg in [&reference, &scaled, &batched] {
+        profiles.extend(leg.profiles.iter().cloned());
+    }
+    for p in &profiles {
+        report(&format!(
+            "  {:<26} {:>5} spans  total {:>9.1} ms  max {:>8.1} ms",
+            p.name,
+            p.count,
+            p.total_us as f64 / 1e3,
+            p.max_us as f64 / 1e3,
+        ));
+    }
+    let json = phase_profile_json(
+        &format!(
+            "quick MLP inference service, {TOTAL} requests, maintenance every {INTERVAL}, \
+             single submitter @ 1/{threads} threads + 8 concurrent clients @ {threads} threads"
+        ),
+        &profiles,
+    );
+    let path = "BENCH_serve.json";
+    std::fs::write(path, &json)?;
+    report(&format!("(serving phase profile saved to {path})"));
+    Ok(())
+}

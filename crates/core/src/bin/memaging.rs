@@ -13,9 +13,14 @@
 //! Arguments are deliberately minimal (no CLI dependency): a subcommand,
 //! then `--key value` pairs.
 
+use std::sync::Arc;
+use std::time::Duration;
+
+use memaging::crossbar::CrossbarNetwork;
 use memaging::device::{ArrheniusAging, DeviceSpec, Memristor};
 use memaging::lifetime::{compare_lifetimes, LifetimeResult, Strategy};
 use memaging::obs::{ChromeTraceSink, JsonlSink, PrettySink, Recorder, Sink};
+use memaging::serve::{InferRequest, InferenceService, ServeConfig, ServeHandler};
 use memaging::Scenario;
 use memaging_monitor::{MonitorServer, MonitorSink, MonitorState, RunStatus};
 
@@ -23,10 +28,37 @@ use memaging_monitor::{MonitorServer, MonitorSink, MonitorState, RunStatus};
 #[derive(Debug, Clone, PartialEq)]
 enum Command {
     Scenario { name: String, opts: RunOpts },
-    Serve { name: String, opts: RunOpts, port: u16, linger: bool },
+    Serve { name: String, opts: RunOpts, flags: ServeFlags },
     Device,
     Info,
     Help,
+}
+
+/// Flags specific to the `serve` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+struct ServeFlags {
+    port: u16,
+    linger: bool,
+    /// Deploy a trained model behind `POST /infer` instead of running the
+    /// lifetime study.
+    infer: bool,
+    /// With `--infer`: drive this many self-generated requests through the
+    /// service before reporting (0: serve until ctrl-c).
+    requests: u64,
+    /// With `--infer`: per-request deadline attached to HTTP submissions.
+    deadline_ms: Option<u64>,
+}
+
+impl Default for ServeFlags {
+    fn default() -> Self {
+        ServeFlags {
+            port: DEFAULT_PORT,
+            linger: false,
+            infer: false,
+            requests: 0,
+            deadline_ms: None,
+        }
+    }
 }
 
 /// Options shared by `scenario` and `serve`.
@@ -79,35 +111,40 @@ fn parse_scenario_name(it: &mut std::slice::Iter<'_, String>, sub: &str) -> Resu
     Ok(name)
 }
 
-/// Parses the flags shared by `scenario` and `serve` (plus `--port` /
-/// `--linger` when `serve` is set). Returns `(opts, port, linger)`.
+/// Parses the flags shared by `scenario` and `serve` (plus the
+/// [`ServeFlags`] when `serve` is set).
 fn parse_run_opts(
     it: &mut std::slice::Iter<'_, String>,
     serve: bool,
-) -> Result<(RunOpts, u16, bool), String> {
+) -> Result<(RunOpts, ServeFlags), String> {
     let mut opts = RunOpts::default();
     if serve {
         // A monitored deployment serves one strategy; default to the
         // paper's proposed ST+AT.
         opts.strategy = StrategyArg::One(Strategy::StAt);
     }
-    let mut port: u16 = DEFAULT_PORT;
-    let mut linger = false;
+    let mut flags = ServeFlags::default();
     while let Some(flag) = it.next() {
-        // `--metrics` and `--linger` are bare switches; every other known
-        // flag takes a value. Reject unknown flags before demanding one so
-        // a typo reports "unknown flag", not "needs a value".
+        // `--metrics`, `--linger` and `--infer` are bare switches; every
+        // other known flag takes a value. Reject unknown flags before
+        // demanding one so a typo reports "unknown flag", not "needs a
+        // value".
         if flag == "--metrics" {
             opts.metrics = true;
             continue;
         }
         if serve && flag == "--linger" {
-            linger = true;
+            flags.linger = true;
+            continue;
+        }
+        if serve && flag == "--infer" {
+            flags.infer = true;
             continue;
         }
         let known =
             ["--strategy", "--seed", "--sessions", "--threads", "--trace", "--trace-chrome"];
-        let known = known.contains(&flag.as_str()) || (serve && flag == "--port");
+        let known = known.contains(&flag.as_str())
+            || (serve && ["--port", "--requests", "--deadline-ms"].contains(&flag.as_str()));
         if !known {
             return Err(format!("unknown flag `{flag}`"));
         }
@@ -129,11 +166,23 @@ fn parse_run_opts(
             }
             "--trace" => opts.trace = Some(value.to_string()),
             "--trace-chrome" => opts.trace_chrome = Some(value.to_string()),
-            "--port" => port = value.parse().map_err(|_| format!("bad port `{value}`"))?,
+            "--port" => {
+                flags.port = value.parse().map_err(|_| format!("bad port `{value}`"))?;
+            }
+            "--requests" => {
+                flags.requests = value.parse().map_err(|_| format!("bad requests `{value}`"))?;
+            }
+            "--deadline-ms" => {
+                flags.deadline_ms =
+                    Some(value.parse().map_err(|_| format!("bad deadline-ms `{value}`"))?);
+            }
             _ => unreachable!("flag validated above"),
         }
     }
-    Ok((opts, port, linger))
+    if !flags.infer && (flags.requests != 0 || flags.deadline_ms.is_some()) {
+        return Err("--requests / --deadline-ms require --infer".into());
+    }
+    Ok((opts, flags))
 }
 
 /// Default `serve` port (the Prometheus unallocated-exporter range).
@@ -151,13 +200,13 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
         "info" => Ok(Command::Info),
         "scenario" => {
             let name = parse_scenario_name(&mut it, "scenario")?;
-            let (opts, _, _) = parse_run_opts(&mut it, false)?;
+            let (opts, _) = parse_run_opts(&mut it, false)?;
             Ok(Command::Scenario { name, opts })
         }
         "serve" => {
             let name = parse_scenario_name(&mut it, "serve")?;
-            let (opts, port, linger) = parse_run_opts(&mut it, true)?;
-            Ok(Command::Serve { name, opts, port, linger })
+            let (opts, flags) = parse_run_opts(&mut it, true)?;
+            Ok(Command::Serve { name, opts, flags })
         }
         other => Err(format!("unknown command `{other}`; try `memaging help`")),
     }
@@ -187,6 +236,14 @@ fn print_help() {
          \u{20}                       (Prometheus text format), /health and /wear\n\
          \u{20}                       (per-tile wear JSON) on 127.0.0.1; --linger keeps\n\
          \u{20}                       serving after the run finishes\n\
+         \u{20}   memaging serve <quick|lenet|vgg> --infer\n\
+         \u{20}                                       [--requests N] [--deadline-ms N]\n\
+         \u{20}                       trains the strategy's model and deploys it behind\n\
+         \u{20}                       the batched inference service: POST /infer and\n\
+         \u{20}                       GET /serve/stats, with admission control and\n\
+         \u{20}                       aging-aware live remapping; --requests N drives a\n\
+         \u{20}                       deterministic self-load then reports (0: serve\n\
+         \u{20}                       until ctrl-c); --deadline-ms bounds HTTP requests\n\
          \u{20}   memaging device      single-cell aging trajectory (paper Fig. 4)\n\
          \u{20}   memaging info        list the calibrated scenarios\n\
          \u{20}   memaging help        this message\n"
@@ -303,14 +360,116 @@ fn run_scenario(name: &str, opts: &RunOpts) -> Result<(), Box<dyn std::error::Er
     Ok(())
 }
 
+/// `memaging serve --infer`: train the selected strategy's model, deploy it
+/// behind the batched inference service (admission control + aging-aware
+/// live remapping), and expose `POST /infer` / `GET /serve/stats` next to
+/// the monitor's scrape endpoints.
+fn run_infer(
+    name: &str,
+    opts: &RunOpts,
+    flags: &ServeFlags,
+) -> Result<(), Box<dyn std::error::Error>> {
+    apply_threads(opts);
+    let StrategyArg::One(strategy) = opts.strategy else {
+        return Err("serve --infer deploys one strategy; pick --strategy tt|stt|stat".into());
+    };
+    let scenario = configured_scenario(name, opts);
+    let (sink, wear) = MonitorSink::new();
+    let recorder =
+        build_recorder(opts.trace.as_deref(), opts.trace_chrome.as_deref(), Some(Box::new(sink)))?;
+    let mut framework = scenario.framework.clone();
+    framework.recorder = recorder.clone();
+    recorder.message(&format!("training {} ({}) for serving", scenario.name, strategy.label()));
+    let data = scenario.dataset()?;
+    let (train, calib) = scenario.train_calib_split(&data)?;
+    let trained = framework.train_model(&train, strategy, scenario.seed)?;
+    recorder.message(&format!("software accuracy {:.1}%", 100.0 * trained.software_accuracy));
+    let hardware = CrossbarNetwork::new(trained.network, framework.spec, framework.aging)?;
+
+    // Read-disturb calibration for the demo deployment: ~50k inference
+    // reads cost 30% of the fresh resistance window, so a sustained load
+    // visibly ages the crossbars (and eventually triggers a live remap)
+    // without wearing them out within a short session.
+    let width = framework.spec.r_max - framework.spec.r_min;
+    let config = ServeConfig {
+        stress_per_read: framework
+            .aging
+            .stress_for_degradation(framework.spec.temperature, 0.3 * width)
+            / 50_000.0,
+        ..ServeConfig::default()
+    };
+    let service =
+        Arc::new(InferenceService::deploy(hardware, calib.clone(), config, recorder.clone())?);
+    let handler = Arc::new(ServeHandler::new(
+        Arc::clone(&service),
+        flags.deadline_ms.map(Duration::from_millis),
+    ));
+    let server = MonitorServer::bind_with_handlers(
+        ("127.0.0.1", flags.port),
+        MonitorState::new(recorder.clone(), wear.clone()),
+        vec![handler],
+    )
+    .map_err(|e| format!("cannot bind monitor port {}: {e}", flags.port))?;
+    let addr = server.local_addr();
+    println!("serving: POST http://{addr}/infer  GET /serve/stats  /metrics  /health  /wear");
+
+    if flags.requests > 0 {
+        // Deterministic self-driven smoke load from the calibration set.
+        let mut served = 0u64;
+        let mut failed = 0u64;
+        for k in 0..flags.requests {
+            let i = (k as usize) % calib.len();
+            let input = calib.batch_matrix(i, i + 1).as_slice().to_vec();
+            match service.infer(InferRequest::new(input)) {
+                Ok(_) => served += 1,
+                Err(_) => failed += 1,
+            }
+        }
+        recorder.message(&format!(
+            "self-load complete: {served} served, {failed} failed; stats: {}",
+            service.stats().to_json()
+        ));
+    }
+    if flags.requests == 0 || flags.linger {
+        println!("inference service live (ctrl-c to exit)");
+        loop {
+            std::thread::park();
+        }
+    }
+    server.shutdown();
+    wear.set_status(RunStatus::Survived);
+    if let Ok(service) = Arc::try_unwrap(service) {
+        let report = service.shutdown();
+        recorder.message(&format!(
+            "serve report: {} admitted, {} served, {} rejected, {} expired, {} boundaries, {} remaps",
+            report.admitted,
+            report.served,
+            report.rejected_full,
+            report.expired,
+            report.boundaries,
+            report.remaps,
+        ));
+    }
+    if opts.metrics {
+        if let Some(snapshot) = recorder.snapshot() {
+            print!("{snapshot}");
+        }
+    }
+    recorder.flush();
+    Ok(())
+}
+
 /// `memaging serve`: run the lifetime scenario on a worker thread while the
 /// monitoring endpoint answers scrapes on the main thread's behalf.
 fn run_serve(
     name: &str,
     opts: &RunOpts,
-    port: u16,
-    linger: bool,
+    flags: &ServeFlags,
 ) -> Result<(), Box<dyn std::error::Error>> {
+    if flags.infer {
+        return run_infer(name, opts, flags);
+    }
+    let (port, linger) = (flags.port, flags.linger);
     apply_threads(opts);
     let mut scenario = configured_scenario(name, opts);
     let (sink, wear) = MonitorSink::new();
@@ -419,8 +578,8 @@ fn main() {
                 std::process::exit(1);
             }
         }
-        Ok(Command::Serve { name, opts, port, linger }) => {
-            if let Err(e) = run_serve(&name, &opts, port, linger) {
+        Ok(Command::Serve { name, opts, flags }) => {
+            if let Err(e) = run_serve(&name, &opts, &flags) {
                 eprintln!("error: {e}");
                 std::process::exit(1);
             }
@@ -521,8 +680,7 @@ mod tests {
             Command::Serve {
                 name: "quick".into(),
                 opts: RunOpts { strategy: StrategyArg::One(Strategy::StAt), ..RunOpts::default() },
-                port: DEFAULT_PORT,
-                linger: false,
+                flags: ServeFlags::default(),
             }
         );
         let cmd =
@@ -536,10 +694,37 @@ mod tests {
                     sessions: Some(8),
                     ..RunOpts::default()
                 },
-                port: 0,
-                linger: true,
+                flags: ServeFlags { port: 0, linger: true, ..ServeFlags::default() },
             }
         );
+    }
+
+    #[test]
+    fn parses_infer_flags() {
+        let cmd =
+            parse_args(&argv("serve quick --infer --requests 128 --deadline-ms 250")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                name: "quick".into(),
+                opts: RunOpts { strategy: StrategyArg::One(Strategy::StAt), ..RunOpts::default() },
+                flags: ServeFlags {
+                    infer: true,
+                    requests: 128,
+                    deadline_ms: Some(250),
+                    ..ServeFlags::default()
+                },
+            }
+        );
+        // The load/deadline flags are meaningless without the service.
+        let err = parse_args(&argv("serve quick --requests 5")).unwrap_err();
+        assert!(err.contains("--infer"), "got: {err}");
+        let err = parse_args(&argv("serve quick --deadline-ms 10")).unwrap_err();
+        assert!(err.contains("--infer"), "got: {err}");
+        // And they are serve-only.
+        let err = parse_args(&argv("scenario quick --infer")).unwrap_err();
+        assert!(err.contains("unknown flag"), "got: {err}");
+        assert!(parse_args(&argv("serve quick --infer --requests abc")).is_err());
     }
 
     #[test]

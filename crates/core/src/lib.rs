@@ -74,4 +74,5 @@ pub use memaging_lifetime as lifetime;
 pub use memaging_nn as nn;
 pub use memaging_obs as obs;
 pub use memaging_par as par;
+pub use memaging_serve as serve;
 pub use memaging_tensor as tensor;

@@ -365,6 +365,30 @@ impl Crossbar {
     pub fn aged_window(&self, row: usize, col: usize) -> AgedWindow {
         self.device(row, col).aged_window()
     }
+
+    /// Accumulates read-disturb wear from `reads` inference passes: every
+    /// device absorbs `reads · stress_per_read` seconds of effective stress
+    /// in one multiply-add, so the result depends only on the *total* read
+    /// count — never on how the reads were batched or which worker served
+    /// them. This is what keeps the serving tier bit-identical across
+    /// thread counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stress_per_read` is negative or non-finite.
+    pub fn apply_read_disturb(&mut self, reads: u64, stress_per_read: f64) {
+        assert!(
+            stress_per_read.is_finite() && stress_per_read >= 0.0,
+            "stress_per_read must be finite and >= 0, got {stress_per_read}"
+        );
+        if reads == 0 || stress_per_read == 0.0 {
+            return;
+        }
+        let delta = reads as f64 * stress_per_read;
+        for device in &mut self.devices {
+            device.absorb_ambient_stress(delta);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -537,6 +537,25 @@ impl CrossbarNetwork {
     pub fn wear_snapshots(&self) -> Vec<crate::TileWear> {
         self.arrays.iter().map(Crossbar::wear_snapshot).collect()
     }
+
+    /// Accumulates read-disturb wear on every array: each inference pass
+    /// leaves `stress_per_read` seconds of effective stress on every device
+    /// it reads. Applied as one multiply-add per device so the wear state
+    /// depends only on the total read count (see
+    /// [`Crossbar::apply_read_disturb`]).
+    pub fn apply_read_disturb(&mut self, reads: u64, stress_per_read: f64) {
+        for array in &mut self.arrays {
+            array.apply_read_disturb(reads, stress_per_read);
+        }
+    }
+
+    /// The mapping window each layer was last programmed against (`None`
+    /// for a layer that has never been mapped). The serving tier measures
+    /// live wear against these to decide when the active mapping has
+    /// drifted enough to warrant a re-map.
+    pub fn last_windows(&self) -> &[Option<AgedWindow>] {
+        &self.last_windows
+    }
 }
 
 /// Simulates the post-mapping accuracy of candidate window `cand` for layer

@@ -28,13 +28,16 @@ use memaging_obs::{AlertSeverity, Recorder};
 
 use crate::error::LifetimeError;
 
-/// Alert thresholds of the wear-health subsystem.
+/// Shared wear warn/critical thresholds: the single source of truth for
+/// "how worn is too worn", consumed by the health forecaster's alert rules
+/// *and* by any online policy that must stay in lockstep with them (the
+/// serving tier's live-remap trigger re-maps exactly when the forecaster
+/// would warn, so the two can never drift apart).
 ///
-/// Fractions are of the fresh resistance window (window rules) or of the
-/// session tuning budget (tuning rule); session thresholds are forecast
-/// maintenance sessions remaining.
+/// Window fractions are of the fresh resistance window; session thresholds
+/// are forecast maintenance sessions remaining.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct HealthConfig {
+pub struct WearThresholds {
     /// Warn when any layer's mean window falls below this fraction of
     /// fresh.
     pub warn_window_fraction: f64,
@@ -44,30 +47,43 @@ pub struct HealthConfig {
     pub warn_sessions_left: f64,
     /// Critical when the forecast sessions-to-failure drops to this value.
     pub critical_sessions_left: f64,
-    /// Warn when a session consumes this fraction of the tuning budget.
-    pub warn_tuning_fraction: f64,
-    /// Critical when a session consumes this fraction of the tuning budget.
-    pub critical_tuning_fraction: f64,
-    /// The forecaster's failure point: the window fraction below which the
-    /// level grid is considered unusable (end of extrapolation).
-    pub min_usable_window_fraction: f64,
 }
 
-impl Default for HealthConfig {
+impl Default for WearThresholds {
     fn default() -> Self {
-        HealthConfig {
+        WearThresholds {
             warn_window_fraction: 0.5,
             critical_window_fraction: 0.3,
             warn_sessions_left: 8.0,
             critical_sessions_left: 3.0,
-            warn_tuning_fraction: 0.6,
-            critical_tuning_fraction: 0.85,
-            min_usable_window_fraction: 0.2,
         }
     }
 }
 
-impl HealthConfig {
+impl WearThresholds {
+    /// Classifies a mean window fraction (of fresh), returning the crossed
+    /// severity and its threshold, or `None` while healthy.
+    pub fn classify_window_fraction(&self, fraction: f64) -> Option<(AlertSeverity, f64)> {
+        if fraction <= self.critical_window_fraction {
+            Some((AlertSeverity::Critical, self.critical_window_fraction))
+        } else if fraction <= self.warn_window_fraction {
+            Some((AlertSeverity::Warn, self.warn_window_fraction))
+        } else {
+            None
+        }
+    }
+
+    /// Classifies a forecast sessions-to-failure value.
+    pub fn classify_sessions_left(&self, left: f64) -> Option<(AlertSeverity, f64)> {
+        if left <= self.critical_sessions_left {
+            Some((AlertSeverity::Critical, self.critical_sessions_left))
+        } else if left <= self.warn_sessions_left {
+            Some((AlertSeverity::Warn, self.warn_sessions_left))
+        } else {
+            None
+        }
+    }
+
     /// Validates threshold ordering and ranges.
     ///
     /// # Errors
@@ -76,16 +92,11 @@ impl HealthConfig {
     /// `[0, 1]`, a session threshold is negative or non-finite, or a warn
     /// threshold would fire *after* its critical counterpart.
     pub fn validate(&self) -> Result<(), LifetimeError> {
-        let fractions = [
-            self.warn_window_fraction,
-            self.critical_window_fraction,
-            self.warn_tuning_fraction,
-            self.critical_tuning_fraction,
-            self.min_usable_window_fraction,
-        ];
-        if fractions.iter().any(|f| !(0.0..=1.0).contains(f)) {
+        if !(0.0..=1.0).contains(&self.warn_window_fraction)
+            || !(0.0..=1.0).contains(&self.critical_window_fraction)
+        {
             return Err(LifetimeError::InvalidConfig {
-                reason: "health fractions must lie in [0, 1]".into(),
+                reason: "wear window fractions must lie in [0, 1]".into(),
             });
         }
         if !self.warn_sessions_left.is_finite()
@@ -99,8 +110,77 @@ impl HealthConfig {
         }
         if self.warn_window_fraction < self.critical_window_fraction
             || self.warn_sessions_left < self.critical_sessions_left
-            || self.warn_tuning_fraction > self.critical_tuning_fraction
         {
+            return Err(LifetimeError::InvalidConfig {
+                reason: "health warn thresholds must fire before critical ones".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Alert thresholds of the wear-health subsystem.
+///
+/// The wear-side thresholds live in the shared [`WearThresholds`] struct;
+/// the tuning-budget rule (fractions of the session tuning budget) is
+/// specific to the maintenance loop and stays here.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthConfig {
+    /// Shared wear warn/critical thresholds (window fraction and forecast
+    /// sessions-to-failure rules).
+    pub wear: WearThresholds,
+    /// Warn when a session consumes this fraction of the tuning budget.
+    pub warn_tuning_fraction: f64,
+    /// Critical when a session consumes this fraction of the tuning budget.
+    pub critical_tuning_fraction: f64,
+    /// The forecaster's failure point: the window fraction below which the
+    /// level grid is considered unusable (end of extrapolation).
+    pub min_usable_window_fraction: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            wear: WearThresholds::default(),
+            warn_tuning_fraction: 0.6,
+            critical_tuning_fraction: 0.85,
+            min_usable_window_fraction: 0.2,
+        }
+    }
+}
+
+impl HealthConfig {
+    /// Classifies a session's consumed tuning-budget fraction.
+    pub fn classify_tuning_fraction(&self, fraction: f64) -> Option<(AlertSeverity, f64)> {
+        if fraction >= self.critical_tuning_fraction {
+            Some((AlertSeverity::Critical, self.critical_tuning_fraction))
+        } else if fraction >= self.warn_tuning_fraction {
+            Some((AlertSeverity::Warn, self.warn_tuning_fraction))
+        } else {
+            None
+        }
+    }
+
+    /// Validates threshold ordering and ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LifetimeError::InvalidConfig`] when a fraction leaves
+    /// `[0, 1]`, a session threshold is negative or non-finite, or a warn
+    /// threshold would fire *after* its critical counterpart.
+    pub fn validate(&self) -> Result<(), LifetimeError> {
+        self.wear.validate()?;
+        let fractions = [
+            self.warn_tuning_fraction,
+            self.critical_tuning_fraction,
+            self.min_usable_window_fraction,
+        ];
+        if fractions.iter().any(|f| !(0.0..=1.0).contains(f)) {
+            return Err(LifetimeError::InvalidConfig {
+                reason: "health fractions must lie in [0, 1]".into(),
+            });
+        }
+        if self.warn_tuning_fraction > self.critical_tuning_fraction {
             return Err(LifetimeError::InvalidConfig {
                 reason: "health warn thresholds must fire before critical ones".into(),
             });
@@ -321,10 +401,7 @@ impl HealthMonitor {
                 &mut alerts,
                 "health.window_fraction",
                 value,
-                value <= self.config.critical_window_fraction,
-                self.config.critical_window_fraction,
-                value <= self.config.warn_window_fraction,
-                self.config.warn_window_fraction,
+                self.config.wear.classify_window_fraction(value),
                 &format!("layer {} mean window at {:.0}% of fresh", worst.layer, 100.0 * value),
             );
         }
@@ -333,10 +410,7 @@ impl HealthMonitor {
                 &mut alerts,
                 "health.sessions_left",
                 left,
-                left <= self.config.critical_sessions_left,
-                self.config.critical_sessions_left,
-                left <= self.config.warn_sessions_left,
-                self.config.warn_sessions_left,
+                self.config.wear.classify_sessions_left(left),
                 &format!("forecast: {left:.1} maintenance sessions to window collapse"),
             );
         }
@@ -345,10 +419,7 @@ impl HealthMonitor {
             &mut alerts,
             "health.tuning_budget",
             budget_fraction,
-            budget_fraction >= self.config.critical_tuning_fraction,
-            self.config.critical_tuning_fraction,
-            budget_fraction >= self.config.warn_tuning_fraction,
-            self.config.warn_tuning_fraction,
+            self.config.classify_tuning_fraction(budget_fraction),
             &format!(
                 "session used {tuning_iterations} of {} tuning iterations",
                 self.tuning_budget
@@ -358,29 +429,19 @@ impl HealthMonitor {
     }
 
     /// Pushes an alert for the highest newly-reached severity of `rule`.
-    #[allow(clippy::too_many_arguments)]
     fn escalate(
         &mut self,
         alerts: &mut Vec<HealthAlert>,
         rule: &'static str,
         value: f64,
-        critical: bool,
-        critical_threshold: f64,
-        warn: bool,
-        warn_threshold: f64,
+        classified: Option<(AlertSeverity, f64)>,
         message: &str,
     ) {
-        let severity = match (critical, warn) {
-            (true, _) => AlertSeverity::Critical,
-            (false, true) => AlertSeverity::Warn,
-            (false, false) => return,
-        };
+        let Some((severity, threshold)) = classified else { return };
         if self.emitted.get(rule).is_some_and(|&prior| prior >= severity) {
             return;
         }
         self.emitted.insert(rule, severity);
-        let threshold =
-            if severity == AlertSeverity::Critical { critical_threshold } else { warn_threshold };
         alerts.push(HealthAlert { severity, rule, value, threshold, message: message.to_string() });
     }
 }
@@ -410,14 +471,31 @@ mod tests {
     #[test]
     fn config_validation_catches_inverted_thresholds() {
         assert!(HealthConfig::default().validate().is_ok());
-        let bad = HealthConfig { warn_window_fraction: 0.2, ..HealthConfig::default() };
+        let bad = HealthConfig {
+            wear: WearThresholds { warn_window_fraction: 0.2, ..WearThresholds::default() },
+            ..HealthConfig::default()
+        };
         assert!(bad.validate().is_err(), "warn below critical must be rejected");
         let bad = HealthConfig { warn_tuning_fraction: 0.9, ..HealthConfig::default() };
         assert!(bad.validate().is_err());
-        let bad = HealthConfig { critical_sessions_left: -1.0, ..HealthConfig::default() };
+        let bad = HealthConfig {
+            wear: WearThresholds { critical_sessions_left: -1.0, ..WearThresholds::default() },
+            ..HealthConfig::default()
+        };
         assert!(bad.validate().is_err());
         let bad = HealthConfig { min_usable_window_fraction: 1.5, ..HealthConfig::default() };
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn wear_thresholds_classify_both_rules() {
+        let t = WearThresholds::default();
+        assert_eq!(t.classify_window_fraction(0.9), None);
+        assert_eq!(t.classify_window_fraction(0.45), Some((AlertSeverity::Warn, 0.5)));
+        assert_eq!(t.classify_window_fraction(0.25), Some((AlertSeverity::Critical, 0.3)));
+        assert_eq!(t.classify_sessions_left(20.0), None);
+        assert_eq!(t.classify_sessions_left(5.0), Some((AlertSeverity::Warn, 8.0)));
+        assert_eq!(t.classify_sessions_left(1.0), Some((AlertSeverity::Critical, 3.0)));
     }
 
     #[test]

@@ -51,7 +51,9 @@ mod strategy;
 mod telemetry;
 
 pub use error::LifetimeError;
-pub use health::{HealthAlert, HealthConfig, HealthMonitor, HealthReport, LayerHealth};
+pub use health::{
+    HealthAlert, HealthConfig, HealthMonitor, HealthReport, LayerHealth, WearThresholds,
+};
 pub use simulator::{
     run_lifetime, run_lifetime_with_recorder, LifetimeConfig, LifetimeResult, SessionRecord,
 };

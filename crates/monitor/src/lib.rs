@@ -46,7 +46,7 @@ pub mod prometheus;
 mod server;
 mod state;
 
-pub use server::MonitorServer;
+pub use server::{HttpHandler, HttpRequest, HttpResponse, MonitorServer};
 pub use state::{
     AlertRecord, LayerWear, MonitorSink, MonitorState, RunStatus, WearHandle, WearState,
 };

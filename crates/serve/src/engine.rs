@@ -1,0 +1,225 @@
+//! The maintenance engine: the single owner of the physical
+//! [`CrossbarNetwork`] once a service is deployed.
+//!
+//! Workers never touch hardware — they serve from published
+//! [`MappingGeneration`] snapshots — so everything that *does* mutate
+//! devices funnels through this engine, on one thread, in
+//! request-sequence order:
+//!
+//! 1. at boundary `b`, accrue the previous interval's read-disturb wear
+//!    (one multiply-add per device, so only the admitted-request *count*
+//!    matters — not batching, timing, or worker count);
+//! 2. read back the effective weights and publish them as generation `b`;
+//! 3. run the wear-health forecaster on the fresh snapshots;
+//! 4. if the shared [`WearThresholds`] warn rule fires *and* the active
+//!    mapping has drifted from the observed aged windows, re-run the
+//!    paper's aging-aware range selection (the PR-4 incremental engine)
+//!    and reprogram — while the dispatcher keeps serving generation `b`.
+//!
+//! The remap deliberately runs *after* the publish: a slow range-selection
+//! sweep overlaps live traffic instead of stalling it, and its effect
+//! becomes visible exactly at the next boundary's read-back — an atomic,
+//! deterministic swap point.
+//!
+//! [`WearThresholds`]: memaging_lifetime::WearThresholds
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use memaging_crossbar::{CrossbarNetwork, MappingStrategy};
+use memaging_dataset::Dataset;
+use memaging_lifetime::{HealthConfig, HealthMonitor};
+use memaging_obs::Recorder;
+
+use crate::config::ServeConfig;
+use crate::error::ServeError;
+use crate::generation::MappingGeneration;
+use crate::stats::ServeStats;
+
+/// The serving tier's hardware side: crossbars, wear accounting, health
+/// forecasting, and the live-remap policy.
+pub struct ServeEngine {
+    network: CrossbarNetwork,
+    calib: Dataset,
+    config: ServeConfig,
+    health: HealthMonitor,
+    recorder: Recorder,
+    stats: Arc<ServeStats>,
+    fresh_width: f64,
+    /// Set by the boundary health check, consumed by
+    /// [`ServeEngine::maybe_remap`].
+    remap_armed: bool,
+    /// Cumulative live remaps performed.
+    remaps: u64,
+}
+
+impl ServeEngine {
+    /// Takes ownership of `network`, performs the initial aging-aware
+    /// mapping against `calib`, and returns the engine plus the initial
+    /// generation (id 0) to publish.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for a bad config,
+    /// [`ServeError::Internal`] when the initial mapping or read-back
+    /// fails.
+    pub fn deploy(
+        mut network: CrossbarNetwork,
+        calib: Dataset,
+        config: ServeConfig,
+        recorder: Recorder,
+        stats: Arc<ServeStats>,
+    ) -> Result<(ServeEngine, Arc<MappingGeneration>), ServeError> {
+        config.validate()?;
+        // The live remap must go through the incremental candidate-eval
+        // engine: persistent worker contexts across map epochs are exactly
+        // the serving-time reuse it was built for.
+        network.set_incremental_eval(true);
+        network
+            .map_weights_with_recorder(
+                MappingStrategy::AgingAware,
+                Some((&calib, config.calib_batch)),
+                &recorder,
+            )
+            .map_err(internal)?;
+        let spec = *network.spec();
+        let health = HealthMonitor::new(
+            spec.r_min,
+            spec.r_max,
+            config.tuning_budget,
+            HealthConfig { wear: config.thresholds, ..HealthConfig::default() },
+        );
+        let mut engine = ServeEngine {
+            network,
+            calib,
+            config,
+            health,
+            recorder,
+            stats,
+            fresh_width: (spec.r_max - spec.r_min).max(1e-12),
+            remap_armed: false,
+            remaps: 0,
+        };
+        let generation = engine.read_generation(0)?;
+        Ok((engine, generation))
+    }
+
+    /// The expected input dimension (features per request).
+    pub fn input_dim(&self) -> usize {
+        let (c, h, w) = self.calib.image_shape();
+        c * h * w
+    }
+
+    /// A clone of the software network for worker contexts.
+    pub fn software_clone(&self) -> memaging_nn::Network {
+        self.network.software().clone()
+    }
+
+    /// Processes maintenance boundary `id`: accrues `interval_requests`
+    /// admitted requests' read-disturb wear, reads back the effective
+    /// weights as generation `id`, runs the health forecaster, and arms
+    /// the remap trigger when the shared warn threshold is crossed on a
+    /// stale mapping.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Internal`] when the hardware read-back fails.
+    pub fn boundary(
+        &mut self,
+        id: u64,
+        interval_requests: u64,
+    ) -> Result<Arc<MappingGeneration>, ServeError> {
+        let span = self.recorder.span("serve.boundary");
+        self.network.apply_read_disturb(interval_requests, self.config.stress_per_read);
+        let wear = self.network.wear_snapshots();
+        let report = self.health.observe(id, &wear, 0);
+        report.emit(&self.recorder);
+        let generation = self.read_generation(id)?;
+        self.recorder.gauge("serve.window_fraction_worst", generation.worst_window_fraction);
+
+        // The remap trigger: exactly the forecaster's warn rule (shared
+        // thresholds — satellite of this PR), gated by mapping staleness
+        // so monotone wear does not re-trigger at every boundary.
+        let warn =
+            self.config.thresholds.classify_window_fraction(generation.worst_window_fraction);
+        let drift = self
+            .network
+            .last_windows()
+            .iter()
+            .zip(&wear)
+            .filter_map(|(window, tile)| {
+                window.map(|w| (w.r_max - tile.mean_r_max) / self.fresh_width)
+            })
+            .fold(0.0_f64, f64::max);
+        self.remap_armed = warn.is_some() && drift >= self.config.remap_drift_fraction;
+        self.stats.boundaries.fetch_add(1, Ordering::Relaxed);
+        drop(span);
+        Ok(generation)
+    }
+
+    /// Runs the aging-aware live remap if the last boundary armed it.
+    /// Called *after* the boundary's generation is published, so the
+    /// range-selection sweep overlaps live traffic; the reprogrammed
+    /// weights surface at the next boundary's read-back.
+    ///
+    /// Returns whether a remap ran. A mapping failure is downgraded to an
+    /// alert (the service keeps running on the active mapping).
+    pub fn maybe_remap(&mut self) -> bool {
+        if !self.remap_armed {
+            return false;
+        }
+        self.remap_armed = false;
+        let span = self.recorder.span("serve.remap");
+        let outcome = self.network.map_weights_with_recorder(
+            MappingStrategy::AgingAware,
+            Some((&self.calib, self.config.calib_batch)),
+            &self.recorder,
+        );
+        drop(span);
+        match outcome {
+            Ok(_) => {
+                self.remaps += 1;
+                self.stats.remaps.fetch_add(1, Ordering::Relaxed);
+                self.recorder.counter("serve.remaps", 1);
+                true
+            }
+            Err(e) => {
+                self.recorder.alert(
+                    memaging_obs::AlertSeverity::Critical,
+                    "serve.remap_failed",
+                    self.remaps as f64,
+                    0.0,
+                    &format!("live remap failed, serving continues on active mapping: {e}"),
+                );
+                false
+            }
+        }
+    }
+
+    /// Reads back the effective hardware weights as generation `id`.
+    fn read_generation(&mut self, id: u64) -> Result<Arc<MappingGeneration>, ServeError> {
+        let weights = self.network.read_weights().map_err(internal)?;
+        let worst_window_fraction = self
+            .network
+            .wear_snapshots()
+            .iter()
+            .map(|tile| tile.mean_window_fraction)
+            .fold(1.0_f64, f64::min);
+        Ok(Arc::new(MappingGeneration { id, weights, worst_window_fraction, remaps: self.remaps }))
+    }
+
+    /// Consumes the engine, returning the final hardware state (for
+    /// post-run wear assertions and reports).
+    pub fn into_network(self) -> CrossbarNetwork {
+        self.network
+    }
+
+    /// Cumulative live remaps performed so far.
+    pub fn remaps(&self) -> u64 {
+        self.remaps
+    }
+}
+
+fn internal(e: impl std::fmt::Display) -> ServeError {
+    ServeError::Internal { reason: e.to_string() }
+}

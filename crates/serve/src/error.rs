@@ -1,0 +1,68 @@
+//! Serving-tier errors: admission-control rejections and internal
+//! failures, each mapped to the HTTP status the `/infer` endpoint answers
+//! with.
+
+use std::fmt;
+
+/// Why a request was not served (or the service could not be built).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The admission queue was full; the request was rejected without
+    /// queueing (HTTP 429).
+    QueueFull {
+        /// The configured queue capacity the request bounced off.
+        capacity: usize,
+    },
+    /// The request's deadline expired before a worker picked it up; it was
+    /// dropped at dispatch without touching the crossbar (HTTP 504).
+    DeadlineExceeded,
+    /// The service is shutting down and no longer admits requests
+    /// (HTTP 503).
+    Shutdown,
+    /// The request payload was malformed or the wrong shape (HTTP 400).
+    BadInput {
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// Invalid [`crate::ServeConfig`].
+    InvalidConfig {
+        /// What was inconsistent.
+        reason: String,
+    },
+    /// An internal pipeline failure (mapping, forward pass); the service
+    /// answers HTTP 500 and keeps running.
+    Internal {
+        /// The underlying error rendered as text.
+        reason: String,
+    },
+}
+
+impl ServeError {
+    /// The HTTP status code this error maps to on the `/infer` route.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ServeError::QueueFull { .. } => 429,
+            ServeError::DeadlineExceeded => 504,
+            ServeError::Shutdown => 503,
+            ServeError::BadInput { .. } => 400,
+            ServeError::InvalidConfig { .. } | ServeError::Internal { .. } => 500,
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "admission queue full (capacity {capacity})")
+            }
+            ServeError::DeadlineExceeded => write!(f, "deadline expired before dispatch"),
+            ServeError::Shutdown => write!(f, "service is shutting down"),
+            ServeError::BadInput { reason } => write!(f, "bad input: {reason}"),
+            ServeError::InvalidConfig { reason } => write!(f, "invalid serve config: {reason}"),
+            ServeError::Internal { reason } => write!(f, "internal serving error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

@@ -1,0 +1,62 @@
+//! # memaging-serve
+//!
+//! The serving tier of the memaging stack: a deterministic,
+//! dependency-free batched inference service that drives a
+//! [`memaging_crossbar::CrossbarNetwork`] under live request load and
+//! keeps it alive with the paper's aging-aware remapping — online.
+//!
+//! The paper's core loop (inference load wears devices → aged resistance
+//! bounds shrink → aging-aware re-mapping restores accuracy) only becomes
+//! real under a sustained request stream. This crate builds that stream's
+//! receiving end:
+//!
+//! * **Admission control** ([`ServeConfig::queue_capacity`]): a bounded
+//!   MPSC queue that rejects on full ([`ServeError::QueueFull`]) and
+//!   drops requests whose deadline expires before dispatch
+//!   ([`ServeError::DeadlineExceeded`]) — load shedding before the
+//!   crossbar, not after.
+//! * **Dynamic batching** ([`ServeConfig::max_batch`] /
+//!   [`ServeConfig::max_linger`]) over a `par`-backed worker pool with
+//!   persistent per-worker network contexts.
+//! * **Aging-aware live remapping**: inference reads accrue read-disturb
+//!   wear through the device model; when the shared
+//!   [`memaging_lifetime::WearThresholds`] warn rule fires on a stale
+//!   mapping, the maintenance task re-runs the paper's range selection
+//!   (the incremental engine) and swaps the fresh mapping in atomically —
+//!   double-buffered [`MappingGeneration`]s, no serving pause.
+//! * **Observability**: queue-wait / service-time / batch-size
+//!   histograms, worker-tagged spans, and the `POST /infer` +
+//!   `GET /serve/stats` routes for the monitor HTTP server
+//!   ([`ServeHandler`]).
+//!
+//! ## Determinism
+//!
+//! Everything the hardware sees is keyed to the request **admission
+//! sequence**, not to time: wear accrues per maintenance boundary from
+//! the admitted-request count, requests of interval `k` are served by
+//! mapping generation `k`, and remap decisions are functions of
+//! boundary-indexed state. Run the same admission sequence at 1 or N
+//! worker threads and every per-request output and the final wear state
+//! are bit-identical — `exp_serve` asserts exactly that.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod config;
+mod engine;
+mod error;
+mod generation;
+mod http;
+mod queue;
+mod request;
+mod service;
+mod stats;
+
+pub use config::ServeConfig;
+pub use engine::ServeEngine;
+pub use error::ServeError;
+pub use generation::{GenerationCell, MappingGeneration};
+pub use http::ServeHandler;
+pub use request::{InferRequest, InferResponse};
+pub use service::{InferenceService, ServeReport};
+pub use stats::ServeStats;

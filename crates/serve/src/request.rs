@@ -1,0 +1,41 @@
+//! Request/response types of the inference service.
+
+use std::time::Duration;
+
+/// One inference request as submitted by a client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferRequest {
+    /// The input feature vector (the flattened image the network was
+    /// trained on).
+    pub input: Vec<f32>,
+    /// Optional deadline relative to admission: if the request is still
+    /// queued when it expires, it is dropped at dispatch with
+    /// [`crate::ServeError::DeadlineExceeded`] instead of occupying a
+    /// worker.
+    pub deadline: Option<Duration>,
+}
+
+impl InferRequest {
+    /// A request with no deadline.
+    pub fn new(input: Vec<f32>) -> Self {
+        InferRequest { input, deadline: None }
+    }
+}
+
+/// A served inference result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferResponse {
+    /// The request's global admission sequence number.
+    pub seq: u64,
+    /// The mapping generation that served it (`seq / maintenance_interval`
+    /// by construction).
+    pub generation: u64,
+    /// The output logits.
+    pub output: Vec<f32>,
+    /// The predicted class (argmax of `output`, first index on ties).
+    pub prediction: usize,
+    /// Time spent queued before dispatch, microseconds.
+    pub queue_us: u64,
+    /// Time from dispatch to completion, microseconds.
+    pub service_us: u64,
+}

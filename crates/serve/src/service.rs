@@ -1,0 +1,470 @@
+//! The inference service: admission, dynamic batching, the `par`-backed
+//! worker pool, and the maintenance thread that keeps the published
+//! mapping generation fresh.
+//!
+//! ## Thread layout
+//!
+//! * **Clients** (bench load generators, HTTP connection threads) call
+//!   [`InferenceService::infer`]: admission control happens inline (reject
+//!   on full queue, no blocking push), then the client parks on its
+//!   response slot.
+//! * **Dispatcher** (`memaging-serve-dispatch`): pops admitted requests in
+//!   sequence order, forms batches up to `max_batch`/`max_linger` — never
+//!   across a maintenance boundary — and fans each batch out over the
+//!   `par` worker pool. Each worker keeps a persistent software-network
+//!   clone (a [`SlotPool`] slot) lazily re-synced to the batch's mapping
+//!   generation, forwards its requests one by one in `Eval` mode, and
+//!   delivers straight to the response slots.
+//! * **Maintenance** (`memaging-serve-maint`): consumes boundary jobs from
+//!   the dispatcher, accrues interval wear, publishes the next generation,
+//!   and runs the aging-aware live remap *after* publishing so the sweep
+//!   overlaps traffic (see [`crate::engine::ServeEngine`]).
+//!
+//! ## Determinism contract
+//!
+//! A request's output and the final hardware wear state depend only on
+//! the admission sequence (which requests, in which order) — not on the
+//! number of worker threads, batch composition, linger timing, or
+//! wall-clock anything. Per-request forwards are independent (each input
+//! is forwarded alone through the worker's network, whose weights come
+//! from the request's interval generation), and wear accrues per
+//! boundary from the admitted-request *count* alone. The `exp_serve`
+//! bench asserts this end to end at 1 vs N threads.
+
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use memaging_crossbar::CrossbarNetwork;
+use memaging_dataset::Dataset;
+use memaging_nn::{Mode, Network};
+use memaging_obs::Recorder;
+use memaging_par::SlotPool;
+use memaging_tensor::Tensor;
+
+use crate::config::ServeConfig;
+use crate::engine::ServeEngine;
+use crate::error::ServeError;
+use crate::generation::{GenerationCell, MappingGeneration};
+use crate::queue::{Entry, RequestQueue, ResponseSlot};
+use crate::request::{InferRequest, InferResponse};
+use crate::stats::ServeStats;
+
+/// Poll period while the batcher lingers for more requests.
+const LINGER_POLL: Duration = Duration::from_micros(100);
+
+/// One maintenance-boundary job, sent dispatcher → maintenance.
+struct BoundaryJob {
+    /// Boundary index = generation id to publish.
+    id: u64,
+    /// Admitted requests in the interval whose wear this boundary
+    /// accrues.
+    interval_requests: u64,
+    /// `false` on the shutdown flush (no point remapping a stopping
+    /// service).
+    allow_remap: bool,
+}
+
+/// Final report of a shut-down service.
+pub struct ServeReport {
+    /// The final hardware state (wear, windows, mappings) — the ground
+    /// truth the determinism bench asserts on.
+    pub network: CrossbarNetwork,
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Requests rejected at admission (queue full).
+    pub rejected_full: u64,
+    /// Requests expired before dispatch.
+    pub expired: u64,
+    /// Maintenance boundaries processed.
+    pub boundaries: u64,
+    /// Aging-triggered live remaps performed.
+    pub remaps: u64,
+}
+
+/// The deployed inference service. See the module docs for the thread
+/// layout; create with [`InferenceService::deploy`], stop with
+/// [`InferenceService::shutdown`].
+pub struct InferenceService {
+    queue: Arc<RequestQueue>,
+    stats: Arc<ServeStats>,
+    generations: Arc<GenerationCell>,
+    input_dim: usize,
+    dispatcher: Option<JoinHandle<()>>,
+    maintenance: Option<JoinHandle<ServeEngine>>,
+}
+
+impl InferenceService {
+    /// Deploys `network` (performing the initial aging-aware mapping
+    /// against `calib`) and starts the dispatcher and maintenance
+    /// threads.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] / [`ServeError::Internal`] from the
+    /// initial mapping; thread-spawn failures as
+    /// [`ServeError::Internal`].
+    pub fn deploy(
+        network: CrossbarNetwork,
+        calib: Dataset,
+        config: ServeConfig,
+        recorder: Recorder,
+    ) -> Result<InferenceService, ServeError> {
+        let stats = Arc::new(ServeStats::default());
+        let (engine, initial) =
+            ServeEngine::deploy(network, calib, config, recorder.clone(), Arc::clone(&stats))?;
+        let input_dim = engine.input_dim();
+        let base = engine.software_clone();
+        let queue = Arc::new(RequestQueue::new(config.queue_capacity));
+        let generations = Arc::new(GenerationCell::default());
+        generations.publish(initial);
+        recorder.declare_histogram(
+            "serve.queue_wait_us",
+            &[100.0, 500.0, 1_000.0, 5_000.0, 20_000.0, 100_000.0, 500_000.0],
+        );
+        recorder.declare_histogram(
+            "serve.service_us",
+            &[100.0, 500.0, 1_000.0, 5_000.0, 20_000.0, 100_000.0, 500_000.0],
+        );
+        recorder.declare_histogram("serve.batch_size", &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0]);
+
+        let (boundary_tx, boundary_rx) = mpsc::channel::<BoundaryJob>();
+        let maintenance = {
+            let generations = Arc::clone(&generations);
+            let recorder = recorder.clone();
+            std::thread::Builder::new()
+                .name("memaging-serve-maint".into())
+                .spawn(move || maintenance_loop(engine, &boundary_rx, &generations, &recorder))
+                .map_err(|e| ServeError::Internal { reason: e.to_string() })?
+        };
+        let dispatcher = {
+            let queue = Arc::clone(&queue);
+            let generations = Arc::clone(&generations);
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name("memaging-serve-dispatch".into())
+                .spawn(move || {
+                    dispatch_loop(
+                        &queue,
+                        &generations,
+                        &boundary_tx,
+                        &stats,
+                        &recorder,
+                        &base,
+                        config,
+                    );
+                })
+                .map_err(|e| ServeError::Internal { reason: e.to_string() })?
+        };
+        Ok(InferenceService {
+            queue,
+            stats,
+            generations,
+            input_dim,
+            dispatcher: Some(dispatcher),
+            maintenance: Some(maintenance),
+        })
+    }
+
+    /// Submits one request and blocks until it is served, rejected, or
+    /// expired.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadInput`] for a malformed payload (checked before
+    /// admission — no sequence number is consumed),
+    /// [`ServeError::QueueFull`] when admission control rejects,
+    /// [`ServeError::DeadlineExceeded`] when the deadline passes before
+    /// dispatch, [`ServeError::Shutdown`] after shutdown began.
+    pub fn infer(&self, request: InferRequest) -> Result<InferResponse, ServeError> {
+        if request.input.len() != self.input_dim {
+            return Err(ServeError::BadInput {
+                reason: format!(
+                    "expected {} input features, got {}",
+                    self.input_dim,
+                    request.input.len()
+                ),
+            });
+        }
+        if request.input.iter().any(|v| !v.is_finite()) {
+            return Err(ServeError::BadInput { reason: "non-finite input value".into() });
+        }
+        let slot = Arc::new(ResponseSlot::default());
+        let deadline = request.deadline.map(|d| Instant::now() + d);
+        match self.queue.admit(request.input, deadline, Arc::clone(&slot)) {
+            Ok(_seq) => {
+                self.stats.admitted.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                if matches!(e, ServeError::QueueFull { .. }) {
+                    self.stats.rejected_full.fetch_add(1, Ordering::Relaxed);
+                }
+                return Err(e);
+            }
+        }
+        slot.wait()
+    }
+
+    /// Live serving statistics.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// The currently published mapping generation.
+    pub fn current_generation(&self) -> Option<Arc<MappingGeneration>> {
+        self.generations.current()
+    }
+
+    /// The expected number of input features per request.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Current admission-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// Stops admission, drains every queued request (each still receives
+    /// its response), flushes the final partial interval's wear, joins
+    /// all threads, and returns the final report.
+    pub fn shutdown(mut self) -> ServeReport {
+        self.queue.close();
+        if let Some(dispatcher) = self.dispatcher.take() {
+            if let Err(payload) = dispatcher.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+        let engine = match self.maintenance.take().map(JoinHandle::join) {
+            Some(Ok(engine)) => engine,
+            Some(Err(payload)) => std::panic::resume_unwind(payload),
+            None => unreachable!("maintenance thread exists until shutdown"),
+        };
+        ServeReport {
+            network: engine.into_network(),
+            admitted: self.stats.admitted.load(Ordering::Relaxed),
+            served: self.stats.served.load(Ordering::Relaxed),
+            rejected_full: self.stats.rejected_full.load(Ordering::Relaxed),
+            expired: self.stats.expired.load(Ordering::Relaxed),
+            boundaries: self.stats.boundaries.load(Ordering::Relaxed),
+            remaps: self.stats.remaps.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for InferenceService {
+    fn drop(&mut self) {
+        if self.dispatcher.is_none() && self.maintenance.is_none() {
+            return; // Shut down properly.
+        }
+        self.queue.close();
+        if let Some(dispatcher) = self.dispatcher.take() {
+            let _ = dispatcher.join();
+        }
+        if let Some(maintenance) = self.maintenance.take() {
+            let _ = maintenance.join();
+        }
+    }
+}
+
+/// Per-worker inference context: a software-network clone plus the id of
+/// the generation its weights are synced to.
+struct WorkerCtx {
+    network: Network,
+    generation: u64,
+}
+
+fn dispatch_loop(
+    queue: &RequestQueue,
+    generations: &GenerationCell,
+    boundary_tx: &mpsc::Sender<BoundaryJob>,
+    stats: &ServeStats,
+    recorder: &Recorder,
+    base: &Network,
+    config: ServeConfig,
+) {
+    let interval = config.maintenance_interval;
+    let mut pool: SlotPool<WorkerCtx> = SlotPool::new();
+    // Boundary `b` accrues interval `b-1`'s wear; generation 0 was
+    // published at deploy.
+    let mut next_boundary: u64 = 1;
+    while let Some(first) = queue.pop_blocking() {
+        let batch_interval = first.seq / interval;
+        // Requests of the next interval may already be queued, but a batch
+        // never crosses the boundary — all its requests share one
+        // generation.
+        let boundary_seq = (batch_interval + 1) * interval;
+        let mut batch = vec![first];
+        let linger_until = Instant::now() + config.max_linger;
+        while batch.len() < config.max_batch {
+            if let Some(entry) = queue.pop_if_below(boundary_seq) {
+                batch.push(entry);
+                continue;
+            }
+            // Don't linger on an empty closed queue — drain fast.
+            if queue.is_closed() || Instant::now() >= linger_until {
+                break;
+            }
+            std::thread::sleep(LINGER_POLL);
+        }
+        // Ask maintenance for every generation up to this batch's, then
+        // wait for it (normally a single step; the wait only stalls while
+        // the boundary job itself runs — never for a remap, which
+        // executes after the publish).
+        while next_boundary <= batch_interval {
+            let job =
+                BoundaryJob { id: next_boundary, interval_requests: interval, allow_remap: true };
+            if boundary_tx.send(job).is_err() {
+                break; // Maintenance died; entries fail below.
+            }
+            next_boundary += 1;
+        }
+        let generation = generations.wait_for(batch_interval);
+        dispatch_batch(batch, &generation, &mut pool, base, stats, recorder);
+    }
+    // Queue closed and drained: flush the final partial interval's wear so
+    // the reported hardware state covers every admitted request.
+    let admitted = queue.admitted();
+    let flushed = (next_boundary - 1) * interval;
+    if admitted > flushed {
+        let job = BoundaryJob {
+            id: next_boundary,
+            interval_requests: admitted - flushed,
+            allow_remap: false,
+        };
+        let _ = boundary_tx.send(job);
+    }
+    // Dropping the sender ends the maintenance loop after it has
+    // processed every queued job.
+}
+
+/// Fans one batch out over the `par` worker pool. Expired requests are
+/// answered without touching a worker; live ones are forwarded
+/// independently and delivered straight from the worker thread.
+fn dispatch_batch(
+    batch: Vec<Entry>,
+    generation: &MappingGeneration,
+    pool: &mut SlotPool<WorkerCtx>,
+    base: &Network,
+    stats: &ServeStats,
+    recorder: &Recorder,
+) {
+    let now = Instant::now();
+    let mut live: Vec<(Entry, u64)> = Vec::with_capacity(batch.len());
+    for entry in batch {
+        let queue_us = now.duration_since(entry.admitted_at).as_micros() as u64;
+        recorder.observe("serve.queue_wait_us", queue_us as f64);
+        if entry.deadline.is_some_and(|deadline| deadline < now) {
+            stats.expired.fetch_add(1, Ordering::Relaxed);
+            recorder.counter("serve.expired", 1);
+            entry.slot.deliver(Err(ServeError::DeadlineExceeded));
+            continue;
+        }
+        live.push((entry, queue_us));
+    }
+    if live.is_empty() {
+        return;
+    }
+    stats.record_batch(live.len());
+    recorder.observe("serve.batch_size", live.len() as f64);
+    let span = recorder.span("serve.batch");
+    pool.ensure_slots(memaging_par::num_threads().max(1));
+    let pool = &*pool;
+    let live = &live;
+    memaging_par::par_map_init(
+        live.len(),
+        |worker| (worker, pool.lease(worker)),
+        |(worker, lease), i| {
+            let ctx = lease
+                .get_or_insert_with(|| WorkerCtx { network: base.clone(), generation: u64::MAX });
+            let (entry, queue_us) = &live[i];
+            let started = Instant::now();
+            let _span = recorder.worker_span("serve.forward", *worker);
+            let outcome = serve_one(ctx, generation, &entry.input).map(|(output, prediction)| {
+                let service_us = started.elapsed().as_micros() as u64;
+                stats.served.fetch_add(1, Ordering::Relaxed);
+                stats.record_latency(*queue_us, service_us);
+                recorder.observe("serve.service_us", service_us as f64);
+                InferResponse {
+                    seq: entry.seq,
+                    generation: generation.id,
+                    output,
+                    prediction,
+                    queue_us: *queue_us,
+                    service_us,
+                }
+            });
+            entry.slot.deliver(outcome);
+        },
+    );
+    drop(span);
+}
+
+/// Forwards one input through the worker's network, syncing its weights
+/// to `generation` first if needed.
+fn serve_one(
+    ctx: &mut WorkerCtx,
+    generation: &MappingGeneration,
+    input: &[f32],
+) -> Result<(Vec<f32>, usize), ServeError> {
+    if ctx.generation != generation.id {
+        ctx.network
+            .set_weight_matrices(&generation.weights)
+            .map_err(|e| ServeError::Internal { reason: e.to_string() })?;
+        ctx.generation = generation.id;
+    }
+    let input = Tensor::from_vec(input.to_vec(), [1, input.len()])
+        .map_err(|e| ServeError::Internal { reason: e.to_string() })?;
+    let logits = ctx
+        .network
+        .forward(&input, Mode::Eval)
+        .map_err(|e| ServeError::Internal { reason: e.to_string() })?;
+    let output = logits.as_slice().to_vec();
+    let mut prediction = 0;
+    for (i, &v) in output.iter().enumerate() {
+        if v > output[prediction] {
+            prediction = i;
+        }
+    }
+    Ok((output, prediction))
+}
+
+fn maintenance_loop(
+    mut engine: ServeEngine,
+    boundary_rx: &mpsc::Receiver<BoundaryJob>,
+    generations: &GenerationCell,
+    recorder: &Recorder,
+) -> ServeEngine {
+    while let Ok(job) = boundary_rx.recv() {
+        match engine.boundary(job.id, job.interval_requests) {
+            Ok(generation) => generations.publish(generation),
+            Err(e) => {
+                // The dispatcher is (or will be) waiting on this
+                // generation id: republish the previous weights under the
+                // new id so serving continues, and raise the alarm.
+                recorder.alert(
+                    memaging_obs::AlertSeverity::Critical,
+                    "serve.boundary_failed",
+                    job.id as f64,
+                    0.0,
+                    &format!("boundary {} failed, serving stale mapping: {e}", job.id),
+                );
+                let prior = generations.current().expect("generation 0 published at deploy");
+                generations.publish(Arc::new(MappingGeneration {
+                    id: job.id,
+                    weights: prior.weights.clone(),
+                    worst_window_fraction: prior.worst_window_fraction,
+                    remaps: prior.remaps,
+                }));
+            }
+        }
+        if job.allow_remap {
+            // Runs *after* the publish: the sweep overlaps live traffic.
+            engine.maybe_remap();
+        }
+    }
+    engine
+}

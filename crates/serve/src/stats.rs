@@ -1,0 +1,160 @@
+//! Live serving statistics: lock-free counters plus small latency/batch
+//! reservoirs, rendered as the JSON body of `GET /serve/stats`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Ring-buffer reservoir capacity: enough for stable tail percentiles,
+/// small enough to stay off the serving hot path.
+const RESERVOIR: usize = 4096;
+
+/// A fixed-capacity ring of recent observations with percentile queries.
+#[derive(Debug)]
+struct Reservoir {
+    values: Mutex<(Vec<u64>, usize)>,
+}
+
+impl Reservoir {
+    fn new() -> Self {
+        Reservoir { values: Mutex::new((Vec::with_capacity(RESERVOIR), 0)) }
+    }
+
+    fn record(&self, value: u64) {
+        let mut guard = self.values.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let (values, next) = &mut *guard;
+        if values.len() < RESERVOIR {
+            values.push(value);
+        } else {
+            values[*next] = value;
+            *next = (*next + 1) % RESERVOIR;
+        }
+    }
+
+    /// `(p50, p99, max)` over the retained window, zeros when empty.
+    fn percentiles(&self) -> (u64, u64, u64) {
+        let guard = self.values.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if guard.0.is_empty() {
+            return (0, 0, 0);
+        }
+        let mut sorted = guard.0.clone();
+        drop(guard);
+        sorted.sort_unstable();
+        // Nearest-rank percentile: the smallest value with at least q·N
+        // observations at or below it.
+        let at = |q: f64| {
+            let rank = (q * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        (at(0.50), at(0.99), *sorted.last().expect("nonempty"))
+    }
+}
+
+/// Shared serving counters and latency windows. All writers are the
+/// service's own threads; readers are `GET /serve/stats` and the bench.
+#[derive(Debug)]
+pub struct ServeStats {
+    /// Requests admitted into the queue.
+    pub admitted: AtomicU64,
+    /// Requests rejected with `QueueFull`.
+    pub rejected_full: AtomicU64,
+    /// Requests whose deadline expired before dispatch.
+    pub expired: AtomicU64,
+    /// Requests served to completion.
+    pub served: AtomicU64,
+    /// Batches dispatched.
+    pub batches: AtomicU64,
+    /// Maintenance boundaries processed.
+    pub boundaries: AtomicU64,
+    /// Aging-triggered live remaps performed.
+    pub remaps: AtomicU64,
+    queue_wait_us: Reservoir,
+    service_us: Reservoir,
+    batch_sizes: Reservoir,
+}
+
+impl Default for ServeStats {
+    fn default() -> Self {
+        ServeStats {
+            admitted: AtomicU64::new(0),
+            rejected_full: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            boundaries: AtomicU64::new(0),
+            remaps: AtomicU64::new(0),
+            queue_wait_us: Reservoir::new(),
+            service_us: Reservoir::new(),
+            batch_sizes: Reservoir::new(),
+        }
+    }
+}
+
+impl ServeStats {
+    /// Records one served request's queue wait and service time.
+    pub fn record_latency(&self, queue_us: u64, service_us: u64) {
+        self.queue_wait_us.record(queue_us);
+        self.service_us.record(service_us);
+    }
+
+    /// Records one dispatched batch's size.
+    pub fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_sizes.record(size as u64);
+    }
+
+    /// Renders the stats snapshot as a JSON object.
+    pub fn to_json(&self) -> String {
+        let (queue_p50, queue_p99, queue_max) = self.queue_wait_us.percentiles();
+        let (service_p50, service_p99, service_max) = self.service_us.percentiles();
+        let (batch_p50, batch_p99, batch_max) = self.batch_sizes.percentiles();
+        format!(
+            "{{\"admitted\":{},\"rejected_full\":{},\"expired\":{},\"served\":{},\
+             \"batches\":{},\"boundaries\":{},\"remaps\":{},\
+             \"queue_wait_us\":{{\"p50\":{queue_p50},\"p99\":{queue_p99},\"max\":{queue_max}}},\
+             \"service_us\":{{\"p50\":{service_p50},\"p99\":{service_p99},\"max\":{service_max}}},\
+             \"batch_size\":{{\"p50\":{batch_p50},\"p99\":{batch_p99},\"max\":{batch_max}}}}}",
+            self.admitted.load(Ordering::Relaxed),
+            self.rejected_full.load(Ordering::Relaxed),
+            self.expired.load(Ordering::Relaxed),
+            self.served.load(Ordering::Relaxed),
+            self.batches.load(Ordering::Relaxed),
+            self.boundaries.load(Ordering::Relaxed),
+            self.remaps.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_over_a_known_window() {
+        let stats = ServeStats::default();
+        for v in 1..=100u64 {
+            stats.record_latency(v, 10 * v);
+        }
+        let json = stats.to_json();
+        assert!(json.contains("\"queue_wait_us\":{\"p50\":50,\"p99\":99,\"max\":100}"), "{json}");
+        assert!(json.contains("\"service_us\":{\"p50\":500,\"p99\":990,\"max\":1000}"), "{json}");
+    }
+
+    #[test]
+    fn reservoir_wraps_at_capacity() {
+        let r = Reservoir::new();
+        for v in 0..(RESERVOIR as u64 + 10) {
+            r.record(v);
+        }
+        let (_, _, max) = r.percentiles();
+        assert_eq!(max, RESERVOIR as u64 + 9);
+        let guard = r.values.lock().unwrap();
+        assert_eq!(guard.0.len(), RESERVOIR);
+    }
+
+    #[test]
+    fn json_shape_is_stable_when_empty() {
+        let json = ServeStats::default().to_json();
+        assert!(json.starts_with("{\"admitted\":0,"), "{json}");
+        assert!(json.ends_with("\"batch_size\":{\"p50\":0,\"p99\":0,\"max\":0}}"), "{json}");
+    }
+}

@@ -48,4 +48,13 @@ if [[ -n "$candidate_map" && -f "$candidate_map" ]]; then
         BENCH_map.json "$candidate_map" --tolerance 3.0
 fi
 
+# Same gate over the serving-tier profile (exp_serve writes a fresh one; set
+# MEMAGING_BENCH_CANDIDATE_SERVE to diff it against the committed baseline).
+cargo run -q -p memaging-bench --bin bench-diff -- BENCH_serve.json BENCH_serve.json
+candidate_serve="${MEMAGING_BENCH_CANDIDATE_SERVE:-}"
+if [[ -n "$candidate_serve" && -f "$candidate_serve" ]]; then
+    cargo run -q -p memaging-bench --bin bench-diff -- \
+        BENCH_serve.json "$candidate_serve" --tolerance 3.0
+fi
+
 echo "check.sh: all green"
