@@ -27,17 +27,17 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     let mut config = DiffConfig::default();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--tolerance" | "--min-ms" => {
+            "--tolerance" | "--min-ms" | "--extra-tolerance" => {
                 let value = it.next().ok_or_else(|| format!("flag {arg} needs a value"))?;
                 let parsed: f64 =
                     value.parse().map_err(|_| format!("bad value for {arg}: `{value}`"))?;
                 if !parsed.is_finite() || parsed <= 0.0 {
                     return Err(format!("{arg} must be a positive number, got `{value}`"));
                 }
-                if arg == "--tolerance" {
-                    config.tolerance = parsed;
-                } else {
-                    config.min_ms = parsed;
+                match arg.as_str() {
+                    "--tolerance" => config.tolerance = parsed,
+                    "--min-ms" => config.min_ms = parsed,
+                    _ => config.extra_rel_tolerance = parsed,
                 }
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
@@ -63,7 +63,7 @@ fn run(args: &[String]) -> i32 {
             eprintln!("bench-diff: {e}");
             eprintln!(
                 "usage: bench-diff <baseline.json> <candidate.json> \
-                 [--tolerance R] [--min-ms M]"
+                 [--tolerance R] [--min-ms M] [--extra-tolerance R]"
             );
             return 2;
         }
@@ -90,6 +90,12 @@ fn run(args: &[String]) -> i32 {
                 cand.mean_ms / base.mean_ms.max(args.config.min_ms),
             ),
             None => println!("  {:<10} mean {:>9.3} ms -> (phase gone)", base.phase, base.mean_ms),
+        }
+    }
+    for (key, base_value) in &baseline.extras {
+        match candidate.extra(key) {
+            Some(cand_value) => println!("  extra {key}: {base_value:e} -> {cand_value:e}"),
+            None => println!("  extra {key}: {base_value:e} -> (gone)"),
         }
     }
     let regressions = compare(&baseline, &candidate, &args.config);
@@ -166,6 +172,27 @@ mod tests {
         assert_eq!(run(&argv(&[&base, &slow])), 1, "2x tune slowdown must fail the gate");
         // The same pair passes with a cross-machine tolerance.
         assert_eq!(run(&argv(&[&base, &slow, "--tolerance", "3.0"])), 0);
+    }
+
+    #[test]
+    fn drifted_extra_exits_nonzero() {
+        use memaging_bench::phase_profile_json_with;
+        let dir = std::env::temp_dir().join("memaging_bench_diff_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let phases =
+            [PhaseProfile { name: "train".into(), count: 1, total_us: 10_000, max_us: 10_000 }];
+        let base = dir.join("extras_base.json");
+        std::fs::write(&base, phase_profile_json_with("t", &phases, &[("wear", 1.0e-3)]))
+            .expect("write");
+        let drift = dir.join("extras_drift.json");
+        std::fs::write(&drift, phase_profile_json_with("t", &phases, &[("wear", 1.1e-3)]))
+            .expect("write");
+        let (base, drift) =
+            (base.to_string_lossy().to_string(), drift.to_string_lossy().to_string());
+        assert_eq!(run(&argv(&[&base, &base])), 0);
+        assert_eq!(run(&argv(&[&base, &drift])), 1, "10% extras drift must fail the gate");
+        // ... unless the caller loosens the extras tolerance explicitly.
+        assert_eq!(run(&argv(&[&base, &drift, "--extra-tolerance", "0.2"])), 0);
     }
 
     #[test]

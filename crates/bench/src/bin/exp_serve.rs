@@ -15,9 +15,14 @@
 //!   bit-identical to the reference.
 //!
 //! Every leg must observe at least one aging-triggered live remap and
-//! zero queue-full rejections. Phase profiles (boundary / remap / batch /
-//! forward spans, suffixed per leg) and throughput / latency summaries go
-//! to `BENCH_serve.json`.
+//! zero queue-full rejections, its wear-attribution ledger must account
+//! for the final hardware stress tile-for-tile bit-identically, and the
+//! latency-histogram merge must be shard/thread-invariant (asserted by
+//! replaying the observed latency multiset at 1/2/8 shards). Phase
+//! profiles (boundary / remap / batch / forward spans, suffixed per leg),
+//! throughput / latency summaries, and the attribution totals (as
+//! `extras` for the `bench-diff` gate) go to `BENCH_serve.json`; each
+//! leg's flight-recorder dump lands in `results/flight_serve_<leg>.jsonl`.
 //!
 //! ```text
 //! cargo run --release -p memaging-bench --bin exp_serve
@@ -30,12 +35,17 @@ use std::time::Instant;
 use memaging::crossbar::CrossbarNetwork;
 use memaging::dataset::Dataset;
 use memaging::device::{ArrheniusAging, DeviceSpec};
-use memaging::lifetime::Strategy;
+use memaging::lifetime::{Strategy, WearLedger};
 use memaging::nn::Network;
-use memaging::obs::{MemorySink, Recorder};
+use memaging::obs::{
+    FlightRecorder, LatencySnapshot, MemorySink, Recorder, ShardedHistogram,
+    DEFAULT_FLIGHT_CAPACITY,
+};
 use memaging::serve::{InferRequest, InferenceService, ServeConfig, ServeReport};
 use memaging::{par, Scenario};
-use memaging_bench::{banner, phase_profile_json, profile_phases, report, PhaseProfile};
+use memaging_bench::{
+    banner, phase_profile_json_with, profile_phases, report, results_dir, PhaseProfile,
+};
 
 /// Requests per leg.
 const TOTAL: usize = 384;
@@ -49,6 +59,9 @@ struct Digest {
     tiles: Vec<(u64, u64, u64, usize)>,
     boundaries: u64,
     remaps: u64,
+    /// The wear-attribution ledger (f64 equality is bit equality here:
+    /// stress values are finite and non-negative).
+    ledger: WearLedger,
 }
 
 struct Leg {
@@ -57,6 +70,8 @@ struct Leg {
     elapsed_s: f64,
     latency_us: Vec<u64>,
     served: u64,
+    /// Merged end-to-end latency snapshot taken just before shutdown.
+    e2e: LatencySnapshot,
 }
 
 fn trained() -> (Network, Dataset, DeviceSpec, ArrheniusAging) {
@@ -107,7 +122,14 @@ fn run_leg(
     par::set_threads(threads);
     let (network, calib, spec, aging) = seed_model;
     let (sink, handle) = MemorySink::new();
-    let recorder = Recorder::new(vec![Box::new(sink)]);
+    // Flight recorder per leg: the live remap every leg must trigger also
+    // fires a ring dump, so CI always has a post-mortem artifact.
+    let flight_dir = results_dir();
+    std::fs::create_dir_all(&flight_dir).expect("results dir");
+    let flight_path = flight_dir.join(format!("flight_serve_{label}.jsonl"));
+    let flight =
+        FlightRecorder::create(&flight_path, DEFAULT_FLIGHT_CAPACITY).expect("flight recorder");
+    let recorder = Recorder::new(vec![Box::new(sink), Box::new(flight)]);
     let hardware = CrossbarNetwork::new(network.clone(), *spec, *aging).expect("hardware");
     let service = Arc::new(
         InferenceService::deploy(hardware, calib.clone(), serve_config(spec, aging), recorder)
@@ -161,6 +183,11 @@ fn run_leg(
     }
     let elapsed_s = started.elapsed().as_secs_f64();
 
+    // All requests are answered (infer() blocks), so every histogram stage
+    // is fully populated before shutdown.
+    let e2e = service.stats().latency().e2e.snapshot();
+    assert_eq!(e2e.count, TOTAL as u64, "{label}: every request lands in the e2e histogram");
+
     let outcome = Arc::try_unwrap(service).ok().expect("sole owner").shutdown();
     assert_eq!(outcome.rejected_full, 0, "{label}: closed-loop load must never be rejected");
     assert_eq!(outcome.expired, 0, "{label}: no deadlines in play");
@@ -169,6 +196,38 @@ fn run_leg(
         outcome.remaps >= 1,
         "{label}: the calibrated wear must trigger at least one live remap"
     );
+    assert!(
+        std::fs::metadata(&flight_path).map(|m| m.len()).unwrap_or(0) > 0,
+        "{label}: the remap trigger must have dumped the flight ring to {}",
+        flight_path.display()
+    );
+
+    // The attribution contract: every unit of final tile stress is charged
+    // to exactly one cause — per tile, bit for bit.
+    let ledger = outcome.attribution.clone();
+    let tile_stress = outcome.network.tile_stress();
+    assert_eq!(ledger.tiles(), tile_stress.len(), "{label}: ledger covers every tile");
+    for (t, (attributed, stress)) in ledger.attributed().iter().zip(&tile_stress).enumerate() {
+        assert_eq!(
+            attributed.to_bits(),
+            stress.to_bits(),
+            "{label}: tile {t} attribution ({attributed:e}) != accrued stress ({stress:e})"
+        );
+    }
+    let causes = ledger.cause_totals();
+    let cause_sum: f64 = causes.iter().map(|&(_, _, stress)| stress).sum();
+    assert!(
+        (cause_sum - ledger.total()).abs() <= 1e-9 * ledger.total().max(f64::MIN_POSITIVE),
+        "{label}: per-cause totals ({cause_sum:e}) must sum to the ledger total ({:e})",
+        ledger.total()
+    );
+    let events = |kind: &str| causes.iter().find(|(k, ..)| *k == kind).map_or(0, |&(_, n, _)| n);
+    assert!(events("inference_read") >= 1, "{label}: read-disturb wear must be attributed");
+    assert!(
+        events("remap") >= 2,
+        "{label}: the deploy mapping and at least one live remap must be attributed"
+    );
+
     let mut profiles = profile_phases(&handle.events());
     for p in &mut profiles {
         p.name = format!("{}_{label}", p.name);
@@ -180,11 +239,33 @@ fn run_leg(
             tiles: wear_tiles(&outcome),
             boundaries: outcome.boundaries,
             remaps: outcome.remaps,
+            ledger,
         },
         elapsed_s,
         latency_us,
         served: outcome.served,
+        e2e,
     }
+}
+
+/// Replays the latency multiset `values` into a fresh histogram with
+/// `threads` recording threads over `shards` shards (thread `t` records
+/// every `threads`-th value into its own shard).
+fn replay(values: &[u64], threads: usize, shards: usize) -> LatencySnapshot {
+    let hist = ShardedHistogram::new(shards, 40);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let hist = &hist;
+            scope.spawn(move || {
+                for (i, &v) in values.iter().enumerate() {
+                    if i % threads == t {
+                        hist.record(t, v);
+                    }
+                }
+            });
+        }
+    });
+    hist.snapshot()
 }
 
 fn percentile(sorted: &[u64], q: f64) -> u64 {
@@ -229,13 +310,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "per-request outputs or final wear diverged between 1 and {threads} worker threads"
     );
     // Concurrent admission interleaving may reorder requests, but wear is
-    // keyed to the admitted-request count: the hardware must land in the
-    // exact same state.
+    // keyed to the admitted-request count: the hardware — and therefore
+    // the attribution ledger — must land in the exact same state.
     assert_eq!(
         (&batched.digest.tiles, batched.digest.boundaries, batched.digest.remaps),
         (&reference.digest.tiles, reference.digest.boundaries, reference.digest.remaps),
         "concurrent-client leg drifted from the reference wear state"
     );
+    assert_eq!(
+        batched.digest.ledger, reference.digest.ledger,
+        "concurrent-client leg's attribution ledger drifted from the reference"
+    );
+
+    // Histogram determinism: the merged snapshot of the observed latency
+    // multiset must not depend on recording thread or shard count.
+    let single = replay(&reference.latency_us, 1, 1);
+    for (threads, shards) in [(2, 2), (8, 8), (8, 3)] {
+        assert_eq!(
+            replay(&reference.latency_us, threads, shards),
+            single,
+            "histogram snapshot diverged at {threads} threads / {shards} shards"
+        );
+    }
+    assert_eq!(single.count, TOTAL as u64);
+    report(&format!(
+        "  histograms: merge bit-identical at 1/2/8 recording threads \
+         ({} observations, e2e p99 {} us)",
+        single.count,
+        reference.e2e.quantile(0.99),
+    ));
     report(&format!(
         "  determinism: 1t vs {threads}t bit-identical ({} requests, {} generations observed, \
          {} remaps); concurrent leg wear-identical",
@@ -260,15 +363,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             p.max_us as f64 / 1e3,
         ));
     }
-    let json = phase_profile_json(
+    // Attribution totals as deterministic `extras`: the bench-diff gate
+    // holds them to a tight relative tolerance, so a change that silently
+    // shifts where wear is charged fails CI.
+    let ledger = &reference.digest.ledger;
+    let causes = ledger.cause_totals();
+    let cause = |kind: &str| causes.iter().find(|(k, ..)| *k == kind).map_or(0.0, |&(.., s)| s);
+    let extras = [
+        ("wear_total_stress", ledger.total()),
+        ("wear_inference_read_stress", cause("inference_read")),
+        ("wear_remap_stress", cause("remap")),
+        ("wear_ledger_entries", ledger.entries().len() as f64),
+        ("latency_e2e_count", reference.e2e.count as f64),
+    ];
+    report(&format!(
+        "  attribution: {:.3e}s total stress ({:.3e}s reads, {:.3e}s remaps, {} entries), \
+         tile-exact on all legs",
+        ledger.total(),
+        cause("inference_read"),
+        cause("remap"),
+        ledger.entries().len(),
+    ));
+    let json = phase_profile_json_with(
         &format!(
             "quick MLP inference service, {TOTAL} requests, maintenance every {INTERVAL}, \
              single submitter @ 1/{threads} threads + 8 concurrent clients @ {threads} threads"
         ),
         &profiles,
+        &extras,
     );
     let path = "BENCH_serve.json";
     std::fs::write(path, &json)?;
-    report(&format!("(serving phase profile saved to {path})"));
+    report(&format!(
+        "(serving phase profile saved to {path}; flight dumps in {})",
+        results_dir().display()
+    ));
     Ok(())
 }

@@ -222,6 +222,18 @@ pub fn profile_phases(events: &[memaging::obs::Event]) -> Vec<PhaseProfile> {
 /// Renders phase profiles as the `BENCH_obs.json` document: one object per
 /// phase with counts and wall-clock totals, plus the grand total.
 pub fn phase_profile_json(label: &str, profiles: &[PhaseProfile]) -> String {
+    phase_profile_json_with(label, profiles, &[])
+}
+
+/// [`phase_profile_json`] with additional scalar key/value pairs rendered
+/// as an `"extras"` object — determinism-sensitive quantities (attribution
+/// totals, histogram counts) the `bench-diff` gate compares alongside the
+/// phase timings.
+pub fn phase_profile_json_with(
+    label: &str,
+    profiles: &[PhaseProfile],
+    extras: &[(&str, f64)],
+) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"benchmark\": {label:?},\n"));
     out.push_str("  \"phases\": [\n");
@@ -237,6 +249,16 @@ pub fn phase_profile_json(label: &str, profiles: &[PhaseProfile]) -> String {
         ));
     }
     out.push_str("  ],\n");
+    if !extras.is_empty() {
+        out.push_str("  \"extras\": {\n");
+        for (i, (key, value)) in extras.iter().enumerate() {
+            out.push_str(&format!(
+                "    {key:?}: {value:e}{}\n",
+                if i + 1 == extras.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  },\n");
+    }
     let total: u64 = profiles.iter().map(|p| p.total_us).sum();
     out.push_str(&format!("  \"total_instrumented_ms\": {:.3}\n", total as f64 / 1e3));
     out.push_str("}\n");
@@ -299,6 +321,7 @@ mod tests {
             name: name.into(),
             session: None,
             worker: None,
+            trace: None,
             start_us: 0,
             duration_us: d,
         };

@@ -42,6 +42,10 @@ pub struct BenchProfile {
     pub benchmark: String,
     /// Per-phase stats, in pipeline order.
     pub phases: Vec<PhaseStat>,
+    /// Determinism-sensitive scalars from the optional `"extras"` object
+    /// ([`crate::phase_profile_json_with`]): attribution totals, histogram
+    /// counts. Empty for documents without one.
+    pub extras: Vec<(String, f64)>,
     /// Grand total of instrumented milliseconds.
     pub total_instrumented_ms: f64,
 }
@@ -71,8 +75,9 @@ impl BenchProfile {
         if phases.is_empty() {
             return Err("profile has no phases".into());
         }
+        let extras = extras_field(json)?;
         let total_instrumented_ms = number_field(json, "total_instrumented_ms")?;
-        Ok(BenchProfile { benchmark, phases, total_instrumented_ms })
+        Ok(BenchProfile { benchmark, phases, extras, total_instrumented_ms })
     }
 
     /// Reads and parses a profile file.
@@ -90,6 +95,11 @@ impl BenchProfile {
     pub fn phase(&self, name: &str) -> Option<&PhaseStat> {
         self.phases.iter().find(|p| p.phase == name)
     }
+
+    /// The named extra scalar, if present.
+    pub fn extra(&self, key: &str) -> Option<f64> {
+        self.extras.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
 }
 
 /// Tolerances for [`compare`].
@@ -100,13 +110,18 @@ pub struct DiffConfig {
     /// Phases whose mean is below this many milliseconds in both profiles
     /// are skipped (timer noise).
     pub min_ms: f64,
+    /// Maximum allowed relative difference for `extras` scalars. These are
+    /// deterministic quantities (histogram counts, attribution totals),
+    /// not timings, so the default is tight — it only absorbs the decimal
+    /// rendering round-trip.
+    pub extra_rel_tolerance: f64,
 }
 
 impl Default for DiffConfig {
     fn default() -> Self {
         // 1.5x absorbs scheduler jitter on one machine while still
         // catching a genuine 2x pessimization.
-        DiffConfig { tolerance: 1.5, min_ms: 0.05 }
+        DiffConfig { tolerance: 1.5, min_ms: 0.05, extra_rel_tolerance: 1e-3 }
     }
 }
 
@@ -137,6 +152,10 @@ impl fmt::Display for Regression {
 /// time regressed beyond `config.tolerance`. A phase present in only one
 /// profile is not a regression (pipelines gain and lose phases), and
 /// phases under `config.min_ms` in both profiles are ignored.
+///
+/// `extras` scalars are held to `config.extra_rel_tolerance` instead:
+/// they are deterministic, so an extra that drifts — or disappears from
+/// the candidate — is flagged (reported with an `extra:` phase prefix).
 pub fn compare(
     baseline: &BenchProfile,
     candidate: &BenchProfile,
@@ -158,6 +177,34 @@ pub fn compare(
                 baseline_ms: base.mean_ms,
                 candidate_ms: cand.mean_ms,
                 ratio,
+            });
+        }
+    }
+    for (key, base_value) in &baseline.extras {
+        let cand_value = candidate.extra(key);
+        let rel = match cand_value {
+            // A vanished extra is always a regression — the candidate
+            // stopped reporting a quantity the baseline pins down.
+            None => f64::INFINITY,
+            Some(v) => {
+                let scale = base_value.abs().max(v.abs());
+                if scale == 0.0 {
+                    0.0
+                } else {
+                    (v - base_value).abs() / scale
+                }
+            }
+        };
+        if rel > config.extra_rel_tolerance {
+            regressions.push(Regression {
+                phase: format!("extra:{key}"),
+                baseline_ms: *base_value,
+                candidate_ms: cand_value.unwrap_or(f64::NAN),
+                ratio: if *base_value == 0.0 {
+                    f64::INFINITY
+                } else {
+                    cand_value.unwrap_or(f64::NAN) / base_value
+                },
             });
         }
     }
@@ -187,6 +234,29 @@ fn array_field<'a>(src: &'a str, key: &str) -> Result<&'a str, String> {
     let rest = rest.strip_prefix('[').ok_or_else(|| format!("`{key}` is not an array"))?;
     let end = rest.find(']').ok_or_else(|| format!("`{key}` array is unterminated"))?;
     Ok(&rest[..end])
+}
+
+/// Parses the optional flat `"extras": { "key": <number>, ... }` object.
+/// A document without one yields an empty list.
+fn extras_field(src: &str) -> Result<Vec<(String, f64)>, String> {
+    let Ok(rest) = after_key(src, "extras") else { return Ok(Vec::new()) };
+    let rest = rest.strip_prefix('{').ok_or("`extras` is not an object")?;
+    let end = rest.find('}').ok_or("`extras` object is unterminated")?;
+    let mut extras = Vec::new();
+    for pair in rest[..end].split(',') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (key, value) = pair.split_once(':').ok_or(format!("bad extras pair `{pair}`"))?;
+        let key = key.trim().trim_matches('"').to_string();
+        let value: f64 = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("extras value for `{key}` is not a number"))?;
+        extras.push((key, value));
+    }
+    Ok(extras)
 }
 
 fn after_key<'a>(src: &'a str, key: &str) -> Result<&'a str, String> {
@@ -266,7 +336,8 @@ mod tests {
         assert!((regressions[0].ratio - 2.0).abs() < 1e-9);
         assert!(regressions[0].to_string().contains("2.00x"));
         // The same pair passes under a looser cross-machine tolerance.
-        assert!(compare(&base, &slow, &DiffConfig { tolerance: 3.0, min_ms: 0.05 }).is_empty());
+        let loose = DiffConfig { tolerance: 3.0, ..DiffConfig::default() };
+        assert!(compare(&base, &slow, &loose).is_empty());
     }
 
     #[test]
@@ -288,5 +359,42 @@ mod tests {
         let base = profile(&[("train", 1, 10_000), ("legacy", 1, 10_000)]);
         let cand = profile(&[("train", 1, 10_000), ("shiny", 1, 10_000)]);
         assert!(compare(&base, &cand, &DiffConfig::default()).is_empty());
+    }
+
+    fn profile_with_extras(extras: &[(&str, f64)]) -> BenchProfile {
+        let phases =
+            [PhaseProfile { name: "train".into(), count: 1, total_us: 10_000, max_us: 10_000 }];
+        BenchProfile::parse(&crate::phase_profile_json_with("test", &phases, extras)).unwrap()
+    }
+
+    #[test]
+    fn extras_round_trip_through_the_parser() {
+        let p = profile_with_extras(&[("wear_total_stress", 1.25e-3), ("e2e_count", 384.0)]);
+        assert_eq!(p.extra("wear_total_stress"), Some(1.25e-3));
+        assert_eq!(p.extra("e2e_count"), Some(384.0));
+        assert_eq!(p.extra("missing"), None);
+        // Documents without an extras object (the pre-existing baselines)
+        // still parse, with no extras.
+        assert!(profile(&[("train", 1, 10_000)]).extras.is_empty());
+    }
+
+    #[test]
+    fn drifted_or_vanished_extras_are_regressions() {
+        let base = profile_with_extras(&[("wear_total_stress", 1.0e-3), ("e2e_count", 384.0)]);
+        // Identical extras: clean.
+        assert!(compare(&base, &base, &DiffConfig::default()).is_empty());
+        // A 1% drift in a deterministic scalar is a regression.
+        let drifted = profile_with_extras(&[("wear_total_stress", 1.01e-3), ("e2e_count", 384.0)]);
+        let regressions = compare(&base, &drifted, &DiffConfig::default());
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].phase, "extra:wear_total_stress");
+        // A vanished extra is too.
+        let vanished = profile_with_extras(&[("wear_total_stress", 1.0e-3)]);
+        let regressions = compare(&base, &vanished, &DiffConfig::default());
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].phase, "extra:e2e_count");
+        // New extras in the candidate are not regressions (gates tighten
+        // when the baseline is regenerated).
+        assert!(compare(&vanished, &base, &DiffConfig::default()).is_empty());
     }
 }

@@ -19,7 +19,9 @@ use std::time::Duration;
 use memaging::crossbar::CrossbarNetwork;
 use memaging::device::{ArrheniusAging, DeviceSpec, Memristor};
 use memaging::lifetime::{compare_lifetimes, LifetimeResult, Strategy};
-use memaging::obs::{ChromeTraceSink, JsonlSink, PrettySink, Recorder, Sink};
+use memaging::obs::{
+    ChromeTraceSink, FlightRecorder, JsonlSink, PrettySink, Recorder, Sink, DEFAULT_FLIGHT_CAPACITY,
+};
 use memaging::serve::{InferRequest, InferenceService, ServeConfig, ServeHandler};
 use memaging::Scenario;
 use memaging_monitor::{MonitorServer, MonitorSink, MonitorState, RunStatus};
@@ -47,6 +49,9 @@ struct ServeFlags {
     requests: u64,
     /// With `--infer`: per-request deadline attached to HTTP submissions.
     deadline_ms: Option<u64>,
+    /// With `--infer`: power-of-2 buckets per serving latency histogram
+    /// ([`ServeConfig::latency_buckets`]).
+    latency_buckets: Option<usize>,
 }
 
 impl Default for ServeFlags {
@@ -57,6 +62,7 @@ impl Default for ServeFlags {
             infer: false,
             requests: 0,
             deadline_ms: None,
+            latency_buckets: None,
         }
     }
 }
@@ -70,6 +76,9 @@ struct RunOpts {
     threads: Option<usize>,
     trace: Option<String>,
     trace_chrome: Option<String>,
+    /// Flight-recorder dump path: a fixed-size ring of recent events,
+    /// flushed to JSONL when a wear alert or live remap fires.
+    flight: Option<String>,
     metrics: bool,
 }
 
@@ -82,6 +91,7 @@ impl Default for RunOpts {
             threads: None,
             trace: None,
             trace_chrome: None,
+            flight: None,
             metrics: false,
         }
     }
@@ -141,10 +151,19 @@ fn parse_run_opts(
             flags.infer = true;
             continue;
         }
-        let known =
-            ["--strategy", "--seed", "--sessions", "--threads", "--trace", "--trace-chrome"];
+        let known = [
+            "--strategy",
+            "--seed",
+            "--sessions",
+            "--threads",
+            "--trace",
+            "--trace-chrome",
+            "--flight-recorder",
+        ];
         let known = known.contains(&flag.as_str())
-            || (serve && ["--port", "--requests", "--deadline-ms"].contains(&flag.as_str()));
+            || (serve
+                && ["--port", "--requests", "--deadline-ms", "--latency-buckets"]
+                    .contains(&flag.as_str()));
         if !known {
             return Err(format!("unknown flag `{flag}`"));
         }
@@ -166,6 +185,7 @@ fn parse_run_opts(
             }
             "--trace" => opts.trace = Some(value.to_string()),
             "--trace-chrome" => opts.trace_chrome = Some(value.to_string()),
+            "--flight-recorder" => opts.flight = Some(value.to_string()),
             "--port" => {
                 flags.port = value.parse().map_err(|_| format!("bad port `{value}`"))?;
             }
@@ -176,11 +196,22 @@ fn parse_run_opts(
                 flags.deadline_ms =
                     Some(value.parse().map_err(|_| format!("bad deadline-ms `{value}`"))?);
             }
+            "--latency-buckets" => {
+                let n: usize =
+                    value.parse().map_err(|_| format!("bad latency-buckets `{value}`"))?;
+                if !(8..=64).contains(&n) {
+                    return Err(format!("bad latency-buckets `{n}` (must lie in [8, 64])"));
+                }
+                flags.latency_buckets = Some(n);
+            }
             _ => unreachable!("flag validated above"),
         }
     }
     if !flags.infer && (flags.requests != 0 || flags.deadline_ms.is_some()) {
         return Err("--requests / --deadline-ms require --infer".into());
+    }
+    if !flags.infer && flags.latency_buckets.is_some() {
+        return Err("--latency-buckets requires --infer".into());
     }
     Ok((opts, flags))
 }
@@ -220,30 +251,39 @@ fn print_help() {
          \u{20}                                       [--seed N] [--sessions N] [--threads N]\n\
          \u{20}                                       [--trace out.jsonl]\n\
          \u{20}                                       [--trace-chrome out.json] [--metrics]\n\
+         \u{20}                                       [--flight-recorder out.jsonl]\n\
          \u{20}                       --threads N sizes the worker pool (default:\n\
          \u{20}                       MEMAGING_THREADS, then available cores); results\n\
          \u{20}                       are bit-identical at any thread count\n\
          \u{20}                       --trace writes one JSON event per line (spans,\n\
          \u{20}                       counters, gauges); --trace-chrome writes a\n\
          \u{20}                       chrome://tracing / Perfetto timeline; --metrics\n\
-         \u{20}                       prints a metrics summary after the run\n\
+         \u{20}                       prints a metrics summary after the run;\n\
+         \u{20}                       --flight-recorder keeps a ring of recent events\n\
+         \u{20}                       and dumps it to JSONL when an alert or live\n\
+         \u{20}                       remap fires\n\
          \u{20}   memaging serve <quick|lenet|vgg>    [--port N (default 9464)] [--linger]\n\
          \u{20}                                       [--strategy tt|stt|stat|all]\n\
          \u{20}                                       [--seed N] [--sessions N] [--threads N]\n\
          \u{20}                                       [--trace out.jsonl]\n\
          \u{20}                                       [--trace-chrome out.json] [--metrics]\n\
+         \u{20}                                       [--flight-recorder out.jsonl]\n\
          \u{20}                       runs the scenario while serving GET /metrics\n\
          \u{20}                       (Prometheus text format), /health and /wear\n\
          \u{20}                       (per-tile wear JSON) on 127.0.0.1; --linger keeps\n\
          \u{20}                       serving after the run finishes\n\
          \u{20}   memaging serve <quick|lenet|vgg> --infer\n\
          \u{20}                                       [--requests N] [--deadline-ms N]\n\
+         \u{20}                                       [--latency-buckets N (8..=64)]\n\
          \u{20}                       trains the strategy's model and deploys it behind\n\
-         \u{20}                       the batched inference service: POST /infer and\n\
-         \u{20}                       GET /serve/stats, with admission control and\n\
-         \u{20}                       aging-aware live remapping; --requests N drives a\n\
-         \u{20}                       deterministic self-load then reports (0: serve\n\
-         \u{20}                       until ctrl-c); --deadline-ms bounds HTTP requests\n\
+         \u{20}                       the batched inference service: POST /infer,\n\
+         \u{20}                       GET /serve/stats, /serve/latency (log-bucketed\n\
+         \u{20}                       latency histograms) and /wear/attribution (the\n\
+         \u{20}                       per-cause wear ledger), with admission control\n\
+         \u{20}                       and aging-aware live remapping; --requests N\n\
+         \u{20}                       drives a deterministic self-load then reports (0:\n\
+         \u{20}                       serve until ctrl-c); --deadline-ms bounds HTTP\n\
+         \u{20}                       requests\n\
          \u{20}   memaging device      single-cell aging trajectory (paper Fig. 4)\n\
          \u{20}   memaging info        list the calibrated scenarios\n\
          \u{20}   memaging help        this message\n"
@@ -272,11 +312,13 @@ fn configured_scenario(name: &str, opts: &RunOpts) -> Scenario {
 
 /// Build the CLI recorder: a pretty sink for progress lines, a JSONL sink
 /// when `--trace` was given, a Chrome trace-event sink when
-/// `--trace-chrome` was given, plus any caller-provided sink (the monitor's
-/// wear-state feed). Fails cleanly on an unwritable trace path.
+/// `--trace-chrome` was given, a flight recorder when `--flight-recorder`
+/// was given, plus any caller-provided sink (the monitor's wear-state
+/// feed). Fails cleanly on an unwritable trace path.
 fn build_recorder(
     trace: Option<&str>,
     trace_chrome: Option<&str>,
+    flight: Option<&str>,
     extra: Option<Box<dyn Sink>>,
 ) -> Result<Recorder, String> {
     let mut sinks: Vec<Box<dyn Sink>> = vec![Box::new(PrettySink::new())];
@@ -289,6 +331,11 @@ fn build_recorder(
         let chrome = ChromeTraceSink::create(path)
             .map_err(|e| format!("cannot open chrome trace file `{path}`: {e}"))?;
         sinks.push(Box::new(chrome));
+    }
+    if let Some(path) = flight {
+        let recorder = FlightRecorder::create(path, DEFAULT_FLIGHT_CAPACITY)
+            .map_err(|e| format!("cannot open flight-recorder file `{path}`: {e}"))?;
+        sinks.push(Box::new(recorder));
     }
     if let Some(sink) = extra {
         sinks.push(sink);
@@ -343,7 +390,12 @@ fn apply_threads(opts: &RunOpts) {
 fn run_scenario(name: &str, opts: &RunOpts) -> Result<(), Box<dyn std::error::Error>> {
     apply_threads(opts);
     let mut scenario = configured_scenario(name, opts);
-    let recorder = build_recorder(opts.trace.as_deref(), opts.trace_chrome.as_deref(), None)?;
+    let recorder = build_recorder(
+        opts.trace.as_deref(),
+        opts.trace_chrome.as_deref(),
+        opts.flight.as_deref(),
+        None,
+    )?;
     // The pipeline recorder is only attached when the user opted into
     // observability, so the default CLI output is unchanged.
     if opts.trace.is_some() || opts.trace_chrome.is_some() || opts.metrics {
@@ -375,8 +427,12 @@ fn run_infer(
     };
     let scenario = configured_scenario(name, opts);
     let (sink, wear) = MonitorSink::new();
-    let recorder =
-        build_recorder(opts.trace.as_deref(), opts.trace_chrome.as_deref(), Some(Box::new(sink)))?;
+    let recorder = build_recorder(
+        opts.trace.as_deref(),
+        opts.trace_chrome.as_deref(),
+        opts.flight.as_deref(),
+        Some(Box::new(sink)),
+    )?;
     let mut framework = scenario.framework.clone();
     framework.recorder = recorder.clone();
     recorder.message(&format!("training {} ({}) for serving", scenario.name, strategy.label()));
@@ -391,13 +447,16 @@ fn run_infer(
     // visibly ages the crossbars (and eventually triggers a live remap)
     // without wearing them out within a short session.
     let width = framework.spec.r_max - framework.spec.r_min;
-    let config = ServeConfig {
+    let mut config = ServeConfig {
         stress_per_read: framework
             .aging
             .stress_for_degradation(framework.spec.temperature, 0.3 * width)
             / 50_000.0,
         ..ServeConfig::default()
     };
+    if let Some(buckets) = flags.latency_buckets {
+        config.latency_buckets = buckets;
+    }
     let service =
         Arc::new(InferenceService::deploy(hardware, calib.clone(), config, recorder.clone())?);
     let handler = Arc::new(ServeHandler::new(
@@ -411,7 +470,10 @@ fn run_infer(
     )
     .map_err(|e| format!("cannot bind monitor port {}: {e}", flags.port))?;
     let addr = server.local_addr();
-    println!("serving: POST http://{addr}/infer  GET /serve/stats  /metrics  /health  /wear");
+    println!(
+        "serving: POST http://{addr}/infer  GET /serve/stats  /serve/latency  \
+         /wear/attribution  /metrics  /health  /wear"
+    );
 
     if flags.requests > 0 {
         // Deterministic self-driven smoke load from the calibration set.
@@ -441,13 +503,15 @@ fn run_infer(
     if let Ok(service) = Arc::try_unwrap(service) {
         let report = service.shutdown();
         recorder.message(&format!(
-            "serve report: {} admitted, {} served, {} rejected, {} expired, {} boundaries, {} remaps",
+            "serve report: {} admitted, {} served, {} rejected, {} expired, {} boundaries, \
+             {} remaps, {:.3e}s stress attributed",
             report.admitted,
             report.served,
             report.rejected_full,
             report.expired,
             report.boundaries,
             report.remaps,
+            report.attribution.total(),
         ));
     }
     if opts.metrics {
@@ -473,8 +537,12 @@ fn run_serve(
     apply_threads(opts);
     let mut scenario = configured_scenario(name, opts);
     let (sink, wear) = MonitorSink::new();
-    let recorder =
-        build_recorder(opts.trace.as_deref(), opts.trace_chrome.as_deref(), Some(Box::new(sink)))?;
+    let recorder = build_recorder(
+        opts.trace.as_deref(),
+        opts.trace_chrome.as_deref(),
+        opts.flight.as_deref(),
+        Some(Box::new(sink)),
+    )?;
     scenario.framework.recorder = recorder.clone();
     let server =
         MonitorServer::bind(("127.0.0.1", port), MonitorState::new(recorder.clone(), wear.clone()))
@@ -728,6 +796,44 @@ mod tests {
     }
 
     #[test]
+    fn parses_flight_recorder_flag() {
+        let cmd = parse_args(&argv("scenario quick --flight-recorder /tmp/flight.jsonl")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Scenario {
+                name: "quick".into(),
+                opts: RunOpts { flight: Some("/tmp/flight.jsonl".into()), ..RunOpts::default() },
+            }
+        );
+        // `serve` accepts it too (shared run option).
+        assert!(parse_args(&argv("serve quick --flight-recorder /tmp/f.jsonl")).is_ok());
+        assert!(parse_args(&argv("scenario quick --flight-recorder")).is_err());
+    }
+
+    #[test]
+    fn parses_latency_buckets_flag() {
+        let cmd = parse_args(&argv("serve quick --infer --latency-buckets 24")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                name: "quick".into(),
+                opts: RunOpts { strategy: StrategyArg::One(Strategy::StAt), ..RunOpts::default() },
+                flags: ServeFlags {
+                    infer: true,
+                    latency_buckets: Some(24),
+                    ..ServeFlags::default()
+                },
+            }
+        );
+        let err = parse_args(&argv("serve quick --infer --latency-buckets 4")).unwrap_err();
+        assert!(err.contains("[8, 64]"), "got: {err}");
+        let err = parse_args(&argv("serve quick --latency-buckets 24")).unwrap_err();
+        assert!(err.contains("--infer"), "got: {err}");
+        let err = parse_args(&argv("scenario quick --latency-buckets 24")).unwrap_err();
+        assert!(err.contains("unknown flag"), "got: {err}");
+    }
+
+    #[test]
     fn serve_only_flags_are_rejected_by_scenario() {
         let err = parse_args(&argv("scenario quick --port 9000")).unwrap_err();
         assert!(err.contains("unknown flag"), "got: {err}");
@@ -750,10 +856,13 @@ mod tests {
 
     #[test]
     fn unwritable_trace_path_is_a_clean_error() {
-        let err = build_recorder(Some("/nonexistent-dir/run.jsonl"), None, None).unwrap_err();
+        let err = build_recorder(Some("/nonexistent-dir/run.jsonl"), None, None, None).unwrap_err();
         assert!(err.contains("cannot open trace file"), "got: {err}");
-        let err = build_recorder(None, Some("/nonexistent-dir/run.json"), None).unwrap_err();
+        let err = build_recorder(None, Some("/nonexistent-dir/run.json"), None, None).unwrap_err();
         assert!(err.contains("cannot open chrome trace file"), "got: {err}");
+        let err =
+            build_recorder(None, None, Some("/nonexistent-dir/flight.jsonl"), None).unwrap_err();
+        assert!(err.contains("cannot open flight-recorder file"), "got: {err}");
     }
 
     #[test]

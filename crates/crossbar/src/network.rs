@@ -549,6 +549,35 @@ impl CrossbarNetwork {
         }
     }
 
+    /// [`CrossbarNetwork::apply_read_disturb`] with request tracing: each
+    /// tile's accrual is wrapped in a `tile.read_disturb` span carrying
+    /// `trace` (the serve-tier maintenance-boundary id), closing the
+    /// admission → batch → forward → tile causal chain. Wear arithmetic is
+    /// identical to the untraced path; with a disabled recorder the only
+    /// extra cost is one branch per tile.
+    pub fn apply_read_disturb_traced(
+        &mut self,
+        reads: u64,
+        stress_per_read: f64,
+        recorder: &memaging_obs::Recorder,
+        trace: u64,
+    ) {
+        for array in &mut self.arrays {
+            let span = recorder.trace_span("tile.read_disturb", trace);
+            array.apply_read_disturb(reads, stress_per_read);
+            drop(span);
+        }
+    }
+
+    /// Per-tile total accumulated effective stress, in mapping (tile)
+    /// order — the absolute checkpoints the wear-attribution ledger diffs
+    /// against. Summing this vector in order reproduces the network's
+    /// total accrued wear bit-for-bit, which is what makes the ledger's
+    /// "per-cause totals sum to total wear" contract exact.
+    pub fn tile_stress(&self) -> Vec<f64> {
+        self.arrays.iter().map(Crossbar::total_stress).collect()
+    }
+
     /// The mapping window each layer was last programmed against (`None`
     /// for a layer that has never been mapped). The serving tier measures
     /// live wear against these to decide when the active mapping has

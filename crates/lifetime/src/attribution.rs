@@ -1,0 +1,306 @@
+//! The wear-attribution ledger: *which* traffic aged *which* tiles.
+//!
+//! Aggregate wear totals cannot answer the question the paper's lifetime
+//! argument turns on — whether inference traffic, remap reprogramming, or
+//! tuning is consuming a tile's remaining window. The ledger records
+//! per-tile wear **deltas keyed by cause**, in admission-sequence order
+//! (the serve tier charges it from the single maintenance thread, so
+//! entry order is the maintenance-boundary order, never wall-clock).
+//!
+//! ## Determinism contract
+//!
+//! Every charge passes the network's *absolute* per-tile stress
+//! ([`WearLedger::charge`] takes the checkpoint, not a delta). The ledger
+//! stores `delta[t] = absolute[t] - attributed[t]` for the entry and then
+//! **assigns** `attributed[t] = absolute[t]`. Because the running account
+//! is assignment-based, it is bitwise equal to the hardware's own stress
+//! state at every checkpoint regardless of how many entries led there —
+//! replays at any worker/thread count produce bit-identical ledgers, and
+//! `Σ attributed[t]` (summed in tile order) exactly equals the network's
+//! total accrued wear. Per-cause totals are sums of the stored deltas;
+//! they telescope back to the same total because the per-entry deltas are
+//! exact differences of consecutive checkpoints.
+
+use std::fmt;
+
+/// Why a wear delta was accrued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WearCause {
+    /// Read-disturb from serving an inference interval; `batch_seq` is the
+    /// maintenance-boundary id (the admission sequence number the interval
+    /// ended at).
+    InferenceRead {
+        /// Maintenance-boundary id the interval's reads were charged at.
+        batch_seq: u64,
+    },
+    /// Reprogramming pulses from (re)mapping the network; `generation` is
+    /// the mapping generation the remap produced (0 for the initial
+    /// deployment map).
+    Remap {
+        /// Mapping generation produced by this (re)map.
+        generation: u64,
+    },
+    /// Closed-loop tuning pulses outside a remap.
+    Tuning,
+}
+
+impl WearCause {
+    /// The cause's stable wire label (`inference_read` / `remap` /
+    /// `tuning`) used in JSON exports and per-cause totals.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WearCause::InferenceRead { .. } => "inference_read",
+            WearCause::Remap { .. } => "remap",
+            WearCause::Tuning => "tuning",
+        }
+    }
+
+    /// The cause's discriminating parameter (`batch_seq`, `generation`),
+    /// if it has one.
+    pub fn param(&self) -> Option<u64> {
+        match self {
+            WearCause::InferenceRead { batch_seq } => Some(*batch_seq),
+            WearCause::Remap { generation } => Some(*generation),
+            WearCause::Tuning => None,
+        }
+    }
+}
+
+impl fmt::Display for WearCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WearCause::InferenceRead { batch_seq } => write!(f, "inference_read[{batch_seq}]"),
+            WearCause::Remap { generation } => write!(f, "remap[{generation}]"),
+            WearCause::Tuning => f.write_str("tuning"),
+        }
+    }
+}
+
+/// One attributed wear increment: the per-tile stress delta a single cause
+/// added between two consecutive checkpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WearEntry {
+    /// What caused the wear.
+    pub cause: WearCause,
+    /// Stress delta per tile, seconds, in tile order.
+    pub per_tile: Vec<f64>,
+    /// Sum of `per_tile` in tile order.
+    pub total: f64,
+}
+
+/// The append-only wear-attribution ledger. See the module docs for the
+/// determinism contract; construct one per deployment with
+/// [`WearLedger::new`] and charge it at every wear-mutating event.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WearLedger {
+    /// Running absolute per-tile stress already attributed (assigned from
+    /// the last checkpoint, so bitwise equal to the hardware state).
+    attributed: Vec<f64>,
+    entries: Vec<WearEntry>,
+}
+
+impl WearLedger {
+    /// An empty ledger over `tiles` tiles.
+    pub fn new(tiles: usize) -> Self {
+        WearLedger { attributed: vec![0.0; tiles], entries: Vec::new() }
+    }
+
+    /// Number of tiles tracked.
+    pub fn tiles(&self) -> usize {
+        self.attributed.len()
+    }
+
+    /// The attributed entries, in charge (admission-sequence) order.
+    pub fn entries(&self) -> &[WearEntry] {
+        &self.entries
+    }
+
+    /// The running absolute per-tile attributed stress — bitwise equal to
+    /// the network's per-tile stress at the last checkpoint.
+    pub fn attributed(&self) -> &[f64] {
+        &self.attributed
+    }
+
+    /// Total attributed stress: `Σ attributed[t]` in tile order, matching
+    /// a fold of the network's tile stress in the same order bit-for-bit.
+    pub fn total(&self) -> f64 {
+        self.attributed.iter().sum()
+    }
+
+    /// Charges the difference between `absolute` (the network's current
+    /// per-tile stress, from `CrossbarNetwork::tile_stress`) and the last
+    /// checkpoint to `cause`. Returns the charged total; an all-zero delta
+    /// records no entry and returns 0.0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `absolute` has a different tile count than the ledger —
+    /// a deployment wiring bug, not a runtime condition.
+    pub fn charge(&mut self, cause: WearCause, absolute: &[f64]) -> f64 {
+        assert_eq!(
+            absolute.len(),
+            self.attributed.len(),
+            "ledger tracks {} tiles, checkpoint has {}",
+            self.attributed.len(),
+            absolute.len()
+        );
+        let per_tile: Vec<f64> =
+            absolute.iter().zip(&self.attributed).map(|(now, seen)| now - seen).collect();
+        if per_tile.iter().all(|d| *d == 0.0) {
+            return 0.0;
+        }
+        self.attributed.copy_from_slice(absolute);
+        let total: f64 = per_tile.iter().sum();
+        self.entries.push(WearEntry { cause, per_tile, total });
+        total
+    }
+
+    /// Per-cause stress totals in fixed order (`inference_read`, `remap`,
+    /// `tuning`), each paired with its entry count. Causes with no entries
+    /// report `(0, 0.0)`.
+    pub fn cause_totals(&self) -> Vec<(&'static str, u64, f64)> {
+        ["inference_read", "remap", "tuning"]
+            .iter()
+            .map(|kind| {
+                let mut events = 0u64;
+                let mut total = 0.0f64;
+                for entry in &self.entries {
+                    if entry.cause.kind() == *kind {
+                        events += 1;
+                        total += entry.total;
+                    }
+                }
+                (*kind, events, total)
+            })
+            .collect()
+    }
+
+    /// The ledger as JSON — the body of `GET /wear/attribution`:
+    /// `{"tiles":N,"total_stress":S,"causes":[{"cause","events","stress"}],
+    /// "entries":[{"cause","param","stress"}],"per_tile":[..]}`.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(256 + 32 * self.entries.len());
+        let _ = write!(out, "{{\"tiles\":{},\"total_stress\":{}", self.tiles(), self.total());
+        out.push_str(",\"causes\":[");
+        for (i, (kind, events, stress)) in self.cause_totals().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"cause\":\"{kind}\",\"events\":{events},\"stress\":{stress}}}");
+        }
+        out.push_str("],\"entries\":[");
+        for (i, entry) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"cause\":\"{}\"", entry.cause.kind());
+            if let Some(param) = entry.cause.param() {
+                let key = match entry.cause {
+                    WearCause::InferenceRead { .. } => "batch_seq",
+                    WearCause::Remap { .. } => "generation",
+                    WearCause::Tuning => unreachable!("tuning has no param"),
+                };
+                let _ = write!(out, ",\"{key}\":{param}");
+            }
+            let _ = write!(out, ",\"stress\":{}}}", entry.total);
+        }
+        out.push_str("],\"per_tile\":[");
+        for (i, stress) in self.attributed.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{stress}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_stores_exact_deltas_and_checkpoints() {
+        let mut ledger = WearLedger::new(2);
+        let charged = ledger.charge(WearCause::Remap { generation: 0 }, &[0.25, 0.5]);
+        assert_eq!(charged, 0.75);
+        // The running account is assigned from the checkpoint, so it is
+        // bitwise equal to the hardware state no matter the history.
+        let after = [0.25 + 0.1, 0.5 + 0.3];
+        ledger.charge(WearCause::InferenceRead { batch_seq: 32 }, &after);
+        assert_eq!(ledger.attributed()[0].to_bits(), after[0].to_bits());
+        assert_eq!(ledger.attributed()[1].to_bits(), after[1].to_bits());
+        assert_eq!(ledger.total().to_bits(), after.iter().sum::<f64>().to_bits());
+        assert_eq!(ledger.entries().len(), 2);
+        assert_eq!(ledger.entries()[1].cause, WearCause::InferenceRead { batch_seq: 32 });
+    }
+
+    #[test]
+    fn zero_deltas_record_nothing() {
+        let mut ledger = WearLedger::new(3);
+        assert_eq!(ledger.charge(WearCause::Tuning, &[0.0, 0.0, 0.0]), 0.0);
+        let state = [1.0, 2.0, 3.0];
+        ledger.charge(WearCause::Tuning, &state);
+        assert_eq!(ledger.charge(WearCause::InferenceRead { batch_seq: 1 }, &state), 0.0);
+        assert_eq!(ledger.entries().len(), 1, "unchanged checkpoints add no entries");
+    }
+
+    #[test]
+    fn cause_totals_cover_every_kind_in_fixed_order() {
+        let mut ledger = WearLedger::new(1);
+        ledger.charge(WearCause::Remap { generation: 0 }, &[1.0]);
+        ledger.charge(WearCause::InferenceRead { batch_seq: 16 }, &[1.5]);
+        ledger.charge(WearCause::InferenceRead { batch_seq: 32 }, &[2.5]);
+        let totals = ledger.cause_totals();
+        assert_eq!(totals[0], ("inference_read", 2, 1.5));
+        assert_eq!(totals[1], ("remap", 1, 1.0));
+        assert_eq!(totals[2], ("tuning", 0, 0.0));
+        // Per-cause totals telescope back to the full account exactly:
+        // the deltas are exact differences of consecutive checkpoints.
+        let sum: f64 = totals.iter().map(|(_, _, s)| s).sum();
+        assert_eq!(sum.to_bits(), ledger.total().to_bits());
+    }
+
+    #[test]
+    fn replay_is_bit_identical() {
+        // Two histories reaching the same checkpoints via different entry
+        // boundaries still agree on the running account (assignment-based),
+        // and identical histories agree on everything.
+        let checkpoints = [[0.1, 0.2], [0.30000000000000004, 0.7], [1.1, 0.9]];
+        let run = || {
+            let mut ledger = WearLedger::new(2);
+            ledger.charge(WearCause::Remap { generation: 0 }, &checkpoints[0]);
+            ledger.charge(WearCause::InferenceRead { batch_seq: 16 }, &checkpoints[1]);
+            ledger.charge(WearCause::Remap { generation: 1 }, &checkpoints[2]);
+            ledger
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.total().to_bits(), checkpoints[2].iter().sum::<f64>().to_bits());
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut ledger = WearLedger::new(2);
+        ledger.charge(WearCause::Remap { generation: 0 }, &[0.5, 0.25]);
+        ledger.charge(WearCause::InferenceRead { batch_seq: 64 }, &[1.0, 0.5]);
+        let json = ledger.to_json();
+        assert!(json.starts_with("{\"tiles\":2,\"total_stress\":1.5,\"causes\":["), "{json}");
+        assert!(json.contains("{\"cause\":\"inference_read\",\"events\":1,\"stress\":0.75}"));
+        assert!(json.contains("{\"cause\":\"remap\",\"generation\":0,\"stress\":0.75}"));
+        assert!(json.contains("{\"cause\":\"inference_read\",\"batch_seq\":64,\"stress\":0.75}"));
+        assert!(json.ends_with("\"per_tile\":[1,0.5]}"), "{json}");
+        assert_eq!(WearCause::Tuning.to_string(), "tuning");
+        assert_eq!(WearCause::InferenceRead { batch_seq: 3 }.to_string(), "inference_read[3]");
+        assert_eq!(WearCause::Remap { generation: 2 }.to_string(), "remap[2]");
+    }
+
+    #[test]
+    #[should_panic(expected = "ledger tracks 2 tiles")]
+    fn tile_count_mismatch_panics() {
+        WearLedger::new(2).charge(WearCause::Tuning, &[1.0]);
+    }
+}

@@ -44,12 +44,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod attribution;
 mod error;
 mod health;
 mod simulator;
 mod strategy;
 mod telemetry;
 
+pub use attribution::{WearCause, WearEntry, WearLedger};
 pub use error::LifetimeError;
 pub use health::{
     HealthAlert, HealthConfig, HealthMonitor, HealthReport, LayerHealth, WearThresholds,

@@ -13,13 +13,22 @@
 //! * worker-tagged spans (from `Recorder::worker_span` inside a
 //!   `memaging-par` region) go to a second process group (`pid` 2) with
 //!   `tid` = worker index, so parallel regions render one timeline row per
-//!   worker thread.
+//!   worker thread;
+//! * worker-tagged spans from the *serving tier* (names under `serve.`)
+//!   get their own process group (`pid` 3) so serve workers and par-pool
+//!   workers never collide on the same track, and every process/worker
+//!   track is labeled with `"ph":"M"` metadata records
+//!   (`process_name`/`thread_name`) the first time it is used;
+//! * spans carrying a request-trace id surface it as `"args":{"trace":N}`,
+//!   so Perfetto can filter one request's admission → batch → forward →
+//!   tile chain.
 //!
 //! Span timestamps come from the recorder's epoch while counter/instant
 //! timestamps come from the sink's own creation instant; the two are created
 //! back-to-back so the skew is microseconds — well below the phase durations
 //! the export is meant to visualize.
 
+use std::collections::BTreeSet;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
@@ -27,6 +36,14 @@ use std::time::Instant;
 
 use crate::event::Event;
 use crate::sink::Sink;
+
+/// Process group for session-scoped spans and counter tracks.
+const SESSION_PID: u64 = 1;
+/// Process group for `memaging-par` pool worker spans.
+const PAR_PID: u64 = 2;
+/// Process group for serving-tier worker spans (`serve.*` names) — kept
+/// apart from [`PAR_PID`] so the two worker namespaces never collide.
+const SERVE_PID: u64 = 3;
 
 /// Writes the `--trace-chrome <path.json>` format (a Chrome trace-event
 /// JSON array). The closing `]` is written when the sink drops, so the file
@@ -38,6 +55,10 @@ pub struct ChromeTraceSink {
     epoch: Instant,
     wrote_any: bool,
     closed: bool,
+    /// Process groups already labeled with a `process_name` metadata record.
+    named_pids: BTreeSet<u64>,
+    /// Worker tracks already labeled with a `thread_name` metadata record.
+    named_workers: BTreeSet<(u64, u64)>,
 }
 
 impl ChromeTraceSink {
@@ -50,7 +71,14 @@ impl ChromeTraceSink {
         let file = File::create(path)?;
         let mut writer = BufWriter::new(file);
         writer.write_all(b"[")?;
-        Ok(ChromeTraceSink { writer, epoch: Instant::now(), wrote_any: false, closed: false })
+        Ok(ChromeTraceSink {
+            writer,
+            epoch: Instant::now(),
+            wrote_any: false,
+            closed: false,
+            named_pids: BTreeSet::new(),
+            named_workers: BTreeSet::new(),
+        })
     }
 
     fn now_us(&self) -> u64 {
@@ -69,6 +97,41 @@ impl ChromeTraceSink {
         session.map_or(0, |s| s + 1)
     }
 
+    /// Labels `pid` with a `process_name` metadata record, once.
+    fn name_process(&mut self, pid: u64) {
+        if self.named_pids.insert(pid) {
+            let label = match pid {
+                SESSION_PID => "sessions",
+                PAR_PID => "par workers",
+                SERVE_PID => "serve workers",
+                _ => return,
+            };
+            let record = format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"name\":{}}}}}",
+                json_str(label),
+            );
+            self.push_record(&record);
+        }
+    }
+
+    /// Labels worker track `(pid, tid)` with a `thread_name` metadata
+    /// record, once (naming the process group first if needed).
+    fn name_worker(&mut self, pid: u64, tid: u64) {
+        self.name_process(pid);
+        if self.named_workers.insert((pid, tid)) {
+            let label = if pid == SERVE_PID {
+                format!("serve worker {tid}")
+            } else {
+                format!("worker {tid}")
+            };
+            let record = format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":{}}}}}",
+                json_str(&label),
+            );
+            self.push_record(&record);
+        }
+    }
+
     fn close(&mut self) {
         if !self.closed {
             let _ = self.writer.write_all(b"\n]\n");
@@ -84,21 +147,33 @@ impl Sink for ChromeTraceSink {
             return;
         }
         match event {
-            Event::Span { name, session, worker, start_us, duration_us } => {
-                // Worker spans get their own process group so Perfetto draws
-                // one row per parallel worker instead of piling every worker
-                // onto the session track.
+            Event::Span { name, session, worker, trace, start_us, duration_us } => {
+                // Worker spans get their own process groups so Perfetto
+                // draws one row per worker instead of piling every worker
+                // onto the session track — and serve-tier workers get a pid
+                // of their own so they never collide with par-pool workers
+                // sharing the same indices.
                 let (pid, tid) = match worker {
-                    Some(w) => (2, *w),
-                    None => (1, Self::track(*session)),
+                    Some(w) if name.starts_with("serve.") => (SERVE_PID, *w),
+                    Some(w) => (PAR_PID, *w),
+                    None => (SESSION_PID, Self::track(*session)),
+                };
+                match worker {
+                    Some(_) => self.name_worker(pid, tid),
+                    None => self.name_process(pid),
+                }
+                let args = match trace {
+                    Some(t) => format!(",\"args\":{{\"trace\":{t}}}"),
+                    None => String::new(),
                 };
                 let record = format!(
-                    "{{\"name\":{},\"cat\":\"phase\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{}}}",
+                    "{{\"name\":{},\"cat\":\"phase\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{}{}}}",
                     json_str(name),
                     start_us,
                     duration_us,
                     pid,
                     tid,
+                    args,
                 );
                 self.push_record(&record);
             }
@@ -184,6 +259,7 @@ mod tests {
                 name: "tune".into(),
                 session: Some(3),
                 worker: None,
+                trace: None,
                 start_us: 10,
                 duration_us: 250,
             },
@@ -191,8 +267,17 @@ mod tests {
                 name: "map.candidate".into(),
                 session: Some(3),
                 worker: Some(2),
+                trace: None,
                 start_us: 12,
                 duration_us: 40,
+            },
+            Event::Span {
+                name: "serve.forward".into(),
+                session: None,
+                worker: Some(2),
+                trace: Some(17),
+                start_us: 20,
+                duration_us: 30,
             },
             Event::Counter { name: "tuner.pulses".into(), session: Some(3), delta: 2, total: 9 },
             Event::Gauge { name: "aging.r_max_ohms{layer=0}".into(), session: None, value: 9.5e4 },
@@ -225,10 +310,13 @@ mod tests {
         let text = write_trace(&path);
         let trimmed = text.trim();
         assert!(trimmed.starts_with('[') && trimmed.ends_with(']'), "not an array: {text}");
-        // One record per event except the histogram observation and session.
+        // One record per event except the histogram observation and session,
+        // plus the lazily-emitted process/thread metadata: pid 1 process
+        // name, and process + thread names for the par (pid 2) and serve
+        // (pid 3) worker tracks — 7 spans/instants/counters + 5 metadata.
         let records: Vec<&str> =
             trimmed[1..trimmed.len() - 1].split(",\n").map(str::trim).collect();
-        assert_eq!(records.len(), 6, "records: {records:#?}");
+        assert_eq!(records.len(), 12, "records: {records:#?}");
         assert!(records.iter().all(|r| r.starts_with('{') && r.ends_with('}')));
         // The span keeps its recorder-relative timestamps and session track.
         let span = records.iter().find(|r| r.contains("\"name\":\"tune\"")).unwrap();
@@ -238,6 +326,21 @@ mod tests {
         // A worker-tagged span lands on the worker process group instead.
         let wspan = records.iter().find(|r| r.contains("map.candidate")).unwrap();
         assert!(wspan.contains("\"pid\":2") && wspan.contains("\"tid\":2"), "{wspan}");
+        // A serve-tier worker span gets pid 3 even at the same worker
+        // index, and carries its trace id in args.
+        let sspan = records.iter().find(|r| r.contains("serve.forward")).unwrap();
+        assert!(sspan.contains("\"pid\":3") && sspan.contains("\"tid\":2"), "{sspan}");
+        assert!(sspan.contains("\"args\":{\"trace\":17}"), "{sspan}");
+        // Every used track is named via metadata records, exactly once.
+        let meta: Vec<&&str> = records.iter().filter(|r| r.contains("\"ph\":\"M\"")).collect();
+        assert_eq!(meta.len(), 5, "{meta:#?}");
+        assert!(meta.iter().any(|r| r.contains("process_name") && r.contains("\"sessions\"")));
+        assert!(meta.iter().any(|r| r.contains("process_name") && r.contains("\"par workers\"")));
+        assert!(meta.iter().any(|r| r.contains("process_name") && r.contains("\"serve workers\"")));
+        assert!(meta.iter().any(|r| r.contains("thread_name")
+            && r.contains("\"worker 2\"")
+            && r.contains("\"pid\":2")));
+        assert!(meta.iter().any(|r| r.contains("\"serve worker 2\"") && r.contains("\"pid\":3")));
         // Counter and gauge become counter tracks.
         assert_eq!(records.iter().filter(|r| r.contains("\"ph\":\"C\"")).count(), 2);
         // Message and alert become instants; escaping is preserved.

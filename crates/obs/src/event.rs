@@ -43,6 +43,11 @@ pub enum Event {
         /// Parallel worker index the span ran on, if it was recorded from
         /// inside a `memaging-par` region (worker 0 is the calling thread).
         worker: Option<u64>,
+        /// Request-trace correlation id (the admission sequence number for
+        /// serve-tier request spans, the boundary id for maintenance
+        /// spans). Spans sharing a `trace` are causally linked:
+        /// admission → batch → forward → tile.
+        trace: Option<u64>,
         /// Start offset from recorder creation, microseconds.
         start_us: u64,
         /// Wall-clock duration, microseconds.
@@ -125,12 +130,15 @@ impl Event {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(96);
         match self {
-            Event::Span { name, session, worker, start_us, duration_us } => {
+            Event::Span { name, session, worker, trace, start_us, duration_us } => {
                 out.push_str("{\"type\":\"span\",\"name\":");
                 push_json_str(&mut out, name);
                 push_session(&mut out, *session);
                 if let Some(w) = worker {
                     let _ = write!(out, ",\"worker\":{w}");
+                }
+                if let Some(t) = trace {
+                    let _ = write!(out, ",\"trace\":{t}");
                 }
                 let _ = write!(out, ",\"start_us\":{start_us},\"duration_us\":{duration_us}}}");
             }
@@ -240,6 +248,7 @@ mod tests {
             name: "tune".into(),
             session: Some(3),
             worker: None,
+            trace: None,
             start_us: 10,
             duration_us: 250,
         };
@@ -255,11 +264,13 @@ mod tests {
             name: "train".into(),
             session: None,
             worker: None,
+            trace: None,
             start_us: 0,
             duration_us: 1,
         };
         assert!(!event.to_json().contains("session"));
         assert!(!event.to_json().contains("worker"));
+        assert!(!event.to_json().contains("trace"));
     }
 
     #[test]
@@ -268,12 +279,29 @@ mod tests {
             name: "map.candidate".into(),
             session: Some(2),
             worker: Some(1),
+            trace: None,
             start_us: 5,
             duration_us: 9,
         };
         assert_eq!(
             event.to_json(),
             r#"{"type":"span","name":"map.candidate","session":2,"worker":1,"start_us":5,"duration_us":9}"#
+        );
+    }
+
+    #[test]
+    fn span_serializes_trace_id_after_worker() {
+        let event = Event::Span {
+            name: "serve.forward".into(),
+            session: None,
+            worker: Some(2),
+            trace: Some(41),
+            start_us: 5,
+            duration_us: 9,
+        };
+        assert_eq!(
+            event.to_json(),
+            r#"{"type":"span","name":"serve.forward","worker":2,"trace":41,"start_us":5,"duration_us":9}"#
         );
     }
 

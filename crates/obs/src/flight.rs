@@ -1,0 +1,212 @@
+//! The flight recorder: a fixed-size ring of recent events dumped to
+//! JSONL the moment something goes wrong.
+//!
+//! Continuous JSONL tracing of a serving tier is expensive and mostly
+//! uninteresting — what matters is the window *leading up to* a wear
+//! alert or a live remap. [`FlightRecorder`] is a [`Sink`] that keeps the
+//! last `capacity` events in memory and, when a trigger event arrives (a
+//! [`Event::Alert`] of any severity, or a counter listed in
+//! [`FlightRecorder::TRIGGER_COUNTERS`] such as `serve.remaps`), rewrites
+//! its dump file with the full ring and flushes it to disk before
+//! returning. Each dump is therefore complete and never truncated, even
+//! if the process dies immediately after the trigger.
+//!
+//! Chain it behind the normal sinks via `Recorder::new(vec![...,
+//! Box::new(flight)])`; the CLI wires it to `--flight-recorder <path>`.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::event::Event;
+use crate::sink::Sink;
+
+/// Default ring capacity (events) when none is given.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 512;
+
+/// A [`Sink`] holding a bounded ring of recent events and dumping it to a
+/// JSONL file whenever an alert or remap trigger fires. See the module
+/// docs.
+pub struct FlightRecorder {
+    ring: VecDeque<Event>,
+    capacity: usize,
+    path: PathBuf,
+    dumps: u64,
+    events_seen: u64,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("path", &self.path)
+            .field("capacity", &self.capacity)
+            .field("buffered", &self.ring.len())
+            .field("dumps", &self.dumps)
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// Counter names whose increments trigger a dump (in addition to every
+    /// alert): live remaps are the serve tier's "something acted" moment.
+    pub const TRIGGER_COUNTERS: [&'static str; 1] = ["serve.remaps"];
+
+    /// A recorder ringing the last `capacity` events (min 1) and dumping
+    /// to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Fails up front when `path` is not writable (the dump file is
+    /// created empty so a run with no triggers still leaves a marker).
+    pub fn create(path: impl AsRef<Path>, capacity: usize) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        File::create(&path)?;
+        Ok(FlightRecorder {
+            ring: VecDeque::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+            path,
+            dumps: 0,
+            events_seen: 0,
+        })
+    }
+
+    /// Number of dumps written so far.
+    pub fn dumps(&self) -> u64 {
+        self.dumps
+    }
+
+    /// Whether `event` should flush the ring to disk.
+    fn is_trigger(event: &Event) -> bool {
+        match event {
+            Event::Alert { .. } => true,
+            Event::Counter { name, .. } => Self::TRIGGER_COUNTERS.contains(&name.as_str()),
+            _ => false,
+        }
+    }
+
+    /// Rewrites the dump file with the current ring contents and flushes.
+    /// Best-effort: a failed dump must not take down the serving path.
+    fn dump(&mut self) {
+        self.dumps += 1;
+        let Ok(file) = File::create(&self.path) else { return };
+        let mut writer = BufWriter::new(file);
+        let header = Event::Message {
+            text: format!(
+                "flight dump {}: {} of {} events buffered",
+                self.dumps,
+                self.ring.len(),
+                self.events_seen
+            ),
+        };
+        let _ = writeln!(writer, "{}", header.to_json());
+        for event in &self.ring {
+            let _ = writeln!(writer, "{}", event.to_json());
+        }
+        let _ = writer.flush();
+    }
+}
+
+impl Sink for FlightRecorder {
+    fn record(&mut self, event: &Event) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(event.clone());
+        self.events_seen += 1;
+        if Self::is_trigger(event) {
+            self.dump();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::AlertSeverity;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("memaging_flight_{}_{name}.jsonl", std::process::id()))
+    }
+
+    fn message(i: u64) -> Event {
+        Event::Message { text: format!("m{i}") }
+    }
+
+    fn alert() -> Event {
+        Event::Alert {
+            severity: AlertSeverity::Warn,
+            name: "health.window".into(),
+            session: None,
+            value: 0.4,
+            threshold: 0.5,
+            message: "shrinking".into(),
+        }
+    }
+
+    #[test]
+    fn quiet_runs_leave_an_empty_marker_file() {
+        let path = tmp("quiet");
+        let mut flight = FlightRecorder::create(&path, 8).unwrap();
+        for i in 0..5 {
+            flight.record(&message(i));
+        }
+        assert_eq!(flight.dumps(), 0);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn alert_dumps_the_ring_and_flushes_immediately() {
+        let path = tmp("alert");
+        let mut flight = FlightRecorder::create(&path, 4).unwrap();
+        for i in 0..10 {
+            flight.record(&message(i));
+        }
+        flight.record(&alert());
+        // The dump is on disk *before* the sink is dropped: the ring keeps
+        // only the newest `capacity` events, alert included.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5, "header + 4 ring events: {lines:#?}");
+        assert!(lines[0].contains("flight dump 1"), "{}", lines[0]);
+        assert!(lines[1].contains("m7") && lines[3].contains("m9"), "{lines:#?}");
+        assert!(lines[4].contains("\"type\":\"alert\""), "{}", lines[4]);
+        assert_eq!(flight.dumps(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn remap_counter_triggers_and_later_dumps_overwrite() {
+        let path = tmp("remap");
+        let mut flight = FlightRecorder::create(&path, 8).unwrap();
+        flight.record(&message(0));
+        flight.record(&Event::Counter {
+            name: "serve.remaps".into(),
+            session: None,
+            delta: 1,
+            total: 1,
+        });
+        assert_eq!(flight.dumps(), 1);
+        // A non-trigger counter does not dump.
+        flight.record(&Event::Counter {
+            name: "serve.other".into(),
+            session: None,
+            delta: 1,
+            total: 1,
+        });
+        assert_eq!(flight.dumps(), 1);
+        flight.record(&alert());
+        assert_eq!(flight.dumps(), 2);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.lines().next().unwrap().contains("flight dump 2"), "{text}");
+        // The second dump contains the whole surviving ring, oldest first.
+        assert_eq!(text.lines().count(), 5, "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unwritable_path_is_an_error() {
+        assert!(FlightRecorder::create("/nonexistent-dir/flight.jsonl", 8).is_err());
+    }
+}

@@ -1,0 +1,307 @@
+//! Lock-free, log-bucketed latency histograms with per-worker shards.
+//!
+//! The serving tier records one latency observation per request on the
+//! worker hot path; a mutexed registry histogram there would serialize
+//! the pool. [`ShardedHistogram`] instead keeps one shard of relaxed
+//! atomics per worker (the `memaging-par` worker index is the shard
+//! key — unique within a parallel region), so recording is a handful of
+//! uncontended `fetch_add`s.
+//!
+//! ## Bucket scheme
+//!
+//! HDR-style power-of-2 buckets over `u64` values (microseconds, by
+//! convention): bucket 0 holds the value `0`, bucket `i >= 1` holds
+//! `[2^(i-1), 2^i - 1]` — i.e. the bucket index is the value's bit
+//! length. Values past the configured bucket count clamp into the last
+//! bucket (the exact maximum is still tracked separately). Quantile
+//! queries return the *upper bound* of the bucket containing the
+//! nearest-rank observation, capped at the tracked maximum.
+//!
+//! ## Determinism contract
+//!
+//! A snapshot merges shards in shard-index order, and every merged field
+//! is an integer sum / min / max — commutative and associative. Recording
+//! the same multiset of values therefore yields a **bit-identical**
+//! [`LatencySnapshot`] regardless of shard count, worker count, or
+//! interleaving; `exp_serve` and the proptests below assert exactly that.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Maximum number of power-of-2 buckets: bucket 0 (value zero) plus one
+/// per bit of a `u64`.
+pub const MAX_BUCKETS: usize = 65;
+
+/// One worker's shard: a bucket array plus sum/min/max, all relaxed
+/// atomics (per-field totals are exact; cross-field consistency is only
+/// guaranteed for quiescent snapshots, which is what the determinism
+/// asserts use).
+struct Shard {
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Shard {
+    fn new(buckets: usize) -> Self {
+        Shard {
+            counts: (0..buckets).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A lock-free histogram with per-worker shards and power-of-2 buckets.
+/// See the module docs for the bucket scheme and determinism contract.
+pub struct ShardedHistogram {
+    shards: Vec<Shard>,
+}
+
+impl std::fmt::Debug for ShardedHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedHistogram")
+            .field("shards", &self.shards.len())
+            .field("buckets", &self.buckets())
+            .finish()
+    }
+}
+
+impl ShardedHistogram {
+    /// A histogram with `shards` worker shards and `buckets` power-of-2
+    /// buckets (both clamped: at least 1 shard, buckets in
+    /// `[2, MAX_BUCKETS]`).
+    pub fn new(shards: usize, buckets: usize) -> Self {
+        let buckets = buckets.clamp(2, MAX_BUCKETS);
+        let shards = shards.max(1);
+        ShardedHistogram { shards: (0..shards).map(|_| Shard::new(buckets)).collect() }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.shards[0].counts.len()
+    }
+
+    /// The bucket index for `value` in a histogram with `buckets` buckets:
+    /// the value's bit length, clamped into the last bucket.
+    pub fn bucket_index(value: u64, buckets: usize) -> usize {
+        let bits = (u64::BITS - value.leading_zeros()) as usize;
+        bits.min(buckets - 1)
+    }
+
+    /// The inclusive upper bound of bucket `index`: `0` for bucket 0,
+    /// `2^index - 1` otherwise (`u64::MAX` for the 64-bit bucket).
+    pub fn bucket_bound(index: usize) -> u64 {
+        if index >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << index) - 1
+        }
+    }
+
+    /// Records `value` into shard `worker % shards`. Lock-free: relaxed
+    /// atomic adds only, no allocation — safe on the serving hot path.
+    pub fn record(&self, worker: usize, value: u64) {
+        let shard = &self.shards[worker % self.shards.len()];
+        let bucket = Self::bucket_index(value, shard.counts.len());
+        shard.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(value, Ordering::Relaxed);
+        shard.min.fetch_min(value, Ordering::Relaxed);
+        shard.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Merges every shard (in shard-index order) into one deterministic
+    /// snapshot. All merged fields are integer sums/min/max, so the result
+    /// depends only on the multiset of recorded values — not on shard
+    /// count, worker count, or interleaving.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        let buckets = self.buckets();
+        let mut counts = vec![0u64; buckets];
+        let mut sum = 0u64;
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for shard in &self.shards {
+            for (merged, count) in counts.iter_mut().zip(&shard.counts) {
+                *merged += count.load(Ordering::Relaxed);
+            }
+            sum += shard.sum.load(Ordering::Relaxed);
+            min = min.min(shard.min.load(Ordering::Relaxed));
+            max = max.max(shard.max.load(Ordering::Relaxed));
+        }
+        let count = counts.iter().sum();
+        LatencySnapshot { counts, count, sum, min: if count == 0 { 0 } else { min }, max }
+    }
+}
+
+/// A merged, immutable view of a [`ShardedHistogram`] — the unit the
+/// determinism contract is stated over (bit-identical for the same
+/// observation multiset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    /// Per-bucket observation counts (see the module-level bucket scheme).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (exact, not bucket-rounded).
+    pub max: u64,
+}
+
+impl LatencySnapshot {
+    /// Nearest-rank quantile estimate, `q` in `[0, 1]`: the upper bound of
+    /// the bucket containing the rank-`⌈q·N⌉` observation, capped at the
+    /// exact tracked maximum. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return ShardedHistogram::bucket_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean of the observed values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// `(inclusive upper bound, count)` for every non-empty bucket, in
+    /// bucket order — the wire shape of `GET /serve/latency`.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (ShardedHistogram::bucket_bound(i), *c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_index_is_the_bit_length() {
+        assert_eq!(ShardedHistogram::bucket_index(0, MAX_BUCKETS), 0);
+        assert_eq!(ShardedHistogram::bucket_index(1, MAX_BUCKETS), 1);
+        assert_eq!(ShardedHistogram::bucket_index(2, MAX_BUCKETS), 2);
+        assert_eq!(ShardedHistogram::bucket_index(3, MAX_BUCKETS), 2);
+        assert_eq!(ShardedHistogram::bucket_index(4, MAX_BUCKETS), 3);
+        assert_eq!(ShardedHistogram::bucket_index(1023, MAX_BUCKETS), 10);
+        assert_eq!(ShardedHistogram::bucket_index(1024, MAX_BUCKETS), 11);
+        assert_eq!(ShardedHistogram::bucket_index(u64::MAX, MAX_BUCKETS), 64);
+        // Clamping into a smaller histogram's last bucket.
+        assert_eq!(ShardedHistogram::bucket_index(1 << 40, 16), 15);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_their_indices() {
+        assert_eq!(ShardedHistogram::bucket_bound(0), 0);
+        assert_eq!(ShardedHistogram::bucket_bound(1), 1);
+        assert_eq!(ShardedHistogram::bucket_bound(2), 3);
+        assert_eq!(ShardedHistogram::bucket_bound(10), 1023);
+        assert_eq!(ShardedHistogram::bucket_bound(64), u64::MAX);
+        for v in [0u64, 1, 2, 3, 7, 100, 1 << 20] {
+            let i = ShardedHistogram::bucket_index(v, MAX_BUCKETS);
+            assert!(v <= ShardedHistogram::bucket_bound(i), "value {v} above bound of bucket {i}");
+            if i > 0 {
+                assert!(v > ShardedHistogram::bucket_bound(i - 1), "value {v} fits bucket {i}-1");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let h = ShardedHistogram::new(4, 40);
+        let s = h.snapshot();
+        assert_eq!((s.count, s.sum, s.min, s.max), (0, 0, 0, 0));
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn quantiles_track_known_distributions() {
+        let h = ShardedHistogram::new(2, 40);
+        for v in 1..=1000u64 {
+            h.record((v % 2) as usize, v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.sum, 500_500);
+        assert_eq!((s.min, s.max), (1, 1000));
+        // p50 lands in the bucket holding 500 (256..511 → bound 511).
+        assert_eq!(s.quantile(0.5), 511);
+        // p100 is capped at the exact maximum, not the bucket bound 1023.
+        assert_eq!(s.quantile(1.0), 1000);
+        assert!((s.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn values_clamp_into_the_last_bucket() {
+        let h = ShardedHistogram::new(1, 8);
+        h.record(0, u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.counts[7], 1);
+        assert_eq!(s.max, u64::MAX);
+    }
+
+    /// The satellite's headline property: merging per-worker shards is
+    /// order-independent and bit-identical at 1, 2 and 8 recording
+    /// threads, for any multiset of values and any worker assignment.
+    fn record_threaded(values: &[u64], threads: usize, shards: usize) -> LatencySnapshot {
+        let h = ShardedHistogram::new(shards, 40);
+        let chunk = values.len().div_ceil(threads).max(1);
+        std::thread::scope(|scope| {
+            for (worker, part) in values.chunks(chunk).enumerate() {
+                let h = &h;
+                scope.spawn(move || {
+                    for &v in part {
+                        h.record(worker, v);
+                    }
+                });
+            }
+        });
+        h.snapshot()
+    }
+
+    proptest! {
+        #[test]
+        fn merge_is_order_independent_and_thread_invariant(
+            values in proptest::collection::vec(0u64..2_000_000, 1..200),
+        ) {
+            let reference = record_threaded(&values, 1, 1);
+            prop_assert_eq!(reference.count, values.len() as u64);
+            for (threads, shards) in [(2, 2), (8, 8), (8, 3)] {
+                let snap = record_threaded(&values, threads, shards);
+                prop_assert_eq!(&snap, &reference,
+                    "snapshot diverged at {} threads / {} shards", threads, shards);
+            }
+            // A reversed multiset is the same multiset.
+            let mut reversed = values.clone();
+            reversed.reverse();
+            prop_assert_eq!(&record_threaded(&reversed, 4, 4), &reference);
+        }
+    }
+}

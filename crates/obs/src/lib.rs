@@ -30,6 +30,13 @@
 //!   ([`Recorder::alert`]) when a degradation threshold is crossed; the
 //!   `memaging-monitor` crate exports the aggregated [`Registry`] in
 //!   Prometheus text format over HTTP.
+//! * The serving tier adds two specialized pieces: [`ShardedHistogram`],
+//!   a lock-free log-bucketed latency histogram with per-worker shards
+//!   merged deterministically at snapshot, and [`FlightRecorder`], a
+//!   bounded ring of recent events dumped to JSONL when a wear alert or
+//!   live remap fires. Request-correlated spans
+//!   ([`Recorder::trace_span`]) link admission → batch → forward → tile
+//!   work under one trace id.
 //!
 //! ## Example
 //!
@@ -51,6 +58,8 @@
 
 mod chrome;
 mod event;
+mod flight;
+mod hist;
 mod metrics;
 mod recorder;
 mod sink;
@@ -74,6 +83,8 @@ pub mod names {
 
 pub use chrome::ChromeTraceSink;
 pub use event::{AlertSeverity, Event};
+pub use flight::{FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
+pub use hist::{LatencySnapshot, ShardedHistogram, MAX_BUCKETS};
 pub use metrics::{HistogramSnapshot, MetricsSnapshot, Registry};
 pub use recorder::{Recorder, SpanGuard};
 pub use sink::{JsonlSink, MemoryHandle, MemorySink, PrettySink, Sink};

@@ -130,7 +130,7 @@ impl Recorder {
     /// returned guard drops.
     #[must_use = "the span closes (and is recorded) when the guard drops"]
     pub fn span(&self, name: &str) -> SpanGuard {
-        self.span_impl(name, None)
+        self.span_impl(name, None, None)
     }
 
     /// Opens a scoped span timer tagged with a parallel worker index — use
@@ -140,15 +140,32 @@ impl Recorder {
     /// call this directly.
     #[must_use = "the span closes (and is recorded) when the guard drops"]
     pub fn worker_span(&self, name: &str, worker: usize) -> SpanGuard {
-        self.span_impl(name, Some(worker as u64))
+        self.span_impl(name, Some(worker as u64), None)
     }
 
-    fn span_impl(&self, name: &str, worker: Option<u64>) -> SpanGuard {
+    /// Opens a scoped span timer correlated with a request trace — `trace`
+    /// is the serve-tier admission sequence number (or boundary id for
+    /// maintenance work). Spans sharing a trace id form one causal chain
+    /// (admission → batch → forward → tile) in the JSONL/Chrome exports.
+    #[must_use = "the span closes (and is recorded) when the guard drops"]
+    pub fn trace_span(&self, name: &str, trace: u64) -> SpanGuard {
+        self.span_impl(name, None, Some(trace))
+    }
+
+    /// [`Recorder::worker_span`] with a trace id — for per-request work
+    /// executing on a parallel worker (e.g. `serve.forward`).
+    #[must_use = "the span closes (and is recorded) when the guard drops"]
+    pub fn worker_trace_span(&self, name: &str, worker: usize, trace: u64) -> SpanGuard {
+        self.span_impl(name, Some(worker as u64), Some(trace))
+    }
+
+    fn span_impl(&self, name: &str, worker: Option<u64>, trace: Option<u64>) -> SpanGuard {
         SpanGuard {
             state: self.inner.as_ref().map(|inner| SpanState {
                 inner: Arc::clone(inner),
                 name: name.to_string(),
                 worker,
+                trace,
                 started: Instant::now(),
             }),
         }
@@ -239,6 +256,7 @@ struct SpanState {
     inner: Arc<Inner>,
     name: String,
     worker: Option<u64>,
+    trace: Option<u64>,
     started: Instant,
 }
 
@@ -260,6 +278,7 @@ impl Drop for SpanGuard {
                 name: state.name,
                 session: state.inner.current_session(),
                 worker: state.worker,
+                trace: state.trace,
                 start_us,
                 duration_us,
             };
@@ -336,6 +355,24 @@ mod tests {
             (Event::Span { worker: a, .. }, Event::Span { worker: b, .. }) => {
                 assert_eq!(*a, Some(3));
                 assert_eq!(*b, None);
+            }
+            other => panic!("expected spans, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_spans_carry_the_trace_id() {
+        let (sink, handle) = MemorySink::new();
+        let recorder = Recorder::new(vec![Box::new(sink)]);
+        drop(recorder.trace_span("serve.request", 12));
+        drop(recorder.worker_trace_span("serve.forward", 3, 12));
+        match (&handle.events()[0], &handle.events()[1]) {
+            (
+                Event::Span { trace: a, worker: wa, .. },
+                Event::Span { trace: b, worker: wb, .. },
+            ) => {
+                assert_eq!((*a, *wa), (Some(12), None));
+                assert_eq!((*b, *wb), (Some(12), Some(3)));
             }
             other => panic!("expected spans, got {other:?}"),
         }

@@ -40,6 +40,12 @@ impl Sink for JsonlSink {
         // A failed write on a trace sink must not take down the pipeline;
         // drop the line and carry on.
         let _ = writeln!(self.writer, "{}", event.to_json());
+        // Alerts are what post-mortems (and flight-recorder dumps) hinge
+        // on: push them and everything buffered before them to disk now,
+        // so a process dying right after the trigger loses nothing.
+        if matches!(event, Event::Alert { .. }) {
+            let _ = self.writer.flush();
+        }
     }
 
     fn flush(&mut self) {
@@ -183,5 +189,48 @@ mod tests {
     #[test]
     fn jsonl_sink_rejects_unwritable_path() {
         assert!(JsonlSink::create("/nonexistent-dir/trace.jsonl").is_err());
+    }
+
+    #[test]
+    fn alerts_flush_through_to_disk_before_drop() {
+        let path = std::env::temp_dir()
+            .join(format!("memaging_obs_alert_flush_{}.jsonl", std::process::id()));
+        let mut sink = JsonlSink::create(&path).unwrap();
+        sink.record(&Event::Message { text: "before".into() });
+        sink.record(&Event::Alert {
+            severity: crate::AlertSeverity::Critical,
+            name: "health.window".into(),
+            session: None,
+            value: 0.1,
+            threshold: 0.25,
+            message: "collapsing".into(),
+        });
+        // The sink is still alive (nothing dropped), yet both lines must
+        // already be on disk.
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(contents.lines().count(), 2, "{contents}");
+        assert!(contents.lines().nth(1).unwrap().contains("\"type\":\"alert\""));
+        drop(sink);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn buffered_events_survive_a_panic_via_drop() {
+        let path = std::env::temp_dir()
+            .join(format!("memaging_obs_panic_flush_{}.jsonl", std::process::id()));
+        let result = std::panic::catch_unwind({
+            let path = path.clone();
+            move || {
+                let mut sink = JsonlSink::create(&path).unwrap();
+                sink.record(&Event::Message { text: "almost lost".into() });
+                panic!("simulated crash");
+            }
+        });
+        assert!(result.is_err());
+        // Drop ran during unwinding and flushed the buffered line.
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(contents.lines().count(), 1, "{contents}");
+        assert!(contents.contains("almost lost"));
+        let _ = std::fs::remove_file(&path);
     }
 }

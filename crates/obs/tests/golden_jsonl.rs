@@ -19,6 +19,7 @@ fn fixture() -> Vec<Event> {
             name: "train".into(),
             session: None,
             worker: None,
+            trace: None,
             start_us: 0,
             duration_us: 1250,
         },
@@ -26,6 +27,7 @@ fn fixture() -> Vec<Event> {
             name: "tune".into(),
             session: Some(3),
             worker: None,
+            trace: None,
             start_us: 104_523,
             duration_us: 2481,
         },
@@ -33,8 +35,17 @@ fn fixture() -> Vec<Event> {
             name: "map.candidate".into(),
             session: Some(3),
             worker: Some(1),
+            trace: None,
             start_us: 104_600,
             duration_us: 310,
+        },
+        Event::Span {
+            name: "serve.forward".into(),
+            session: None,
+            worker: Some(2),
+            trace: Some(41),
+            start_us: 205_000,
+            duration_us: 830,
         },
         Event::Counter { name: "tuner.iterations".into(), session: Some(3), delta: 5, total: 38 },
         Event::Counter { name: "lifetime.remaps".into(), session: None, delta: 1, total: 1 },

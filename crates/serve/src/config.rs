@@ -49,6 +49,11 @@ pub struct ServeConfig {
     /// Tuning-iteration budget reported to the health forecaster (the
     /// paper's failure criterion denominator).
     pub tuning_budget: usize,
+    /// Number of power-of-2 buckets in the serving latency histograms
+    /// (queue wait, linger, forward, end-to-end). Bucket `i` spans
+    /// `[2^(i-1), 2^i - 1]` microseconds; 40 buckets cover up to ~12.7
+    /// days. CLI flag: `--latency-buckets`.
+    pub latency_buckets: usize,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +68,7 @@ impl Default for ServeConfig {
             remap_drift_fraction: 0.02,
             calib_batch: 64,
             tuning_budget: 150,
+            latency_buckets: 40,
         }
     }
 }
@@ -101,6 +107,11 @@ impl ServeConfig {
                 reason: "calib_batch and tuning_budget must be nonzero".into(),
             });
         }
+        if !(8..=64).contains(&self.latency_buckets) {
+            return Err(ServeError::InvalidConfig {
+                reason: "latency_buckets must lie in [8, 64]".into(),
+            });
+        }
         self.thresholds
             .validate()
             .map_err(|e| ServeError::InvalidConfig { reason: format!("wear thresholds: {e}") })
@@ -126,6 +137,8 @@ mod tests {
             ServeConfig { stress_per_read: f64::NAN, ..ServeConfig::default() },
             ServeConfig { remap_drift_fraction: 1.5, ..ServeConfig::default() },
             ServeConfig { calib_batch: 0, ..ServeConfig::default() },
+            ServeConfig { latency_buckets: 4, ..ServeConfig::default() },
+            ServeConfig { latency_buckets: 65, ..ServeConfig::default() },
             ServeConfig {
                 thresholds: WearThresholds {
                     warn_window_fraction: 0.1,

@@ -24,11 +24,11 @@
 //! [`WearThresholds`]: memaging_lifetime::WearThresholds
 
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use memaging_crossbar::{CrossbarNetwork, MappingStrategy};
 use memaging_dataset::Dataset;
-use memaging_lifetime::{HealthConfig, HealthMonitor};
+use memaging_lifetime::{HealthConfig, HealthMonitor, WearCause, WearLedger};
 use memaging_obs::Recorder;
 
 use crate::config::ServeConfig;
@@ -51,6 +51,14 @@ pub struct ServeEngine {
     remap_armed: bool,
     /// Cumulative live remaps performed.
     remaps: u64,
+    /// The boundary id most recently processed — a remap armed there
+    /// surfaces at generation `last_boundary + 1`, which is what its
+    /// ledger entry is keyed with.
+    last_boundary: u64,
+    /// The wear-attribution ledger, charged here (the single wear-mutating
+    /// thread, in admission-sequence order) and read by
+    /// `GET /wear/attribution`.
+    ledger: Arc<Mutex<WearLedger>>,
 }
 
 impl ServeEngine {
@@ -89,6 +97,11 @@ impl ServeEngine {
             config.tuning_budget,
             HealthConfig { wear: config.thresholds, ..HealthConfig::default() },
         );
+        // Open the attribution ledger with the initial deployment mapping
+        // charged as `Remap{generation: 0}` — from here on every wear
+        // checkpoint is taken on this thread, in admission-sequence order.
+        let mut ledger = WearLedger::new(network.tile_stress().len());
+        ledger.charge(WearCause::Remap { generation: 0 }, &network.tile_stress());
         let mut engine = ServeEngine {
             network,
             calib,
@@ -99,6 +112,8 @@ impl ServeEngine {
             fresh_width: (spec.r_max - spec.r_min).max(1e-12),
             remap_armed: false,
             remaps: 0,
+            last_boundary: 0,
+            ledger: Arc::new(Mutex::new(ledger)),
         };
         let generation = engine.read_generation(0)?;
         Ok((engine, generation))
@@ -129,8 +144,15 @@ impl ServeEngine {
         id: u64,
         interval_requests: u64,
     ) -> Result<Arc<MappingGeneration>, ServeError> {
-        let span = self.recorder.span("serve.boundary");
-        self.network.apply_read_disturb(interval_requests, self.config.stress_per_read);
+        let span = self.recorder.trace_span("serve.boundary", id);
+        self.network.apply_read_disturb_traced(
+            interval_requests,
+            self.config.stress_per_read,
+            &self.recorder,
+            id,
+        );
+        self.charge(WearCause::InferenceRead { batch_seq: id });
+        self.last_boundary = id;
         let wear = self.network.wear_snapshots();
         let report = self.health.observe(id, &wear, 0);
         report.emit(&self.recorder);
@@ -178,6 +200,10 @@ impl ServeEngine {
         drop(span);
         match outcome {
             Ok(_) => {
+                // The reprogrammed weights surface at the *next* boundary's
+                // read-back, so the ledger entry is keyed with that
+                // generation id.
+                self.charge(WearCause::Remap { generation: self.last_boundary + 1 });
                 self.remaps += 1;
                 self.stats.remaps.fetch_add(1, Ordering::Relaxed);
                 self.recorder.counter("serve.remaps", 1);
@@ -217,6 +243,21 @@ impl ServeEngine {
     /// Cumulative live remaps performed so far.
     pub fn remaps(&self) -> u64 {
         self.remaps
+    }
+
+    /// A handle on the wear-attribution ledger (read side:
+    /// `GET /wear/attribution` and the shutdown report).
+    pub fn ledger(&self) -> Arc<Mutex<WearLedger>> {
+        Arc::clone(&self.ledger)
+    }
+
+    /// Checkpoints the network's current per-tile stress into the ledger
+    /// under `cause`.
+    fn charge(&self, cause: WearCause) {
+        self.ledger
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .charge(cause, &self.network.tile_stress());
     }
 }
 

@@ -6,7 +6,12 @@
 //!   `{"seq":..,"generation":..,"prediction":..,"output":[..],..}`.
 //!   Admission-control outcomes map to HTTP statuses: 429 queue full,
 //!   504 deadline expired, 503 shutting down, 400 bad payload.
-//! * `GET /serve/stats` — the live [`crate::ServeStats`] JSON snapshot.
+//! * `GET /serve/stats` — the live [`crate::ServeStats`] JSON snapshot
+//!   (including p50/p90/p99/max per latency stage).
+//! * `GET /serve/latency` — the full log-bucketed latency histograms
+//!   (count/sum/min/max, percentiles, every non-empty bucket).
+//! * `GET /wear/attribution` — the wear-attribution ledger: per-cause and
+//!   per-tile accrued stress.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -41,6 +46,12 @@ impl HttpHandler for ServeHandler {
             ("POST", "/infer") => Some(self.infer(&request.body)),
             ("GET", "/serve/stats") => {
                 Some(HttpResponse::json(200, self.service.stats().to_json()))
+            }
+            ("GET", "/serve/latency") => {
+                Some(HttpResponse::json(200, self.service.stats().latency_json()))
+            }
+            ("GET", "/wear/attribution") => {
+                Some(HttpResponse::json(200, self.service.wear_attribution_json()))
             }
             _ => None,
         }

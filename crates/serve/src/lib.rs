@@ -24,10 +24,15 @@
 //!   mapping, the maintenance task re-runs the paper's range selection
 //!   (the incremental engine) and swaps the fresh mapping in atomically —
 //!   double-buffered [`MappingGeneration`]s, no serving pause.
-//! * **Observability**: queue-wait / service-time / batch-size
-//!   histograms, worker-tagged spans, and the `POST /infer` +
-//!   `GET /serve/stats` routes for the monitor HTTP server
-//!   ([`ServeHandler`]).
+//! * **Observability**: request-level tracing (every span of a request's
+//!   admission → batch → forward → tile chain carries its [`TraceId`] =
+//!   admission sequence number), log-bucketed latency histograms
+//!   (queue wait / linger / forward / end-to-end, lock-free per-worker
+//!   shards), a wear-attribution ledger
+//!   ([`memaging_lifetime::WearLedger`]) charging every unit of tile
+//!   stress to its cause, and the `POST /infer` + `GET /serve/stats` +
+//!   `GET /serve/latency` + `GET /wear/attribution` routes for the
+//!   monitor HTTP server ([`ServeHandler`]).
 //!
 //! ## Determinism
 //!
@@ -51,6 +56,7 @@ mod queue;
 mod request;
 mod service;
 mod stats;
+mod trace;
 
 pub use config::ServeConfig;
 pub use engine::ServeEngine;
@@ -59,4 +65,5 @@ pub use generation::{GenerationCell, MappingGeneration};
 pub use http::ServeHandler;
 pub use request::{InferRequest, InferResponse};
 pub use service::{InferenceService, ServeReport};
-pub use stats::ServeStats;
+pub use stats::{LatencyStats, ServeStats};
+pub use trace::{RequestCtx, TraceId};

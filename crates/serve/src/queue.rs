@@ -15,6 +15,7 @@ use std::time::Instant;
 
 use crate::error::ServeError;
 use crate::request::InferResponse;
+use crate::trace::RequestCtx;
 
 /// One admitted request as the dispatcher sees it.
 #[derive(Debug)]
@@ -26,8 +27,10 @@ pub(crate) struct Entry {
     /// Absolute deadline; a request still queued past it is dropped at
     /// dispatch with [`ServeError::DeadlineExceeded`].
     pub deadline: Option<Instant>,
-    /// Admission timestamp, for the queue-wait histogram.
-    pub admitted_at: Instant,
+    /// Trace identity + admission timestamp, carried through batching and
+    /// worker dispatch (queue-wait and end-to-end latency, span trace
+    /// ids).
+    pub ctx: RequestCtx,
     /// Where the outcome is delivered.
     pub slot: Arc<ResponseSlot>,
 }
@@ -107,7 +110,13 @@ impl RequestQueue {
         }
         let seq = state.next_seq;
         state.next_seq += 1;
-        state.entries.push_back(Entry { seq, input, deadline, admitted_at: Instant::now(), slot });
+        state.entries.push_back(Entry {
+            seq,
+            input,
+            deadline,
+            ctx: RequestCtx::admitted(seq),
+            slot,
+        });
         drop(state);
         self.arrived.notify_one();
         Ok(seq)
@@ -175,8 +184,11 @@ mod tests {
         assert_eq!((s0, s1), (0, 1));
         let err = q.admit(vec![3.0], None, Arc::new(ResponseSlot::default())).unwrap_err();
         assert_eq!(err, ServeError::QueueFull { capacity: 2 });
-        // Rejection consumed no sequence number.
-        assert_eq!(q.pop_blocking().unwrap().seq, 0);
+        // Rejection consumed no sequence number, and the trace id is the
+        // admission sequence number.
+        let popped = q.pop_blocking().unwrap();
+        assert_eq!(popped.seq, 0);
+        assert_eq!(popped.ctx.trace.0, popped.seq);
         let s3 = q.admit(vec![4.0], None, Arc::new(ResponseSlot::default())).unwrap();
         assert_eq!(s3, 2);
     }

@@ -32,12 +32,13 @@
 //! bench asserts this end to end at 1 vs N threads.
 
 use std::sync::atomic::Ordering;
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use memaging_crossbar::CrossbarNetwork;
 use memaging_dataset::Dataset;
+use memaging_lifetime::WearLedger;
 use memaging_nn::{Mode, Network};
 use memaging_obs::Recorder;
 use memaging_par::SlotPool;
@@ -83,6 +84,10 @@ pub struct ServeReport {
     pub boundaries: u64,
     /// Aging-triggered live remaps performed.
     pub remaps: u64,
+    /// The wear-attribution ledger: every unit of tile stress accrued over
+    /// the service's lifetime, keyed by cause. Its per-cause totals sum
+    /// bit-identically to the `network`'s total stress.
+    pub attribution: WearLedger,
 }
 
 /// The deployed inference service. See the module docs for the thread
@@ -93,6 +98,8 @@ pub struct InferenceService {
     stats: Arc<ServeStats>,
     generations: Arc<GenerationCell>,
     input_dim: usize,
+    recorder: Recorder,
+    ledger: Arc<Mutex<WearLedger>>,
     dispatcher: Option<JoinHandle<()>>,
     maintenance: Option<JoinHandle<ServeEngine>>,
 }
@@ -113,10 +120,11 @@ impl InferenceService {
         config: ServeConfig,
         recorder: Recorder,
     ) -> Result<InferenceService, ServeError> {
-        let stats = Arc::new(ServeStats::default());
+        let stats = Arc::new(ServeStats::with_buckets(config.latency_buckets));
         let (engine, initial) =
             ServeEngine::deploy(network, calib, config, recorder.clone(), Arc::clone(&stats))?;
         let input_dim = engine.input_dim();
+        let ledger = engine.ledger();
         let base = engine.software_clone();
         let queue = Arc::new(RequestQueue::new(config.queue_capacity));
         let generations = Arc::new(GenerationCell::default());
@@ -130,6 +138,16 @@ impl InferenceService {
             &[100.0, 500.0, 1_000.0, 5_000.0, 20_000.0, 100_000.0, 500_000.0],
         );
         recorder.declare_histogram("serve.batch_size", &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0]);
+        // Power-of-2 bounds (2^k - 1) mirroring the ShardedHistogram bucket
+        // scheme, so Prometheus buckets and /serve/latency buckets line up.
+        recorder.declare_histogram(
+            "serve.linger_us",
+            &[127.0, 511.0, 2_047.0, 8_191.0, 32_767.0, 131_071.0],
+        );
+        recorder.declare_histogram(
+            "serve.e2e_us",
+            &[127.0, 511.0, 2_047.0, 8_191.0, 32_767.0, 131_071.0, 524_287.0],
+        );
 
         let (boundary_tx, boundary_rx) = mpsc::channel::<BoundaryJob>();
         let maintenance = {
@@ -144,6 +162,7 @@ impl InferenceService {
             let queue = Arc::clone(&queue);
             let generations = Arc::clone(&generations);
             let stats = Arc::clone(&stats);
+            let recorder = recorder.clone();
             std::thread::Builder::new()
                 .name("memaging-serve-dispatch".into())
                 .spawn(move || {
@@ -164,6 +183,8 @@ impl InferenceService {
             stats,
             generations,
             input_dim,
+            recorder,
+            ledger,
             dispatcher: Some(dispatcher),
             maintenance: Some(maintenance),
         })
@@ -194,9 +215,10 @@ impl InferenceService {
         }
         let slot = Arc::new(ResponseSlot::default());
         let deadline = request.deadline.map(|d| Instant::now() + d);
-        match self.queue.admit(request.input, deadline, Arc::clone(&slot)) {
-            Ok(_seq) => {
+        let seq = match self.queue.admit(request.input, deadline, Arc::clone(&slot)) {
+            Ok(seq) => {
                 self.stats.admitted.fetch_add(1, Ordering::Relaxed);
+                seq
             }
             Err(e) => {
                 if matches!(e, ServeError::QueueFull { .. }) {
@@ -204,7 +226,10 @@ impl InferenceService {
                 }
                 return Err(e);
             }
-        }
+        };
+        // The root span of the request's trace chain: admission → delivery,
+        // stamped with the trace id every downstream span carries.
+        let _span = self.recorder.trace_span("serve.request", seq);
         slot.wait()
     }
 
@@ -226,6 +251,17 @@ impl InferenceService {
     /// Current admission-queue depth.
     pub fn queue_depth(&self) -> usize {
         self.queue.depth()
+    }
+
+    /// A snapshot of the wear-attribution ledger.
+    pub fn wear_attribution(&self) -> WearLedger {
+        self.ledger.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+    }
+
+    /// The ledger snapshot rendered as the JSON body of
+    /// `GET /wear/attribution`.
+    pub fn wear_attribution_json(&self) -> String {
+        self.ledger.lock().unwrap_or_else(std::sync::PoisonError::into_inner).to_json()
     }
 
     /// Stops admission, drains every queued request (each still receives
@@ -251,6 +287,11 @@ impl InferenceService {
             expired: self.stats.expired.load(Ordering::Relaxed),
             boundaries: self.stats.boundaries.load(Ordering::Relaxed),
             remaps: self.stats.remaps.load(Ordering::Relaxed),
+            attribution: self
+                .ledger
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clone(),
         }
     }
 }
@@ -298,7 +339,8 @@ fn dispatch_loop(
         // generation.
         let boundary_seq = (batch_interval + 1) * interval;
         let mut batch = vec![first];
-        let linger_until = Instant::now() + config.max_linger;
+        let linger_started = Instant::now();
+        let linger_until = linger_started + config.max_linger;
         while batch.len() < config.max_batch {
             if let Some(entry) = queue.pop_if_below(boundary_seq) {
                 batch.push(entry);
@@ -310,6 +352,9 @@ fn dispatch_loop(
             }
             std::thread::sleep(LINGER_POLL);
         }
+        let linger_us = linger_started.elapsed().as_micros() as u64;
+        stats.latency().linger.record(0, linger_us);
+        recorder.observe("serve.linger_us", linger_us as f64);
         // Ask maintenance for every generation up to this batch's, then
         // wait for it (normally a single step; the wait only stalls while
         // the boundary job itself runs — never for a remap, which
@@ -355,8 +400,9 @@ fn dispatch_batch(
     let now = Instant::now();
     let mut live: Vec<(Entry, u64)> = Vec::with_capacity(batch.len());
     for entry in batch {
-        let queue_us = now.duration_since(entry.admitted_at).as_micros() as u64;
+        let queue_us = now.duration_since(entry.ctx.admitted_at).as_micros() as u64;
         recorder.observe("serve.queue_wait_us", queue_us as f64);
+        stats.latency().queue_wait.record(0, queue_us);
         if entry.deadline.is_some_and(|deadline| deadline < now) {
             stats.expired.fetch_add(1, Ordering::Relaxed);
             recorder.counter("serve.expired", 1);
@@ -370,7 +416,9 @@ fn dispatch_batch(
     }
     stats.record_batch(live.len());
     recorder.observe("serve.batch_size", live.len() as f64);
-    let span = recorder.span("serve.batch");
+    // The batch span carries its first request's trace id — the batch's
+    // admission-order identity.
+    let span = recorder.trace_span("serve.batch", live[0].0.seq);
     pool.ensure_slots(memaging_par::num_threads().max(1));
     let pool = &*pool;
     let live = &live;
@@ -382,12 +430,16 @@ fn dispatch_batch(
                 .get_or_insert_with(|| WorkerCtx { network: base.clone(), generation: u64::MAX });
             let (entry, queue_us) = &live[i];
             let started = Instant::now();
-            let _span = recorder.worker_span("serve.forward", *worker);
+            let _span = recorder.worker_trace_span("serve.forward", *worker, entry.seq);
             let outcome = serve_one(ctx, generation, &entry.input).map(|(output, prediction)| {
                 let service_us = started.elapsed().as_micros() as u64;
                 stats.served.fetch_add(1, Ordering::Relaxed);
                 stats.record_latency(*queue_us, service_us);
+                stats.latency().forward.record(*worker, service_us);
+                let e2e_us = entry.ctx.admitted_at.elapsed().as_micros() as u64;
+                stats.latency().e2e.record(*worker, e2e_us);
                 recorder.observe("serve.service_us", service_us as f64);
+                recorder.observe("serve.e2e_us", e2e_us as f64);
                 InferResponse {
                     seq: entry.seq,
                     generation: generation.id,

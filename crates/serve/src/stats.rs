@@ -1,8 +1,17 @@
-//! Live serving statistics: lock-free counters plus small latency/batch
-//! reservoirs, rendered as the JSON body of `GET /serve/stats`.
+//! Live serving statistics: lock-free counters, small latency/batch
+//! reservoirs, and the log-bucketed latency histograms — rendered as the
+//! JSON bodies of `GET /serve/stats` and `GET /serve/latency`.
 
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+use memaging_obs::{LatencySnapshot, ShardedHistogram};
+
+/// Shard count for the latency histograms: comfortably above any worker
+/// pool this workspace runs (shard index is `worker % shards`; correctness
+/// does not depend on the count, only contention does).
+const LATENCY_SHARDS: usize = 16;
 
 /// Ring-buffer reservoir capacity: enough for stable tail percentiles,
 /// small enough to stay off the serving hot path.
@@ -70,10 +79,55 @@ pub struct ServeStats {
     queue_wait_us: Reservoir,
     service_us: Reservoir,
     batch_sizes: Reservoir,
+    latency: LatencyStats,
+}
+
+/// The tier's log-bucketed latency histograms (power-of-2 buckets,
+/// lock-free per-worker shards — see [`ShardedHistogram`]): one per stage
+/// of a request's life, all in microseconds.
+#[derive(Debug)]
+pub struct LatencyStats {
+    /// Admission → dispatch (recorded by the dispatcher, shard 0).
+    pub queue_wait: ShardedHistogram,
+    /// Batch-formation linger per dispatched batch (dispatcher, shard 0).
+    pub linger: ShardedHistogram,
+    /// Per-request forward pass (recorded by its worker's shard).
+    pub forward: ShardedHistogram,
+    /// Admission → delivery (recorded by the worker's shard).
+    pub e2e: ShardedHistogram,
+}
+
+impl LatencyStats {
+    fn new(buckets: usize) -> Self {
+        LatencyStats {
+            queue_wait: ShardedHistogram::new(LATENCY_SHARDS, buckets),
+            linger: ShardedHistogram::new(LATENCY_SHARDS, buckets),
+            forward: ShardedHistogram::new(LATENCY_SHARDS, buckets),
+            e2e: ShardedHistogram::new(LATENCY_SHARDS, buckets),
+        }
+    }
+
+    /// `(name, snapshot)` for every stage, in request-life order.
+    fn snapshots(&self) -> [(&'static str, LatencySnapshot); 4] {
+        [
+            ("queue_wait_us", self.queue_wait.snapshot()),
+            ("linger_us", self.linger.snapshot()),
+            ("forward_us", self.forward.snapshot()),
+            ("e2e_us", self.e2e.snapshot()),
+        ]
+    }
 }
 
 impl Default for ServeStats {
     fn default() -> Self {
+        ServeStats::with_buckets(crate::config::ServeConfig::default().latency_buckets)
+    }
+}
+
+impl ServeStats {
+    /// Stats with `buckets` power-of-2 buckets per latency histogram
+    /// ([`crate::ServeConfig::latency_buckets`]).
+    pub fn with_buckets(buckets: usize) -> Self {
         ServeStats {
             admitted: AtomicU64::new(0),
             rejected_full: AtomicU64::new(0),
@@ -85,11 +139,15 @@ impl Default for ServeStats {
             queue_wait_us: Reservoir::new(),
             service_us: Reservoir::new(),
             batch_sizes: Reservoir::new(),
+            latency: LatencyStats::new(buckets),
         }
     }
-}
 
-impl ServeStats {
+    /// The latency histograms (record side: the service's own threads).
+    pub fn latency(&self) -> &LatencyStats {
+        &self.latency
+    }
+
     /// Records one served request's queue wait and service time.
     pub fn record_latency(&self, queue_us: u64, service_us: u64) {
         self.queue_wait_us.record(queue_us);
@@ -107,12 +165,12 @@ impl ServeStats {
         let (queue_p50, queue_p99, queue_max) = self.queue_wait_us.percentiles();
         let (service_p50, service_p99, service_max) = self.service_us.percentiles();
         let (batch_p50, batch_p99, batch_max) = self.batch_sizes.percentiles();
-        format!(
+        let mut out = format!(
             "{{\"admitted\":{},\"rejected_full\":{},\"expired\":{},\"served\":{},\
              \"batches\":{},\"boundaries\":{},\"remaps\":{},\
              \"queue_wait_us\":{{\"p50\":{queue_p50},\"p99\":{queue_p99},\"max\":{queue_max}}},\
              \"service_us\":{{\"p50\":{service_p50},\"p99\":{service_p99},\"max\":{service_max}}},\
-             \"batch_size\":{{\"p50\":{batch_p50},\"p99\":{batch_p99},\"max\":{batch_max}}}}}",
+             \"batch_size\":{{\"p50\":{batch_p50},\"p99\":{batch_p99},\"max\":{batch_max}}}",
             self.admitted.load(Ordering::Relaxed),
             self.rejected_full.load(Ordering::Relaxed),
             self.expired.load(Ordering::Relaxed),
@@ -120,7 +178,60 @@ impl ServeStats {
             self.batches.load(Ordering::Relaxed),
             self.boundaries.load(Ordering::Relaxed),
             self.remaps.load(Ordering::Relaxed),
-        )
+        );
+        // Histogram-backed percentiles (nearest-rank over the power-of-2
+        // buckets, capped at the exact observed max).
+        out.push_str(",\"latency\":{");
+        for (i, (name, snap)) in self.latency.snapshots().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{name}\":{{\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+                snap.quantile(0.50),
+                snap.quantile(0.90),
+                snap.quantile(0.99),
+                snap.max,
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// The full histogram detail — the JSON body of `GET /serve/latency`:
+    /// per stage the count/sum/min/max, p50/p90/p99, mean, and every
+    /// non-empty bucket as `{"le": <inclusive upper bound µs>, "count"}`.
+    pub fn latency_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        let _ = write!(out, "{{\"buckets\":{},\"histograms\":{{", self.latency.e2e.buckets());
+        for (i, (name, snap)) in self.latency.snapshots().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{name}\":{{\"count\":{},\"sum_us\":{},\"min_us\":{},\"max_us\":{},\
+                 \"p50\":{},\"p90\":{},\"p99\":{},\"mean_us\":{:.1},\"buckets\":[",
+                snap.count,
+                snap.sum,
+                snap.min,
+                snap.max,
+                snap.quantile(0.50),
+                snap.quantile(0.90),
+                snap.quantile(0.99),
+                snap.mean(),
+            );
+            for (j, (le, count)) in snap.nonzero_buckets().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{{\"le\":{le},\"count\":{count}}}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
     }
 }
 
@@ -155,6 +266,35 @@ mod tests {
     fn json_shape_is_stable_when_empty() {
         let json = ServeStats::default().to_json();
         assert!(json.starts_with("{\"admitted\":0,"), "{json}");
-        assert!(json.ends_with("\"batch_size\":{\"p50\":0,\"p99\":0,\"max\":0}}"), "{json}");
+        assert!(json.contains("\"batch_size\":{\"p50\":0,\"p99\":0,\"max\":0}"), "{json}");
+        assert!(json.ends_with("\"e2e_us\":{\"p50\":0,\"p90\":0,\"p99\":0,\"max\":0}}}"), "{json}");
+    }
+
+    #[test]
+    fn histogram_percentiles_surface_in_both_json_bodies() {
+        let stats = ServeStats::with_buckets(40);
+        // 1000 end-to-end observations spread over 4 worker shards; the
+        // merged snapshot must not depend on the sharding.
+        for v in 1..=1000u64 {
+            stats.latency().e2e.record((v % 4) as usize, v);
+        }
+        stats.latency().queue_wait.record(0, 300);
+        let json = stats.to_json();
+        // p50 rank 500 lands in bucket [256, 511]; p90/p99 in [512, 1023];
+        // max is exact.
+        assert!(
+            json.contains("\"e2e_us\":{\"p50\":511,\"p90\":1000,\"p99\":1000,\"max\":1000}"),
+            "{json}"
+        );
+        let detail = stats.latency_json();
+        assert!(
+            detail.starts_with("{\"buckets\":40,\"histograms\":{\"queue_wait_us\":"),
+            "{detail}"
+        );
+        assert!(detail.contains("\"e2e_us\":{\"count\":1000,\"sum_us\":500500,"), "{detail}");
+        assert!(detail.contains("{\"le\":511,\"count\":256}"), "{detail}");
+        // The lone queue-wait observation: value 300 in bucket [256, 511].
+        assert!(detail.contains("\"queue_wait_us\":{\"count\":1,\"sum_us\":300,"), "{detail}");
+        assert!(detail.contains("\"buckets\":[{\"le\":511,\"count\":1}]"), "{detail}");
     }
 }

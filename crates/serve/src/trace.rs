@@ -1,0 +1,52 @@
+//! Request-trace identity, propagated from admission to the tile level.
+//!
+//! A request's [`TraceId`] **is** its admission sequence number — the one
+//! identifier that already keys every hardware-visible decision in the
+//! tier (interval, generation, wear accrual). Reusing it means the trace
+//! id needs no extra counter, survives replays bit-identically, and lets
+//! a span in the Chrome/JSONL export be joined against the ledger and the
+//! response (`InferResponse::seq`) with no translation table.
+
+use std::fmt;
+use std::time::Instant;
+
+/// The identity of one admitted request: its admission sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Per-request context carried from admission through batching, worker
+/// dispatch and delivery — the causal link every span of the request's
+/// chain (admission → batch → forward → tile) is stamped with.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestCtx {
+    /// The request's trace id (= admission sequence number).
+    pub trace: TraceId,
+    /// Admission timestamp, for queue-wait and end-to-end latency.
+    pub admitted_at: Instant,
+}
+
+impl RequestCtx {
+    /// The context of a request admitted *now* with sequence number `seq`.
+    pub fn admitted(seq: u64) -> Self {
+        RequestCtx { trace: TraceId(seq), admitted_at: Instant::now() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_id_is_the_admission_seq() {
+        let ctx = RequestCtx::admitted(42);
+        assert_eq!(ctx.trace, TraceId(42));
+        assert_eq!(ctx.trace.to_string(), "42");
+        assert!(TraceId(1) < TraceId(2));
+    }
+}

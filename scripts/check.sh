@@ -50,6 +50,16 @@ fi
 
 # Same gate over the serving-tier profile (exp_serve writes a fresh one; set
 # MEMAGING_BENCH_CANDIDATE_SERVE to diff it against the committed baseline).
+# The committed baseline must carry the wear-attribution / latency extras —
+# bench-diff fails on drifted or vanished extras, and unlike wall-clock
+# times the extras are deterministic (pure FP over a fixed admission
+# sequence), so they stay at the strict default tolerance even when the
+# timing tolerance is loosened for cross-machine runs.
+for key in wear_total_stress wear_inference_read_stress wear_remap_stress \
+           wear_ledger_entries latency_e2e_count; do
+    grep -q "\"$key\"" BENCH_serve.json \
+        || { echo "check.sh: BENCH_serve.json is missing extra \"$key\"" >&2; exit 1; }
+done
 cargo run -q -p memaging-bench --bin bench-diff -- BENCH_serve.json BENCH_serve.json
 candidate_serve="${MEMAGING_BENCH_CANDIDATE_SERVE:-}"
 if [[ -n "$candidate_serve" && -f "$candidate_serve" ]]; then

@@ -223,6 +223,67 @@ fn remap_under_load_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn forced_remap_attribution_sums_to_total_wear() {
+    let _guard = THREAD_KNOB.lock().unwrap_or_else(|poison| poison.into_inner());
+    par::set_threads(2);
+    // Same stress schedule as the determinism test: the warn threshold
+    // crosses mid-run, forcing at least one live remap while requests
+    // flow, so the ledger sees all three serve-tier causes in one run
+    // (deploy programming, interval reads, live remap reprogramming).
+    let (_, calib, spec, aging) = trained();
+    let total: usize = 96;
+    let config = ServeConfig {
+        maintenance_interval: 16,
+        stress_per_read: stress_per_read(spec, aging, 0.55, total as u64 / 2),
+        remap_drift_fraction: 0.01,
+        ..ServeConfig::default()
+    };
+    let service = deploy(config);
+    for k in 0..total {
+        service
+            .infer(InferRequest::new(sample(calib, k)))
+            .unwrap_or_else(|e| panic!("request {k} failed: {e}"));
+    }
+    // The live snapshot races the asynchronous maintenance thread, but the
+    // ledger is append-only: whatever the endpoint saw must be a prefix of
+    // the final report.
+    let live = service.wear_attribution();
+    let report = service.shutdown();
+    assert!(
+        report.attribution.entries().starts_with(live.entries()),
+        "ledger is append-only; the live snapshot must prefix the final report"
+    );
+    assert!(report.remaps >= 1, "the load must force a live remap (got {})", report.remaps);
+    let ledger = &report.attribution;
+    // Per-tile exactness: every joule of accrued stress is attributed to
+    // some cause, bit-for-bit against the hardware's own accounting.
+    let stress = report.network.tile_stress();
+    assert_eq!(ledger.tiles(), stress.len());
+    for (t, (attributed, actual)) in ledger.attributed().iter().zip(stress.iter()).enumerate() {
+        assert_eq!(
+            attributed.to_bits(),
+            actual.to_bits(),
+            "tile {t}: attributed {attributed:e}s != accrued {actual:e}s"
+        );
+    }
+    // Per-cause totals telescope back to the grand total (relative bound:
+    // the per-cause sums reduce in a different order than `total()`).
+    let causes = ledger.cause_totals();
+    let cause_sum: f64 = causes.iter().map(|(_, _, s)| s).sum();
+    assert!(
+        (cause_sum - ledger.total()).abs() <= 1e-9 * ledger.total().max(f64::MIN_POSITIVE),
+        "cause totals {cause_sum:e} drifted from ledger total {:e}",
+        ledger.total()
+    );
+    let count =
+        |kind: &str| causes.iter().find(|(k, _, _)| *k == kind).map(|(_, n, _)| *n).unwrap_or(0);
+    assert!(count("inference_read") >= 1, "interval reads must be charged: {causes:?}");
+    // Deploy programming (generation 0) plus at least one live remap.
+    assert!(count("remap") >= 2, "deploy + live remap must both be charged: {causes:?}");
+    par::set_threads(0);
+}
+
+#[test]
 fn concurrent_clients_preserve_the_wear_state() {
     let _guard = THREAD_KNOB.lock().unwrap_or_else(|poison| poison.into_inner());
     par::set_threads(4);
