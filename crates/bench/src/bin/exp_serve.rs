@@ -38,11 +38,11 @@ use memaging::device::{ArrheniusAging, DeviceSpec};
 use memaging::lifetime::{Strategy, WearLedger};
 use memaging::nn::Network;
 use memaging::obs::{
-    FlightRecorder, LatencySnapshot, MemorySink, Recorder, ShardedHistogram,
-    DEFAULT_FLIGHT_CAPACITY,
+    FlightRecorder, LatencySnapshot, MemorySink, Recorder, SeriesStore, ShardedHistogram,
+    DEFAULT_FLIGHT_CAPACITY, DEFAULT_SERIES_CAPACITY,
 };
 use memaging::serve::{InferRequest, InferenceService, ServeConfig, ServeReport};
-use memaging::{par, Scenario};
+use memaging::{analyze_lines, par, AnalyzeOptions, Scenario, TraceAnalysis};
 use memaging_bench::{
     banner, phase_profile_json_with, profile_phases, report, results_dir, PhaseProfile,
 };
@@ -72,6 +72,25 @@ struct Leg {
     served: u64,
     /// Merged end-to-end latency snapshot taken just before shutdown.
     e2e: LatencySnapshot,
+    /// The live `SeriesStore` dump (`GET /timeseries` body) at shutdown.
+    series_json: String,
+    /// The offline replay of this leg's full event stream.
+    analysis: TraceAnalysis,
+}
+
+/// Renders the analyzer's per-tile forecast as a canonical string, for
+/// cross-leg byte-identity assertions.
+fn forecast_fingerprint(analysis: &TraceAnalysis) -> String {
+    let (tiles, worst) = analysis.forecast();
+    let mut out = String::new();
+    for (t, trend) in &tiles {
+        out.push_str(&format!("tile {t}: {}\n", trend.to_json()));
+    }
+    match worst {
+        Some((t, trend)) => out.push_str(&format!("worst {t}: {}\n", trend.to_json())),
+        None => out.push_str("worst: none\n"),
+    }
+    out
 }
 
 fn trained() -> (Network, Dataset, DeviceSpec, ArrheniusAging) {
@@ -129,7 +148,12 @@ fn run_leg(
     let flight_path = flight_dir.join(format!("flight_serve_{label}.jsonl"));
     let flight =
         FlightRecorder::create(&flight_path, DEFAULT_FLIGHT_CAPACITY).expect("flight recorder");
-    let recorder = Recorder::new(vec![Box::new(sink), Box::new(flight)]);
+    // The deterministic wear time-series rides on the recorder: every
+    // maintenance boundary folds per-tile wear into the store, keyed by
+    // admitted-request sequence.
+    let series = Arc::new(SeriesStore::with_capacity(DEFAULT_SERIES_CAPACITY));
+    let recorder =
+        Recorder::with_series(vec![Box::new(sink), Box::new(flight)], Arc::clone(&series));
     let hardware = CrossbarNetwork::new(network.clone(), *spec, *aging).expect("hardware");
     let service = Arc::new(
         InferenceService::deploy(hardware, calib.clone(), serve_config(spec, aging), recorder)
@@ -187,6 +211,9 @@ fn run_leg(
     // is fully populated before shutdown.
     let e2e = service.stats().latency().e2e.snapshot();
     assert_eq!(e2e.count, TOTAL as u64, "{label}: every request lands in the e2e histogram");
+    // The exact bytes `GET /serve/latency` would serve right now — the
+    // offline analyzer must reproduce them from the trace alone.
+    let live_latency = service.stats().latency_json();
 
     let outcome = Arc::try_unwrap(service).ok().expect("sole owner").shutdown();
     assert_eq!(outcome.rejected_full, 0, "{label}: closed-loop load must never be rejected");
@@ -228,7 +255,32 @@ fn run_leg(
         "{label}: the deploy mapping and at least one live remap must be attributed"
     );
 
-    let mut profiles = profile_phases(&handle.events());
+    // The offline-analyzer contract: replaying the complete event stream
+    // through `memaging analyze` reproduces the live latency, attribution
+    // and time-series documents **byte for byte**. The flight dump on disk
+    // is a truncated ring; the in-memory sink holds the full stream.
+    let events = handle.events();
+    let lines: Vec<String> = events.iter().map(|e| e.to_json()).collect();
+    let analysis =
+        analyze_lines(label, lines.iter().map(String::as_str), &AnalyzeOptions::default())
+            .unwrap_or_else(|e| panic!("{label}: trace replay failed: {e}"));
+    assert_eq!(
+        analysis.latency_json(),
+        live_latency,
+        "{label}: analyzer latency document != live /serve/latency body"
+    );
+    assert_eq!(
+        analysis.attribution_json(),
+        outcome.attribution.to_json(),
+        "{label}: analyzer attribution document != live /wear/attribution body"
+    );
+    assert_eq!(
+        analysis.series_json(),
+        series.to_json(),
+        "{label}: analyzer series replay != live /timeseries body"
+    );
+
+    let mut profiles = profile_phases(&events);
     for p in &mut profiles {
         p.name = format!("{}_{label}", p.name);
     }
@@ -245,6 +297,8 @@ fn run_leg(
         latency_us,
         served: outcome.served,
         e2e,
+        series_json: series.to_json(),
+        analysis,
     }
 }
 
@@ -321,6 +375,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         batched.digest.ledger, reference.digest.ledger,
         "concurrent-client leg's attribution ledger drifted from the reference"
     );
+    // The wear time-series and the per-tile lifetime forecast derived from
+    // it are keyed by admitted-request sequence, never wall clock — so the
+    // dump must be byte-identical across worker and client counts.
+    for (leg, what) in [(&scaled, "worker-scaled"), (&batched, "concurrent-client")] {
+        assert_eq!(
+            leg.series_json, reference.series_json,
+            "{what} leg's /timeseries dump diverged from the reference"
+        );
+        assert_eq!(
+            forecast_fingerprint(&leg.analysis),
+            forecast_fingerprint(&reference.analysis),
+            "{what} leg's per-tile forecast diverged from the reference"
+        );
+    }
+    let (forecast_tiles, worst) = reference.analysis.forecast();
+    assert!(!forecast_tiles.is_empty(), "the boundary cadence must yield a per-tile forecast");
+    let (worst_tile, worst_trend) = worst.expect("a worst tile exists when any tile has a trend");
 
     // Histogram determinism: the merged snapshot of the observed latency
     // multiset must not depend on recording thread or shard count.
@@ -369,13 +440,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ledger = &reference.digest.ledger;
     let causes = ledger.cause_totals();
     let cause = |kind: &str| causes.iter().find(|(k, ..)| *k == kind).map_or(0.0, |&(.., s)| s);
+    let series_points: u64 =
+        reference.analysis.series.snapshot_all().iter().map(|(_, snap)| snap.total_count()).sum();
     let extras = [
         ("wear_total_stress", ledger.total()),
         ("wear_inference_read_stress", cause("inference_read")),
         ("wear_remap_stress", cause("remap")),
         ("wear_ledger_entries", ledger.entries().len() as f64),
         ("latency_e2e_count", reference.e2e.count as f64),
+        ("series_points", series_points as f64),
+        ("forecast_tiles", forecast_tiles.len() as f64),
+        ("forecast_worst_velocity", worst_trend.velocity),
     ];
+    report(&format!(
+        "  forecast: {} tiles tracked ({series_points} series points), worst tile {worst_tile} \
+         at velocity {:+.3e}/session — analyzer replay byte-identical on all legs",
+        forecast_tiles.len(),
+        worst_trend.velocity,
+    ));
     report(&format!(
         "  attribution: {:.3e}s total stress ({:.3e}s reads, {:.3e}s remaps, {} entries), \
          tile-exact on all legs",

@@ -20,10 +20,11 @@ use memaging::crossbar::CrossbarNetwork;
 use memaging::device::{ArrheniusAging, DeviceSpec, Memristor};
 use memaging::lifetime::{compare_lifetimes, LifetimeResult, Strategy};
 use memaging::obs::{
-    ChromeTraceSink, FlightRecorder, JsonlSink, PrettySink, Recorder, Sink, DEFAULT_FLIGHT_CAPACITY,
+    ChromeTraceSink, FlightRecorder, JsonlSink, PrettySink, Recorder, SeriesStore, Sink,
+    DEFAULT_FLIGHT_CAPACITY, DEFAULT_SERIES_CAPACITY,
 };
 use memaging::serve::{InferRequest, InferenceService, ServeConfig, ServeHandler};
-use memaging::Scenario;
+use memaging::{AnalyzeOptions, Scenario};
 use memaging_monitor::{MonitorServer, MonitorSink, MonitorState, RunStatus};
 
 /// Parsed command-line request.
@@ -31,9 +32,27 @@ use memaging_monitor::{MonitorServer, MonitorSink, MonitorState, RunStatus};
 enum Command {
     Scenario { name: String, opts: RunOpts },
     Serve { name: String, opts: RunOpts, flags: ServeFlags },
+    Analyze { paths: Vec<String>, flags: AnalyzeFlags },
     Device,
     Info,
     Help,
+}
+
+/// Flags of the `analyze` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+struct AnalyzeFlags {
+    /// Print the machine-readable JSON document instead of the text report.
+    json: bool,
+    /// Relative tolerance of the two-run regression diff.
+    tolerance: f64,
+    /// Replay knobs (histogram buckets, series capacity, forecast window).
+    options: AnalyzeOptions,
+}
+
+impl Default for AnalyzeFlags {
+    fn default() -> Self {
+        AnalyzeFlags { json: false, tolerance: 0.05, options: AnalyzeOptions::default() }
+    }
 }
 
 /// Flags specific to the `serve` subcommand.
@@ -80,6 +99,12 @@ struct RunOpts {
     /// flushed to JSONL when a wear alert or live remap fires.
     flight: Option<String>,
     metrics: bool,
+    /// Ring capacity of the deterministic wear time-series store
+    /// (`GET /timeseries`); `None` uses [`DEFAULT_SERIES_CAPACITY`].
+    series_capacity: Option<usize>,
+    /// Disable series retention entirely: no store is attached, and the
+    /// serve tier's per-boundary series path is allocation-free.
+    no_series: bool,
 }
 
 impl Default for RunOpts {
@@ -93,6 +118,19 @@ impl Default for RunOpts {
             trace_chrome: None,
             flight: None,
             metrics: false,
+            series_capacity: None,
+            no_series: false,
+        }
+    }
+}
+
+impl RunOpts {
+    /// The series-store capacity to attach, or `None` for `--no-series`.
+    fn series(&self) -> Option<usize> {
+        if self.no_series {
+            None
+        } else {
+            Some(self.series_capacity.unwrap_or(DEFAULT_SERIES_CAPACITY))
         }
     }
 }
@@ -151,6 +189,10 @@ fn parse_run_opts(
             flags.infer = true;
             continue;
         }
+        if flag == "--no-series" {
+            opts.no_series = true;
+            continue;
+        }
         let known = [
             "--strategy",
             "--seed",
@@ -159,6 +201,7 @@ fn parse_run_opts(
             "--trace",
             "--trace-chrome",
             "--flight-recorder",
+            "--series-capacity",
         ];
         let known = known.contains(&flag.as_str())
             || (serve
@@ -186,6 +229,14 @@ fn parse_run_opts(
             "--trace" => opts.trace = Some(value.to_string()),
             "--trace-chrome" => opts.trace_chrome = Some(value.to_string()),
             "--flight-recorder" => opts.flight = Some(value.to_string()),
+            "--series-capacity" => {
+                let n: usize =
+                    value.parse().map_err(|_| format!("bad series-capacity `{value}`"))?;
+                if n < 2 {
+                    return Err(format!("bad series-capacity `{n}` (must be at least 2)"));
+                }
+                opts.series_capacity = Some(n);
+            }
             "--port" => {
                 flags.port = value.parse().map_err(|_| format!("bad port `{value}`"))?;
             }
@@ -213,7 +264,66 @@ fn parse_run_opts(
     if !flags.infer && flags.latency_buckets.is_some() {
         return Err("--latency-buckets requires --infer".into());
     }
+    if opts.no_series && opts.series_capacity.is_some() {
+        return Err("--series-capacity conflicts with --no-series".into());
+    }
     Ok((opts, flags))
+}
+
+/// Parses `analyze <trace.jsonl> [baseline.jsonl] [flags]`.
+fn parse_analyze(it: &mut std::slice::Iter<'_, String>) -> Result<Command, String> {
+    let mut paths = Vec::new();
+    let mut flags = AnalyzeFlags::default();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => flags.json = true,
+            "--latency-buckets" | "--series-capacity" | "--forecast-window" | "--tolerance" => {
+                let value = it.next().ok_or_else(|| format!("flag {arg} needs a value"))?;
+                match arg.as_str() {
+                    "--latency-buckets" => {
+                        let n: usize =
+                            value.parse().map_err(|_| format!("bad latency-buckets `{value}`"))?;
+                        if !(8..=64).contains(&n) {
+                            return Err(format!("bad latency-buckets `{n}` (must lie in [8, 64])"));
+                        }
+                        flags.options.latency_buckets = n;
+                    }
+                    "--series-capacity" => {
+                        let n: usize =
+                            value.parse().map_err(|_| format!("bad series-capacity `{value}`"))?;
+                        if n < 2 {
+                            return Err(format!("bad series-capacity `{n}` (must be at least 2)"));
+                        }
+                        flags.options.series_capacity = n;
+                    }
+                    "--forecast-window" => {
+                        let n: usize =
+                            value.parse().map_err(|_| format!("bad forecast-window `{value}`"))?;
+                        if n < 2 {
+                            return Err(format!("bad forecast-window `{n}` (must be at least 2)"));
+                        }
+                        flags.options.forecast_window = n;
+                    }
+                    "--tolerance" => {
+                        let t: f64 =
+                            value.parse().map_err(|_| format!("bad tolerance `{value}`"))?;
+                        if !t.is_finite() || t < 0.0 {
+                            return Err(format!("bad tolerance `{t}` (must be >= 0)"));
+                        }
+                        flags.tolerance = t;
+                    }
+                    _ => unreachable!("flag matched above"),
+                }
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            path => paths.push(path.to_string()),
+        }
+    }
+    match paths.len() {
+        1 | 2 => Ok(Command::Analyze { paths, flags }),
+        0 => Err("analyze needs a trace: memaging analyze <trace.jsonl> [baseline.jsonl]".into()),
+        n => Err(format!("analyze takes one trace (report) or two (diff), got {n}")),
+    }
 }
 
 /// Default `serve` port (the Prometheus unallocated-exporter range).
@@ -239,6 +349,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             let (opts, flags) = parse_run_opts(&mut it, true)?;
             Ok(Command::Serve { name, opts, flags })
         }
+        "analyze" => parse_analyze(&mut it),
         other => Err(format!("unknown command `{other}`; try `memaging help`")),
     }
 }
@@ -283,7 +394,23 @@ fn print_help() {
          \u{20}                       and aging-aware live remapping; --requests N\n\
          \u{20}                       drives a deterministic self-load then reports (0:\n\
          \u{20}                       serve until ctrl-c); --deadline-ms bounds HTTP\n\
-         \u{20}                       requests\n\
+         \u{20}                       requests; --series-capacity N sizes the\n\
+         \u{20}                       deterministic wear time-series ring behind\n\
+         \u{20}                       GET /timeseries and /forecast (default 64);\n\
+         \u{20}                       --no-series disables series retention (the\n\
+         \u{20}                       per-boundary series path is allocation-free)\n\
+         \u{20}   memaging analyze <trace.jsonl> [baseline.jsonl]\n\
+         \u{20}                                       [--json] [--tolerance F (default 0.05)]\n\
+         \u{20}                                       [--latency-buckets N (default 40)]\n\
+         \u{20}                                       [--series-capacity N (default 64)]\n\
+         \u{20}                                       [--forecast-window N (default 16)]\n\
+         \u{20}                       replays a JSONL trace (from --trace or a flight\n\
+         \u{20}                       dump) offline: per-phase self/total time, the\n\
+         \u{20}                       exact /serve/latency and /wear/attribution\n\
+         \u{20}                       bodies, per-tile wear trajectories and lifetime\n\
+         \u{20}                       forecast; with two traces, diffs them into a\n\
+         \u{20}                       regression table (exit 3 on regressions beyond\n\
+         \u{20}                       --tolerance)\n\
          \u{20}   memaging device      single-cell aging trajectory (paper Fig. 4)\n\
          \u{20}   memaging info        list the calibrated scenarios\n\
          \u{20}   memaging help        this message\n"
@@ -314,11 +441,15 @@ fn configured_scenario(name: &str, opts: &RunOpts) -> Scenario {
 /// when `--trace` was given, a Chrome trace-event sink when
 /// `--trace-chrome` was given, a flight recorder when `--flight-recorder`
 /// was given, plus any caller-provided sink (the monitor's wear-state
-/// feed). Fails cleanly on an unwritable trace path.
+/// feed). A [`SeriesStore`] of `series` capacity is attached unless the
+/// user passed `--no-series` (`series: None`) — with no store attached the
+/// serve tier's per-boundary series path is allocation-free. Fails cleanly
+/// on an unwritable trace path.
 fn build_recorder(
     trace: Option<&str>,
     trace_chrome: Option<&str>,
     flight: Option<&str>,
+    series: Option<usize>,
     extra: Option<Box<dyn Sink>>,
 ) -> Result<Recorder, String> {
     let mut sinks: Vec<Box<dyn Sink>> = vec![Box::new(PrettySink::new())];
@@ -340,7 +471,12 @@ fn build_recorder(
     if let Some(sink) = extra {
         sinks.push(sink);
     }
-    Ok(Recorder::new(sinks))
+    match series {
+        Some(capacity) => {
+            Ok(Recorder::with_series(sinks, Arc::new(SeriesStore::with_capacity(capacity))))
+        }
+        None => Ok(Recorder::new(sinks)),
+    }
 }
 
 /// Runs the selected strategies, logging per-strategy summaries and the
@@ -394,6 +530,7 @@ fn run_scenario(name: &str, opts: &RunOpts) -> Result<(), Box<dyn std::error::Er
         opts.trace.as_deref(),
         opts.trace_chrome.as_deref(),
         opts.flight.as_deref(),
+        opts.series(),
         None,
     )?;
     // The pipeline recorder is only attached when the user opted into
@@ -431,6 +568,7 @@ fn run_infer(
         opts.trace.as_deref(),
         opts.trace_chrome.as_deref(),
         opts.flight.as_deref(),
+        opts.series(),
         Some(Box::new(sink)),
     )?;
     let mut framework = scenario.framework.clone();
@@ -541,6 +679,7 @@ fn run_serve(
         opts.trace.as_deref(),
         opts.trace_chrome.as_deref(),
         opts.flight.as_deref(),
+        opts.series(),
         Some(Box::new(sink)),
     )?;
     scenario.framework.recorder = recorder.clone();
@@ -581,6 +720,35 @@ fn run_serve(
     server.shutdown();
     outcome?;
     Ok(())
+}
+
+/// `memaging analyze`: replay one trace into a report, or two into a
+/// regression diff. Returns the number of regressions beyond tolerance
+/// (always 0 for a single-trace report).
+fn run_analyze(paths: &[String], flags: &AnalyzeFlags) -> Result<usize, String> {
+    let analyses: Vec<memaging::TraceAnalysis> = paths
+        .iter()
+        .map(|path| memaging::analyze_file(path, &flags.options))
+        .collect::<Result<_, _>>()?;
+    if let [baseline, candidate] = &analyses[..] {
+        let report = memaging::diff(baseline, candidate, flags.tolerance);
+        if flags.json {
+            println!("{}", report.to_json());
+        } else {
+            print!("{}", baseline.report());
+            print!("{}", candidate.report());
+            print!("{}", report.report());
+        }
+        Ok(report.regressions().len())
+    } else {
+        let analysis = &analyses[0];
+        if flags.json {
+            println!("{}", analysis.to_json());
+        } else {
+            print!("{}", analysis.report());
+        }
+        Ok(0)
+    }
 }
 
 fn run_device() -> Result<(), Box<dyn std::error::Error>> {
@@ -652,6 +820,14 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        Ok(Command::Analyze { paths, flags }) => match run_analyze(&paths, &flags) {
+            Ok(0) => {}
+            Ok(_) => std::process::exit(3),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        },
         Err(msg) => {
             eprintln!("error: {msg}");
             print_help();
@@ -834,6 +1010,87 @@ mod tests {
     }
 
     #[test]
+    fn parses_series_flags() {
+        let cmd = parse_args(&argv("serve quick --infer --series-capacity 128")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                name: "quick".into(),
+                opts: RunOpts {
+                    strategy: StrategyArg::One(Strategy::StAt),
+                    series_capacity: Some(128),
+                    ..RunOpts::default()
+                },
+                flags: ServeFlags { infer: true, ..ServeFlags::default() },
+            }
+        );
+        // The default attaches a store at the default capacity; --no-series
+        // disables retention entirely.
+        assert_eq!(RunOpts::default().series(), Some(DEFAULT_SERIES_CAPACITY));
+        assert_eq!(RunOpts { no_series: true, ..RunOpts::default() }.series(), None);
+        let cmd = parse_args(&argv("scenario quick --no-series")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Scenario {
+                name: "quick".into(),
+                opts: RunOpts { no_series: true, ..RunOpts::default() },
+            }
+        );
+        let err = parse_args(&argv("serve quick --series-capacity 1")).unwrap_err();
+        assert!(err.contains("at least 2"), "got: {err}");
+        let err = parse_args(&argv("serve quick --no-series --series-capacity 8")).unwrap_err();
+        assert!(err.contains("conflicts"), "got: {err}");
+    }
+
+    #[test]
+    fn parses_analyze_command() {
+        let cmd = parse_args(&argv("analyze results/run.jsonl")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Analyze {
+                paths: vec!["results/run.jsonl".into()],
+                flags: AnalyzeFlags::default(),
+            }
+        );
+        let cmd = parse_args(&argv(
+            "analyze a.jsonl b.jsonl --json --tolerance 0.1 --latency-buckets 24 \
+             --series-capacity 32 --forecast-window 8",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Analyze {
+                paths: vec!["a.jsonl".into(), "b.jsonl".into()],
+                flags: AnalyzeFlags {
+                    json: true,
+                    tolerance: 0.1,
+                    options: AnalyzeOptions {
+                        latency_buckets: 24,
+                        series_capacity: 32,
+                        forecast_window: 8,
+                        ..AnalyzeOptions::default()
+                    },
+                },
+            }
+        );
+        assert!(parse_args(&argv("analyze")).is_err());
+        let err = parse_args(&argv("analyze a.jsonl b.jsonl c.jsonl")).unwrap_err();
+        assert!(err.contains("one trace"), "got: {err}");
+        let err = parse_args(&argv("analyze a.jsonl --bogus")).unwrap_err();
+        assert!(err.contains("unknown flag"), "got: {err}");
+        assert!(parse_args(&argv("analyze a.jsonl --tolerance -1")).is_err());
+        assert!(parse_args(&argv("analyze a.jsonl --latency-buckets 2")).is_err());
+        assert!(parse_args(&argv("analyze a.jsonl --forecast-window 1")).is_err());
+    }
+
+    #[test]
+    fn analyze_reports_missing_traces_cleanly() {
+        let err = run_analyze(&["/nonexistent-dir/run.jsonl".into()], &AnalyzeFlags::default())
+            .unwrap_err();
+        assert!(err.contains("cannot read trace"), "got: {err}");
+    }
+
+    #[test]
     fn serve_only_flags_are_rejected_by_scenario() {
         let err = parse_args(&argv("scenario quick --port 9000")).unwrap_err();
         assert!(err.contains("unknown flag"), "got: {err}");
@@ -856,12 +1113,14 @@ mod tests {
 
     #[test]
     fn unwritable_trace_path_is_a_clean_error() {
-        let err = build_recorder(Some("/nonexistent-dir/run.jsonl"), None, None, None).unwrap_err();
-        assert!(err.contains("cannot open trace file"), "got: {err}");
-        let err = build_recorder(None, Some("/nonexistent-dir/run.json"), None, None).unwrap_err();
-        assert!(err.contains("cannot open chrome trace file"), "got: {err}");
         let err =
-            build_recorder(None, None, Some("/nonexistent-dir/flight.jsonl"), None).unwrap_err();
+            build_recorder(Some("/nonexistent-dir/run.jsonl"), None, None, None, None).unwrap_err();
+        assert!(err.contains("cannot open trace file"), "got: {err}");
+        let err =
+            build_recorder(None, Some("/nonexistent-dir/run.json"), None, None, None).unwrap_err();
+        assert!(err.contains("cannot open chrome trace file"), "got: {err}");
+        let err = build_recorder(None, None, Some("/nonexistent-dir/flight.jsonl"), None, None)
+            .unwrap_err();
         assert!(err.contains("cannot open flight-recorder file"), "got: {err}");
     }
 

@@ -55,12 +55,17 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod analyze;
 mod error;
 mod framework;
 mod model;
 mod scenario;
 mod study;
 
+pub use analyze::{
+    analyze_file, analyze_lines, diff, AnalyzeOptions, DiffReport, DiffRow, PhaseStat, TileFit,
+    TraceAnalysis,
+};
 pub use error::FrameworkError;
 pub use framework::{Framework, SkewParams, StrategyOutcome, TrainedModel, TrainingPlan};
 pub use model::ModelKind;

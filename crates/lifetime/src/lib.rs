@@ -46,6 +46,7 @@
 
 mod attribution;
 mod error;
+mod forecast;
 mod health;
 mod simulator;
 mod strategy;
@@ -53,6 +54,7 @@ mod telemetry;
 
 pub use attribution::{WearCause, WearEntry, WearLedger};
 pub use error::LifetimeError;
+pub use forecast::{trend, worst_tile, TileTrend, DEFAULT_FORECAST_WINDOW};
 pub use health::{
     HealthAlert, HealthConfig, HealthMonitor, HealthReport, LayerHealth, WearThresholds,
 };

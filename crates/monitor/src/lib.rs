@@ -16,8 +16,12 @@
 //! * [`MonitorSink`]: an [`memaging_obs::Sink`] folding the wear-health
 //!   gauges and alerts of `memaging-lifetime` into a shared [`WearState`];
 //! * [`MonitorServer`]: the HTTP server routing `GET /metrics` (exposition),
-//!   `GET /health` (liveness JSON, `503` after a failed run) and `GET
-//!   /wear` (per-tile wear heatmap JSON).
+//!   `GET /health` (liveness JSON with the worst-tile lifetime forecast,
+//!   `503` after a failed run), `GET /wear` (per-tile wear heatmap JSON),
+//!   `GET /forecast` (per-tile wear velocity/acceleration trajectories
+//!   folded from the serve engine's `forecast.*` gauges) and `GET
+//!   /timeseries` (the recorder's deterministic [`memaging_obs::SeriesStore`]
+//!   dump, `404` when no store is attached).
 //!
 //! # Example
 //!
@@ -48,5 +52,6 @@ mod state;
 
 pub use server::{HttpHandler, HttpRequest, HttpResponse, MonitorServer};
 pub use state::{
-    AlertRecord, LayerWear, MonitorSink, MonitorState, RunStatus, WearHandle, WearState,
+    AlertRecord, LayerWear, MonitorSink, MonitorState, RunStatus, TileForecast, WearHandle,
+    WearState,
 };

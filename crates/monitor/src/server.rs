@@ -8,7 +8,13 @@
 //! * `GET /health`  — compact JSON liveness summary (`503` once the
 //!   monitored run has failed — scrapers and load balancers alike read it);
 //! * `GET /wear`    — the per-tile wear heatmap JSON of
-//!   [`crate::WearState::to_json`].
+//!   [`crate::WearState::to_json`];
+//! * `GET /forecast` — per-tile lifetime trajectories (wear velocity,
+//!   acceleration, sessions-to-critical) folded from the serve engine's
+//!   `forecast.*` gauges ([`crate::WearState::to_forecast_json`]);
+//! * `GET /timeseries` — the recorder's deterministic wear time-series
+//!   store ([`memaging_obs::SeriesStore::to_json`]), `404` when no store
+//!   is attached.
 //!
 //! Additional routes (the serving tier's `POST /infer` and
 //! `GET /serve/stats`) plug in through [`HttpHandler`]: handlers are
@@ -233,6 +239,18 @@ fn handle_connection(
             respond(&mut stream, status, "application/json", &wear.to_health_json())
         }
         ("GET", "/wear") => respond(&mut stream, 200, "application/json", &state.wear().to_json()),
+        ("GET", "/forecast") => {
+            respond(&mut stream, 200, "application/json", &state.wear().to_forecast_json())
+        }
+        ("GET", "/timeseries") => match state.recorder.series() {
+            Some(store) => respond(&mut stream, 200, "application/json", &store.to_json()),
+            None => respond(
+                &mut stream,
+                404,
+                "application/json",
+                "{\"error\":\"no series store attached\"}",
+            ),
+        },
         ("GET", _) => respond(&mut stream, 404, "text/plain; charset=utf-8", "not found\n"),
         _ => respond(&mut stream, 405, "text/plain; charset=utf-8", "method not allowed\n"),
     }
@@ -391,6 +409,49 @@ mod tests {
 
         let (status, _) = get(addr, "/nope");
         assert_eq!(status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn serves_forecast_and_timeseries() {
+        use memaging_obs::SeriesStore;
+
+        let (sink, wear) = crate::MonitorSink::new();
+        let series = Arc::new(SeriesStore::with_capacity(8));
+        let recorder = Recorder::with_series(vec![Box::new(sink)], Arc::clone(&series));
+        let state = MonitorState::new(recorder.clone(), wear);
+        let server = MonitorServer::bind("127.0.0.1:0", state).unwrap();
+        let addr = server.local_addr();
+
+        recorder.series_record("serve.window_fraction_ppb{tile=0}", 1, 900_000_000);
+        recorder.gauge_labeled("forecast.window_fraction", "tile", 0usize, 0.9);
+        recorder.gauge("forecast.worst_tile", 0.0);
+        recorder.gauge("forecast.worst_velocity_per_session", -0.05);
+
+        let (status, body) = get(addr, "/timeseries");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"serve.window_fraction_ppb{tile=0}\""), "got: {body}");
+        assert!(body.contains("\"seq\":1"), "got: {body}");
+
+        let (status, body) = get(addr, "/forecast");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"tiles\":[{\"tile\":0,\"window_fraction\":0.9,"), "got: {body}");
+        assert!(body.contains("\"worst\":{\"tile\":0,"), "got: {body}");
+
+        // The worst-tile forecast is folded into /health too.
+        let (status, body) = get(addr, "/health");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"forecast\":{\"tile\":0,"), "got: {body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn timeseries_is_404_without_a_store() {
+        let (state, _recorder) = serving_state();
+        let server = MonitorServer::bind("127.0.0.1:0", state).unwrap();
+        let (status, body) = get(server.local_addr(), "/timeseries");
+        assert_eq!(status, 404);
+        assert_eq!(body, "{\"error\":\"no series store attached\"}");
         server.shutdown();
     }
 

@@ -36,6 +36,23 @@ pub struct LayerWear {
     pub pulses: f64,
 }
 
+/// Per-tile lifetime forecast, fed by the serving tier's
+/// `forecast.*{tile=N}` gauges (the windowed regression over the
+/// deterministic wear series, computed once in the serve engine by
+/// `memaging_lifetime::trend` — the monitor only mirrors it).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TileForecast {
+    /// Latest observed window fraction of the tile.
+    pub window_fraction: f64,
+    /// Fitted wear velocity, window fraction per maintenance session.
+    pub velocity_per_session: f64,
+    /// Fitted wear acceleration, window fraction per session squared.
+    pub acceleration_per_session2: f64,
+    /// Extrapolated sessions until the tile crosses the critical window
+    /// fraction; `None` while the trajectory never crosses.
+    pub sessions_to_critical: Option<f64>,
+}
+
 /// One retained alert.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AlertRecord {
@@ -89,6 +106,14 @@ pub struct WearState {
     pub layers: BTreeMap<usize, LayerWear>,
     /// Worst-layer forecast of sessions remaining.
     pub sessions_to_failure: Option<f64>,
+    /// Per-tile lifetime forecast, keyed by tile index.
+    pub forecast: BTreeMap<usize, TileForecast>,
+    /// Worst-tile index of the latest forecast round.
+    pub worst_forecast_tile: Option<u64>,
+    /// Worst-tile wear velocity, window fraction per session.
+    pub worst_velocity_per_session: Option<f64>,
+    /// Worst-tile extrapolated sessions to the critical window.
+    pub worst_sessions_to_critical: Option<f64>,
     /// Most recent alerts, oldest first (capped at [`MAX_ALERTS`]).
     pub alerts: Vec<AlertRecord>,
 }
@@ -100,6 +125,10 @@ impl Default for WearState {
             session: None,
             layers: BTreeMap::new(),
             sessions_to_failure: None,
+            forecast: BTreeMap::new(),
+            worst_forecast_tile: None,
+            worst_velocity_per_session: None,
+            worst_sessions_to_critical: None,
             alerts: Vec::new(),
         }
     }
@@ -165,8 +194,51 @@ impl WearState {
         push_opt_u64(&mut out, self.session);
         out.push_str(",\"sessions_to_failure\":");
         push_opt_f64(&mut out, self.sessions_to_failure);
+        out.push_str(",\"forecast\":");
+        self.push_worst_forecast(&mut out);
         let _ = write!(out, ",\"alerts\":{},\"critical_alerts\":{critical}}}", self.alerts.len());
         out
+    }
+
+    /// The `/forecast` JSON document: every tile's fitted wear trajectory
+    /// plus the worst-tile summary.
+    pub fn to_forecast_json(&self) -> String {
+        let mut out = String::from("{\"session\":");
+        push_opt_u64(&mut out, self.session);
+        out.push_str(",\"tiles\":[");
+        for (i, (tile, fit)) in self.forecast.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"tile\":{tile},\"window_fraction\":");
+            push_f64(&mut out, fit.window_fraction);
+            out.push_str(",\"velocity_per_session\":");
+            push_f64(&mut out, fit.velocity_per_session);
+            out.push_str(",\"acceleration_per_session2\":");
+            push_f64(&mut out, fit.acceleration_per_session2);
+            out.push_str(",\"sessions_to_critical\":");
+            push_opt_f64(&mut out, fit.sessions_to_critical);
+            out.push('}');
+        }
+        out.push_str("],\"worst\":");
+        self.push_worst_forecast(&mut out);
+        out.push('}');
+        out
+    }
+
+    /// Appends the worst-tile forecast object (or `null` before the first
+    /// forecast round) shared by `/health` and `/forecast`.
+    fn push_worst_forecast(&self, out: &mut String) {
+        match self.worst_forecast_tile {
+            Some(tile) => {
+                let _ = write!(out, "{{\"tile\":{tile},\"velocity_per_session\":");
+                push_opt_f64(out, self.worst_velocity_per_session);
+                out.push_str(",\"sessions_to_critical\":");
+                push_opt_f64(out, self.worst_sessions_to_critical);
+                out.push('}');
+            }
+            None => out.push_str("null"),
+        }
     }
 }
 
@@ -241,11 +313,56 @@ impl Sink for MonitorSink {
                 if session.is_some() {
                     wear.session = wear.session.max(*session);
                 }
-                if name == "health.sessions_to_failure" {
-                    wear.sessions_to_failure = Some(*value);
+                match name.as_str() {
+                    "health.sessions_to_failure" => {
+                        wear.sessions_to_failure = Some(*value);
+                        return;
+                    }
+                    // The worst-tile gauges arrive as a burst led by
+                    // `worst_tile`; clearing the crossing on arrival keeps a
+                    // never-crossing round from inheriting the stale
+                    // `sessions_to_critical` of an earlier one (the engine
+                    // skips that gauge when the trajectory never crosses).
+                    "forecast.worst_tile" => {
+                        wear.worst_forecast_tile = Some(*value as u64);
+                        wear.worst_sessions_to_critical = None;
+                        return;
+                    }
+                    "forecast.worst_velocity_per_session" => {
+                        wear.worst_velocity_per_session = Some(*value);
+                        return;
+                    }
+                    "forecast.worst_sessions_to_critical" => {
+                        wear.worst_sessions_to_critical = Some(*value);
+                        return;
+                    }
+                    _ => {}
+                }
+                if let Some((base, tile)) = parse_label(name, "tile") {
+                    if base.starts_with("forecast.") {
+                        let entry = wear.forecast.entry(tile).or_default();
+                        match base {
+                            // Leads each per-tile burst; same stale-crossing
+                            // reset as the worst-tile gauges above.
+                            "forecast.window_fraction" => {
+                                entry.window_fraction = *value;
+                                entry.sessions_to_critical = None;
+                            }
+                            "forecast.velocity_per_session" => {
+                                entry.velocity_per_session = *value;
+                            }
+                            "forecast.acceleration_per_session2" => {
+                                entry.acceleration_per_session2 = *value;
+                            }
+                            "forecast.sessions_to_critical" => {
+                                entry.sessions_to_critical = Some(*value);
+                            }
+                            _ => {}
+                        }
+                    }
                     return;
                 }
-                let Some((base, layer)) = parse_layer(name) else { return };
+                let Some((base, layer)) = parse_label(name, "layer") else { return };
                 let entry = wear.layers.entry(layer).or_default();
                 match base {
                     "aging.r_max_ohms" => entry.r_max_ohms = *value,
@@ -281,11 +398,11 @@ impl Sink for MonitorSink {
     }
 }
 
-/// Splits `base{layer=N}` into `(base, N)`.
-fn parse_layer(name: &str) -> Option<(&str, usize)> {
+/// Splits `base{key=N}` into `(base, N)` for the given label key.
+fn parse_label<'a>(name: &'a str, key: &str) -> Option<(&'a str, usize)> {
     let (base, rest) = name.split_once('{')?;
-    let layer = rest.strip_suffix('}')?.strip_prefix("layer=")?.parse().ok()?;
-    Some((base, layer))
+    let index = rest.strip_suffix('}')?.strip_prefix(key)?.strip_prefix('=')?.parse().ok()?;
+    Some((base, index))
 }
 
 /// Appends a JSON string literal (RFC 8259 escaping).
@@ -440,6 +557,111 @@ mod tests {
         let health = state.wear().to_health_json();
         assert!(health.contains("\"status\":\"failed\""));
         assert!(health.contains("\"critical_alerts\":1"));
+    }
+
+    #[test]
+    fn sink_folds_forecast_gauges_into_tile_trajectories() {
+        let (mut sink, handle) = MonitorSink::new();
+        feed(
+            &mut sink,
+            &[
+                Event::Gauge {
+                    name: "forecast.window_fraction{tile=3}".into(),
+                    session: None,
+                    value: 0.5,
+                },
+                Event::Gauge {
+                    name: "forecast.velocity_per_session{tile=3}".into(),
+                    session: None,
+                    value: -0.00625,
+                },
+                Event::Gauge {
+                    name: "forecast.acceleration_per_session2{tile=3}".into(),
+                    session: None,
+                    value: -0.001,
+                },
+                Event::Gauge {
+                    name: "forecast.sessions_to_critical{tile=3}".into(),
+                    session: None,
+                    value: 32.0,
+                },
+                Event::Gauge { name: "forecast.worst_tile".into(), session: None, value: 3.0 },
+                Event::Gauge {
+                    name: "forecast.worst_velocity_per_session".into(),
+                    session: None,
+                    value: -0.00625,
+                },
+                Event::Gauge {
+                    name: "forecast.worst_sessions_to_critical".into(),
+                    session: None,
+                    value: 32.0,
+                },
+            ],
+        );
+        let wear = handle.snapshot();
+        assert_eq!(wear.forecast.len(), 1);
+        assert_eq!(wear.forecast[&3].window_fraction, 0.5);
+        assert_eq!(wear.forecast[&3].velocity_per_session, -0.00625);
+        assert_eq!(wear.forecast[&3].sessions_to_critical, Some(32.0));
+        assert_eq!(wear.worst_forecast_tile, Some(3));
+        assert_eq!(wear.worst_sessions_to_critical, Some(32.0));
+        // Forecast gauges never create layer entries.
+        assert!(wear.layers.is_empty());
+
+        let forecast = wear.to_forecast_json();
+        assert_eq!(
+            forecast,
+            "{\"session\":null,\"tiles\":[{\"tile\":3,\"window_fraction\":0.5,\
+             \"velocity_per_session\":-0.00625,\"acceleration_per_session2\":-0.001,\
+             \"sessions_to_critical\":32.0}],\"worst\":{\"tile\":3,\
+             \"velocity_per_session\":-0.00625,\"sessions_to_critical\":32.0}}"
+        );
+        let health = wear.to_health_json();
+        assert!(
+            health.contains(
+                "\"forecast\":{\"tile\":3,\"velocity_per_session\":-0.00625,\
+                 \"sessions_to_critical\":32.0}"
+            ),
+            "got: {health}"
+        );
+    }
+
+    #[test]
+    fn a_non_crossing_round_clears_the_stale_crossing() {
+        let (mut sink, handle) = MonitorSink::new();
+        feed(
+            &mut sink,
+            &[
+                Event::Gauge {
+                    name: "forecast.window_fraction{tile=0}".into(),
+                    session: None,
+                    value: 0.5,
+                },
+                Event::Gauge {
+                    name: "forecast.sessions_to_critical{tile=0}".into(),
+                    session: None,
+                    value: 10.0,
+                },
+                Event::Gauge { name: "forecast.worst_tile".into(), session: None, value: 0.0 },
+                Event::Gauge {
+                    name: "forecast.worst_sessions_to_critical".into(),
+                    session: None,
+                    value: 10.0,
+                },
+                // Next round: the trajectory flattened, so the engine emits
+                // no sessions_to_critical gauges at all.
+                Event::Gauge {
+                    name: "forecast.window_fraction{tile=0}".into(),
+                    session: None,
+                    value: 0.5,
+                },
+                Event::Gauge { name: "forecast.worst_tile".into(), session: None, value: 0.0 },
+            ],
+        );
+        let wear = handle.snapshot();
+        assert_eq!(wear.forecast[&0].sessions_to_critical, None);
+        assert_eq!(wear.worst_sessions_to_critical, None);
+        assert!(wear.to_forecast_json().contains("\"sessions_to_critical\":null"));
     }
 
     #[test]

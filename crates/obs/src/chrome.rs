@@ -215,9 +215,13 @@ impl Sink for ChromeTraceSink {
                 );
                 self.push_record(&record);
             }
-            // Session summaries are a pre-folded convenience for JSONL
-            // replay; the per-metric counter tracks already carry the data.
-            Event::Observation { .. } | Event::Session { .. } => {}
+            // Session summaries, series points and wear checkpoints are
+            // replay-oriented JSONL payloads; the per-metric counter tracks
+            // already carry what a timeline view needs.
+            Event::Observation { .. }
+            | Event::Session { .. }
+            | Event::Series { .. }
+            | Event::Wear { .. } => {}
         }
     }
 

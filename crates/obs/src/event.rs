@@ -110,6 +110,33 @@ pub enum Event {
         /// Human-readable explanation.
         message: String,
     },
+    /// One point of a deterministic time-series ([`crate::SeriesStore`]):
+    /// a pure-integer value keyed by maintenance-session / admission
+    /// sequence, never wall clock, so the series replays bit-identically
+    /// from a trace.
+    Series {
+        /// Series name, possibly labeled, e.g.
+        /// `serve.window_fraction_ppb{tile=0}`.
+        name: String,
+        /// The sequence key (maintenance-boundary id for serve-tier
+        /// series).
+        seq: u64,
+        /// The fixed-point integer value (callers pick the scale, e.g.
+        /// parts-per-billion for fractions).
+        value: u64,
+    },
+    /// A wear-ledger checkpoint: the absolute per-tile stress exactly as
+    /// charged to the `memaging-lifetime` wear ledger — enough to replay
+    /// attribution offline bit-for-bit.
+    Wear {
+        /// The wear cause kind (`inference_read` / `remap` / `tuning`).
+        cause: String,
+        /// The cause's parameter (batch sequence or remap generation), if
+        /// any.
+        param: Option<u64>,
+        /// Absolute cumulative stress per tile at this checkpoint.
+        tiles: Vec<f64>,
+    },
 }
 
 impl Event {
@@ -120,8 +147,9 @@ impl Event {
             | Event::Counter { name, .. }
             | Event::Gauge { name, .. }
             | Event::Observation { name, .. }
-            | Event::Alert { name, .. } => Some(name),
-            Event::Session { .. } | Event::Message { .. } => None,
+            | Event::Alert { name, .. }
+            | Event::Series { name, .. } => Some(name),
+            Event::Session { .. } | Event::Message { .. } | Event::Wear { .. } => None,
         }
     }
 
@@ -193,8 +221,46 @@ impl Event {
                 push_json_str(&mut out, message);
                 out.push('}');
             }
+            Event::Series { name, seq, value } => {
+                out.push_str("{\"type\":\"series\",\"name\":");
+                push_json_str(&mut out, name);
+                let _ = write!(out, ",\"seq\":{seq},\"value\":{value}}}");
+            }
+            Event::Wear { cause, param, tiles } => {
+                out.push_str("{\"type\":\"wear\",\"cause\":");
+                push_json_str(&mut out, cause);
+                if let Some(p) = param {
+                    let _ = write!(out, ",\"param\":{p}");
+                }
+                out.push_str(",\"tiles\":[");
+                for (i, tile) in tiles.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_json_f64(&mut out, *tile);
+                }
+                out.push_str("]}");
+            }
         }
         out
+    }
+
+    /// Parses one JSONL line produced by [`Event::to_json`] back into an
+    /// [`Event`] — the offline analyzer's ingest path. Strict: the trace
+    /// format is a tested contract, so an unknown type, a missing field,
+    /// or malformed JSON is an error, never a silent skip.
+    ///
+    /// Round-trip guarantee: for any event `e`,
+    /// `Event::from_json(&e.to_json()).unwrap().to_json() == e.to_json()`
+    /// byte-for-byte (floats were rendered by the shortest-round-trip
+    /// formatter, so re-rendering reproduces them exactly; a `null` float
+    /// parses back to NaN and re-renders as `null`).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first problem found.
+    pub fn from_json(line: &str) -> Result<Event, String> {
+        crate::parse::event_from_json(line)
     }
 }
 

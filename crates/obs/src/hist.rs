@@ -196,6 +196,47 @@ impl LatencySnapshot {
     }
 }
 
+/// Renders named stage snapshots as the `GET /serve/latency` JSON body:
+/// per stage the count/sum/min/max, p50/p90/p99, mean, and every non-empty
+/// bucket as `{"le": <inclusive upper bound µs>, "count"}`.
+///
+/// This is the **single** renderer for that body: the live serve tier and
+/// the offline analyzer (`memaging analyze`) both call it, so "the
+/// analyzer reproduces `/serve/latency` bit-for-bit" reduces to "both
+/// sides feed the same snapshots".
+pub fn latency_detail_json(buckets: usize, stages: &[(&str, LatencySnapshot)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(512);
+    let _ = write!(out, "{{\"buckets\":{buckets},\"histograms\":{{");
+    for (i, (name, snap)) in stages.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\"{name}\":{{\"count\":{},\"sum_us\":{},\"min_us\":{},\"max_us\":{},\
+             \"p50\":{},\"p90\":{},\"p99\":{},\"mean_us\":{:.1},\"buckets\":[",
+            snap.count,
+            snap.sum,
+            snap.min,
+            snap.max,
+            snap.quantile(0.50),
+            snap.quantile(0.90),
+            snap.quantile(0.99),
+            snap.mean(),
+        );
+        for (j, (le, count)) in snap.nonzero_buckets().iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"le\":{le},\"count\":{count}}}");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("}}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -37,6 +37,12 @@
 //!   live remap fires. Request-correlated spans
 //!   ([`Recorder::trace_span`]) link admission → batch → forward → tile
 //!   work under one trace id.
+//! * History is kept by the [`SeriesStore`]: fixed-capacity,
+//!   hierarchically-downsampled series keyed by maintenance-session /
+//!   admission sequence (never wall clock) with a pure-integer fold, so a
+//!   series is bit-identical at any worker or shard count and replays
+//!   exactly from a JSONL trace ([`Event::from_json`] is the strict
+//!   inverse of [`Event::to_json`], used by `memaging analyze`).
 //!
 //! ## Example
 //!
@@ -61,7 +67,9 @@ mod event;
 mod flight;
 mod hist;
 mod metrics;
+mod parse;
 mod recorder;
+mod series;
 mod sink;
 
 /// Canonical span names for the mapping hot path, shared between the
@@ -84,7 +92,10 @@ pub mod names {
 pub use chrome::ChromeTraceSink;
 pub use event::{AlertSeverity, Event};
 pub use flight::{FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
-pub use hist::{LatencySnapshot, ShardedHistogram, MAX_BUCKETS};
+pub use hist::{latency_detail_json, LatencySnapshot, ShardedHistogram, MAX_BUCKETS};
 pub use metrics::{HistogramSnapshot, MetricsSnapshot, Registry};
 pub use recorder::{Recorder, SpanGuard};
+pub use series::{
+    EvictedSummary, SeriesBucket, SeriesCell, SeriesSnapshot, SeriesStore, DEFAULT_SERIES_CAPACITY,
+};
 pub use sink::{JsonlSink, MemoryHandle, MemorySink, PrettySink, Sink};

@@ -1,0 +1,407 @@
+//! A small strict JSON parser for reading traces back in — the inverse of
+//! [`Event::to_json`], used by the offline analyzer (`memaging analyze`).
+//!
+//! The workspace is dependency-free, so this is a hand-rolled
+//! recursive-descent parser. It is deliberately strict: the JSONL trace
+//! format is a tested contract (golden tests pin the committed flight
+//! dumps), so malformed input is an error, never a guess. Numeric tokens
+//! keep their raw text so `u64` fields parse exactly (no round-trip
+//! through `f64`).
+
+use crate::event::{AlertSeverity, Event};
+
+/// A parsed JSON value. Objects keep insertion order (the `session`
+/// event's metrics map is order-significant).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    /// The raw numeric token, e.g. `"1e-3"` or `"42"`.
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", Json::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Json::Bool(false)),
+            Some(b'n') => self.parse_literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid utf-8 in number"))?;
+        if raw.parse::<f64>().is_err() {
+            return Err(self.err(&format!("malformed number '{raw}'")));
+        }
+        Ok(Json::Num(raw.to_string()))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid utf-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("malformed \\u escape"))?;
+                            // The writer only emits \u for control chars
+                            // (< 0x20), so surrogate pairs never occur.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn parse_root(line: &str) -> Result<Vec<(String, Json)>, String> {
+    let mut parser = Parser::new(line);
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.err("trailing garbage after JSON value"));
+    }
+    match value {
+        Json::Obj(fields) => Ok(fields),
+        _ => Err("event line is not a JSON object".to_string()),
+    }
+}
+
+fn get<'a>(fields: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn req<'a>(fields: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    get(fields, key).ok_or_else(|| format!("missing field '{key}'"))
+}
+
+fn as_str(value: &Json, key: &str) -> Result<String, String> {
+    match value {
+        Json::Str(s) => Ok(s.clone()),
+        _ => Err(format!("field '{key}' is not a string")),
+    }
+}
+
+fn as_u64(value: &Json, key: &str) -> Result<u64, String> {
+    match value {
+        Json::Num(raw) => {
+            raw.parse::<u64>().map_err(|_| format!("field '{key}' is not a u64 ('{raw}')"))
+        }
+        _ => Err(format!("field '{key}' is not a number")),
+    }
+}
+
+/// Floats: `null` was written for non-finite values, so it parses back to
+/// NaN (which re-renders as `null` — the round-trip holds).
+fn as_f64(value: &Json, key: &str) -> Result<f64, String> {
+    match value {
+        Json::Num(raw) => {
+            raw.parse::<f64>().map_err(|_| format!("field '{key}' is not a float ('{raw}')"))
+        }
+        Json::Null => Ok(f64::NAN),
+        _ => Err(format!("field '{key}' is not a number")),
+    }
+}
+
+fn opt_u64(fields: &[(String, Json)], key: &str) -> Result<Option<u64>, String> {
+    get(fields, key).map(|v| as_u64(v, key)).transpose()
+}
+
+/// Implementation of [`Event::from_json`].
+pub(crate) fn event_from_json(line: &str) -> Result<Event, String> {
+    let fields = parse_root(line.trim())?;
+    let kind = as_str(req(&fields, "type")?, "type")?;
+    match kind.as_str() {
+        "span" => Ok(Event::Span {
+            name: as_str(req(&fields, "name")?, "name")?,
+            session: opt_u64(&fields, "session")?,
+            worker: opt_u64(&fields, "worker")?,
+            trace: opt_u64(&fields, "trace")?,
+            start_us: as_u64(req(&fields, "start_us")?, "start_us")?,
+            duration_us: as_u64(req(&fields, "duration_us")?, "duration_us")?,
+        }),
+        "counter" => Ok(Event::Counter {
+            name: as_str(req(&fields, "name")?, "name")?,
+            session: opt_u64(&fields, "session")?,
+            delta: as_u64(req(&fields, "delta")?, "delta")?,
+            total: as_u64(req(&fields, "total")?, "total")?,
+        }),
+        "gauge" => Ok(Event::Gauge {
+            name: as_str(req(&fields, "name")?, "name")?,
+            session: opt_u64(&fields, "session")?,
+            value: as_f64(req(&fields, "value")?, "value")?,
+        }),
+        "histogram" => Ok(Event::Observation {
+            name: as_str(req(&fields, "name")?, "name")?,
+            session: opt_u64(&fields, "session")?,
+            value: as_f64(req(&fields, "value")?, "value")?,
+        }),
+        "session" => {
+            let metrics = match req(&fields, "metrics")? {
+                Json::Obj(entries) => entries
+                    .iter()
+                    .map(|(name, value)| Ok((name.clone(), as_f64(value, name)?)))
+                    .collect::<Result<Vec<_>, String>>()?,
+                _ => return Err("field 'metrics' is not an object".to_string()),
+            };
+            Ok(Event::Session { index: as_u64(req(&fields, "index")?, "index")?, metrics })
+        }
+        "message" => Ok(Event::Message { text: as_str(req(&fields, "text")?, "text")? }),
+        "alert" => {
+            let severity = match as_str(req(&fields, "severity")?, "severity")?.as_str() {
+                "warn" => AlertSeverity::Warn,
+                "critical" => AlertSeverity::Critical,
+                other => return Err(format!("unknown alert severity '{other}'")),
+            };
+            Ok(Event::Alert {
+                severity,
+                name: as_str(req(&fields, "name")?, "name")?,
+                session: opt_u64(&fields, "session")?,
+                value: as_f64(req(&fields, "value")?, "value")?,
+                threshold: as_f64(req(&fields, "threshold")?, "threshold")?,
+                message: as_str(req(&fields, "message")?, "message")?,
+            })
+        }
+        "series" => Ok(Event::Series {
+            name: as_str(req(&fields, "name")?, "name")?,
+            seq: as_u64(req(&fields, "seq")?, "seq")?,
+            value: as_u64(req(&fields, "value")?, "value")?,
+        }),
+        "wear" => {
+            let tiles = match req(&fields, "tiles")? {
+                Json::Arr(items) => {
+                    items.iter().map(|v| as_f64(v, "tiles")).collect::<Result<Vec<_>, String>>()?
+                }
+                _ => return Err("field 'tiles' is not an array".to_string()),
+            };
+            Ok(Event::Wear {
+                cause: as_str(req(&fields, "cause")?, "cause")?,
+                param: opt_u64(&fields, "param")?,
+                tiles,
+            })
+        }
+        other => Err(format!("unknown event type '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trips(line: &str) {
+        let event = Event::from_json(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        assert_eq!(event.to_json(), line);
+    }
+
+    #[test]
+    fn every_committed_trace_shape_round_trips() {
+        // One line per shape seen in the committed flight dumps.
+        round_trips(r#"{"type":"message","text":"flight dump 10: 512 of 4207 events buffered"}"#);
+        round_trips(
+            r#"{"type":"span","name":"map.candidate","worker":0,"start_us":765540,"duration_us":20}"#,
+        );
+        round_trips(
+            r#"{"type":"span","name":"serve.request","trace":324,"start_us":763551,"duration_us":2072}"#,
+        );
+        round_trips(r#"{"type":"span","name":"tune","session":3,"start_us":10,"duration_us":250}"#);
+        round_trips(r#"{"type":"histogram","name":"serve.linger_us","value":2054.0}"#);
+        round_trips(r#"{"type":"counter","name":"serve.remaps","session":0,"delta":1,"total":1}"#);
+        round_trips(r#"{"type":"gauge","name":"serve.window_fraction_worst","value":0.91}"#);
+        round_trips(
+            r#"{"type":"session","index":2,"metrics":{"tuner.iterations":12.0,"accuracy":0.91}}"#,
+        );
+        round_trips(
+            r#"{"type":"alert","severity":"critical","name":"health.sessions_left","session":7,"value":1.5,"threshold":3.0,"message":"layer 0 forecast"}"#,
+        );
+        round_trips(
+            r#"{"type":"series","name":"serve.tile_stress_ns{tile=0}","seq":32,"value":125000000}"#,
+        );
+        round_trips(
+            r#"{"type":"wear","cause":"inference_read","param":32,"tiles":[0.5,1.0,0.125]}"#,
+        );
+        round_trips(r#"{"type":"wear","cause":"tuning","tiles":[]}"#);
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        round_trips(r#"{"type":"message","text":"a \"quoted\"\nline\t\\ \u0001"}"#);
+    }
+
+    #[test]
+    fn null_floats_round_trip_as_nan() {
+        let event = Event::from_json(r#"{"type":"gauge","name":"g","value":null}"#).unwrap();
+        match &event {
+            Event::Gauge { value, .. } => assert!(value.is_nan()),
+            other => panic!("expected gauge, got {other:?}"),
+        }
+        assert_eq!(event.to_json(), r#"{"type":"gauge","name":"g","value":null}"#);
+    }
+
+    #[test]
+    fn exact_u64_values_survive() {
+        let line =
+            format!("{{\"type\":\"series\",\"name\":\"s\",\"seq\":1,\"value\":{}}}", u64::MAX);
+        let event = Event::from_json(&line).unwrap();
+        match event {
+            Event::Series { value, .. } => assert_eq!(value, u64::MAX),
+            other => panic!("expected series, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_strict_errors() {
+        assert!(Event::from_json("").is_err());
+        assert!(Event::from_json("not json").is_err());
+        assert!(Event::from_json(r#"{"type":"span"}"#).is_err(), "missing fields");
+        assert!(Event::from_json(r#"{"type":"warp"}"#).is_err(), "unknown type");
+        assert!(Event::from_json(r#"{"type":"gauge","name":"g","value":0.5} extra"#).is_err());
+        assert!(Event::from_json(r#"{"type":"counter","name":"c","delta":-1,"total":0}"#).is_err());
+        assert!(Event::from_json(r#"{"type":"alert","severity":"meh","name":"a","value":1.0,"threshold":2.0,"message":"m"}"#).is_err());
+        assert!(Event::from_json(r#"[1,2]"#).is_err(), "non-object root");
+    }
+}

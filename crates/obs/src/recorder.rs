@@ -8,6 +8,7 @@ use std::time::Instant;
 
 use crate::event::Event;
 use crate::metrics::{MetricsSnapshot, Registry};
+use crate::series::SeriesStore;
 use crate::sink::Sink;
 
 /// Shared state behind an enabled recorder.
@@ -18,6 +19,9 @@ struct Inner {
     session: AtomicI64,
     registry: Mutex<Registry>,
     sinks: Mutex<Vec<Box<dyn Sink>>>,
+    /// Deterministic time-series store, when series retention is on
+    /// (`--series-capacity` / absent under `--no-series`).
+    series: Option<Arc<SeriesStore>>,
 }
 
 /// A cheap-to-clone observability handle.
@@ -44,14 +48,27 @@ impl Recorder {
         Recorder { inner: None }
     }
 
-    /// A recorder forwarding to `sinks`.
+    /// A recorder forwarding to `sinks` (no series retention — see
+    /// [`Recorder::with_series`]).
     pub fn new(sinks: Vec<Box<dyn Sink>>) -> Self {
+        Self::build(sinks, None)
+    }
+
+    /// A recorder forwarding to `sinks` and additionally folding
+    /// [`Recorder::series_record`] points into `store` — share the `Arc` to
+    /// read the live series back (e.g. the monitor's `GET /timeseries`).
+    pub fn with_series(sinks: Vec<Box<dyn Sink>>, store: Arc<SeriesStore>) -> Self {
+        Self::build(sinks, Some(store))
+    }
+
+    fn build(sinks: Vec<Box<dyn Sink>>, series: Option<Arc<SeriesStore>>) -> Self {
         Recorder {
             inner: Some(Arc::new(Inner {
                 epoch: Instant::now(),
                 session: AtomicI64::new(-1),
                 registry: Mutex::new(Registry::default()),
                 sinks: Mutex::new(sinks),
+                series,
             })),
         }
     }
@@ -59,6 +76,41 @@ impl Recorder {
     /// Whether events are being recorded.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// The series store, when this recorder retains time-series.
+    pub fn series(&self) -> Option<Arc<SeriesStore>> {
+        self.inner.as_ref().and_then(|inner| inner.series.clone())
+    }
+
+    /// Whether [`Recorder::series_record`] points go anywhere — gate
+    /// caller-side name formatting on this to keep the disabled path
+    /// alloc-free (the `--no-series` convention, like `message_with`).
+    pub fn has_series(&self) -> bool {
+        self.inner.as_ref().is_some_and(|inner| inner.series.is_some())
+    }
+
+    /// Folds one `(seq, value)` point into the named deterministic series
+    /// and emits an [`Event::Series`] to the sinks, so a JSONL trace can
+    /// replay the store bit-for-bit. A no-op (no allocation, no event)
+    /// unless a series store is attached.
+    pub fn series_record(&self, name: &str, seq: u64, value: u64) {
+        if let Some(inner) = &self.inner {
+            if let Some(store) = &inner.series {
+                store.record(name, seq, value);
+                inner.emit(&Event::Series { name: name.to_string(), seq, value });
+            }
+        }
+    }
+
+    /// Emits an [`Event::Wear`] ledger checkpoint: the absolute per-tile
+    /// stress exactly as charged to the wear ledger, so offline attribution
+    /// replays bit-for-bit. Emitted whenever the recorder is enabled
+    /// (checkpoints are boundary-rate, not per-request).
+    pub fn wear_checkpoint(&self, cause: &str, param: Option<u64>, tiles: &[f64]) {
+        if let Some(inner) = &self.inner {
+            inner.emit(&Event::Wear { cause: cause.to_string(), param, tiles: tiles.to_vec() });
+        }
     }
 
     /// Sets (or clears) the lifetime-session index stamped onto subsequent
@@ -435,6 +487,49 @@ mod tests {
                 assert_eq!(*threshold, 0.5);
             }
             other => panic!("expected alert, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn series_record_requires_a_store() {
+        let (sink, handle) = MemorySink::new();
+        let recorder = Recorder::new(vec![Box::new(sink)]);
+        assert!(!recorder.has_series());
+        assert!(recorder.series().is_none());
+        recorder.series_record("s", 1, 10);
+        assert!(handle.is_empty(), "no store attached: no event either");
+
+        let (sink, handle) = MemorySink::new();
+        let store = Arc::new(crate::SeriesStore::with_capacity(8));
+        let recorder = Recorder::with_series(vec![Box::new(sink)], Arc::clone(&store));
+        assert!(recorder.has_series());
+        recorder.series_record("s", 1, 10);
+        recorder.series_record("s", 2, 20);
+        assert_eq!(handle.len(), 2);
+        match &handle.events()[1] {
+            Event::Series { name, seq, value } => {
+                assert_eq!((name.as_str(), *seq, *value), ("s", 2, 20));
+            }
+            other => panic!("expected series, got {other:?}"),
+        }
+        let snap = recorder.series().unwrap().snapshot("s").unwrap();
+        assert_eq!(snap.raw_points(), vec![(1, 10), (2, 20)]);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn wear_checkpoints_reach_sinks() {
+        let recorder = Recorder::disabled();
+        recorder.wear_checkpoint("tuning", None, &[1.0]); // no-op
+        let (sink, handle) = MemorySink::new();
+        let recorder = Recorder::new(vec![Box::new(sink)]);
+        recorder.wear_checkpoint("inference_read", Some(7), &[0.5, 0.25]);
+        match &handle.events()[0] {
+            Event::Wear { cause, param, tiles } => {
+                assert_eq!((cause.as_str(), *param), ("inference_read", Some(7)));
+                assert_eq!(tiles, &[0.5, 0.25]);
+            }
+            other => panic!("expected wear, got {other:?}"),
         }
     }
 

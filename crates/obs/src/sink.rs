@@ -108,6 +108,13 @@ impl Sink for PrettySink {
                     metrics.iter().map(|(name, value)| format!("{name}={value:.3}")).collect();
                 println!("  session {index}: {}", rendered.join(" "));
             }
+            Event::Series { name, seq, value } => {
+                println!("  series {name} @{seq} = {value}")
+            }
+            Event::Wear { cause, param, tiles } => {
+                let with_param = param.map_or(String::new(), |p| format!("({p})"));
+                println!("  wear {cause}{with_param}: {} tiles", tiles.len());
+            }
         }
     }
 }

@@ -54,6 +54,11 @@ pub struct ServeConfig {
     /// `[2^(i-1), 2^i - 1]` microseconds; 40 buckets cover up to ~12.7
     /// days. CLI flag: `--latency-buckets`.
     pub latency_buckets: usize,
+    /// Regression window (maintenance boundaries) for the per-tile wear
+    /// velocity/acceleration fit behind the lifetime forecast
+    /// ([`memaging_lifetime::trend`]). Must not exceed the series
+    /// capacity, or the raw tail can't hold a full window.
+    pub forecast_window: usize,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +74,7 @@ impl Default for ServeConfig {
             calib_batch: 64,
             tuning_budget: 150,
             latency_buckets: 40,
+            forecast_window: memaging_lifetime::DEFAULT_FORECAST_WINDOW,
         }
     }
 }
@@ -112,6 +118,11 @@ impl ServeConfig {
                 reason: "latency_buckets must lie in [8, 64]".into(),
             });
         }
+        if self.forecast_window < 2 {
+            return Err(ServeError::InvalidConfig {
+                reason: "forecast_window must be at least 2 boundaries".into(),
+            });
+        }
         self.thresholds
             .validate()
             .map_err(|e| ServeError::InvalidConfig { reason: format!("wear thresholds: {e}") })
@@ -139,6 +150,7 @@ mod tests {
             ServeConfig { calib_batch: 0, ..ServeConfig::default() },
             ServeConfig { latency_buckets: 4, ..ServeConfig::default() },
             ServeConfig { latency_buckets: 65, ..ServeConfig::default() },
+            ServeConfig { forecast_window: 1, ..ServeConfig::default() },
             ServeConfig {
                 thresholds: WearThresholds {
                     warn_window_fraction: 0.1,

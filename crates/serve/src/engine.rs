@@ -28,13 +28,23 @@ use std::sync::{Arc, Mutex};
 
 use memaging_crossbar::{CrossbarNetwork, MappingStrategy};
 use memaging_dataset::Dataset;
-use memaging_lifetime::{HealthConfig, HealthMonitor, WearCause, WearLedger};
-use memaging_obs::Recorder;
+use memaging_lifetime::{trend, worst_tile, HealthConfig, HealthMonitor, WearCause, WearLedger};
+use memaging_obs::{AlertSeverity, Recorder};
 
 use crate::config::ServeConfig;
 use crate::error::ServeError;
 use crate::generation::MappingGeneration;
-use crate::stats::ServeStats;
+use crate::stats::{ServeStats, WorstTileForecast};
+
+/// Fixed-point scale for series values: fractions are recorded in
+/// parts-per-billion and stress in nanoseconds, so series folds are pure
+/// integer math (the bit-determinism contract of the series store).
+const SERIES_SCALE: f64 = 1e9;
+
+/// Converts a non-negative float to its fixed-point series value.
+fn to_fixed(value: f64) -> u64 {
+    (value * SERIES_SCALE).round().max(0.0) as u64
+}
 
 /// The serving tier's hardware side: crossbars, wear accounting, health
 /// forecasting, and the live-remap policy.
@@ -59,6 +69,9 @@ pub struct ServeEngine {
     /// thread, in admission-sequence order) and read by
     /// `GET /wear/attribution`.
     ledger: Arc<Mutex<WearLedger>>,
+    /// Highest severity the predictive burn-rate alert has fired at —
+    /// escalate-once, like the health monitor's per-rule alert state.
+    burn_severity: Option<AlertSeverity>,
 }
 
 impl ServeEngine {
@@ -100,8 +113,13 @@ impl ServeEngine {
         // Open the attribution ledger with the initial deployment mapping
         // charged as `Remap{generation: 0}` — from here on every wear
         // checkpoint is taken on this thread, in admission-sequence order.
-        let mut ledger = WearLedger::new(network.tile_stress().len());
-        ledger.charge(WearCause::Remap { generation: 0 }, &network.tile_stress());
+        // The checkpoint is mirrored to the trace so offline attribution
+        // replays bit-for-bit.
+        let stress = network.tile_stress();
+        let mut ledger = WearLedger::new(stress.len());
+        let cause = WearCause::Remap { generation: 0 };
+        ledger.charge(cause, &stress);
+        recorder.wear_checkpoint(cause.kind(), cause.param(), &stress);
         let mut engine = ServeEngine {
             network,
             calib,
@@ -114,6 +132,7 @@ impl ServeEngine {
             remaps: 0,
             last_boundary: 0,
             ledger: Arc::new(Mutex::new(ledger)),
+            burn_severity: None,
         };
         let generation = engine.read_generation(0)?;
         Ok((engine, generation))
@@ -158,6 +177,8 @@ impl ServeEngine {
         report.emit(&self.recorder);
         let generation = self.read_generation(id)?;
         self.recorder.gauge("serve.window_fraction_worst", generation.worst_window_fraction);
+        self.record_series(id, &wear);
+        self.update_forecast(wear.len());
 
         // The remap trigger: exactly the forecaster's warn rule (shared
         // thresholds — satellite of this PR), gated by mapping staleness
@@ -252,12 +273,113 @@ impl ServeEngine {
     }
 
     /// Checkpoints the network's current per-tile stress into the ledger
-    /// under `cause`.
+    /// under `cause`, mirroring the checkpoint to the trace as an
+    /// [`memaging_obs::Event::Wear`] so offline attribution replays
+    /// bit-for-bit.
     fn charge(&self, cause: WearCause) {
+        let stress = self.network.tile_stress();
         self.ledger
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .charge(cause, &self.network.tile_stress());
+            .charge(cause, &stress);
+        self.recorder.wear_checkpoint(cause.kind(), cause.param(), &stress);
+    }
+
+    /// Feeds the per-tile wear series at boundary `id`: the mean window
+    /// fraction in parts-per-billion and the cumulative ledger stress in
+    /// nanoseconds, keyed by boundary id so the series is bit-identical at
+    /// any worker/client count. Alloc-free unless a series store is
+    /// attached.
+    fn record_series(&self, id: u64, wear: &[memaging_crossbar::TileWear]) {
+        if !self.recorder.has_series() {
+            return;
+        }
+        let stress = self.network.tile_stress();
+        for (t, (tile, tile_stress)) in wear.iter().zip(&stress).enumerate() {
+            self.recorder.series_record(
+                &format!("serve.window_fraction_ppb{{tile={t}}}"),
+                id,
+                to_fixed(tile.mean_window_fraction),
+            );
+            self.recorder.series_record(
+                &format!("serve.tile_stress_ns{{tile={t}}}"),
+                id,
+                to_fixed(*tile_stress),
+            );
+        }
+    }
+
+    /// Refits the per-tile wear trajectories over the retained series and
+    /// publishes the forecast: per-tile velocity/acceleration/
+    /// sessions-to-critical gauges, the worst-tile summary into
+    /// [`ServeStats`] (surfacing in `GET /serve/stats` and `GET /health`),
+    /// and the predictive burn-rate alert ("tile 3 crosses critical in ~k
+    /// sessions"), escalate-once per severity.
+    fn update_forecast(&mut self, tiles: usize) {
+        let Some(store) = self.recorder.series() else {
+            return;
+        };
+        let critical_ppb = to_fixed(self.config.thresholds.critical_window_fraction);
+        let mut trends = Vec::with_capacity(tiles);
+        for t in 0..tiles {
+            let name = format!("serve.window_fraction_ppb{{tile={t}}}");
+            let Some(snapshot) = store.snapshot(&name) else { continue };
+            let Some(fit) =
+                trend(&snapshot.raw_points(), self.config.forecast_window, critical_ppb)
+            else {
+                continue;
+            };
+            self.recorder.gauge_labeled(
+                "forecast.window_fraction",
+                "tile",
+                t,
+                fit.value as f64 / SERIES_SCALE,
+            );
+            self.recorder.gauge_labeled(
+                "forecast.velocity_per_session",
+                "tile",
+                t,
+                fit.velocity / SERIES_SCALE,
+            );
+            self.recorder.gauge_labeled(
+                "forecast.acceleration_per_session2",
+                "tile",
+                t,
+                fit.acceleration / SERIES_SCALE,
+            );
+            if let Some(k) = fit.sessions_to_critical {
+                self.recorder.gauge_labeled("forecast.sessions_to_critical", "tile", t, k);
+            }
+            trends.push((t, fit));
+        }
+        let Some((tile, fit)) = worst_tile(&trends) else {
+            return;
+        };
+        self.recorder.gauge("forecast.worst_tile", tile as f64);
+        self.recorder.gauge("forecast.worst_velocity_per_session", fit.velocity / SERIES_SCALE);
+        if let Some(k) = fit.sessions_to_critical {
+            self.recorder.gauge("forecast.worst_sessions_to_critical", k);
+        }
+        self.stats.set_forecast(WorstTileForecast {
+            tile,
+            window_fraction: fit.value as f64 / SERIES_SCALE,
+            velocity_per_session: fit.velocity / SERIES_SCALE,
+            sessions_to_critical: fit.sessions_to_critical,
+        });
+        if let Some(k) = fit.sessions_to_critical {
+            if let Some((severity, threshold)) = self.config.thresholds.classify_sessions_left(k) {
+                if self.burn_severity.is_none_or(|prev| severity > prev) {
+                    self.burn_severity = Some(severity);
+                    self.recorder.alert(
+                        severity,
+                        "forecast.sessions_to_critical",
+                        k,
+                        threshold,
+                        &format!("tile {tile} crosses the critical window in ~{k:.1} sessions"),
+                    );
+                }
+            }
+        }
     }
 }
 

@@ -65,5 +65,5 @@ pub use generation::{GenerationCell, MappingGeneration};
 pub use http::ServeHandler;
 pub use request::{InferRequest, InferResponse};
 pub use service::{InferenceService, ServeReport};
-pub use stats::{LatencyStats, ServeStats};
+pub use stats::{LatencyStats, ServeStats, WorstTileForecast};
 pub use trace::{RequestCtx, TraceId};

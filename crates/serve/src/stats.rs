@@ -6,7 +6,7 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use memaging_obs::{LatencySnapshot, ShardedHistogram};
+use memaging_obs::{latency_detail_json, LatencySnapshot, ShardedHistogram};
 
 /// Shard count for the latency histograms: comfortably above any worker
 /// pool this workspace runs (shard index is `worker % shards`; correctness
@@ -80,6 +80,48 @@ pub struct ServeStats {
     service_us: Reservoir,
     batch_sizes: Reservoir,
     latency: LatencyStats,
+    /// Worst-tile lifetime forecast, refreshed by the maintenance engine at
+    /// every boundary (absent until the first fit, or when series
+    /// retention is off).
+    forecast: Mutex<Option<WorstTileForecast>>,
+}
+
+/// The worst tile's fitted wear trajectory, as surfaced in
+/// `GET /serve/stats` and `GET /health` — "how long does this deployment
+/// live" in one object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorstTileForecast {
+    /// Tile index crossing the critical window soonest.
+    pub tile: usize,
+    /// Its current mean window fraction (of fresh).
+    pub window_fraction: f64,
+    /// Fitted window-fraction change per maintenance session (negative
+    /// while shrinking).
+    pub velocity_per_session: f64,
+    /// Forecast sessions until the critical window fraction is crossed
+    /// (`None` when flat or improving).
+    pub sessions_to_critical: Option<f64>,
+}
+
+impl WorstTileForecast {
+    /// Renders the forecast as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        let _ = write!(
+            out,
+            "{{\"tile\":{},\"window_fraction\":{},\"velocity_per_session\":{},\
+             \"sessions_to_critical\":",
+            self.tile, self.window_fraction, self.velocity_per_session
+        );
+        match self.sessions_to_critical {
+            Some(k) => {
+                let _ = write!(out, "{k}");
+            }
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
 }
 
 /// The tier's log-bucketed latency histograms (power-of-2 buckets,
@@ -140,12 +182,24 @@ impl ServeStats {
             service_us: Reservoir::new(),
             batch_sizes: Reservoir::new(),
             latency: LatencyStats::new(buckets),
+            forecast: Mutex::new(None),
         }
     }
 
     /// The latency histograms (record side: the service's own threads).
     pub fn latency(&self) -> &LatencyStats {
         &self.latency
+    }
+
+    /// Publishes the worst-tile forecast (the maintenance engine, at each
+    /// boundary).
+    pub fn set_forecast(&self, forecast: WorstTileForecast) {
+        *self.forecast.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(forecast);
+    }
+
+    /// The latest worst-tile forecast, if one has been fitted.
+    pub fn forecast(&self) -> Option<WorstTileForecast> {
+        *self.forecast.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Records one served request's queue wait and service time.
@@ -195,43 +249,22 @@ impl ServeStats {
                 snap.max,
             );
         }
-        out.push_str("}}");
+        out.push_str("},\"forecast\":");
+        match self.forecast() {
+            Some(forecast) => out.push_str(&forecast.to_json()),
+            None => out.push_str("null"),
+        }
+        out.push('}');
         out
     }
 
     /// The full histogram detail — the JSON body of `GET /serve/latency`:
     /// per stage the count/sum/min/max, p50/p90/p99, mean, and every
     /// non-empty bucket as `{"le": <inclusive upper bound µs>, "count"}`.
+    /// Rendered by the shared [`latency_detail_json`] so the offline
+    /// analyzer reproduces this body byte-for-byte from a trace.
     pub fn latency_json(&self) -> String {
-        let mut out = String::with_capacity(512);
-        let _ = write!(out, "{{\"buckets\":{},\"histograms\":{{", self.latency.e2e.buckets());
-        for (i, (name, snap)) in self.latency.snapshots().iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            let _ = write!(
-                out,
-                "\"{name}\":{{\"count\":{},\"sum_us\":{},\"min_us\":{},\"max_us\":{},\
-                 \"p50\":{},\"p90\":{},\"p99\":{},\"mean_us\":{:.1},\"buckets\":[",
-                snap.count,
-                snap.sum,
-                snap.min,
-                snap.max,
-                snap.quantile(0.50),
-                snap.quantile(0.90),
-                snap.quantile(0.99),
-                snap.mean(),
-            );
-            for (j, (le, count)) in snap.nonzero_buckets().iter().enumerate() {
-                if j > 0 {
-                    out.push(',');
-                }
-                let _ = write!(out, "{{\"le\":{le},\"count\":{count}}}");
-            }
-            out.push_str("]}");
-        }
-        out.push_str("}}");
-        out
+        latency_detail_json(self.latency.e2e.buckets(), &self.latency.snapshots())
     }
 }
 
@@ -267,7 +300,39 @@ mod tests {
         let json = ServeStats::default().to_json();
         assert!(json.starts_with("{\"admitted\":0,"), "{json}");
         assert!(json.contains("\"batch_size\":{\"p50\":0,\"p99\":0,\"max\":0}"), "{json}");
-        assert!(json.ends_with("\"e2e_us\":{\"p50\":0,\"p90\":0,\"p99\":0,\"max\":0}}}"), "{json}");
+        assert!(
+            json.ends_with(
+                "\"e2e_us\":{\"p50\":0,\"p90\":0,\"p99\":0,\"max\":0}},\"forecast\":null}"
+            ),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn forecast_surfaces_in_stats_json() {
+        let stats = ServeStats::default();
+        assert_eq!(stats.forecast(), None);
+        stats.set_forecast(WorstTileForecast {
+            tile: 3,
+            window_fraction: 0.5,
+            velocity_per_session: -0.00625,
+            sessions_to_critical: Some(32.0),
+        });
+        let json = stats.to_json();
+        assert!(
+            json.ends_with(
+                "\"forecast\":{\"tile\":3,\"window_fraction\":0.5,\
+                 \"velocity_per_session\":-0.00625,\"sessions_to_critical\":32}}"
+            ),
+            "{json}"
+        );
+        stats.set_forecast(WorstTileForecast {
+            tile: 0,
+            window_fraction: 0.9,
+            velocity_per_session: 0.0,
+            sessions_to_critical: None,
+        });
+        assert!(stats.to_json().ends_with("\"sessions_to_critical\":null}}"));
     }
 
     #[test]

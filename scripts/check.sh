@@ -56,7 +56,8 @@ fi
 # sequence), so they stay at the strict default tolerance even when the
 # timing tolerance is loosened for cross-machine runs.
 for key in wear_total_stress wear_inference_read_stress wear_remap_stress \
-           wear_ledger_entries latency_e2e_count; do
+           wear_ledger_entries latency_e2e_count series_points forecast_tiles \
+           forecast_worst_velocity; do
     grep -q "\"$key\"" BENCH_serve.json \
         || { echo "check.sh: BENCH_serve.json is missing extra \"$key\"" >&2; exit 1; }
 done
@@ -66,5 +67,14 @@ if [[ -n "$candidate_serve" && -f "$candidate_serve" ]]; then
     cargo run -q -p memaging-bench --bin bench-diff -- \
         BENCH_serve.json "$candidate_serve" --tolerance 3.0
 fi
+
+# Offline trace analyzer over the committed flight dumps: every committed
+# line must parse, and identical dumps must diff clean (exit 0, zero
+# regressions) — the analyzer's own regression gate applied to itself.
+for dump in results/flight_serve_*.jsonl; do
+    cargo run -q -p memaging --bin memaging -- analyze "$dump" > /dev/null
+done
+cargo run -q -p memaging --bin memaging -- analyze \
+    results/flight_serve_1t.jsonl results/flight_serve_1t.jsonl > /dev/null
 
 echo "check.sh: all green"
