@@ -1,15 +1,29 @@
 //! `exp_map` — incremental range-selection engine benchmark and oracle
 //! check.
 //!
-//! Runs the instrumented quick scenario (ST+AT) four ways — naive vs
-//! incremental candidate evaluation, single- vs multi-threaded — asserts
-//! all four runs are **bit-identical** (the incremental engine and the
-//! thread count must not change a single session record), and writes the
-//! mode/thread-suffixed phase profile to `BENCH_map.json`:
+//! Runs the instrumented quick scenario (ST+AT) six ways — naive vs
+//! incremental (f32) vs quantized-incremental candidate evaluation, each
+//! single- and multi-threaded — and asserts:
+//!
+//! * the four **f32** runs are bit-identical (the incremental engine and
+//!   the thread count must not change a single session record);
+//! * the two **quantized** runs are bit-identical to each other (pure
+//!   integer accumulation is associative, so the thread count cannot move
+//!   a bit — the quantized trajectory may legitimately differ from f32
+//!   when a near-tie candidate flips);
+//! * the quantized forward path classifies a freshly trained network
+//!   **identically to the f32 oracle** on every calibration sample whose
+//!   logit margin exceeds the fixed-point error bound;
+//! * quantized candidate evaluation beats f32 incremental by >= 2x at one
+//!   thread (the `quant_speedup_candidate` extra in `BENCH_map.json`).
+//!
+//! The mode/thread-suffixed phase profile is written to `BENCH_map.json`:
 //!
 //! * `map.candidate_naive_1t` vs `map.candidate_incr_1t` is the headline
 //!   speedup of the incremental engine (prefix caching + quantization
 //!   memoization + matrix dedup + exact-bound pruning);
+//! * `map.candidate_incr_1t` vs `map.candidate_quant_1t` is the headline
+//!   speedup of the fixed-point kernels;
 //! * `map.sweep_incr_1t` vs `map.sweep_incr_{N}t` is the sweep wall-clock
 //!   scaling gate (enforced when the machine actually has >1 core).
 //!
@@ -19,9 +33,28 @@
 //! ```
 
 use memaging::lifetime::Strategy;
-use memaging::obs::{MemorySink, Recorder};
+use memaging::nn::{Mode, QuantScratch};
+use memaging::obs::{Event, MemorySink, Recorder};
 use memaging::{par, Scenario};
-use memaging_bench::{banner, phase_profile_json, profile_phases, report, PhaseProfile};
+use memaging_bench::{banner, phase_profile_json_with, profile_phases, report, PhaseProfile};
+
+/// Candidate-evaluation mode of one profiled leg.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EvalMode {
+    Naive,
+    Incr,
+    Quant,
+}
+
+impl EvalMode {
+    fn label(self) -> &'static str {
+        match self {
+            EvalMode::Naive => "naive",
+            EvalMode::Incr => "incr",
+            EvalMode::Quant => "quant",
+        }
+    }
+}
 
 /// One profiled run: the phase profile (span names suffixed with the mode
 /// and thread count) plus the outcome used for the determinism assertion.
@@ -29,27 +62,36 @@ struct ProfiledRun {
     profiles: Vec<PhaseProfile>,
     lifetime: memaging::lifetime::LifetimeResult,
     accuracy_bits: u64,
+    /// Total crossbar cells programmed across the run
+    /// (`mapping.programmed_cells` counter).
+    programmed_cells: u64,
 }
 
-fn profiled_run(
-    incremental: bool,
-    threads: usize,
-) -> Result<ProfiledRun, Box<dyn std::error::Error>> {
+fn profiled_run(mode: EvalMode, threads: usize) -> Result<ProfiledRun, Box<dyn std::error::Error>> {
     par::set_threads(threads);
     let (sink, handle) = MemorySink::new();
     let mut scenario = Scenario::quick();
-    scenario.framework.lifetime.incremental_eval = incremental;
+    scenario.framework.lifetime.incremental_eval = mode != EvalMode::Naive;
+    scenario.framework.lifetime.quantized_eval = mode == EvalMode::Quant;
     scenario.framework.recorder = Recorder::new(vec![Box::new(sink)]);
     let outcome = scenario.run_strategy(Strategy::StAt)?;
-    let mode = if incremental { "incr" } else { "naive" };
-    let mut profiles = profile_phases(&handle.events());
+    let events = handle.events();
+    let programmed_cells = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Counter { name, delta, .. } if name == "mapping.programmed_cells" => Some(delta),
+            _ => None,
+        })
+        .sum();
+    let mut profiles = profile_phases(&events);
     for p in &mut profiles {
-        p.name = format!("{}_{mode}_{threads}t", p.name);
+        p.name = format!("{}_{}_{threads}t", p.name, mode.label());
     }
     Ok(ProfiledRun {
         profiles,
         lifetime: outcome.lifetime,
         accuracy_bits: outcome.software_accuracy.to_bits(),
+        programmed_cells,
     })
 }
 
@@ -57,23 +99,91 @@ fn total_ms(profiles: &[PhaseProfile], name: &str) -> f64 {
     profiles.iter().find(|p| p.name == name).map(|p| p.total_us as f64 / 1e3).unwrap_or(0.0)
 }
 
+/// The f32-oracle gate: quantized inference must classify exactly like the
+/// f32 forward pass on every calibration sample whose logit margin exceeds
+/// the fixed-point error bound (near-ties are reported, not asserted — a
+/// sub-quantization-step margin is noise under *any* arithmetic).
+fn oracle_gate() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::quick();
+    let data = scenario.dataset()?;
+    let (train, calib) = scenario.train_calib_split(&data)?;
+    let trained = scenario.framework.train_model(&train, Strategy::StAt, scenario.seed)?;
+    let mut net = trained.network;
+    let qnet = net.quantize_weights();
+    let mut scratch = QuantScratch::new();
+
+    let batch = calib.batch_matrix(0, calib.len());
+    let n = calib.len();
+    let f32_logits = net.forward(&batch, Mode::Eval)?;
+    let f32_logits = f32_logits.as_slice();
+    let q_logits = net.forward_quantized(&qnet, batch.as_slice(), n, &mut scratch)?.to_vec();
+    let width = f32_logits.len() / n;
+
+    // Per-sample error bound: the worst-case absolute logit deviation of
+    // the quantized pipeline, taken as a fraction of the sample's dynamic
+    // range. One quantization step per tensor per layer, amplified through
+    // the depth — 2% of the peak |logit| comfortably covers the 9-bit
+    // weight / 11-bit activation grid of this 2-layer MLP.
+    let mut agree = 0usize;
+    let mut gated = 0usize;
+    for i in 0..n {
+        let f = &f32_logits[i * width..(i + 1) * width];
+        let q = &q_logits[i * width..(i + 1) * width];
+        let argmax = |row: &[f32]| {
+            let mut best = 0;
+            for (j, &x) in row.iter().enumerate() {
+                if x > row[best] {
+                    best = j;
+                }
+            }
+            best
+        };
+        let (fp, qp) = (argmax(f), argmax(q));
+        if fp == qp {
+            agree += 1;
+        }
+        let mut sorted: Vec<f32> = f.to_vec();
+        sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite logits"));
+        let margin = sorted[0] - sorted[1];
+        let peak = f.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        if margin > 0.02 * peak {
+            gated += 1;
+            assert_eq!(
+                fp, qp,
+                "quantized prediction differs from the f32 oracle on sample {i} \
+                 (margin {margin:.4} exceeds the fixed-point error bound)"
+            );
+        }
+    }
+    report(&format!(
+        "  oracle gate: {agree}/{n} predictions identical to f32 \
+         ({gated} margin-gated samples all asserted equal)"
+    ));
+    assert!(gated > 0, "oracle gate vacuous: no calibration sample cleared the margin");
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let threads = par::num_threads().max(2);
     banner(&format!(
-        "range-selection engine profile (quick scenario, ST+AT, naive vs incremental, 1 vs {threads} threads)"
+        "range-selection engine profile (quick scenario, ST+AT, naive vs incremental vs quantized, 1 vs {threads} threads)"
     ));
 
+    oracle_gate()?;
+
     let legs = [
-        profiled_run(false, 1)?,
-        profiled_run(true, 1)?,
-        profiled_run(false, threads)?,
-        profiled_run(true, threads)?,
+        profiled_run(EvalMode::Naive, 1)?,
+        profiled_run(EvalMode::Incr, 1)?,
+        profiled_run(EvalMode::Naive, threads)?,
+        profiled_run(EvalMode::Incr, threads)?,
+        profiled_run(EvalMode::Quant, 1)?,
+        profiled_run(EvalMode::Quant, threads)?,
     ];
     par::set_threads(0);
 
     // The whole point: neither the incremental engine nor the thread count
-    // may change a single bit of the simulation.
-    for leg in &legs[1..] {
+    // may change a single bit of the f32 simulation.
+    for leg in &legs[1..4] {
         assert_eq!(
             legs[0].lifetime, leg.lifetime,
             "lifetime result differs between evaluation modes/thread counts"
@@ -83,13 +193,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "software accuracy differs between evaluation modes/thread counts"
         );
     }
+    // The quantized trajectory is bit-identical across thread counts
+    // (integer accumulation is associative); it may differ from f32 only
+    // when a near-tie candidate flips.
+    assert_eq!(
+        legs[4].lifetime, legs[5].lifetime,
+        "quantized lifetime result differs between thread counts"
+    );
+    assert_eq!(
+        legs[4].accuracy_bits, legs[5].accuracy_bits,
+        "quantized software accuracy differs between thread counts"
+    );
+    // Programming volume is part of the deterministic trajectory.
+    for leg in &legs[1..4] {
+        assert_eq!(
+            legs[0].programmed_cells, leg.programmed_cells,
+            "programmed-cell count differs between f32 evaluation modes/thread counts"
+        );
+    }
+    assert_eq!(
+        legs[4].programmed_cells, legs[5].programmed_cells,
+        "programmed-cell count differs between quantized thread counts"
+    );
     report(&format!(
-        "  determinism: naive/incremental x 1t/{threads}t all bit-identical \
+        "  determinism: naive/incremental x 1t/{threads}t bit-identical \
+         ({} sessions, {} applications); quantized 1t/{threads}t bit-identical \
          ({} sessions, {} applications)",
         legs[0].lifetime.sessions.len(),
         legs[0].lifetime.lifetime_applications,
+        legs[4].lifetime.sessions.len(),
+        legs[4].lifetime.lifetime_applications,
+    ));
+    report(&format!(
+        "  programmed cells: {} (f32 trajectory), {} (quantized trajectory)",
+        legs[0].programmed_cells, legs[4].programmed_cells,
     ));
 
+    let programmed_cells = legs[0].programmed_cells;
     let mut profiles = Vec::new();
     for leg in legs {
         profiles.extend(leg.profiles);
@@ -104,7 +244,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ));
     }
 
-    // Headline: total candidate-evaluation time, naive vs incremental.
+    // Headline 1: total candidate-evaluation time, naive vs incremental.
     let naive_1t = total_ms(&profiles, "map.candidate_naive_1t");
     let incr_1t = total_ms(&profiles, "map.candidate_incr_1t");
     if naive_1t > 0.0 && incr_1t > 0.0 {
@@ -116,6 +256,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             incr_1t < naive_1t,
             "incremental candidate evaluation must beat the naive sweep at 1 thread \
              (naive {naive_1t:.1} ms, incremental {incr_1t:.1} ms)"
+        );
+    }
+
+    // Headline 2: f32 incremental vs quantized incremental. The fixed-point
+    // kernels must at least double candidate-evaluation throughput.
+    let quant_1t = total_ms(&profiles, "map.candidate_quant_1t");
+    let quant_speedup = if quant_1t > 0.0 { incr_1t / quant_1t } else { 0.0 };
+    if incr_1t > 0.0 && quant_1t > 0.0 {
+        report(&format!(
+            "  map.candidate @1t: f32 incr {incr_1t:.1} ms -> quantized {quant_1t:.1} ms  \
+             ({quant_speedup:.2}x)"
+        ));
+        assert!(
+            quant_speedup >= 2.0,
+            "quantized candidate evaluation must be >= 2x faster than f32 incremental \
+             at 1 thread (f32 {incr_1t:.1} ms, quantized {quant_1t:.1} ms, \
+             {quant_speedup:.2}x)"
         );
     }
 
@@ -138,11 +295,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let json = phase_profile_json(
+    let json = phase_profile_json_with(
         &format!(
-            "quick scenario, ST+AT strategy, naive vs incremental range selection, 1 vs {threads} threads"
+            "quick scenario, ST+AT strategy, naive vs incremental vs quantized range selection, 1 vs {threads} threads"
         ),
         &profiles,
+        &[
+            ("quant_speedup_candidate", quant_speedup),
+            ("programmed_cells", programmed_cells as f64),
+        ],
     );
     let path = "BENCH_map.json";
     std::fs::write(path, &json)?;

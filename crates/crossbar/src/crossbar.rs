@@ -14,6 +14,8 @@ pub struct ProgramStats {
     pub clipped: usize,
     /// Devices that could not be programmed because they are worn out.
     pub dead: usize,
+    /// Devices actually programmed (live cells that accepted a target).
+    pub programmed: usize,
 }
 
 impl ProgramStats {
@@ -22,6 +24,7 @@ impl ProgramStats {
         self.pulses += other.pulses;
         self.clipped += other.clipped;
         self.dead += other.dead;
+        self.programmed += other.programmed;
     }
 }
 
@@ -210,6 +213,7 @@ impl Crossbar {
             let g = Siemens::new(targets.as_slice()[i] as f64).map_err(CrossbarError::from)?;
             let outcome = device.program_conductance(g)?;
             stats.pulses += outcome.pulses;
+            stats.programmed += 1;
             if outcome.clipped() {
                 stats.clipped += 1;
             }
@@ -231,6 +235,21 @@ impl Crossbar {
     /// Returns [`CrossbarError::DimensionMismatch`] if `input.len()` differs
     /// from the row count.
     pub fn vmm(&self, input: &[f32]) -> Result<Vec<f64>, CrossbarError> {
+        let mut out = vec![0.0f64; self.cols];
+        self.vmm_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Crossbar::vmm`] into a caller-provided output buffer: `out` is
+    /// overwritten with the column currents. Lets hot loops (serve forward,
+    /// candidate sweeps) reuse one scratch vector instead of allocating per
+    /// call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::DimensionMismatch`] if `input.len()` differs
+    /// from the row count or `out.len()` from the column count.
+    pub fn vmm_into(&self, input: &[f32], out: &mut [f64]) -> Result<(), CrossbarError> {
         if input.len() != self.rows {
             return Err(CrossbarError::DimensionMismatch {
                 what: "vmm input",
@@ -238,7 +257,14 @@ impl Crossbar {
                 actual: (input.len(), 1),
             });
         }
-        let mut out = vec![0.0f64; self.cols];
+        if out.len() != self.cols {
+            return Err(CrossbarError::DimensionMismatch {
+                what: "vmm output",
+                expected: (self.cols, 1),
+                actual: (out.len(), 1),
+            });
+        }
+        out.fill(0.0);
         for (r, &vin) in input.iter().enumerate() {
             let v = vin as f64;
             if v == 0.0 {
@@ -249,7 +275,7 @@ impl Crossbar {
                 *o += v * d.conductance().value();
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Applies one session of read-disturb drift: each device independently
@@ -569,8 +595,8 @@ mod tests {
 
     #[test]
     fn stats_merge() {
-        let mut a = ProgramStats { pulses: 5, clipped: 1, dead: 0 };
-        a.merge(ProgramStats { pulses: 3, clipped: 0, dead: 2 });
-        assert_eq!(a, ProgramStats { pulses: 8, clipped: 1, dead: 2 });
+        let mut a = ProgramStats { pulses: 5, clipped: 1, dead: 0, programmed: 4 };
+        a.merge(ProgramStats { pulses: 3, clipped: 0, dead: 2, programmed: 2 });
+        assert_eq!(a, ProgramStats { pulses: 8, clipped: 1, dead: 2, programmed: 6 });
     }
 }

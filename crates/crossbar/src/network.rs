@@ -74,6 +74,9 @@ pub struct CrossbarNetwork {
     /// Whether range selection uses the incremental engine (default) or the
     /// naive per-candidate re-simulation.
     incremental_eval: bool,
+    /// Whether the incremental engine scores candidates on the fixed-point
+    /// kernels instead of the f32 forward pass.
+    quantized_eval: bool,
 }
 
 impl std::fmt::Debug for CrossbarNetwork {
@@ -118,6 +121,7 @@ impl CrossbarNetwork {
             wear_leveling: false,
             engine: EvalEngine::new(),
             incremental_eval: true,
+            quantized_eval: false,
         })
     }
 
@@ -127,6 +131,24 @@ impl CrossbarNetwork {
     /// naive path exists as the reference oracle and escape hatch.
     pub fn set_incremental_eval(&mut self, enabled: bool) {
         self.incremental_eval = enabled;
+    }
+
+    /// Selects whether the incremental engine scores candidate windows on
+    /// the fixed-point kernels (u8 level codes, `i16×i16 → i32 → i64`
+    /// accumulation) instead of the f32 forward pass. Selection stays
+    /// bit-identical at any thread count either way; quantized accuracies
+    /// may differ from the f32 oracle within the quantization error bound,
+    /// so the two modes can legitimately pick different windows. Only the
+    /// incremental path is affected — the naive reference path and
+    /// [`CrossbarNetwork::evaluate`] always use f32, keeping the oracle
+    /// intact.
+    pub fn set_quantized_eval(&mut self, enabled: bool) {
+        self.quantized_eval = enabled;
+    }
+
+    /// Whether quantized candidate evaluation is enabled.
+    pub fn quantized_eval(&self) -> bool {
+        self.quantized_eval
     }
 
     /// Enables the row-swapping wear-leveling baseline of the paper's
@@ -221,6 +243,7 @@ impl CrossbarNetwork {
             recorder.counter("mapping.out_of_range_weights", clamped as u64);
             recorder.counter("mapping.candidates_tried", report.candidates_tried as u64);
             recorder.counter("mapping.pulses", report.stats.pulses);
+            recorder.counter("mapping.programmed_cells", report.stats.programmed as u64);
             if let Some(accuracy) = report.post_map_accuracy {
                 recorder.gauge("mapping.post_map_accuracy", accuracy);
             }
@@ -248,6 +271,7 @@ impl CrossbarNetwork {
             wear_leveling,
             engine,
             incremental_eval,
+            quantized_eval,
             ..
         } = &mut *self;
         let software: &Network = software;
@@ -255,6 +279,7 @@ impl CrossbarNetwork {
         let percentile = *outlier_percentile;
         let wear_leveling = *wear_leveling;
         let incremental = *incremental_eval;
+        let quantized = *quantized_eval;
         // New mapping epoch: worker contexts lazily re-sync the (possibly
         // retrained) software weights at their first lease.
         engine.begin_epoch();
@@ -296,6 +321,7 @@ impl CrossbarNetwork {
                         data,
                         batch,
                         percentile,
+                        quantized,
                     };
                     let selection = if incremental {
                         engine.sweep(software, candidates, spec.r_min, &params, recorder)

@@ -176,6 +176,20 @@ impl TiledMatrix {
     /// Returns [`CrossbarError::DimensionMismatch`] if `input.len()` differs
     /// from the logical row count.
     pub fn vmm(&self, input: &[f32]) -> Result<Vec<f64>, CrossbarError> {
+        let mut out = vec![0.0f64; self.cols];
+        self.vmm_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`TiledMatrix::vmm`] into a caller-provided output buffer: `out` is
+    /// overwritten with the logical column currents, letting hot loops reuse
+    /// one scratch vector across calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::DimensionMismatch`] if `input.len()` differs
+    /// from the logical row count or `out.len()` from the column count.
+    pub fn vmm_into(&self, input: &[f32], out: &mut [f64]) -> Result<(), CrossbarError> {
         if input.len() != self.rows {
             return Err(CrossbarError::DimensionMismatch {
                 what: "tiled vmm input",
@@ -183,7 +197,14 @@ impl TiledMatrix {
                 actual: (input.len(), 1),
             });
         }
-        let mut out = vec![0.0f64; self.cols];
+        if out.len() != self.cols {
+            return Err(CrossbarError::DimensionMismatch {
+                what: "tiled vmm output",
+                expected: (self.cols, 1),
+                actual: (out.len(), 1),
+            });
+        }
+        out.fill(0.0);
         // One worker per tile *column*: each owns a disjoint slice of the
         // output and folds its partial currents over the tile rows in
         // ascending `tr` order, exactly as the serial loop — results are
@@ -192,13 +213,15 @@ impl TiledMatrix {
         // once the input length check passed; any is still propagated.)
         let first_err = std::sync::Mutex::new(None);
         let threads = memaging_par::parallelism_for(2 * self.rows * self.cols);
-        memaging_par::par_chunks_mut(&mut out, self.tile_size, threads, |tc, chunk| {
+        memaging_par::par_chunks_mut(out, self.tile_size, threads, |tc, chunk| {
+            // One partial buffer per tile column, reused down the tile rows.
+            let mut partial = vec![0.0f64; chunk.len()];
             for tr in 0..self.tile_rows {
                 let band = &input[tr * self.tile_size
                     ..(tr * self.tile_size + self.tiles[tr * self.tile_cols].rows())];
                 let tile = &self.tiles[tr * self.tile_cols + tc];
-                match tile.vmm(band) {
-                    Ok(partial) => {
+                match tile.vmm_into(band, &mut partial) {
+                    Ok(()) => {
                         for (o, p) in chunk.iter_mut().zip(partial.iter()) {
                             *o += p;
                         }
@@ -215,7 +238,7 @@ impl TiledMatrix {
         if let Some(e) = first_err.into_inner().unwrap_or_else(|poison| poison.into_inner()) {
             return Err(e);
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Total programming pulses across all tiles.

@@ -1,0 +1,223 @@
+//! Property-based tests for the quantized inference kernels: provable
+//! drift bounds against the exact real-valued product, margin-gated argmax
+//! equality with the f32 oracle, thread-count bit-identity, and the
+//! level-code / sparse-delta constructors' exactness contracts.
+
+use memaging_nn::{models, QuantScratch};
+use memaging_tensor::quant::{
+    dot_error_bound, max_abs, qdelta_apply_t, qmm_into, qmm_pre_t_into, qt_diff_within,
+    quantize_acts_into, transpose_codes, weight_step, QCellDelta, QuantizedMatrix,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic pseudo-random f32 in roughly `[-peak, peak]`.
+fn val(seed: u64, i: usize, peak: f32) -> f32 {
+    let h = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(i as u64)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let u = ((h >> 40) as f32) / ((1u32 << 24) as f32);
+    (2.0 * u - 1.0) * peak
+}
+
+/// The exact real-valued product `x · W` in f64, the oracle every bound is
+/// proved against.
+fn exact_logits(x: &[f32], w: &[f32], n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|j| x.iter().enumerate().map(|(p, &v)| v as f64 * w[p * n + j] as f64).sum())
+        .collect()
+}
+
+fn argmax(v: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in v.iter().enumerate() {
+        if x > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every quantized dot product lands within [`dot_error_bound`] of the
+    /// exact real-valued product (plus the final f64 → f32 rounding).
+    #[test]
+    fn quantized_product_drift_is_bounded(
+        k in 1usize..96,
+        n in 1usize..12,
+        seed in 0u64..1u64 << 32,
+        peak in 0.05f32..8.0,
+    ) {
+        let x: Vec<f32> = (0..k).map(|i| val(seed, i, peak)).collect();
+        let w: Vec<f32> = (0..k * n).map(|i| val(seed ^ 0xABCD, i, peak)).collect();
+        let qw = QuantizedMatrix::from_f32(&w, k, n).unwrap();
+        let mut codes = Vec::new();
+        let x_step = quantize_acts_into(&x, &mut codes);
+        let mut out = vec![0f32; n];
+        qmm_into(&codes, x_step, 1, &qw, None, &mut out);
+        let exact = exact_logits(&x, &w, n);
+        let bound = dot_error_bound(
+            k,
+            weight_step(max_abs(&w)),
+            x_step,
+            max_abs(&w),
+            max_abs(&x),
+        );
+        for (j, (&q, &e)) in out.iter().zip(&exact).enumerate() {
+            let slack = bound + (e.abs() + bound) * f32::EPSILON as f64;
+            prop_assert!(
+                (q as f64 - e).abs() <= slack,
+                "col {j}: quantized {q} vs exact {e} exceeds bound {bound:e}"
+            );
+        }
+    }
+
+    /// Whenever the exact top-two logit margin exceeds twice the dot error
+    /// bound, the quantized argmax MUST match the f32 oracle — the provable
+    /// core of the classification-equality gate in `exp_map`/`exp_serve`.
+    #[test]
+    fn wide_margins_guarantee_classification_equality(
+        k in 4usize..96,
+        n in 2usize..10,
+        seed in 0u64..1u64 << 32,
+    ) {
+        let x: Vec<f32> = (0..k).map(|i| val(seed, i, 1.5)).collect();
+        let w: Vec<f32> = (0..k * n).map(|i| val(seed ^ 0x1234, i, 1.5)).collect();
+        let qw = QuantizedMatrix::from_f32(&w, k, n).unwrap();
+        let mut codes = Vec::new();
+        let x_step = quantize_acts_into(&x, &mut codes);
+        let mut out = vec![0f32; n];
+        qmm_into(&codes, x_step, 1, &qw, None, &mut out);
+        let exact = exact_logits(&x, &w, n);
+        let bound = dot_error_bound(
+            k,
+            weight_step(max_abs(&w)),
+            x_step,
+            max_abs(&w),
+            max_abs(&x),
+        );
+        let top = argmax(&exact);
+        let mut sorted = exact.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let margin = sorted[0] - sorted[1];
+        let slack = 2.0 * (bound + (sorted[0].abs() + bound) * f32::EPSILON as f64);
+        if margin > slack {
+            let qpred = argmax(&out.iter().map(|&v| v as f64).collect::<Vec<_>>());
+            prop_assert_eq!(
+                qpred, top,
+                "margin {} > slack {} yet quantized pick diverged", margin, slack
+            );
+        }
+    }
+
+    /// The whole quantized forward pass (shared-step and per-row batched)
+    /// is bit-identical at 1, 2 and 8 worker threads: integer accumulation
+    /// is exact, so band splits cannot reorder anything observable.
+    #[test]
+    fn quantized_forward_is_thread_invariant(
+        seed in 0u64..1u64 << 16,
+        batch in 1usize..5,
+    ) {
+        let dims = vec![48usize, 16, 6];
+        let mut net = models::mlp(&dims, &mut StdRng::seed_from_u64(seed)).unwrap();
+        let snapshot = net.quantize_weights();
+        let inputs: Vec<f32> = (0..batch * dims[0]).map(|i| val(seed, i, 2.0)).collect();
+        let mut reference: Option<(Vec<u32>, Vec<u32>)> = None;
+        for threads in [1usize, 2, 8] {
+            memaging_par::set_threads(threads);
+            let mut scratch = QuantScratch::new();
+            let shared: Vec<u32> = net
+                .forward_quantized(&snapshot, &inputs, batch, &mut scratch)
+                .unwrap()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            let rows: Vec<u32> = net
+                .forward_quantized_rows(&snapshot, &inputs, batch, &mut scratch)
+                .unwrap()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            match &reference {
+                None => reference = Some((shared, rows)),
+                Some((s0, r0)) => {
+                    prop_assert_eq!(&shared, s0, "shared-step drift at {} threads", threads);
+                    prop_assert_eq!(&rows, r0, "per-row drift at {} threads", threads);
+                }
+            }
+        }
+        memaging_par::set_threads(0);
+    }
+
+    /// [`QuantizedMatrix::from_level_codes`] is bitwise the same matrix as
+    /// [`QuantizedMatrix::from_f32`] on the expanded `values[code]` data —
+    /// the LUT path cannot drift from the dense path.
+    #[test]
+    fn level_code_construction_matches_dense(
+        k in 1usize..24,
+        n in 1usize..8,
+        levels in 2usize..16,
+        seed in 0u64..1u64 << 32,
+    ) {
+        let values: Vec<f32> = (0..levels).map(|i| val(seed ^ 0x77, i, 3.0)).collect();
+        let codes: Vec<u8> = (0..k * n)
+            .map(|i| (val(seed, i, 1.0).abs() * levels as f32) as usize % levels)
+            .map(|c| c as u8)
+            .collect();
+        let expanded: Vec<f32> = codes.iter().map(|&c| values[c as usize]).collect();
+        let from_codes = QuantizedMatrix::from_level_codes(&codes, &values, k, n).unwrap();
+        let from_dense = QuantizedMatrix::from_f32(&expanded, k, n).unwrap();
+        prop_assert_eq!(from_codes.qt(), from_dense.qt());
+        prop_assert_eq!(from_codes.scale().to_bits(), from_dense.scale().to_bits());
+        // And the explicit-step constructor agrees with itself across both
+        // input encodings for an arbitrary shared step.
+        let step = weight_step(max_abs(&expanded)) * 1.5 + 1e-6;
+        let a = QuantizedMatrix::from_level_codes_with_step(&codes, &values, k, n, step).unwrap();
+        let b = QuantizedMatrix::from_f32_with_step(&expanded, k, n, step).unwrap();
+        prop_assert_eq!(a.qt(), b.qt());
+    }
+
+    /// Sparse-delta replay is EXACT: `base product + delta` equals the full
+    /// integer product with the candidate matrix, cell for cell.
+    #[test]
+    fn sparse_delta_replay_is_exact(
+        k in 1usize..32,
+        n in 1usize..8,
+        m in 1usize..4,
+        flips in 1usize..6,
+        seed in 0u64..1u64 << 32,
+    ) {
+        let base_f: Vec<f32> = (0..k * n).map(|i| val(seed, i, 2.0)).collect();
+        let mut cand_f = base_f.clone();
+        for f in 0..flips {
+            let idx = (seed as usize).wrapping_mul(31).wrapping_add(f * 17) % (k * n);
+            cand_f[idx] = val(seed ^ 0x5555, f, 2.0);
+        }
+        // One shared step puts both candidates on the same integer grid —
+        // the precondition for an exact delta.
+        let step = weight_step(max_abs(&base_f).max(max_abs(&cand_f)));
+        let base = QuantizedMatrix::from_f32_with_step(&base_f, k, n, step).unwrap();
+        let cand = QuantizedMatrix::from_f32_with_step(&cand_f, k, n, step).unwrap();
+        let x: Vec<f32> = (0..m * k).map(|i| val(seed ^ 0x9999, i, 1.0)).collect();
+        let mut codes = Vec::new();
+        quantize_acts_into(&x, &mut codes);
+
+        let mut full = vec![0i32; n * m];
+        qmm_pre_t_into(&codes, m, &cand, &mut full);
+
+        let mut replayed = vec![0i32; n * m];
+        qmm_pre_t_into(&codes, m, &base, &mut replayed);
+        let mut deltas: Vec<QCellDelta> = Vec::new();
+        let fits = qt_diff_within(base.qt(), cand.qt(), k, k * n, &mut deltas);
+        prop_assert!(fits, "cap of k*n can never truncate");
+        let mut acts_t = Vec::new();
+        transpose_codes(&codes, m, k, &mut acts_t);
+        qdelta_apply_t(&acts_t, m, &deltas, &mut replayed);
+
+        prop_assert_eq!(replayed, full, "delta replay diverged from the full product");
+    }
+}

@@ -59,6 +59,12 @@ pub struct LifetimeConfig {
     /// range selection (default). The naive per-candidate re-simulation is
     /// kept as a reference oracle; both produce identical map reports.
     pub incremental_eval: bool,
+    /// Scores aging-aware candidate windows on the fixed-point kernels
+    /// (u8 level codes + integer accumulation) instead of the f32 forward
+    /// pass. Deterministic at any thread count; the selected windows may
+    /// differ from f32 mode within the quantization error bound. Only
+    /// meaningful with `incremental_eval`.
+    pub quantized_eval: bool,
     /// Thresholds of the wear-health subsystem (forecaster + alerts). The
     /// monitor only runs when a recorder is enabled — its reports flow
     /// through the recorder's sinks.
@@ -80,6 +86,7 @@ impl Default for LifetimeConfig {
             remap_trigger: 0.3,
             wear_leveling: false,
             incremental_eval: true,
+            quantized_eval: false,
             health: HealthConfig::default(),
         }
     }
@@ -248,6 +255,7 @@ pub fn run_lifetime_with_recorder(
     let mut hw = CrossbarNetwork::new(network, spec, aging)?;
     hw.set_wear_leveling(config.wear_leveling);
     hw.set_incremental_eval(config.incremental_eval);
+    hw.set_quantized_eval(config.quantized_eval);
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut sessions = Vec::new();
     let mut applications: u64 = 0;

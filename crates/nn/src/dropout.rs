@@ -92,6 +92,11 @@ impl Layer for Dropout {
     fn out_features(&self) -> usize {
         self.features
     }
+
+    fn eval_in_place(&self, _data: &mut [f32]) -> bool {
+        // Inference-time dropout is the identity.
+        true
+    }
 }
 
 #[cfg(test)]

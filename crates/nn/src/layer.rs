@@ -109,6 +109,19 @@ pub trait Layer: Send + Sync {
         None
     }
 
+    /// Applies this layer's [`Mode::Eval`] forward pass element-wise in
+    /// place on a flat activation buffer, returning `true` when supported.
+    ///
+    /// Shape-preserving, stateless layers (activations; dropout, which is
+    /// the identity at inference) override this so the quantized forward
+    /// path can run without materializing intermediate tensors. Layers that
+    /// change the feature count or need structural context keep the default
+    /// and fall back to [`Layer::forward`].
+    fn eval_in_place(&self, data: &mut [f32]) -> bool {
+        let _ = data;
+        false
+    }
+
     /// Clones this layer behind a fresh box, preserving parameters and any
     /// stochastic state (networks are cloned into parallel evaluation
     /// workers, so cached activations need not survive the copy).

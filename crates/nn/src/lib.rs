@@ -61,6 +61,7 @@ mod layer;
 mod network;
 mod optimizer;
 mod pool;
+mod qforward;
 mod regularizer;
 mod schedule;
 mod trainer;
@@ -78,6 +79,7 @@ pub use layer::{Layer, LayerKind, Mode, ParamKind};
 pub use network::Network;
 pub use optimizer::Sgd;
 pub use pool::{Pool2d, PoolKind};
+pub use qforward::{QuantScratch, QuantizedNet};
 pub use regularizer::{
     applies_to, NoRegularizer, PerLayer, Regularizer, SkewedL2, WeightPenalty, L2,
 };

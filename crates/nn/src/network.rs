@@ -102,6 +102,11 @@ impl Network {
         &self.layers
     }
 
+    /// Mutable layer access for the in-crate quantized forward path.
+    pub(crate) fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+
     /// Runs a forward pass over a `[batch, in_features]` input.
     ///
     /// # Errors

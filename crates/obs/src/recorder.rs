@@ -325,7 +325,12 @@ impl Drop for SpanGuard {
             let start_us =
                 state.started.duration_since(state.inner.epoch).as_micros().min(u64::MAX as u128)
                     as u64;
-            let duration_us = state.started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            // Round (don't truncate) to the nearest microsecond: spans in
+            // the low-microsecond range otherwise lose up to 50% of their
+            // duration, and the bias compounds when profiles sum thousands
+            // of short spans against a handful of long ones.
+            let duration_us =
+                ((state.started.elapsed().as_nanos() + 500) / 1_000).min(u64::MAX as u128) as u64;
             let event = Event::Span {
                 name: state.name,
                 session: state.inner.current_session(),

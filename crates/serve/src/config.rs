@@ -59,6 +59,14 @@ pub struct ServeConfig {
     /// ([`memaging_lifetime::trend`]). Must not exceed the series
     /// capacity, or the raw tail can't hold a full window.
     pub forecast_window: usize,
+    /// Serve inference on the fixed-point kernels: each worker quantizes
+    /// its generation snapshot once at resync and forwards requests with
+    /// integer accumulation (bit-identical at any thread count). The
+    /// hardware trajectory — wear, boundaries, remap decisions — is
+    /// unchanged; only the per-request forward arithmetic differs from the
+    /// f32 oracle, within the quantization error bound. CLI flag:
+    /// `--quantized`.
+    pub quantized: bool,
 }
 
 impl Default for ServeConfig {
@@ -75,6 +83,7 @@ impl Default for ServeConfig {
             tuning_budget: 150,
             latency_buckets: 40,
             forecast_window: memaging_lifetime::DEFAULT_FORECAST_WINDOW,
+            quantized: false,
         }
     }
 }

@@ -39,7 +39,7 @@ use std::time::{Duration, Instant};
 use memaging_crossbar::CrossbarNetwork;
 use memaging_dataset::Dataset;
 use memaging_lifetime::WearLedger;
-use memaging_nn::{Mode, Network};
+use memaging_nn::{Mode, Network, QuantScratch, QuantizedNet};
 use memaging_obs::Recorder;
 use memaging_par::SlotPool;
 use memaging_tensor::Tensor;
@@ -84,6 +84,9 @@ pub struct ServeReport {
     pub boundaries: u64,
     /// Aging-triggered live remaps performed.
     pub remaps: u64,
+    /// Batches dispatched (a batch serves one or more admitted requests;
+    /// under concurrent load this is strictly below `served`).
+    pub batches: u64,
     /// The wear-attribution ledger: every unit of tile stress accrued over
     /// the service's lifetime, keyed by cause. Its per-cause totals sum
     /// bit-identically to the `network`'s total stress.
@@ -287,6 +290,7 @@ impl InferenceService {
             expired: self.stats.expired.load(Ordering::Relaxed),
             boundaries: self.stats.boundaries.load(Ordering::Relaxed),
             remaps: self.stats.remaps.load(Ordering::Relaxed),
+            batches: self.stats.batches.load(Ordering::Relaxed),
             attribution: self
                 .ledger
                 .lock()
@@ -312,10 +316,19 @@ impl Drop for InferenceService {
 }
 
 /// Per-worker inference context: a software-network clone plus the id of
-/// the generation its weights are synced to.
+/// the generation its weights are synced to. In quantized mode the worker
+/// also keeps a fixed-point snapshot of the generation (rebuilt at each
+/// resync — a pure function of the weight bits, so every worker's snapshot
+/// of one generation is bit-identical) and the integer-forward scratch.
 struct WorkerCtx {
     network: Network,
     generation: u64,
+    quantized: bool,
+    qsnap: QuantizedNet,
+    qscratch: QuantScratch,
+    /// Contiguous `m × input_dim` assembly buffer for the batched
+    /// quantized forward (reused across batches, no per-batch allocation).
+    batch_inputs: Vec<f32>,
 }
 
 fn dispatch_loop(
@@ -368,7 +381,7 @@ fn dispatch_loop(
             next_boundary += 1;
         }
         let generation = generations.wait_for(batch_interval);
-        dispatch_batch(batch, &generation, &mut pool, base, stats, recorder);
+        dispatch_batch(batch, &generation, &mut pool, base, stats, recorder, config.quantized);
     }
     // Queue closed and drained: flush the final partial interval's wear so
     // the reported hardware state covers every admitted request.
@@ -386,9 +399,17 @@ fn dispatch_loop(
     // processed every queued job.
 }
 
-/// Fans one batch out over the `par` worker pool. Expired requests are
-/// answered without touching a worker; live ones are forwarded
-/// independently and delivered straight from the worker thread.
+/// Serves one formed batch. Expired requests are answered without touching
+/// a worker. In f32 mode live requests fan out over the `par` worker pool
+/// and are forwarded independently; in quantized mode the whole batch runs
+/// as **one** integer matmul on a single worker context
+/// ([`dispatch_batch_quantized`]) — per-row quantization steps plus exact
+/// integer accumulation make every row's bytes independent of how the racy
+/// admission stream happened to group into batches, so the fused kernel
+/// changes no response. Either way the `serve.forward` span covers exactly
+/// the forward computation — generation sync (a maintenance cost, paid once
+/// per remap) runs before the span opens, and delivery / accounting run
+/// after it closes.
 fn dispatch_batch(
     batch: Vec<Entry>,
     generation: &MappingGeneration,
@@ -396,6 +417,7 @@ fn dispatch_batch(
     base: &Network,
     stats: &ServeStats,
     recorder: &Recorder,
+    quantized: bool,
 ) {
     let now = Instant::now();
     let mut live: Vec<(Entry, u64)> = Vec::with_capacity(batch.len());
@@ -420,19 +442,33 @@ fn dispatch_batch(
     // admission-order identity.
     let span = recorder.trace_span("serve.batch", live[0].0.seq);
     pool.ensure_slots(memaging_par::num_threads().max(1));
+    if quantized {
+        dispatch_batch_quantized(&live, generation, pool, base, stats, recorder);
+        drop(span);
+        return;
+    }
     let pool = &*pool;
     let live = &live;
     memaging_par::par_map_init(
         live.len(),
         |worker| (worker, pool.lease(worker)),
         |(worker, lease), i| {
-            let ctx = lease
-                .get_or_insert_with(|| WorkerCtx { network: base.clone(), generation: u64::MAX });
+            let ctx = lease.get_or_insert_with(|| WorkerCtx {
+                network: base.clone(),
+                generation: u64::MAX,
+                quantized,
+                qsnap: QuantizedNet::default(),
+                qscratch: QuantScratch::new(),
+                batch_inputs: Vec::new(),
+            });
             let (entry, queue_us) = &live[i];
             let started = Instant::now();
-            let _span = recorder.worker_trace_span("serve.forward", *worker, entry.seq);
-            let outcome = serve_one(ctx, generation, &entry.input).map(|(output, prediction)| {
-                let service_us = started.elapsed().as_micros() as u64;
+            let result = resync(ctx, generation).and_then(|()| {
+                let _span = recorder.worker_trace_span("serve.forward", *worker, entry.seq);
+                serve_one(ctx, &entry.input)
+            });
+            let service_us = started.elapsed().as_micros() as u64;
+            let outcome = result.map(|(output, prediction)| {
                 stats.served.fetch_add(1, Ordering::Relaxed);
                 stats.record_latency(*queue_us, service_us);
                 stats.latency().forward.record(*worker, service_us);
@@ -455,26 +491,113 @@ fn dispatch_batch(
     drop(span);
 }
 
-/// Forwards one input through the worker's network, syncing its weights
-/// to `generation` first if needed.
-fn serve_one(
-    ctx: &mut WorkerCtx,
+/// The quantized batch engine: one worker context, one generation sync, one
+/// contiguous input assembly, one batched integer forward for every live
+/// request. Row `i` of [`Network::forward_quantized_rows`] is bit-for-bit
+/// the response request `i` would get served alone (per-row activation
+/// steps; exact integer accumulation), so the batch grouping — which
+/// depends on racy admission timing — cannot leak into any response. The
+/// fused kernel is what the `exp_serve` speedup gate measures: the integer
+/// matmul amortizes its per-call setup over the batch, where the f32 tier
+/// pays the full per-request forward each time.
+fn dispatch_batch_quantized(
+    live: &[(Entry, u64)],
     generation: &MappingGeneration,
-    input: &[f32],
-) -> Result<(Vec<f32>, usize), ServeError> {
+    pool: &SlotPool<WorkerCtx>,
+    base: &Network,
+    stats: &ServeStats,
+    recorder: &Recorder,
+) {
+    let m = live.len();
+    let mut lease = pool.lease(0);
+    let ctx = lease.get_or_insert_with(|| WorkerCtx {
+        network: base.clone(),
+        generation: u64::MAX,
+        quantized: true,
+        qsnap: QuantizedNet::default(),
+        qscratch: QuantScratch::new(),
+        batch_inputs: Vec::new(),
+    });
+    let started = Instant::now();
+    let forwarded = resync(ctx, generation).and_then(|()| {
+        // Same window as the f32 path's span: exactly the forward.
+        let _span = recorder.worker_trace_span("serve.forward", 0, live[0].0.seq);
+        let WorkerCtx { network, qsnap, qscratch, batch_inputs, .. } = ctx;
+        batch_inputs.clear();
+        for (entry, _) in live {
+            batch_inputs.extend_from_slice(&entry.input);
+        }
+        network
+            .forward_quantized_rows(qsnap, batch_inputs, m, qscratch)
+            .map_err(|e| ServeError::Internal { reason: e.to_string() })
+    });
+    let service_us = started.elapsed().as_micros() as u64;
+    match forwarded {
+        Ok(rows) => {
+            let n = rows.len() / m;
+            for (i, (entry, queue_us)) in live.iter().enumerate() {
+                let row = &rows[i * n..(i + 1) * n];
+                let mut prediction = 0;
+                for (j, &v) in row.iter().enumerate() {
+                    if v > row[prediction] {
+                        prediction = j;
+                    }
+                }
+                stats.served.fetch_add(1, Ordering::Relaxed);
+                stats.record_latency(*queue_us, service_us);
+                stats.latency().forward.record(0, service_us);
+                let e2e_us = entry.ctx.admitted_at.elapsed().as_micros() as u64;
+                stats.latency().e2e.record(0, e2e_us);
+                recorder.observe("serve.service_us", service_us as f64);
+                recorder.observe("serve.e2e_us", e2e_us as f64);
+                entry.slot.deliver(Ok(InferResponse {
+                    seq: entry.seq,
+                    generation: generation.id,
+                    output: row.to_vec(),
+                    prediction,
+                    queue_us: *queue_us,
+                    service_us,
+                }));
+            }
+        }
+        Err(e) => {
+            let reason = e.to_string();
+            for (entry, _) in live {
+                entry.slot.deliver(Err(ServeError::Internal { reason: reason.clone() }));
+            }
+        }
+    }
+}
+
+/// Syncs a worker context's weights (and, in quantized mode, its
+/// fixed-point snapshot) to `generation` if needed. The snapshot is a pure
+/// function of the weight bits, so every worker's snapshot of one
+/// generation is bit-identical.
+fn resync(ctx: &mut WorkerCtx, generation: &MappingGeneration) -> Result<(), ServeError> {
     if ctx.generation != generation.id {
         ctx.network
             .set_weight_matrices(&generation.weights)
             .map_err(|e| ServeError::Internal { reason: e.to_string() })?;
+        if ctx.quantized {
+            ctx.qsnap = ctx.network.quantize_weights();
+        }
         ctx.generation = generation.id;
     }
+    Ok(())
+}
+
+/// Forwards one input through the worker's f32 network. The caller must
+/// have [`resync`]ed the context to the serving generation first. Quantized
+/// batches never reach this — they run fused through
+/// [`dispatch_batch_quantized`].
+fn serve_one(ctx: &mut WorkerCtx, input: &[f32]) -> Result<(Vec<f32>, usize), ServeError> {
     let input = Tensor::from_vec(input.to_vec(), [1, input.len()])
         .map_err(|e| ServeError::Internal { reason: e.to_string() })?;
-    let logits = ctx
+    let output = ctx
         .network
         .forward(&input, Mode::Eval)
-        .map_err(|e| ServeError::Internal { reason: e.to_string() })?;
-    let output = logits.as_slice().to_vec();
+        .map_err(|e| ServeError::Internal { reason: e.to_string() })?
+        .into_vec();
     let mut prediction = 0;
     for (i, &v) in output.iter().enumerate() {
         if v > output[prediction] {

@@ -40,7 +40,11 @@ fi
 
 # Same gate over the range-selection engine profile (exp_map writes a fresh
 # one; set MEMAGING_BENCH_CANDIDATE_MAP to diff it against the committed
-# baseline).
+# baseline). The committed baseline must carry the quantized-vs-f32
+# candidate-scoring speedup — exp_map asserts the >= 2x gate when it runs;
+# this keeps the extra from silently vanishing from the baseline.
+grep -q '"quant_speedup_candidate"' BENCH_map.json \
+    || { echo "check.sh: BENCH_map.json is missing extra \"quant_speedup_candidate\"" >&2; exit 1; }
 cargo run -q -p memaging-bench --bin bench-diff -- BENCH_map.json BENCH_map.json
 candidate_map="${MEMAGING_BENCH_CANDIDATE_MAP:-}"
 if [[ -n "$candidate_map" && -f "$candidate_map" ]]; then
@@ -57,7 +61,7 @@ fi
 # timing tolerance is loosened for cross-machine runs.
 for key in wear_total_stress wear_inference_read_stress wear_remap_stress \
            wear_ledger_entries latency_e2e_count series_points forecast_tiles \
-           forecast_worst_velocity; do
+           forecast_worst_velocity quant_speedup_forward; do
     grep -q "\"$key\"" BENCH_serve.json \
         || { echo "check.sh: BENCH_serve.json is missing extra \"$key\"" >&2; exit 1; }
 done

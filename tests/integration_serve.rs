@@ -284,6 +284,90 @@ fn forced_remap_attribution_sums_to_total_wear() {
 }
 
 #[test]
+fn quantized_batches_replay_solo_responses_bit_for_bit() {
+    let _guard = THREAD_KNOB.lock().unwrap_or_else(|poison| poison.into_inner());
+    let (_, calib, spec, aging) = trained();
+    let total: usize = 64;
+    let clients = 8;
+    let config = ServeConfig {
+        maintenance_interval: 16,
+        stress_per_read: stress_per_read(spec, aging, 0.55, total as u64 / 2),
+        remap_drift_fraction: 0.01,
+        max_linger: Duration::from_micros(300),
+        max_batch: clients,
+        quantized: true,
+        ..ServeConfig::default()
+    };
+    // Solo run: every request is its own batch, so this pins the
+    // per-generation response bytes of the per-request quantized path.
+    par::set_threads(1);
+    let service = deploy(config);
+    let input = sample(calib, 0);
+    let mut solo: Vec<Option<Vec<u32>>> = Vec::new();
+    for _ in 0..total {
+        let response = service.infer(InferRequest::new(input.clone())).expect("served");
+        let bits: Vec<u32> = response.output.iter().map(|v| v.to_bits()).collect();
+        let g = response.generation as usize;
+        if solo.len() <= g {
+            solo.resize(g + 1, None);
+        }
+        match &solo[g] {
+            None => solo[g] = Some(bits),
+            Some(prev) => assert_eq!(prev, &bits, "same input + generation, same bytes"),
+        }
+    }
+    let solo_report = service.shutdown();
+    assert!(solo_report.remaps >= 1, "the load must trigger a live remap");
+
+    // Concurrent run: the dispatcher now fuses admitted requests into
+    // multi-row integer forwards (the batched quantized path). Per-row
+    // quantization steps + exact integer accumulation mean every response
+    // must be byte-identical to the solo run's for the same generation, no
+    // matter how the racy admission stream grouped into batches.
+    par::set_threads(2);
+    let service = Arc::new(deploy(config));
+    let batched: Vec<(u64, Vec<u32>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let service = Arc::clone(&service);
+                let input = input.clone();
+                scope.spawn(move || {
+                    let mut seen = Vec::new();
+                    for _ in 0..total / clients {
+                        let r = service.infer(InferRequest::new(input.clone())).expect("served");
+                        seen.push((r.generation, r.output.iter().map(|v| v.to_bits()).collect()));
+                    }
+                    seen
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("client panicked")).collect()
+    });
+    let report = Arc::try_unwrap(service).ok().expect("sole owner").shutdown();
+    assert_eq!(report.served, total as u64);
+    assert!(
+        report.batches < total as u64,
+        "concurrent clients must actually form multi-request batches \
+         ({} batches for {total} requests)",
+        report.batches,
+    );
+    for (generation, bits) in &batched {
+        let expected = solo
+            .get(*generation as usize)
+            .and_then(|o| o.as_ref())
+            .unwrap_or_else(|| panic!("generation {generation} never observed in the solo run"));
+        assert_eq!(
+            expected, bits,
+            "batched quantized response diverged from the solo path at generation {generation}"
+        );
+    }
+    // Wear is keyed to the admitted-request count, so both runs land the
+    // hardware in the same place even though their batch shapes differ.
+    assert_eq!(wear_digest(&report), wear_digest(&solo_report));
+    par::set_threads(0);
+}
+
+#[test]
 fn concurrent_clients_preserve_the_wear_state() {
     let _guard = THREAD_KNOB.lock().unwrap_or_else(|poison| poison.into_inner());
     par::set_threads(4);
