@@ -62,9 +62,12 @@ struct ProfiledRun {
     profiles: Vec<PhaseProfile>,
     lifetime: memaging::lifetime::LifetimeResult,
     accuracy_bits: u64,
-    /// Total crossbar cells programmed across the run
-    /// (`mapping.programmed_cells` counter).
+    /// Total crossbar cells actually programmed across the run
+    /// (`mapping.cells_programmed` counter).
     programmed_cells: u64,
+    /// Total cells the delta-programming engine left untouched
+    /// (`mapping.cells_skipped` counter).
+    skipped_cells: u64,
 }
 
 fn profiled_run(mode: EvalMode, threads: usize) -> Result<ProfiledRun, Box<dyn std::error::Error>> {
@@ -76,13 +79,17 @@ fn profiled_run(mode: EvalMode, threads: usize) -> Result<ProfiledRun, Box<dyn s
     scenario.framework.recorder = Recorder::new(vec![Box::new(sink)]);
     let outcome = scenario.run_strategy(Strategy::StAt)?;
     let events = handle.events();
-    let programmed_cells = events
-        .iter()
-        .filter_map(|e| match e {
-            Event::Counter { name, delta, .. } if name == "mapping.programmed_cells" => Some(delta),
-            _ => None,
-        })
-        .sum();
+    let counter_total = |wanted: &str| -> u64 {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Counter { name, delta, .. } if name == wanted => Some(delta),
+                _ => None,
+            })
+            .sum()
+    };
+    let programmed_cells = counter_total("mapping.cells_programmed");
+    let skipped_cells = counter_total("mapping.cells_skipped");
     let mut profiles = profile_phases(&events);
     for p in &mut profiles {
         p.name = format!("{}_{}_{threads}t", p.name, mode.label());
@@ -92,6 +99,7 @@ fn profiled_run(mode: EvalMode, threads: usize) -> Result<ProfiledRun, Box<dyn s
         lifetime: outcome.lifetime,
         accuracy_bits: outcome.software_accuracy.to_bits(),
         programmed_cells,
+        skipped_cells,
     })
 }
 
@@ -204,16 +212,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         legs[4].accuracy_bits, legs[5].accuracy_bits,
         "quantized software accuracy differs between thread counts"
     );
-    // Programming volume is part of the deterministic trajectory.
+    // Programming volume — written *and* delta-skipped cells — is part of
+    // the deterministic trajectory.
     for leg in &legs[1..4] {
         assert_eq!(
-            legs[0].programmed_cells, leg.programmed_cells,
-            "programmed-cell count differs between f32 evaluation modes/thread counts"
+            (legs[0].programmed_cells, legs[0].skipped_cells),
+            (leg.programmed_cells, leg.skipped_cells),
+            "programmed/skipped cell counts differ between f32 evaluation modes/thread counts"
         );
     }
     assert_eq!(
-        legs[4].programmed_cells, legs[5].programmed_cells,
-        "programmed-cell count differs between quantized thread counts"
+        (legs[4].programmed_cells, legs[4].skipped_cells),
+        (legs[5].programmed_cells, legs[5].skipped_cells),
+        "programmed/skipped cell counts differ between quantized thread counts"
     );
     report(&format!(
         "  determinism: naive/incremental x 1t/{threads}t bit-identical \
@@ -225,11 +236,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         legs[4].lifetime.lifetime_applications,
     ));
     report(&format!(
-        "  programmed cells: {} (f32 trajectory), {} (quantized trajectory)",
-        legs[0].programmed_cells, legs[4].programmed_cells,
+        "  programmed cells: {} programmed / {} delta-skipped (f32 trajectory), \
+         {} programmed / {} delta-skipped (quantized trajectory)",
+        legs[0].programmed_cells,
+        legs[0].skipped_cells,
+        legs[4].programmed_cells,
+        legs[4].skipped_cells,
     ));
 
     let programmed_cells = legs[0].programmed_cells;
+    let skipped_cells = legs[0].skipped_cells;
     let mut profiles = Vec::new();
     for leg in legs {
         profiles.extend(leg.profiles);
@@ -303,6 +319,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &[
             ("quant_speedup_candidate", quant_speedup),
             ("programmed_cells", programmed_cells as f64),
+            ("skipped_cells", skipped_cells as f64),
         ],
     );
     let path = "BENCH_map.json";

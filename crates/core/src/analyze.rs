@@ -676,6 +676,26 @@ pub fn diff(a: &TraceAnalysis, b: &TraceAnalysis, tolerance: f64) -> DiffReport 
             metric: format!("counter.{name}"),
             a: a.counters.get(name).copied().unwrap_or(0) as f64,
             b: b.counters.get(name).copied().unwrap_or(0) as f64,
+            // Work counters measure programming effort the delta-remap
+            // path exists to avoid: a rise means fewer cells skipped,
+            // i.e. an efficiency regression. Throughput-style counters
+            // keep the usual lower-is-worse reading.
+            higher_is_worse: matches!(name.as_str(), "mapping.cells_programmed" | "mapping.pulses"),
+        });
+    }
+    let skipped_frac = |run: &TraceAnalysis| -> Option<f64> {
+        let programmed = *run.counters.get("mapping.cells_programmed")?;
+        let skipped = *run.counters.get("mapping.cells_skipped")?;
+        let total = programmed + skipped;
+        (total > 0).then(|| skipped as f64 / total as f64)
+    };
+    if let (Some(fa), Some(fb)) = (skipped_frac(a), skipped_frac(b)) {
+        // Length-normalized view of the same signal: robust when the two
+        // runs programmed different total cell counts.
+        rows.push(DiffRow {
+            metric: "remap.cells_skipped_frac".to_string(),
+            a: fa,
+            b: fb,
             higher_is_worse: false,
         });
     }
@@ -884,6 +904,40 @@ mod tests {
         assert!(reverse.regressions().iter().all(|r| !r.metric.starts_with("latency.e2e_us.p")));
         assert!(report.report().contains("REGRESSED"));
         assert!(report.to_json().contains("\"flag\":\"regressed\""));
+    }
+
+    #[test]
+    fn diff_flags_delta_remap_efficiency_drift() {
+        // Same workload, but the candidate programmed cells the baseline
+        // skipped: programming-work counters climbing is a REGRESSION
+        // (delta-remap efficiency drift), not throughput growth.
+        let base = [
+            r#"{"type":"counter","name":"mapping.cells_programmed","delta":100,"total":100}"#,
+            r#"{"type":"counter","name":"mapping.cells_skipped","delta":900,"total":900}"#,
+            r#"{"type":"counter","name":"mapping.pulses","delta":500,"total":500}"#,
+        ];
+        let drifted = [
+            r#"{"type":"counter","name":"mapping.cells_programmed","delta":600,"total":600}"#,
+            r#"{"type":"counter","name":"mapping.cells_skipped","delta":400,"total":400}"#,
+            r#"{"type":"counter","name":"mapping.pulses","delta":3000,"total":3000}"#,
+        ];
+        let a = analyze_lines("a", base, &opts()).unwrap();
+        let b = analyze_lines("b", drifted, &opts()).unwrap();
+        let report = diff(&a, &b, 0.05);
+        let regressed: Vec<&str> = report.regressions().iter().map(|r| r.metric.as_str()).collect();
+        assert!(regressed.contains(&"counter.mapping.cells_programmed"), "{regressed:?}");
+        assert!(regressed.contains(&"counter.mapping.pulses"), "{regressed:?}");
+        assert!(regressed.contains(&"remap.cells_skipped_frac"), "{regressed:?}");
+        // The derived fraction row compares 0.9 against 0.4.
+        let frac = report.rows.iter().find(|r| r.metric == "remap.cells_skipped_frac").unwrap();
+        assert!((frac.a - 0.9).abs() < 1e-12 && (frac.b - 0.4).abs() < 1e-12);
+        // Skipping *more* cells is an improvement in every direction.
+        let better = diff(&b, &a, 0.05);
+        assert!(
+            better.regressions().is_empty(),
+            "improvement misread as regression: {}",
+            better.report()
+        );
     }
 
     #[test]

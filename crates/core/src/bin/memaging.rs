@@ -111,6 +111,15 @@ struct RunOpts {
     /// inference service forwards requests through the quantized path
     /// ([`ServeConfig::quantized`]). Bit-identical at any thread count.
     quantized: bool,
+    /// Delta programming on every (re-)map: only cells whose target level
+    /// changed are written (`--delta-remap on|off`, default on). Bitwise
+    /// identical to full reprogramming at zero tolerance; `off` keeps the
+    /// full-reprogram oracle.
+    delta_remap: bool,
+    /// Delta-remap tuning tolerance in grid levels (`--remap-tolerance`,
+    /// `[0, 0.5]`): drift within this distance of the target level is left
+    /// in place instead of being chased with stressful pulses.
+    remap_tolerance: f64,
 }
 
 impl Default for RunOpts {
@@ -127,6 +136,8 @@ impl Default for RunOpts {
             series_capacity: None,
             no_series: false,
             quantized: false,
+            delta_remap: true,
+            remap_tolerance: 0.0,
         }
     }
 }
@@ -213,6 +224,8 @@ fn parse_run_opts(
             "--trace-chrome",
             "--flight-recorder",
             "--series-capacity",
+            "--delta-remap",
+            "--remap-tolerance",
         ];
         let known = known.contains(&flag.as_str())
             || (serve
@@ -247,6 +260,20 @@ fn parse_run_opts(
                     return Err(format!("bad series-capacity `{n}` (must be at least 2)"));
                 }
                 opts.series_capacity = Some(n);
+            }
+            "--delta-remap" => {
+                opts.delta_remap = match value.to_ascii_lowercase().as_str() {
+                    "on" | "true" | "1" => true,
+                    "off" | "false" | "0" => false,
+                    other => return Err(format!("bad delta-remap `{other}` (expected on|off)")),
+                };
+            }
+            "--remap-tolerance" => {
+                let t: f64 = value.parse().map_err(|_| format!("bad remap-tolerance `{value}`"))?;
+                if !t.is_finite() || !(0.0..=0.5).contains(&t) {
+                    return Err(format!("bad remap-tolerance `{t}` (must lie in [0, 0.5])"));
+                }
+                opts.remap_tolerance = t;
             }
             "--port" => {
                 flags.port = value.parse().map_err(|_| format!("bad port `{value}`"))?;
@@ -374,6 +401,8 @@ fn print_help() {
          \u{20}                                       [--quantized] [--trace out.jsonl]\n\
          \u{20}                                       [--trace-chrome out.json] [--metrics]\n\
          \u{20}                                       [--flight-recorder out.jsonl]\n\
+         \u{20}                                       [--delta-remap on|off (default on)]\n\
+         \u{20}                                       [--remap-tolerance F (0..=0.5, default 0)]\n\
          \u{20}                       --threads N sizes the worker pool (default:\n\
          \u{20}                       MEMAGING_THREADS, then available cores); results\n\
          \u{20}                       are bit-identical at any thread count\n\
@@ -386,7 +415,13 @@ fn print_help() {
          \u{20}                       remap fires; --quantized scores remap candidates\n\
          \u{20}                       (and, with --infer, serves requests) on the\n\
          \u{20}                       fixed-point kernels — bit-identical at any\n\
-         \u{20}                       thread count, f32 stays the accuracy oracle\n\
+         \u{20}                       thread count, f32 stays the accuracy oracle;\n\
+         \u{20}                       --delta-remap programs only cells whose target\n\
+         \u{20}                       level changed (default on; off = full-reprogram\n\
+         \u{20}                       oracle, bit-identical at tolerance 0);\n\
+         \u{20}                       --remap-tolerance leaves drift within F grid\n\
+         \u{20}                       levels of the target in place, trading exactness\n\
+         \u{20}                       for pulse savings\n\
          \u{20}   memaging serve <quick|lenet|vgg>    [--port N (default 9464)] [--linger]\n\
          \u{20}                                       [--strategy tt|stt|stat|all] [--quantized]\n\
          \u{20}                                       [--seed N] [--sessions N] [--threads N]\n\
@@ -449,6 +484,8 @@ fn configured_scenario(name: &str, opts: &RunOpts) -> Scenario {
         scenario.framework.lifetime.max_sessions = sessions;
     }
     scenario.framework.lifetime.quantized_eval = opts.quantized;
+    scenario.framework.lifetime.delta_remap = opts.delta_remap;
+    scenario.framework.lifetime.remap_tolerance = opts.remap_tolerance;
     scenario
 }
 
@@ -606,6 +643,8 @@ fn run_infer(
             .stress_for_degradation(framework.spec.temperature, 0.3 * width)
             / 50_000.0,
         quantized: opts.quantized,
+        delta_remap: opts.delta_remap,
+        remap_tolerance: opts.remap_tolerance,
         ..ServeConfig::default()
     };
     if let Some(buckets) = flags.latency_buckets {
@@ -1044,6 +1083,47 @@ mod tests {
         let opts = RunOpts { quantized: true, ..RunOpts::default() };
         let scenario = configured_scenario("quick", &opts);
         assert!(scenario.framework.lifetime.quantized_eval);
+    }
+
+    #[test]
+    fn parses_delta_remap_flags() {
+        let cmd = parse_args(&argv("scenario quick --delta-remap off")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Scenario {
+                name: "quick".into(),
+                opts: RunOpts { delta_remap: false, ..RunOpts::default() },
+            }
+        );
+        let cmd = parse_args(&argv("serve quick --infer --remap-tolerance 0.25")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                name: "quick".into(),
+                opts: RunOpts {
+                    strategy: StrategyArg::One(Strategy::StAt),
+                    remap_tolerance: 0.25,
+                    ..RunOpts::default()
+                },
+                flags: ServeFlags { infer: true, ..ServeFlags::default() },
+            }
+        );
+        // Delta is on by default and an explicit `on` round-trips.
+        assert!(RunOpts::default().delta_remap);
+        assert!(parse_args(&argv("scenario quick --delta-remap on")).is_ok());
+        let err = parse_args(&argv("scenario quick --delta-remap maybe")).unwrap_err();
+        assert!(err.contains("bad delta-remap"), "got: {err}");
+        let err = parse_args(&argv("scenario quick --remap-tolerance 0.7")).unwrap_err();
+        assert!(err.contains("bad remap-tolerance"), "got: {err}");
+        let err = parse_args(&argv("scenario quick --remap-tolerance nan")).unwrap_err();
+        assert!(err.contains("bad remap-tolerance"), "got: {err}");
+        // The flags flow into the lifetime config.
+        let opts = RunOpts { delta_remap: false, remap_tolerance: 0.1, ..RunOpts::default() };
+        let scenario = configured_scenario("quick", &opts);
+        assert!(!scenario.framework.lifetime.delta_remap);
+        assert_eq!(scenario.framework.lifetime.remap_tolerance, 0.1);
+        let scenario = configured_scenario("quick", &RunOpts::default());
+        assert!(scenario.framework.lifetime.delta_remap);
     }
 
     #[test]

@@ -16,6 +16,19 @@ pub struct ProgramStats {
     pub dead: usize,
     /// Devices actually programmed (live cells that accepted a target).
     pub programmed: usize,
+    /// Delta path: cells skipped because they already sit on the target
+    /// level (within the no-op threshold — programming them would apply
+    /// zero pulses).
+    pub skipped_unchanged: usize,
+    /// Delta path: cells skipped because their drifted state is within the
+    /// caller's tuning tolerance of the target level (programming them
+    /// *would* pulse — the wear the delta path saves).
+    pub skipped_tolerance: usize,
+    /// Delta path: cells that failed the skip predicate and went through
+    /// full program-and-verify (always equal to `programmed` on the delta
+    /// path; zero on the full path, which distinguishes the two in merged
+    /// stats).
+    pub rewritten: usize,
 }
 
 impl ProgramStats {
@@ -25,6 +38,32 @@ impl ProgramStats {
         self.clipped += other.clipped;
         self.dead += other.dead;
         self.programmed += other.programmed;
+        self.skipped_unchanged += other.skipped_unchanged;
+        self.skipped_tolerance += other.skipped_tolerance;
+        self.rewritten += other.rewritten;
+    }
+
+    /// Total cells the delta path skipped (unchanged + within tolerance).
+    pub fn skipped(&self) -> usize {
+        self.skipped_unchanged + self.skipped_tolerance
+    }
+}
+
+impl std::fmt::Display for ProgramStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "programmed={} skipped={}(unchanged={} tolerance={}) rewritten={} \
+             pulses={} clipped={} dead={}",
+            self.programmed,
+            self.skipped(),
+            self.skipped_unchanged,
+            self.skipped_tolerance,
+            self.rewritten,
+            self.pulses,
+            self.clipped,
+            self.dead
+        )
     }
 }
 
@@ -214,6 +253,117 @@ impl Crossbar {
             let outcome = device.program_conductance(g)?;
             stats.pulses += outcome.pulses;
             stats.programmed += 1;
+            if outcome.clipped() {
+                stats.clipped += 1;
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Delta programming: like [`Crossbar::program_conductances`], but a
+    /// cell is *skipped* (no pulses, no stress) when its present state
+    /// already represents the target level. Reprogramming is the dominant
+    /// wear source, and across consecutive mappings most cells land on the
+    /// same discrete level — diffing lets the maintenance that is supposed
+    /// to extend lifetime stop being a first-order aging cost itself.
+    ///
+    /// A cell is skipped iff both hold:
+    ///
+    /// 1. Its raw grid position is within `max(tolerance, 1e-9)` levels of
+    ///    the target level code. At the `1e-9` floor this is exactly the set
+    ///    of cells full programming would move by zero pulses, so with
+    ///    `tolerance == 0.0` the device state after this call is **bitwise
+    ///    identical** to [`Crossbar::program_conductances`] — the full path
+    ///    stays available as the bit-exactness oracle. A positive tolerance
+    ///    additionally leaves stress-free drift within that many levels
+    ///    in place rather than chasing it with stressful pulses.
+    /// 2. Its accumulated stress is at or below a per-level ceiling proving
+    ///    the aged window still covers both its position and the target
+    ///    (so the raw position *is* the effective position, the target is
+    ///    reachable without clipping, and the device is provably alive).
+    ///    The ceilings are derived once per call by inverting the aging
+    ///    law, so the per-cell test is plain arithmetic — no aged-window
+    ///    evaluation and no `conductances()` readback for the diff.
+    ///
+    /// Cells that fail the predicate — target level changed, window bounds
+    /// moved (which shifts every target conductance), drifted beyond the
+    /// tolerance, near a window edge, or previously dead/clipped — take the
+    /// unchanged full program-and-verify path and are counted in
+    /// [`ProgramStats::rewritten`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Crossbar::program_conductances`].
+    pub fn program_conductances_delta(
+        &mut self,
+        targets: &Tensor,
+        tolerance: f64,
+    ) -> Result<ProgramStats, CrossbarError> {
+        if targets.dims() != [self.rows, self.cols] {
+            return Err(CrossbarError::DimensionMismatch {
+                what: "conductance targets",
+                expected: (self.rows, self.cols),
+                actual: if targets.rank() == 2 {
+                    (targets.dims()[0], targets.dims()[1])
+                } else {
+                    (targets.len(), 0)
+                },
+            });
+        }
+        let spec = *self.devices[0].spec();
+        let aging = *self.devices[0].aging();
+        let quantizer = *self.devices[0].quantizer();
+        // Per-level stress ceilings: `limits[k]` is the largest accumulated
+        // stress at which the aged upper bound still covers level `k`. The
+        // `1 - 1e-9` shrink makes cells on the float boundary conservatively
+        // take the slow path instead of being skipped.
+        let limits: Vec<f64> = (0..spec.levels)
+            .map(|k| {
+                let degradation = spec.r_max - quantizer.level_resistance(k).value();
+                aging.stress_for_degradation(spec.temperature, degradation) * (1.0 - 1e-9)
+            })
+            .collect();
+        let top = (spec.levels - 1) as f64;
+        let slack = tolerance.max(1e-9);
+        let mut stats = ProgramStats::default();
+        for (i, device) in self.devices.iter_mut().enumerate() {
+            let g = match Siemens::new(targets.as_slice()[i] as f64) {
+                Ok(g) => g,
+                Err(e) => {
+                    // Match the full path's order: a worn-out device is
+                    // counted dead before its target is even validated.
+                    if device.is_worn_out() {
+                        stats.dead += 1;
+                        continue;
+                    }
+                    return Err(CrossbarError::from(e));
+                }
+            };
+            let k = quantizer.nearest_level(g.to_ohms());
+            let pos = device.grid_position();
+            let dist = (pos - k as f64).abs();
+            if dist <= slack {
+                // The ceiling must cover the higher of {position, target}
+                // (never below level 1, so a skipped device provably keeps
+                // >= 2 usable levels, i.e. is alive).
+                let needed = (pos.max(k as f64).ceil().max(1.0).min(top)) as usize;
+                if device.stress() <= limits[needed] {
+                    if dist < 1e-9 {
+                        stats.skipped_unchanged += 1;
+                    } else {
+                        stats.skipped_tolerance += 1;
+                    }
+                    continue;
+                }
+            }
+            if device.is_worn_out() {
+                stats.dead += 1;
+                continue;
+            }
+            let outcome = device.program_conductance(g)?;
+            stats.pulses += outcome.pulses;
+            stats.programmed += 1;
+            stats.rewritten += 1;
             if outcome.clipped() {
                 stats.clipped += 1;
             }
@@ -595,8 +745,137 @@ mod tests {
 
     #[test]
     fn stats_merge() {
-        let mut a = ProgramStats { pulses: 5, clipped: 1, dead: 0, programmed: 4 };
-        a.merge(ProgramStats { pulses: 3, clipped: 0, dead: 2, programmed: 2 });
-        assert_eq!(a, ProgramStats { pulses: 8, clipped: 1, dead: 2, programmed: 6 });
+        let mut a = ProgramStats {
+            pulses: 5,
+            clipped: 1,
+            dead: 0,
+            programmed: 4,
+            skipped_unchanged: 7,
+            skipped_tolerance: 1,
+            rewritten: 4,
+        };
+        a.merge(ProgramStats {
+            pulses: 3,
+            clipped: 0,
+            dead: 2,
+            programmed: 2,
+            skipped_unchanged: 3,
+            skipped_tolerance: 2,
+            rewritten: 0,
+        });
+        assert_eq!(
+            a,
+            ProgramStats {
+                pulses: 8,
+                clipped: 1,
+                dead: 2,
+                programmed: 6,
+                skipped_unchanged: 10,
+                skipped_tolerance: 3,
+                rewritten: 4,
+            }
+        );
+        assert_eq!(a.skipped(), 13);
+        let rendered = a.to_string();
+        assert!(rendered.contains("programmed=6"));
+        assert!(rendered.contains("skipped=13(unchanged=10 tolerance=3)"));
+        assert!(rendered.contains("rewritten=4"));
+    }
+
+    #[test]
+    fn delta_reprogram_skips_unchanged_cells() {
+        let mut full = xbar(3, 4);
+        let mut delta = xbar(3, 4);
+        let tg = Tensor::from_fn([3, 4], |i| {
+            let spec = DeviceSpec::default();
+            (1.0 / (spec.r_min + (i % spec.levels) as f64 * spec.level_width())) as f32
+        });
+        // First programming from fresh: the delta path must do the same work.
+        let s_full = full.program_conductances(&tg).unwrap();
+        let s_delta = delta.program_conductances_delta(&tg, 0.0).unwrap();
+        assert_eq!(s_full.pulses, s_delta.pulses);
+        assert_eq!(s_full.programmed, s_delta.programmed + s_delta.skipped_unchanged);
+        assert_eq!(s_delta.rewritten, s_delta.programmed);
+        // Second pass with identical targets: everything skips, zero pulses,
+        // and device state stays bitwise identical to the full path.
+        let s2_full = full.program_conductances(&tg).unwrap();
+        let s2_delta = delta.program_conductances_delta(&tg, 0.0).unwrap();
+        assert_eq!(s2_full.pulses, 0);
+        assert_eq!(s2_delta.pulses, 0);
+        assert_eq!(s2_delta.skipped_unchanged, 12);
+        assert_eq!(s2_delta.programmed, 0);
+        for (r, c, d) in full.iter() {
+            assert_eq!(d, delta.device(r, c), "device ({r},{c}) state diverged");
+        }
+    }
+
+    #[test]
+    fn delta_reprogram_is_bitwise_identical_to_full_at_zero_tolerance() {
+        let mut full = xbar(4, 4);
+        let mut delta = xbar(4, 4);
+        let spec = DeviceSpec::default();
+        // Several epochs with changing targets, including full-swing cycles
+        // that age the devices (aged windows clip targets identically on
+        // both paths).
+        for epoch in 0..25 {
+            let tg = Tensor::from_fn([4, 4], |i| {
+                let level = (i * 3 + epoch * 7) % spec.levels;
+                (1.0 / (spec.r_min + level as f64 * spec.level_width())) as f32
+            });
+            let s_full = full.program_conductances(&tg).unwrap();
+            let s_delta = delta.program_conductances_delta(&tg, 0.0).unwrap();
+            assert_eq!(s_full.pulses, s_delta.pulses, "epoch {epoch}");
+            assert_eq!(s_full.clipped, s_delta.clipped, "epoch {epoch}");
+            assert_eq!(s_full.dead, s_delta.dead, "epoch {epoch}");
+        }
+        for (r, c, d) in full.iter() {
+            assert_eq!(d, delta.device(r, c), "device ({r},{c}) state diverged");
+        }
+        let v: Vec<f32> = (0..4).map(|i| (i as f32 * 0.71).cos()).collect();
+        assert_eq!(full.vmm(&v).unwrap(), delta.vmm(&v).unwrap());
+    }
+
+    #[test]
+    fn delta_tolerance_leaves_drift_in_place() {
+        let mut x = xbar(2, 2);
+        let tg = Tensor::full([2, 2], (1.0 / 5.5e4) as f32);
+        x.program_conductances(&tg).unwrap();
+        let pulses_before = x.total_pulses();
+        let stress_before = x.total_stress();
+        // Stress-free drift of under half a level on every device.
+        for r in 0..2 {
+            for c in 0..2 {
+                x.device_mut(r, c).drift_conductance(0.004);
+            }
+        }
+        // Within tolerance: drift is left in place, no pulses, no stress.
+        let stats = x.program_conductances_delta(&tg, 0.45).unwrap();
+        assert_eq!(stats.skipped_tolerance, 4);
+        assert_eq!(stats.programmed, 0);
+        assert_eq!(x.total_pulses(), pulses_before);
+        assert_eq!(x.total_stress(), stress_before);
+        // Zero tolerance: the same drift is chased with pulses.
+        let stats = x.program_conductances_delta(&tg, 0.0).unwrap();
+        assert_eq!(stats.programmed, 4);
+        assert!(x.total_pulses() > pulses_before);
+        assert!(x.total_stress() > stress_before);
+    }
+
+    #[test]
+    fn delta_reprogram_counts_dead_cells_like_full() {
+        let mut x = xbar(1, 2);
+        x.device_mut(0, 0).force_worn_out();
+        let stats = x.program_conductances_delta(&Tensor::full([1, 2], 5e-5), 0.0).unwrap();
+        assert_eq!(stats.dead, 1);
+        assert!(stats.programmed + stats.skipped_unchanged == 1);
+    }
+
+    #[test]
+    fn delta_reprogram_validates_shape() {
+        let mut x = xbar(2, 2);
+        assert!(matches!(
+            x.program_conductances_delta(&Tensor::full([2, 3], 1e-4), 0.0),
+            Err(CrossbarError::DimensionMismatch { .. })
+        ));
     }
 }

@@ -107,11 +107,15 @@ impl WeightRange {
                 reason: format!("percentile {percentile} not in [0, 0.5)"),
             });
         }
-        let mut sorted: Vec<f32> = weights.to_vec();
-        sorted.sort_by(f32::total_cmp);
-        let k = ((sorted.len() as f64) * percentile).floor() as usize;
-        let lo = sorted[k.min(sorted.len() - 1)] as f64;
-        let hi = sorted[sorted.len() - 1 - k.min(sorted.len() - 1)] as f64;
+        // Order statistics via O(n) selection: the k-th element under a
+        // total order is a property of the multiset, so this is
+        // bit-identical to fully sorting — it runs on every candidate
+        // sweep of every remap, so the n·log n sort was measurable.
+        let mut buf: Vec<f32> = weights.to_vec();
+        let len = buf.len();
+        let ki = (((len as f64) * percentile).floor() as usize).min(len - 1);
+        let lo = *buf.select_nth_unstable_by(ki, f32::total_cmp).1 as f64;
+        let hi = *buf.select_nth_unstable_by(len - 1 - ki, f32::total_cmp).1 as f64;
         if hi <= lo {
             return WeightRange::from_weights(weights);
         }

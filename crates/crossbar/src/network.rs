@@ -77,6 +77,12 @@ pub struct CrossbarNetwork {
     /// Whether the incremental engine scores candidates on the fixed-point
     /// kernels instead of the f32 forward pass.
     quantized_eval: bool,
+    /// Whether programming diffs targets against device state and writes
+    /// only changed cells (default) or reprograms every cell.
+    delta_remap: bool,
+    /// Delta programming only: drift within this many grid levels of the
+    /// target is left in place instead of being chased with pulses.
+    remap_tolerance: f64,
 }
 
 impl std::fmt::Debug for CrossbarNetwork {
@@ -122,6 +128,8 @@ impl CrossbarNetwork {
             engine: EvalEngine::new(),
             incremental_eval: true,
             quantized_eval: false,
+            delta_remap: true,
+            remap_tolerance: 0.0,
         })
     }
 
@@ -149,6 +157,44 @@ impl CrossbarNetwork {
     /// Whether quantized candidate evaluation is enabled.
     pub fn quantized_eval(&self) -> bool {
         self.quantized_eval
+    }
+
+    /// Selects between delta programming (the default: targets are diffed
+    /// against device state and only changed cells are written, see
+    /// [`Crossbar::program_conductances_delta`]) and full reprogramming of
+    /// every cell. With the default zero tolerance both produce bitwise
+    /// identical device state; the full path exists as the bit-exactness
+    /// oracle and escape hatch — the same naive-vs-incremental pattern as
+    /// [`CrossbarNetwork::set_incremental_eval`].
+    pub fn set_delta_remap(&mut self, enabled: bool) {
+        self.delta_remap = enabled;
+    }
+
+    /// Whether delta programming is enabled.
+    pub fn delta_remap(&self) -> bool {
+        self.delta_remap
+    }
+
+    /// Sets the delta-programming tuning tolerance, in grid levels: a cell
+    /// whose drifted state is within this distance of its target level is
+    /// left in place instead of being chased with stressful pulses. `0.0`
+    /// (the default) skips only provable no-ops, keeping delta programming
+    /// bit-identical to the full path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance` is negative or non-finite.
+    pub fn set_remap_tolerance(&mut self, tolerance: f64) {
+        assert!(
+            tolerance.is_finite() && tolerance >= 0.0,
+            "remap tolerance must be finite and >= 0, got {tolerance}"
+        );
+        self.remap_tolerance = tolerance;
+    }
+
+    /// The delta-programming tuning tolerance, in grid levels.
+    pub fn remap_tolerance(&self) -> f64 {
+        self.remap_tolerance
     }
 
     /// Enables the row-swapping wear-leveling baseline of the paper's
@@ -243,7 +289,8 @@ impl CrossbarNetwork {
             recorder.counter("mapping.out_of_range_weights", clamped as u64);
             recorder.counter("mapping.candidates_tried", report.candidates_tried as u64);
             recorder.counter("mapping.pulses", report.stats.pulses);
-            recorder.counter("mapping.programmed_cells", report.stats.programmed as u64);
+            recorder.counter("mapping.cells_programmed", report.stats.programmed as u64);
+            recorder.counter("mapping.cells_skipped", report.stats.skipped() as u64);
             if let Some(accuracy) = report.post_map_accuracy {
                 recorder.gauge("mapping.post_map_accuracy", accuracy);
             }
@@ -272,6 +319,8 @@ impl CrossbarNetwork {
             engine,
             incremental_eval,
             quantized_eval,
+            delta_remap,
+            remap_tolerance,
             ..
         } = &mut *self;
         let software: &Network = software;
@@ -280,6 +329,8 @@ impl CrossbarNetwork {
         let wear_leveling = *wear_leveling;
         let incremental = *incremental_eval;
         let quantized = *quantized_eval;
+        let delta_remap = *delta_remap;
+        let remap_tolerance = *remap_tolerance;
         // New mapping epoch: worker contexts lazily re-sync the (possibly
         // retrained) software weights at their first lease.
         engine.begin_epoch();
@@ -413,15 +464,23 @@ impl CrossbarNetwork {
                 )?;
             }
             let physical = row_assignments[idx].to_physical(&targets)?;
-            stats.merge(arrays[idx].program_conductances(&physical)?);
+            stats.merge(if delta_remap {
+                arrays[idx].program_conductances_delta(&physical, remap_tolerance)?
+            } else {
+                arrays[idx].program_conductances(&physical)?
+            });
             mappings[idx] = Some(mapping);
             last_windows[idx] = Some(window);
             windows.push(window);
         }
         // Leave the software model consistent with what the hardware now holds.
         self.sync_software_from_hardware()?;
+        // Evaluate on the just-synced software state directly:
+        // `CrossbarNetwork::evaluate` would redundantly re-read every
+        // device's conductance (a full aged-window evaluation per cell)
+        // when nothing has touched the hardware since the sync above.
         let post_map_accuracy = match calibration {
-            Some((data, batch)) => Some(self.evaluate(data, batch)?),
+            Some((data, batch)) => Some(memaging_nn::evaluate(&mut self.software, data, batch)?),
             None => None,
         };
         Ok(MapReport { stats, windows, candidates_tried, out_of_range_weights, post_map_accuracy })
@@ -787,6 +846,55 @@ mod tests {
         );
         // Mapping into the reduced window keeps decent accuracy.
         assert!(report.post_map_accuracy.unwrap() > 0.5);
+    }
+
+    #[test]
+    fn delta_remap_matches_full_reprogram_oracle() {
+        let (net, data) = trained_setup(9);
+        let mut delta =
+            CrossbarNetwork::new(net.clone(), DeviceSpec::default(), ArrheniusAging::default())
+                .unwrap();
+        let mut full =
+            CrossbarNetwork::new(net, DeviceSpec::default(), ArrheniusAging::default()).unwrap();
+        assert!(delta.delta_remap(), "delta programming is the default");
+        full.set_delta_remap(false);
+        for epoch in 0..3 {
+            let rd = delta.map_weights(MappingStrategy::AgingAware, Some((&data, 64))).unwrap();
+            let rf = full.map_weights(MappingStrategy::AgingAware, Some((&data, 64))).unwrap();
+            assert_eq!(rd.windows, rf.windows, "epoch {epoch}");
+            assert_eq!(rd.stats.pulses, rf.stats.pulses, "epoch {epoch}");
+            assert_eq!(rd.post_map_accuracy, rf.post_map_accuracy, "epoch {epoch}");
+            if epoch > 0 {
+                // Steady state: targets repeat, so the delta path skips the
+                // vast majority of cells.
+                let total = rd.stats.programmed + rd.stats.skipped();
+                assert!(
+                    rd.stats.skipped() * 2 > total,
+                    "epoch {epoch}: expected majority skipped, got {}",
+                    rd.stats
+                );
+                assert_eq!(rf.stats.skipped(), 0, "full path never skips");
+            }
+        }
+        let wd = delta.read_weights().unwrap();
+        let wf = full.read_weights().unwrap();
+        for (a, b) in wd.iter().zip(&wf) {
+            assert_eq!(a.as_slice(), b.as_slice(), "hardware state diverged");
+        }
+        assert_eq!(delta.total_pulses(), full.total_pulses());
+    }
+
+    #[test]
+    fn remap_tolerance_validates() {
+        let (net, _) = trained_setup(10);
+        let mut cn =
+            CrossbarNetwork::new(net, DeviceSpec::default(), ArrheniusAging::default()).unwrap();
+        cn.set_remap_tolerance(0.25);
+        assert_eq!(cn.remap_tolerance(), 0.25);
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cn.set_remap_tolerance(-0.1);
+        }))
+        .is_err());
     }
 
     #[test]

@@ -98,6 +98,12 @@ impl TiledMatrix {
         &self.tiles
     }
 
+    /// Mutable tile access, row-major over the tile grid (fault injection,
+    /// deterministic aging in tests).
+    pub fn tiles_mut(&mut self) -> &mut [Crossbar] {
+        &mut self.tiles
+    }
+
     /// Programs the full logical matrix of conductance targets, tile by
     /// tile.
     ///
@@ -109,6 +115,38 @@ impl TiledMatrix {
         &mut self,
         targets: &Tensor,
     ) -> Result<ProgramStats, CrossbarError> {
+        self.program_tiles(targets, |tile, sub| tile.program_conductances(sub))
+    }
+
+    /// Delta programming of the full logical matrix, tile by tile: each tile
+    /// runs [`Crossbar::program_conductances_delta`], skipping cells whose
+    /// state already represents their target level (see the per-array
+    /// documentation for the exact skip contract). With `tolerance == 0.0`
+    /// the resulting device state is bitwise identical to
+    /// [`TiledMatrix::program_conductances`] at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::DimensionMismatch`] if `targets` is not
+    /// `[rows, cols]`.
+    pub fn program_conductances_delta(
+        &mut self,
+        targets: &Tensor,
+        tolerance: f64,
+    ) -> Result<ProgramStats, CrossbarError> {
+        self.program_tiles(targets, |tile, sub| tile.program_conductances_delta(sub, tolerance))
+    }
+
+    /// Shared tile-parallel programming driver: slices `targets` per tile
+    /// and applies `program` to every tile.
+    fn program_tiles<F>(
+        &mut self,
+        targets: &Tensor,
+        program: F,
+    ) -> Result<ProgramStats, CrossbarError>
+    where
+        F: Fn(&mut Crossbar, &Tensor) -> Result<ProgramStats, CrossbarError> + Sync,
+    {
         if targets.dims() != [self.rows, self.cols] {
             return Err(CrossbarError::DimensionMismatch {
                 what: "tiled conductance targets",
@@ -136,7 +174,7 @@ impl TiledMatrix {
                 let (r, c) = (i / w, i % w);
                 src[(tr * tile_size + r) * cols + tc * tile_size + c]
             });
-            let result = tile.program_conductances(&sub);
+            let result = program(tile, &sub);
             if let Ok(mut slots) = results.lock() {
                 slots[ti] = Some(result);
             }
@@ -435,6 +473,30 @@ mod tests {
         // Distinct windows deduplicate; same block index for same window.
         assert!(map.windows().len() <= 3);
         assert_eq!(map.window_index(0, 0), map.window_index(2, 1));
+    }
+
+    #[test]
+    fn tiled_delta_matches_full_and_skips_second_pass() {
+        let mut full = tiled(7, 5, 3);
+        let mut delta = tiled(7, 5, 3);
+        // Stay below the top levels: a target at the very top of the window
+        // gets clipped by the aging of the first pass, which both paths
+        // would then legitimately chase on the second pass.
+        let spec = DeviceSpec::default();
+        let tg = Tensor::from_fn([7, 5], |i| {
+            (1.0 / (spec.r_min + (i % 20) as f64 * spec.level_width())) as f32
+        });
+        let s_full = full.program_conductances(&tg).unwrap();
+        let s_delta = delta.program_conductances_delta(&tg, 0.0).unwrap();
+        assert_eq!(s_full.pulses, s_delta.pulses);
+        // Second identical pass: everything skips on the delta path.
+        let s2 = delta.program_conductances_delta(&tg, 0.0).unwrap();
+        assert_eq!(s2.pulses, 0);
+        assert_eq!(s2.skipped_unchanged, 35);
+        assert_eq!(delta.total_pulses(), full.total_pulses());
+        let v: Vec<f32> = (0..7).map(|i| (i as f32 * 0.43).sin()).collect();
+        full.program_conductances(&tg).unwrap();
+        assert_eq!(full.vmm(&v).unwrap(), delta.vmm(&v).unwrap());
     }
 
     #[test]

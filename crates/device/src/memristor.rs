@@ -94,6 +94,20 @@ impl Memristor {
         &self.quantizer
     }
 
+    /// The aging model.
+    pub fn aging(&self) -> &ArrheniusAging {
+        &self.aging
+    }
+
+    /// The *stored* continuous position on the fresh grid, in level units —
+    /// **not** clamped into the aged window (contrast [`Memristor::level`],
+    /// which reads the effective, window-clamped state). Delta-programming
+    /// uses this to diff a device against its next target without paying
+    /// for an aged-window evaluation per cell.
+    pub fn grid_position(&self) -> f64 {
+        self.position
+    }
+
     /// Accumulated effective stress, seconds (own pulses plus absorbed
     /// thermal crosstalk).
     pub fn stress(&self) -> f64 {
@@ -528,6 +542,27 @@ mod tests {
         m.program_to_level(0).unwrap();
         m.drift_level(-1);
         assert_eq!(m.level(), 0);
+    }
+
+    #[test]
+    fn grid_position_reads_raw_unclamped_state() {
+        let mut m = fresh();
+        assert_eq!(m.grid_position(), 16.0);
+        m.program_to_level(20).unwrap();
+        assert!((m.grid_position() - 20.0).abs() < 1e-9);
+        // Drift moves the raw position without stress; grid_position sees it.
+        m.drift_level(1);
+        assert!((m.grid_position() - 21.0).abs() < 1e-9);
+        // Heavy aging pins reads at the window bound while the raw position
+        // stays put.
+        m.program_to_level(31).unwrap();
+        for _ in 0..60_000 {
+            if m.pulse(1).is_err() {
+                break;
+            }
+        }
+        assert!(m.grid_position() <= 31.0);
+        assert!((m.level() as f64) <= m.grid_position() + 0.5, "effective state is clamped");
     }
 
     #[test]

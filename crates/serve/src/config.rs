@@ -67,6 +67,19 @@ pub struct ServeConfig {
     /// f32 oracle, within the quantization error bound. CLI flag:
     /// `--quantized`.
     pub quantized: bool,
+    /// Background remaps program only cells whose target level changed
+    /// (delta programming, the default). With `remap_tolerance == 0.0` the
+    /// hardware trajectory is bitwise identical to full reprogramming —
+    /// only faster and with the wear attribution reflecting the cells
+    /// actually written. `false` keeps the full-reprogram oracle. CLI
+    /// flag: `--delta-remap`.
+    pub delta_remap: bool,
+    /// Delta-remap tuning tolerance, in grid levels: drift within this
+    /// distance of the target level is left in place instead of being
+    /// chased with stressful pulses. Must lie in `[0, 0.5]` — beyond half
+    /// a level the skipped state would alias a different level code. CLI
+    /// flag: `--remap-tolerance`.
+    pub remap_tolerance: f64,
 }
 
 impl Default for ServeConfig {
@@ -84,6 +97,8 @@ impl Default for ServeConfig {
             latency_buckets: 40,
             forecast_window: memaging_lifetime::DEFAULT_FORECAST_WINDOW,
             quantized: false,
+            delta_remap: true,
+            remap_tolerance: 0.0,
         }
     }
 }
@@ -132,6 +147,11 @@ impl ServeConfig {
                 reason: "forecast_window must be at least 2 boundaries".into(),
             });
         }
+        if !self.remap_tolerance.is_finite() || !(0.0..=0.5).contains(&self.remap_tolerance) {
+            return Err(ServeError::InvalidConfig {
+                reason: "remap_tolerance must lie in [0, 0.5] grid levels".into(),
+            });
+        }
         self.thresholds
             .validate()
             .map_err(|e| ServeError::InvalidConfig { reason: format!("wear thresholds: {e}") })
@@ -160,6 +180,9 @@ mod tests {
             ServeConfig { latency_buckets: 4, ..ServeConfig::default() },
             ServeConfig { latency_buckets: 65, ..ServeConfig::default() },
             ServeConfig { forecast_window: 1, ..ServeConfig::default() },
+            ServeConfig { remap_tolerance: -0.1, ..ServeConfig::default() },
+            ServeConfig { remap_tolerance: 0.6, ..ServeConfig::default() },
+            ServeConfig { remap_tolerance: f64::NAN, ..ServeConfig::default() },
             ServeConfig {
                 thresholds: WearThresholds {
                     warn_window_fraction: 0.1,

@@ -96,6 +96,12 @@ impl ServeEngine {
         // engine: persistent worker contexts across map epochs are exactly
         // the serving-time reuse it was built for.
         network.set_incremental_eval(true);
+        // Delta programming on the background remap path: only cells whose
+        // target level changed are written (bitwise identical to full
+        // reprogramming at zero tolerance, and the wear ledger attributes
+        // remap wear by the cells actually programmed).
+        network.set_delta_remap(config.delta_remap);
+        network.set_remap_tolerance(config.remap_tolerance);
         network
             .map_weights_with_recorder(
                 MappingStrategy::AgingAware,

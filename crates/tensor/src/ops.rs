@@ -44,6 +44,17 @@ fn check_matmul(
     Ok(())
 }
 
+/// Widest output (`n`) routed to the register micro-kernel
+/// [`matmul_band_narrow`] instead of the cache-blocked loop. 32 f32 columns
+/// is two AVX-512 / four AVX accumulator registers per row — beyond that
+/// the `NARROW_R`-row accumulator block spills and the blocked kernel wins.
+const NARROW_N: usize = 32;
+
+/// Rows accumulated concurrently by the narrow micro-kernel: four
+/// independent dependency chains hide the FMA latency that serializes the
+/// one-row-at-a-time loop.
+const NARROW_R: usize = 4;
+
 /// Blocked serial kernel for a band of output rows: `out` holds `rows`
 /// rows of `C`, `a_rows` the matching rows of `A`. Tiling runs `k`-block
 /// outermost so each `B` panel is reused across the whole band, and the
@@ -67,6 +78,85 @@ fn matmul_band(a_rows: &[f32], bv: &[f32], out: &mut [f32], k: usize, n: usize) 
                 }
             }
         }
+    }
+}
+
+/// Micro-kernel for narrow outputs (`n <= NARROW_N`, e.g. the hidden and
+/// logit layers of a classifier MLP). `B` is first copied into a
+/// zero-padded `k × NP` panel (`NP` a compile-time width covering `n`), so
+/// the inner loops have constant trip counts — LLVM keeps the whole
+/// [`NARROW_R`]`×NP` accumulator block in vector registers, turning the
+/// blocked kernel's single latency-bound FMA chain per row into
+/// `NARROW_R` independent chains. The padding lanes accumulate `aik · 0.0`
+/// and are never copied out.
+///
+/// Each output element is still the sum `Σ_k a[r][k]·b[k][j]` added in
+/// strictly `k`-increasing order — the exact additions of the naive i-k-j
+/// loop, so results are bit-identical to [`matmul_band`] and the kernels
+/// may dispatch on shape freely.
+fn matmul_band_narrow(a_rows: &[f32], bpad: &[f32], out: &mut [f32], k: usize, n: usize) {
+    debug_assert_eq!(bpad.len() % k, 0);
+    match bpad.len() / k {
+        8 => narrow_panel::<8>(a_rows, bpad, out, k, n),
+        16 => narrow_panel::<16>(a_rows, bpad, out, k, n),
+        24 => narrow_panel::<24>(a_rows, bpad, out, k, n),
+        _ => narrow_panel::<NARROW_N>(a_rows, bpad, out, k, n),
+    }
+}
+
+/// Zero-pads `B` (`k × n`) into a `k × NP` panel for [`narrow_panel`],
+/// picking the smallest supported compile-time width that covers `n`.
+fn pad_narrow_panel(bv: &[f32], k: usize, n: usize) -> Vec<f32> {
+    let np = [8usize, 16, 24, NARROW_N].into_iter().find(|&w| n <= w).unwrap_or(NARROW_N);
+    let mut bpad = vec![0.0f32; k * np];
+    for (dst, src) in bpad.chunks_exact_mut(np).zip(bv.chunks_exact(n)) {
+        dst[..n].copy_from_slice(src);
+    }
+    bpad
+}
+
+fn narrow_panel<const NP: usize>(
+    a_rows: &[f32],
+    bpad: &[f32],
+    out: &mut [f32],
+    k: usize,
+    n: usize,
+) {
+    /// One `NP`-wide multiply-accumulate step of a single row's chain.
+    #[inline(always)]
+    fn step<const NP: usize>(acc: &mut [f32; NP], aik: f32, brow: &[f32; NP]) {
+        for (o, &bpj) in acc.iter_mut().zip(brow.iter()) {
+            *o += aik * bpj;
+        }
+    }
+    let rows = out.len() / n;
+    let panel = bpad.chunks_exact(NP).map(|c| -> &[f32; NP] { c.try_into().expect("NP-wide") });
+    let mut r = 0;
+    while r + NARROW_R <= rows {
+        let (mut a0, mut a1, mut a2, mut a3) =
+            ([0.0f32; NP], [0.0f32; NP], [0.0f32; NP], [0.0f32; NP]);
+        let x0 = a_rows[r * k..(r + 1) * k].iter();
+        let x1 = a_rows[(r + 1) * k..(r + 2) * k].iter();
+        let x2 = a_rows[(r + 2) * k..(r + 3) * k].iter();
+        let x3 = a_rows[(r + 3) * k..(r + 4) * k].iter();
+        for ((((brow, &v0), &v1), &v2), &v3) in panel.clone().zip(x0).zip(x1).zip(x2).zip(x3) {
+            step(&mut a0, v0, brow);
+            step(&mut a1, v1, brow);
+            step(&mut a2, v2, brow);
+            step(&mut a3, v3, brow);
+        }
+        for (q, accq) in [&a0, &a1, &a2, &a3].into_iter().enumerate() {
+            out[(r + q) * n..(r + q) * n + n].copy_from_slice(&accq[..n]);
+        }
+        r += NARROW_R;
+    }
+    while r < rows {
+        let mut acc = [0.0f32; NP];
+        for (brow, &aik) in panel.clone().zip(a_rows[r * k..(r + 1) * k].iter()) {
+            step(&mut acc, aik, brow);
+        }
+        out[r * n..r * n + n].copy_from_slice(&acc[..n]);
+        r += 1;
     }
 }
 
@@ -107,6 +197,15 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     let av = a.as_slice();
     let bv = b.as_slice();
     let threads = parallelism_for(2 * m * k * n);
+    if n > 0 && n <= NARROW_N && k > 0 {
+        let bpad = pad_narrow_panel(bv, k, n);
+        par_chunks_mut(&mut out, n * I_BLOCK, threads, |band, chunk| {
+            let i0 = band * I_BLOCK;
+            let rows = chunk.len() / n;
+            matmul_band_narrow(&av[i0 * k..(i0 + rows) * k], &bpad, chunk, k, n);
+        });
+        return Tensor::from_vec(out, [m, n]);
+    }
     par_chunks_mut(&mut out, n * I_BLOCK, threads, |band, chunk| {
         let i0 = band * I_BLOCK;
         let rows = chunk.len() / n;

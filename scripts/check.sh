@@ -61,7 +61,8 @@ fi
 # timing tolerance is loosened for cross-machine runs.
 for key in wear_total_stress wear_inference_read_stress wear_remap_stress \
            wear_ledger_entries latency_e2e_count series_points forecast_tiles \
-           forecast_worst_velocity quant_speedup_forward; do
+           forecast_worst_velocity quant_speedup_forward \
+           remap_cells_skipped_frac delta_remap_speedup; do
     grep -q "\"$key\"" BENCH_serve.json \
         || { echo "check.sh: BENCH_serve.json is missing extra \"$key\"" >&2; exit 1; }
 done
