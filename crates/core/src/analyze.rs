@@ -148,6 +148,11 @@ pub struct TraceAnalysis {
     /// The replayed wear-attribution ledger; `None` when the trace has no
     /// wear checkpoints.
     pub ledger: Option<WearLedger>,
+    /// Per-replica ledgers replayed from `replica{r}.`-prefixed wear
+    /// causes (fleet traces), keyed by replica id. Tile indices are only
+    /// meaningful within one replica's ledger — folding them into one
+    /// account would silently alias tiles across replicas.
+    pub replica_ledgers: BTreeMap<usize, WearLedger>,
     /// The replayed deterministic time-series store.
     pub series: SeriesStore,
     latency: LatencyReplay,
@@ -196,6 +201,7 @@ pub fn analyze_lines<'a>(
         counters: BTreeMap::new(),
         alerts: 0,
         ledger: None,
+        replica_ledgers: BTreeMap::new(),
         series: SeriesStore::with_capacity(options.series_capacity),
         latency: LatencyReplay::new(options.latency_buckets),
         options: *options,
@@ -225,8 +231,8 @@ pub fn analyze_lines<'a>(
                 analysis.counters.insert(name, total);
             }
             Event::Wear { cause, param, tiles } => {
-                let ledger = analysis.ledger.get_or_insert_with(|| WearLedger::new(tiles.len()));
-                let cause = match (cause.as_str(), param) {
+                let (replica, kind) = split_replica_cause(&cause);
+                let cause = match (kind, param) {
                     ("inference_read", Some(batch_seq)) => WearCause::InferenceRead { batch_seq },
                     ("remap", Some(generation)) => WearCause::Remap { generation },
                     ("tuning", None) => WearCause::Tuning,
@@ -236,6 +242,13 @@ pub fn analyze_lines<'a>(
                             lineno + 1
                         ));
                     }
+                };
+                let ledger = match replica {
+                    Some(r) => analysis
+                        .replica_ledgers
+                        .entry(r)
+                        .or_insert_with(|| WearLedger::for_replica(tiles.len(), Some(r))),
+                    None => analysis.ledger.get_or_insert_with(|| WearLedger::new(tiles.len())),
                 };
                 if tiles.len() != ledger.tiles() {
                     return Err(format!(
@@ -254,6 +267,23 @@ pub fn analyze_lines<'a>(
     }
     analysis.phases = phase_stats(&spans);
     Ok(analysis)
+}
+
+/// Splits an optional `replica{r}.` namespace off a wear cause string:
+/// `replica3.remap` → `(Some(3), "remap")`, `remap` → `(None, "remap")`.
+/// A `replica` prefix without a parsable id falls through unsplit so the
+/// cause match reports it as unknown.
+fn split_replica_cause(cause: &str) -> (Option<usize>, &str) {
+    let Some(rest) = cause.strip_prefix("replica") else {
+        return (None, cause);
+    };
+    let Some((id, kind)) = rest.split_once('.') else {
+        return (None, cause);
+    };
+    match id.parse::<usize>() {
+        Ok(replica) => (Some(replica), kind),
+        Err(_) => (None, cause),
+    }
 }
 
 /// Reconstructs the span tree and aggregates per-name self/total time.
@@ -311,12 +341,41 @@ impl TraceAnalysis {
     }
 
     /// The replayed `GET /wear/attribution` body, or `"null"` when the
-    /// trace carries no wear checkpoints.
+    /// trace carries no wear checkpoints. A fleet trace (replica-prefixed
+    /// wear causes) renders the fleet form `{"replicas":[...]}` —
+    /// byte-identical to the live fleet endpoint when the trace covers the
+    /// full run.
     pub fn attribution_json(&self) -> String {
+        if !self.replica_ledgers.is_empty() {
+            let mut out = String::from("{\"replicas\":[");
+            for (i, ledger) in self.replica_ledgers.values().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&ledger.to_json());
+            }
+            out.push_str("]}");
+            return out;
+        }
         match &self.ledger {
             Some(ledger) => ledger.to_json(),
             None => "null".into(),
         }
+    }
+
+    /// Max/mean ratio of per-replica attributed stress — the fleet wear
+    /// imbalance the wear-balancing router minimizes (1.0 is perfectly
+    /// balanced). `None` for non-fleet traces.
+    pub fn fleet_imbalance(&self) -> Option<f64> {
+        if self.replica_ledgers.is_empty() {
+            return None;
+        }
+        let totals: Vec<f64> = self.replica_ledgers.values().map(WearLedger::total).collect();
+        let mean = totals.iter().sum::<f64>() / totals.len() as f64;
+        if mean <= 0.0 {
+            return Some(1.0);
+        }
+        Some(totals.iter().copied().fold(0.0f64, f64::max) / mean)
     }
 
     /// The replayed `GET /timeseries` body.
@@ -460,6 +519,22 @@ impl TraceAnalysis {
             );
             for (cause, events, stress) in ledger.cause_totals() {
                 let _ = writeln!(out, "  {cause:<16} {events:>6} events  {stress:.3e}s");
+            }
+        }
+        if !self.replica_ledgers.is_empty() {
+            let _ = writeln!(
+                out,
+                "fleet attribution: {} replicas, wear imbalance (max/mean) {:.4}",
+                self.replica_ledgers.len(),
+                self.fleet_imbalance().unwrap_or(1.0)
+            );
+            for (replica, ledger) in &self.replica_ledgers {
+                let _ = writeln!(
+                    out,
+                    "  replica {replica}: {} tiles, total stress {:.3e}s",
+                    ledger.tiles(),
+                    ledger.total()
+                );
             }
         }
         let (trends, worst) = self.forecast();
@@ -699,6 +774,18 @@ pub fn diff(a: &TraceAnalysis, b: &TraceAnalysis, tolerance: f64) -> DiffReport 
             higher_is_worse: false,
         });
     }
+    if let (Some(ia), Some(ib)) = (a.fleet_imbalance(), b.fleet_imbalance()) {
+        // The fleet router's gated signal: max/mean per-replica attributed
+        // stress. A rise means the fleet is wearing its hottest replica
+        // faster than the average — a lifetime regression even when total
+        // stress is unchanged.
+        rows.push(DiffRow {
+            metric: "fleet.wear_imbalance".to_string(),
+            a: ia,
+            b: ib,
+            higher_is_worse: true,
+        });
+    }
     let stress = |run: &TraceAnalysis| -> Vec<(String, f64)> {
         let Some(ledger) = &run.ledger else { return Vec::new() };
         let mut out = vec![("attribution.total_stress".to_string(), ledger.total())];
@@ -814,6 +901,69 @@ mod tests {
         let json = analysis.attribution_json();
         assert!(json.contains("{\"cause\":\"inference_read\",\"batch_seq\":64,\"stress\":0.75}"));
         assert!(json.ends_with("\"per_tile\":[1,0.75]}"), "{json}");
+    }
+
+    #[test]
+    fn fleet_wear_replay_folds_per_replica_ledgers() {
+        let lines = [
+            r#"{"type":"wear","cause":"replica0.remap","param":0,"tiles":[0.5,0.5]}"#,
+            r#"{"type":"wear","cause":"replica1.remap","param":0,"tiles":[0.25,0.25]}"#,
+            r#"{"type":"wear","cause":"replica0.inference_read","param":64,"tiles":[1.5,1.5]}"#,
+        ];
+        let analysis = analyze_lines("test", lines, &opts()).unwrap();
+        assert!(analysis.ledger.is_none(), "prefixed causes must not feed the flat ledger");
+        assert_eq!(analysis.replica_ledgers.len(), 2);
+        assert_eq!(analysis.replica_ledgers[&0].total(), 3.0);
+        assert_eq!(analysis.replica_ledgers[&0].replica(), Some(0));
+        assert_eq!(analysis.replica_ledgers[&1].total(), 0.5);
+        // max/mean over (3.0, 0.5).
+        let imbalance = analysis.fleet_imbalance().unwrap();
+        assert!((imbalance - 3.0 / 1.75).abs() < 1e-12, "imbalance {imbalance}");
+        let json = analysis.attribution_json();
+        assert!(json.starts_with("{\"replicas\":[{\"replica\":0,\"tiles\":2,"), "{json}");
+        assert!(json.contains("{\"replica\":1,\"tiles\":2,"), "{json}");
+        assert!(analysis.report().contains("fleet attribution: 2 replicas"));
+    }
+
+    #[test]
+    fn malformed_replica_prefixes_are_unknown_causes() {
+        for bad in [
+            r#"{"type":"wear","cause":"replicaX.remap","param":0,"tiles":[1.0]}"#,
+            r#"{"type":"wear","cause":"replica0.mystery","param":0,"tiles":[1.0]}"#,
+        ] {
+            let err = analyze_lines("t.jsonl", [bad], &opts()).unwrap_err();
+            assert!(err.contains("unknown wear cause"), "got: {err}");
+        }
+    }
+
+    #[test]
+    fn diff_flags_fleet_imbalance_drift() {
+        let balanced = [
+            r#"{"type":"wear","cause":"replica0.remap","param":0,"tiles":[1.0]}"#,
+            r#"{"type":"wear","cause":"replica1.remap","param":0,"tiles":[1.0]}"#,
+        ];
+        let lopsided = [
+            r#"{"type":"wear","cause":"replica0.remap","param":0,"tiles":[3.0]}"#,
+            r#"{"type":"wear","cause":"replica1.remap","param":0,"tiles":[1.0]}"#,
+        ];
+        let a = analyze_lines("a", balanced, &opts()).unwrap();
+        let b = analyze_lines("b", lopsided, &opts()).unwrap();
+        let report = diff(&a, &b, 0.05);
+        let regressed: Vec<&str> = report.regressions().iter().map(|r| r.metric.as_str()).collect();
+        assert!(regressed.contains(&"fleet.wear_imbalance"), "{regressed:?}");
+        // Tightening the imbalance is an improvement, not a regression.
+        let better = diff(&b, &a, 0.05);
+        assert!(
+            !better.regressions().iter().any(|r| r.metric == "fleet.wear_imbalance"),
+            "{}",
+            better.report()
+        );
+        // Non-fleet traces don't grow the row at all.
+        let flat =
+            analyze_lines("c", [r#"{"type":"wear","cause":"tuning","tiles":[1.0]}"#], &opts())
+                .unwrap();
+        let none = diff(&flat, &flat, 0.05);
+        assert!(none.rows.iter().all(|r| r.metric != "fleet.wear_imbalance"));
     }
 
     #[test]

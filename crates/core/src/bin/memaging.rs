@@ -18,6 +18,7 @@ use std::time::Duration;
 
 use memaging::crossbar::CrossbarNetwork;
 use memaging::device::{ArrheniusAging, DeviceSpec, Memristor};
+use memaging::fleet::{FleetConfig, FleetHandler, FleetService, RouterPolicy};
 use memaging::lifetime::{compare_lifetimes, LifetimeResult, Strategy};
 use memaging::obs::{
     ChromeTraceSink, FlightRecorder, JsonlSink, PrettySink, Recorder, SeriesStore, Sink,
@@ -71,6 +72,11 @@ struct ServeFlags {
     /// With `--infer`: power-of-2 buckets per serving latency histogram
     /// ([`ServeConfig::latency_buckets`]).
     latency_buckets: Option<usize>,
+    /// With `--infer`: deploy this many independent replicas behind the
+    /// wear-balancing fleet router instead of a single serving cell.
+    replicas: usize,
+    /// With `--infer --replicas N`: the fleet routing policy.
+    router: RouterPolicy,
 }
 
 impl Default for ServeFlags {
@@ -82,6 +88,8 @@ impl Default for ServeFlags {
             requests: 0,
             deadline_ms: None,
             latency_buckets: None,
+            replicas: 1,
+            router: RouterPolicy::WearBalance,
         }
     }
 }
@@ -229,8 +237,15 @@ fn parse_run_opts(
         ];
         let known = known.contains(&flag.as_str())
             || (serve
-                && ["--port", "--requests", "--deadline-ms", "--latency-buckets"]
-                    .contains(&flag.as_str()));
+                && [
+                    "--port",
+                    "--requests",
+                    "--deadline-ms",
+                    "--latency-buckets",
+                    "--replicas",
+                    "--router",
+                ]
+                .contains(&flag.as_str()));
         if !known {
             return Err(format!("unknown flag `{flag}`"));
         }
@@ -293,6 +308,14 @@ fn parse_run_opts(
                 }
                 flags.latency_buckets = Some(n);
             }
+            "--replicas" => {
+                let n: usize = value.parse().map_err(|_| format!("bad replicas `{value}`"))?;
+                if n == 0 {
+                    return Err("bad replicas `0` (must be at least 1)".into());
+                }
+                flags.replicas = n;
+            }
+            "--router" => flags.router = RouterPolicy::parse(value)?,
             _ => unreachable!("flag validated above"),
         }
     }
@@ -301,6 +324,9 @@ fn parse_run_opts(
     }
     if !flags.infer && flags.latency_buckets.is_some() {
         return Err("--latency-buckets requires --infer".into());
+    }
+    if !flags.infer && (flags.replicas != 1 || flags.router != RouterPolicy::WearBalance) {
+        return Err("--replicas / --router require --infer".into());
     }
     if opts.no_series && opts.series_capacity.is_some() {
         return Err("--series-capacity conflicts with --no-series".into());
@@ -435,6 +461,8 @@ fn print_help() {
          \u{20}   memaging serve <quick|lenet|vgg> --infer\n\
          \u{20}                                       [--requests N] [--deadline-ms N]\n\
          \u{20}                                       [--latency-buckets N (8..=64)]\n\
+         \u{20}                                       [--replicas N (default 1)]\n\
+         \u{20}                                       [--router wear|round-robin|sticky]\n\
          \u{20}                       trains the strategy's model and deploys it behind\n\
          \u{20}                       the batched inference service: POST /infer,\n\
          \u{20}                       GET /serve/stats, /serve/latency (log-bucketed\n\
@@ -447,7 +475,13 @@ fn print_help() {
          \u{20}                       deterministic wear time-series ring behind\n\
          \u{20}                       GET /timeseries and /forecast (default 64);\n\
          \u{20}                       --no-series disables series retention (the\n\
-         \u{20}                       per-boundary series path is allocation-free)\n\
+         \u{20}                       per-boundary series path is allocation-free);\n\
+         \u{20}                       --replicas N shards the deployment into N\n\
+         \u{20}                       independent crossbar replicas behind the\n\
+         \u{20}                       deterministic wear-balancing fleet router\n\
+         \u{20}                       (GET /fleet shows per-replica routing state);\n\
+         \u{20}                       --router picks the policy: wear (default,\n\
+         \u{20}                       least projected stress), round-robin, sticky\n\
          \u{20}   memaging analyze <trace.jsonl> [baseline.jsonl]\n\
          \u{20}                                       [--json] [--tolerance F (default 0.05)]\n\
          \u{20}                                       [--latency-buckets N (default 40)]\n\
@@ -630,8 +664,6 @@ fn run_infer(
     let (train, calib) = scenario.train_calib_split(&data)?;
     let trained = framework.train_model(&train, strategy, scenario.seed)?;
     recorder.message(&format!("software accuracy {:.1}%", 100.0 * trained.software_accuracy));
-    let hardware = CrossbarNetwork::new(trained.network, framework.spec, framework.aging)?;
-
     // Read-disturb calibration for the demo deployment: ~50k inference
     // reads cost 30% of the fresh resistance window, so a sustained load
     // visibly ages the crossbars (and eventually triggers a live remap)
@@ -650,6 +682,91 @@ fn run_infer(
     if let Some(buckets) = flags.latency_buckets {
         config.latency_buckets = buckets;
     }
+
+    if flags.replicas > 1 {
+        // Sharded deployment: N independent crossbar replicas behind the
+        // deterministic wear-balancing fleet router.
+        let networks = (0..flags.replicas)
+            .map(|_| CrossbarNetwork::new(trained.network.clone(), framework.spec, framework.aging))
+            .collect::<Result<Vec<_>, _>>()?;
+        let fleet_config =
+            FleetConfig { router: flags.router, ..FleetConfig::new(flags.replicas, config) };
+        let service = Arc::new(FleetService::deploy(
+            networks,
+            calib.clone(),
+            fleet_config,
+            recorder.clone(),
+        )?);
+        let handler = Arc::new(FleetHandler::new(
+            Arc::clone(&service),
+            flags.deadline_ms.map(Duration::from_millis),
+        ));
+        let server = MonitorServer::bind_with_handlers(
+            ("127.0.0.1", flags.port),
+            MonitorState::new(recorder.clone(), wear.clone()),
+            vec![handler],
+        )
+        .map_err(|e| format!("cannot bind monitor port {}: {e}", flags.port))?;
+        let addr = server.local_addr();
+        println!(
+            "serving {} replicas ({} router): POST http://{addr}/infer  GET /fleet  \
+             /serve/stats  /serve/latency  /wear/attribution  /metrics  /health  /wear",
+            flags.replicas,
+            flags.router.label(),
+        );
+        if flags.requests > 0 {
+            // Deterministic self-driven smoke load from the calibration set.
+            let mut served = 0u64;
+            let mut failed = 0u64;
+            for k in 0..flags.requests {
+                let i = (k as usize) % calib.len();
+                let input = calib.batch_matrix(i, i + 1).as_slice().to_vec();
+                match service.infer(InferRequest::new(input)) {
+                    Ok(_) => served += 1,
+                    Err(_) => failed += 1,
+                }
+            }
+            recorder.message(&format!(
+                "self-load complete: {served} served, {failed} failed; fleet: {}",
+                service.fleet_json()
+            ));
+        }
+        if flags.requests == 0 || flags.linger {
+            println!("fleet inference service live (ctrl-c to exit)");
+            loop {
+                std::thread::park();
+            }
+        }
+        server.shutdown();
+        wear.set_status(RunStatus::Survived);
+        if let Ok(service) = Arc::try_unwrap(service) {
+            let report = service.shutdown();
+            recorder.message(&format!(
+                "fleet report: {} admitted, {} served, {} rejected, {} replicas, \
+                 wear imbalance (max/mean) {:.4}",
+                report.admitted,
+                report.served(),
+                report.rejected_full,
+                report.replicas.len(),
+                report.wear_imbalance(),
+            ));
+            for r in &report.replicas {
+                recorder.message(&format!(
+                    "  replica {}: {} routed, {} served, {} boundaries, {} remaps, {} retires",
+                    r.replica, r.routed, r.served, r.boundaries, r.remaps, r.retires
+                ));
+            }
+        }
+        if opts.metrics {
+            if let Some(snapshot) = recorder.snapshot() {
+                print!("{snapshot}");
+            }
+        }
+        recorder.flush();
+        return Ok(());
+    }
+
+    let hardware = CrossbarNetwork::new(trained.network, framework.spec, framework.aging)?;
     let service =
         Arc::new(InferenceService::deploy(hardware, calib.clone(), config, recorder.clone())?);
     let handler = Arc::new(ServeHandler::new(
@@ -1062,6 +1179,42 @@ mod tests {
         assert!(err.contains("--infer"), "got: {err}");
         let err = parse_args(&argv("scenario quick --latency-buckets 24")).unwrap_err();
         assert!(err.contains("unknown flag"), "got: {err}");
+    }
+
+    #[test]
+    fn parses_fleet_flags() {
+        let cmd =
+            parse_args(&argv("serve quick --infer --replicas 4 --router round-robin")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                name: "quick".into(),
+                opts: RunOpts { strategy: StrategyArg::One(Strategy::StAt), ..RunOpts::default() },
+                flags: ServeFlags {
+                    infer: true,
+                    replicas: 4,
+                    router: RouterPolicy::RoundRobin,
+                    ..ServeFlags::default()
+                },
+            }
+        );
+        // `wear-balance` is accepted as an alias of the default policy.
+        let cmd = parse_args(&argv("serve quick --infer --router wear-balance")).unwrap();
+        let Command::Serve { flags, .. } = cmd else { panic!("not serve") };
+        assert_eq!(flags.router, RouterPolicy::WearBalance);
+        // Fleet flags are serve --infer only.
+        let err = parse_args(&argv("serve quick --replicas 2")).unwrap_err();
+        assert!(err.contains("--infer"), "got: {err}");
+        let err = parse_args(&argv("serve quick --router sticky")).unwrap_err();
+        assert!(err.contains("--infer"), "got: {err}");
+        let err = parse_args(&argv("scenario quick --replicas 2")).unwrap_err();
+        assert!(err.contains("unknown flag"), "got: {err}");
+        // Bad values.
+        let err = parse_args(&argv("serve quick --infer --replicas 0")).unwrap_err();
+        assert!(err.contains("at least 1"), "got: {err}");
+        assert!(parse_args(&argv("serve quick --infer --replicas abc")).is_err());
+        let err = parse_args(&argv("serve quick --infer --router random")).unwrap_err();
+        assert!(err.contains("unknown router policy"), "got: {err}");
     }
 
     #[test]

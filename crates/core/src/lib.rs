@@ -75,6 +75,7 @@ pub use study::{run_study, StrategyStats, StudyReport};
 pub use memaging_crossbar as crossbar;
 pub use memaging_dataset as dataset;
 pub use memaging_device as device;
+pub use memaging_fleet as fleet;
 pub use memaging_lifetime as lifetime;
 pub use memaging_nn as nn;
 pub use memaging_obs as obs;

@@ -1,0 +1,69 @@
+//! HTTP surface of the fleet, plugged into the monitor server via
+//! [`memaging_monitor::HttpHandler`]:
+//!
+//! * `POST /infer` — identical wire format to the single-replica serve
+//!   tier (same parser, same response body); the router decides which
+//!   replica serves the request.
+//! * `GET /fleet` — the router's per-replica view: lifecycle state,
+//!   routed share, wear snapshot, and live boundary/remap counters.
+//! * `GET /serve/stats` — fleet admission counters plus one full
+//!   [`memaging_serve::ServeStats`] row per replica.
+//! * `GET /serve/latency` — per-replica latency histograms.
+//! * `GET /wear/attribution` — per-replica wear-attribution ledgers
+//!   (each tagged with its replica id).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use memaging_monitor::{HttpHandler, HttpRequest, HttpResponse};
+use memaging_serve::{infer_error_json, infer_response_json, parse_infer_input, InferRequest};
+
+use crate::service::FleetService;
+
+/// The fleet's [`HttpHandler`]; register with
+/// [`memaging_monitor::MonitorServer::bind_with_handlers`].
+pub struct FleetHandler {
+    service: Arc<FleetService>,
+    /// Deadline attached to HTTP-submitted requests (`None`: no
+    /// deadline).
+    default_deadline: Option<Duration>,
+}
+
+impl FleetHandler {
+    /// A handler serving `service`, attaching `default_deadline` to each
+    /// HTTP request.
+    pub fn new(service: Arc<FleetService>, default_deadline: Option<Duration>) -> Self {
+        FleetHandler { service, default_deadline }
+    }
+}
+
+impl HttpHandler for FleetHandler {
+    fn handle(&self, request: &HttpRequest) -> Option<HttpResponse> {
+        match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/infer") => Some(self.infer(&request.body)),
+            ("GET", "/fleet") => Some(HttpResponse::json(200, self.service.fleet_json())),
+            ("GET", "/serve/stats") => Some(HttpResponse::json(200, self.service.stats_json())),
+            ("GET", "/serve/latency") => Some(HttpResponse::json(200, self.service.latency_json())),
+            ("GET", "/wear/attribution") => {
+                Some(HttpResponse::json(200, self.service.wear_attribution_json()))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl FleetHandler {
+    fn infer(&self, body: &[u8]) -> HttpResponse {
+        let input = match parse_infer_input(body) {
+            Ok(input) => input,
+            Err(reason) => {
+                return HttpResponse::json(400, infer_error_json(&format!("bad input: {reason}")))
+            }
+        };
+        let request = InferRequest { input, deadline: self.default_deadline };
+        match self.service.infer(request) {
+            Ok(response) => HttpResponse::json(200, infer_response_json(&response)),
+            Err(e) => HttpResponse::json(e.http_status(), infer_error_json(&e.to_string())),
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # memaging-fleet
+//!
+//! A sharded replica fleet for memristor crossbar serving: N independent
+//! [`memaging_serve::ServeEngine`] deployments — each with its own wear
+//! ledger, lifetime forecaster, and background remap worker — behind one
+//! admission queue and a deterministic wear-balancing router.
+//!
+//! The paper's aging story is per-chip: read disturb wears a crossbar's
+//! devices, the resistance windows shrink, and aging-aware remapping buys
+//! the mapping time. A deployment, though, serves from a *fleet* of chips,
+//! and no two of them age at the same rate (process variation, thermal
+//! gradients, unequal load). This crate adds the fleet layer:
+//!
+//! * **Wear-balancing router** ([`RouterPolicy::WearBalance`]): each block
+//!   of one maintenance interval's worth of consecutive admissions is
+//!   routed whole to the active replica with the least projected stress —
+//!   its last published generation's stress total plus its *measured*
+//!   burn rate times the load it would absorb. `round-robin` and `sticky`
+//!   baselines are selectable for comparison; the `exp_fleet` bench gates
+//!   that wear balancing yields a strictly tighter max/mean replica-stress
+//!   ratio than round-robin on the same admitted sequence.
+//! * **Retire/rejoin** ([`FleetConfig::retire_fraction`]): when the
+//!   hottest replica's resistance window degrades past the threshold, the
+//!   router drains it, force-remaps it in the background while its
+//!   siblings absorb the traffic, and rejoins it a configured number of
+//!   blocks later.
+//! * **Per-replica observability**: every wear checkpoint, forecast gauge,
+//!   and tile series a replica emits is namespaced `replica{r}.`, its
+//!   attribution ledger is tagged with the replica id, and the
+//!   [`FleetHandler`] serves `GET /fleet` plus per-replica rows under
+//!   `/serve/stats`, `/serve/latency`, and `/wear/attribution`.
+//!
+//! ## Determinism
+//!
+//! Routing decisions are pure functions of the admission block index and
+//! of wear snapshots read from **published mapping generations** at
+//! deterministic boundaries — never of wall-clock time or live (racing)
+//! network state. The same admission sequence replays bit-identically at
+//! any worker-thread count and any replica count, and a one-replica fleet
+//! serves byte-identical outputs to the single-replica
+//! [`memaging_serve::InferenceService`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod config;
+mod http;
+mod service;
+
+pub use config::{FleetConfig, RouterPolicy};
+pub use http::FleetHandler;
+pub use service::{FleetReport, FleetService, ReplicaReport, ReplicaView};

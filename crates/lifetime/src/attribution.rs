@@ -97,12 +97,30 @@ pub struct WearLedger {
     /// the last checkpoint, so bitwise equal to the hardware state).
     attributed: Vec<f64>,
     entries: Vec<WearEntry>,
+    /// Fleet replica id owning these tiles, `None` for a single-network
+    /// ledger. Tile indices are *per replica*: two fleet ledgers both
+    /// track tiles `0..n` of *different* hardware, so any cross-replica
+    /// aggregation must key tiles by `(replica, tile)` — the label makes
+    /// the namespace explicit in JSON exports and analyzer folds instead
+    /// of silently aliasing tile indices across replicas.
+    replica: Option<usize>,
 }
 
 impl WearLedger {
     /// An empty ledger over `tiles` tiles.
     pub fn new(tiles: usize) -> Self {
-        WearLedger { attributed: vec![0.0; tiles], entries: Vec::new() }
+        WearLedger::for_replica(tiles, None)
+    }
+
+    /// An empty ledger over `tiles` tiles of fleet replica `replica`
+    /// (`None`: single-network, identical to [`WearLedger::new`]).
+    pub fn for_replica(tiles: usize, replica: Option<usize>) -> Self {
+        WearLedger { attributed: vec![0.0; tiles], entries: Vec::new(), replica }
+    }
+
+    /// The fleet replica id these tiles belong to, if any.
+    pub fn replica(&self) -> Option<usize> {
+        self.replica
     }
 
     /// Number of tiles tracked.
@@ -177,11 +195,17 @@ impl WearLedger {
 
     /// The ledger as JSON — the body of `GET /wear/attribution`:
     /// `{"tiles":N,"total_stress":S,"causes":[{"cause","events","stress"}],
-    /// "entries":[{"cause","param","stress"}],"per_tile":[..]}`.
+    /// "entries":[{"cause","param","stress"}],"per_tile":[..]}`. A fleet
+    /// replica's ledger leads with `"replica":r` so its tile indices are
+    /// never mistaken for another replica's.
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::with_capacity(256 + 32 * self.entries.len());
-        let _ = write!(out, "{{\"tiles\":{},\"total_stress\":{}", self.tiles(), self.total());
+        out.push('{');
+        if let Some(replica) = self.replica {
+            let _ = write!(out, "\"replica\":{replica},");
+        }
+        let _ = write!(out, "\"tiles\":{},\"total_stress\":{}", self.tiles(), self.total());
         out.push_str(",\"causes\":[");
         for (i, (kind, events, stress)) in self.cause_totals().iter().enumerate() {
             if i > 0 {
@@ -302,5 +326,20 @@ mod tests {
     #[should_panic(expected = "ledger tracks 2 tiles")]
     fn tile_count_mismatch_panics() {
         WearLedger::new(2).charge(WearCause::Tuning, &[1.0]);
+    }
+
+    #[test]
+    fn replica_label_namespaces_the_json_but_not_the_account() {
+        let mut labeled = WearLedger::for_replica(2, Some(3));
+        let mut plain = WearLedger::new(2);
+        assert_eq!(labeled.replica(), Some(3));
+        assert_eq!(plain.replica(), None);
+        labeled.charge(WearCause::Remap { generation: 0 }, &[0.5, 0.25]);
+        plain.charge(WearCause::Remap { generation: 0 }, &[0.5, 0.25]);
+        assert!(labeled.to_json().starts_with("{\"replica\":3,\"tiles\":2,"));
+        assert!(plain.to_json().starts_with("{\"tiles\":2,"));
+        // Only the namespace differs — the account itself is identical.
+        assert_eq!(labeled.entries(), plain.entries());
+        assert_eq!(labeled.attributed(), plain.attributed());
     }
 }

@@ -72,6 +72,14 @@ pub struct ServeEngine {
     /// Highest severity the predictive burn-rate alert has fired at —
     /// escalate-once, like the health monitor's per-rule alert state.
     burn_severity: Option<AlertSeverity>,
+    /// Fleet replica id, `None` for a single-replica deployment. When set,
+    /// every per-hardware observation (series names, wear-checkpoint
+    /// causes, forecast gauges, the ledger itself) carries a
+    /// `replica{r}.` namespace so fleet streams can never alias tiles
+    /// across replicas.
+    replica: Option<usize>,
+    /// `""` or `"replica{r}."` — the obs namespace derived from `replica`.
+    prefix: String,
 }
 
 impl ServeEngine {
@@ -85,13 +93,34 @@ impl ServeEngine {
     /// [`ServeError::Internal`] when the initial mapping or read-back
     /// fails.
     pub fn deploy(
-        mut network: CrossbarNetwork,
+        network: CrossbarNetwork,
         calib: Dataset,
         config: ServeConfig,
         recorder: Recorder,
         stats: Arc<ServeStats>,
     ) -> Result<(ServeEngine, Arc<MappingGeneration>), ServeError> {
+        ServeEngine::deploy_replica(network, calib, config, recorder, stats, None)
+    }
+
+    /// [`ServeEngine::deploy`] with an explicit fleet replica id: all
+    /// per-hardware observability (series, wear causes, forecast gauges,
+    /// the attribution ledger) is namespaced `replica{r}.`. `None` is the
+    /// single-replica path and produces byte-identical streams to the
+    /// pre-fleet engine.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeEngine::deploy`].
+    pub fn deploy_replica(
+        mut network: CrossbarNetwork,
+        calib: Dataset,
+        config: ServeConfig,
+        recorder: Recorder,
+        stats: Arc<ServeStats>,
+        replica: Option<usize>,
+    ) -> Result<(ServeEngine, Arc<MappingGeneration>), ServeError> {
         config.validate()?;
+        let prefix = replica.map(|r| format!("replica{r}.")).unwrap_or_default();
         // The live remap must go through the incremental candidate-eval
         // engine: persistent worker contexts across map epochs are exactly
         // the serving-time reuse it was built for.
@@ -122,10 +151,10 @@ impl ServeEngine {
         // The checkpoint is mirrored to the trace so offline attribution
         // replays bit-for-bit.
         let stress = network.tile_stress();
-        let mut ledger = WearLedger::new(stress.len());
+        let mut ledger = WearLedger::for_replica(stress.len(), replica);
         let cause = WearCause::Remap { generation: 0 };
         ledger.charge(cause, &stress);
-        recorder.wear_checkpoint(cause.kind(), cause.param(), &stress);
+        recorder.wear_checkpoint(&format!("{prefix}{}", cause.kind()), cause.param(), &stress);
         let mut engine = ServeEngine {
             network,
             calib,
@@ -139,6 +168,8 @@ impl ServeEngine {
             last_boundary: 0,
             ledger: Arc::new(Mutex::new(ledger)),
             burn_severity: None,
+            replica,
+            prefix,
         };
         let generation = engine.read_generation(0)?;
         Ok((engine, generation))
@@ -182,7 +213,10 @@ impl ServeEngine {
         let report = self.health.observe(id, &wear, 0);
         report.emit(&self.recorder);
         let generation = self.read_generation(id)?;
-        self.recorder.gauge("serve.window_fraction_worst", generation.worst_window_fraction);
+        self.recorder.gauge(
+            &format!("serve.{}window_fraction_worst", self.prefix),
+            generation.worst_window_fraction,
+        );
         self.record_series(id, &wear);
         self.update_forecast(wear.len());
 
@@ -249,6 +283,22 @@ impl ServeEngine {
         }
     }
 
+    /// Runs the aging-aware remap unconditionally — the fleet's retire
+    /// path: a retiring replica is drained of traffic and re-mapped in the
+    /// background while its siblings absorb the load, regardless of
+    /// whether the warn threshold armed the trigger. Same failure policy
+    /// as [`ServeEngine::maybe_remap`].
+    pub fn force_remap(&mut self) -> bool {
+        self.remap_armed = true;
+        self.maybe_remap()
+    }
+
+    /// The fleet replica id this engine was deployed with (`None` for a
+    /// single-replica deployment).
+    pub fn replica(&self) -> Option<usize> {
+        self.replica
+    }
+
     /// Reads back the effective hardware weights as generation `id`.
     fn read_generation(&mut self, id: u64) -> Result<Arc<MappingGeneration>, ServeError> {
         let weights = self.network.read_weights().map_err(internal)?;
@@ -258,7 +308,16 @@ impl ServeEngine {
             .iter()
             .map(|tile| tile.mean_window_fraction)
             .fold(1.0_f64, f64::min);
-        Ok(Arc::new(MappingGeneration { id, weights, worst_window_fraction, remaps: self.remaps }))
+        // Tile-order sum: the deterministic stress snapshot the fleet
+        // router differentiates for per-replica burn rates.
+        let total_stress = self.network.tile_stress().iter().sum();
+        Ok(Arc::new(MappingGeneration {
+            id,
+            weights,
+            worst_window_fraction,
+            total_stress,
+            remaps: self.remaps,
+        }))
     }
 
     /// Consumes the engine, returning the final hardware state (for
@@ -288,7 +347,11 @@ impl ServeEngine {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .charge(cause, &stress);
-        self.recorder.wear_checkpoint(cause.kind(), cause.param(), &stress);
+        self.recorder.wear_checkpoint(
+            &format!("{}{}", self.prefix, cause.kind()),
+            cause.param(),
+            &stress,
+        );
     }
 
     /// Feeds the per-tile wear series at boundary `id`: the mean window
@@ -303,12 +366,12 @@ impl ServeEngine {
         let stress = self.network.tile_stress();
         for (t, (tile, tile_stress)) in wear.iter().zip(&stress).enumerate() {
             self.recorder.series_record(
-                &format!("serve.window_fraction_ppb{{tile={t}}}"),
+                &format!("serve.{}window_fraction_ppb{{tile={t}}}", self.prefix),
                 id,
                 to_fixed(tile.mean_window_fraction),
             );
             self.recorder.series_record(
-                &format!("serve.tile_stress_ns{{tile={t}}}"),
+                &format!("serve.{}tile_stress_ns{{tile={t}}}", self.prefix),
                 id,
                 to_fixed(*tile_stress),
             );
@@ -328,7 +391,7 @@ impl ServeEngine {
         let critical_ppb = to_fixed(self.config.thresholds.critical_window_fraction);
         let mut trends = Vec::with_capacity(tiles);
         for t in 0..tiles {
-            let name = format!("serve.window_fraction_ppb{{tile={t}}}");
+            let name = format!("serve.{}window_fraction_ppb{{tile={t}}}", self.prefix);
             let Some(snapshot) = store.snapshot(&name) else { continue };
             let Some(fit) =
                 trend(&snapshot.raw_points(), self.config.forecast_window, critical_ppb)
@@ -336,35 +399,43 @@ impl ServeEngine {
                 continue;
             };
             self.recorder.gauge_labeled(
-                "forecast.window_fraction",
+                &format!("forecast.{}window_fraction", self.prefix),
                 "tile",
                 t,
                 fit.value as f64 / SERIES_SCALE,
             );
             self.recorder.gauge_labeled(
-                "forecast.velocity_per_session",
+                &format!("forecast.{}velocity_per_session", self.prefix),
                 "tile",
                 t,
                 fit.velocity / SERIES_SCALE,
             );
             self.recorder.gauge_labeled(
-                "forecast.acceleration_per_session2",
+                &format!("forecast.{}acceleration_per_session2", self.prefix),
                 "tile",
                 t,
                 fit.acceleration / SERIES_SCALE,
             );
             if let Some(k) = fit.sessions_to_critical {
-                self.recorder.gauge_labeled("forecast.sessions_to_critical", "tile", t, k);
+                self.recorder.gauge_labeled(
+                    &format!("forecast.{}sessions_to_critical", self.prefix),
+                    "tile",
+                    t,
+                    k,
+                );
             }
             trends.push((t, fit));
         }
         let Some((tile, fit)) = worst_tile(&trends) else {
             return;
         };
-        self.recorder.gauge("forecast.worst_tile", tile as f64);
-        self.recorder.gauge("forecast.worst_velocity_per_session", fit.velocity / SERIES_SCALE);
+        self.recorder.gauge(&format!("forecast.{}worst_tile", self.prefix), tile as f64);
+        self.recorder.gauge(
+            &format!("forecast.{}worst_velocity_per_session", self.prefix),
+            fit.velocity / SERIES_SCALE,
+        );
         if let Some(k) = fit.sessions_to_critical {
-            self.recorder.gauge("forecast.worst_sessions_to_critical", k);
+            self.recorder.gauge(&format!("forecast.{}worst_sessions_to_critical", self.prefix), k);
         }
         self.stats.set_forecast(WorstTileForecast {
             tile,

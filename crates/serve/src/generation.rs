@@ -24,6 +24,11 @@ pub struct MappingGeneration {
     pub weights: Vec<Tensor>,
     /// Worst per-layer mean window fraction at publish time (of fresh).
     pub worst_window_fraction: f64,
+    /// Total accrued tile stress (seconds, summed in tile order) at
+    /// read-back — the fleet router's deterministic wear snapshot: burn
+    /// rates are differences of these totals across generations, never
+    /// racy live reads.
+    pub total_stress: f64,
     /// Cumulative live remaps performed before this generation was read.
     pub remaps: u64,
 }
@@ -95,6 +100,7 @@ mod tests {
             id,
             weights: Vec::new(),
             worst_window_fraction: 1.0,
+            total_stress: 0.0,
             remaps: 0,
         })
     }

@@ -60,41 +60,48 @@ impl HttpHandler for ServeHandler {
 
 impl ServeHandler {
     fn infer(&self, body: &[u8]) -> HttpResponse {
-        let input = match parse_input(body) {
+        let input = match parse_infer_input(body) {
             Ok(input) => input,
             Err(reason) => {
-                return HttpResponse::json(400, error_json(&format!("bad input: {reason}")))
+                return HttpResponse::json(400, infer_error_json(&format!("bad input: {reason}")))
             }
         };
         let request = InferRequest { input, deadline: self.default_deadline };
         match self.service.infer(request) {
-            Ok(response) => {
-                let mut out = String::with_capacity(64 + 16 * response.output.len());
-                let _ = write!(
-                    out,
-                    "{{\"seq\":{},\"generation\":{},\"prediction\":{},\"queue_us\":{},\
-                     \"service_us\":{},\"output\":[",
-                    response.seq,
-                    response.generation,
-                    response.prediction,
-                    response.queue_us,
-                    response.service_us,
-                );
-                for (i, v) in response.output.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    push_f32(&mut out, *v);
-                }
-                out.push_str("]}");
-                HttpResponse::json(200, out)
-            }
-            Err(e) => HttpResponse::json(e.http_status(), error_json(&e.to_string())),
+            Ok(response) => HttpResponse::json(200, infer_response_json(&response)),
+            Err(e) => HttpResponse::json(e.http_status(), infer_error_json(&e.to_string())),
         }
     }
 }
 
-fn error_json(message: &str) -> String {
+/// The `POST /infer` 200 body for a served response — shared by the
+/// single-service [`ServeHandler`] and the fleet handler so both wire
+/// formats stay identical.
+pub fn infer_response_json(response: &crate::request::InferResponse) -> String {
+    let mut out = String::with_capacity(64 + 16 * response.output.len());
+    let _ = write!(
+        out,
+        "{{\"seq\":{},\"generation\":{},\"prediction\":{},\"queue_us\":{},\
+         \"service_us\":{},\"output\":[",
+        response.seq,
+        response.generation,
+        response.prediction,
+        response.queue_us,
+        response.service_us,
+    );
+    for (i, v) in response.output.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_f32(&mut out, *v);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// An `{"error": "..."}` body with JSON string escaping — shared with the
+/// fleet handler.
+pub fn infer_error_json(message: &str) -> String {
     let mut out = String::with_capacity(message.len() + 12);
     out.push_str("{\"error\":\"");
     for c in message.chars() {
@@ -123,8 +130,12 @@ fn push_f32(out: &mut String, value: f32) {
 
 /// Accepts `{"input": [..]}` or a bare `[..]` array of JSON numbers.
 /// Deliberately minimal: this is the only JSON the endpoint consumes, and
-/// the workspace is dependency-free.
-fn parse_input(body: &[u8]) -> Result<Vec<f32>, ServeError> {
+/// the workspace is dependency-free. Shared with the fleet handler.
+///
+/// # Errors
+///
+/// [`ServeError::BadInput`] with the offending token.
+pub fn parse_infer_input(body: &[u8]) -> Result<Vec<f32>, ServeError> {
     let text = std::str::from_utf8(body)
         .map_err(|_| ServeError::BadInput { reason: "body is not UTF-8".into() })?
         .trim();
@@ -170,20 +181,20 @@ mod tests {
 
     #[test]
     fn parses_bare_arrays_and_wrapped_objects() {
-        assert_eq!(parse_input(b"[1, 2.5, -3e-1]").unwrap(), vec![1.0, 2.5, -0.3]);
-        assert_eq!(parse_input(b"{\"input\": [0.5, 1]}").unwrap(), vec![0.5, 1.0]);
-        assert_eq!(parse_input(b"  [ ]  ").unwrap(), Vec::<f32>::new());
+        assert_eq!(parse_infer_input(b"[1, 2.5, -3e-1]").unwrap(), vec![1.0, 2.5, -0.3]);
+        assert_eq!(parse_infer_input(b"{\"input\": [0.5, 1]}").unwrap(), vec![0.5, 1.0]);
+        assert_eq!(parse_infer_input(b"  [ ]  ").unwrap(), Vec::<f32>::new());
     }
 
     #[test]
     fn rejects_malformed_payloads() {
         for bad in [&b"not json"[..], b"{\"x\": [1]}", b"[1, two]", b"[1, 2", b"\xff\xfe"] {
-            assert!(parse_input(bad).is_err(), "{bad:?} must be rejected");
+            assert!(parse_infer_input(bad).is_err(), "{bad:?} must be rejected");
         }
     }
 
     #[test]
     fn error_json_escapes_quotes() {
-        assert_eq!(error_json("a \"b\"\n"), "{\"error\":\"a \\\"b\\\"\\u000a\"}");
+        assert_eq!(infer_error_json("a \"b\"\n"), "{\"error\":\"a \\\"b\\\"\\u000a\"}");
     }
 }

@@ -57,13 +57,16 @@ mod request;
 mod service;
 mod stats;
 mod trace;
+mod worker;
 
 pub use config::ServeConfig;
 pub use engine::ServeEngine;
 pub use error::ServeError;
 pub use generation::{GenerationCell, MappingGeneration};
-pub use http::ServeHandler;
+pub use http::{infer_error_json, infer_response_json, parse_infer_input, ServeHandler};
+pub use queue::{Entry, RequestQueue, ResponseSlot};
 pub use request::{InferRequest, InferResponse};
 pub use service::{InferenceService, ServeReport};
 pub use stats::{LatencyStats, ServeStats, WorstTileForecast};
 pub use trace::{RequestCtx, TraceId};
+pub use worker::{declare_serve_histograms, dispatch_batch, form_batch, WorkerCtx, LINGER_POLL};

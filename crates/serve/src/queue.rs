@@ -19,7 +19,7 @@ use crate::trace::RequestCtx;
 
 /// One admitted request as the dispatcher sees it.
 #[derive(Debug)]
-pub(crate) struct Entry {
+pub struct Entry {
     /// Global admission sequence number (0-based).
     pub seq: u64,
     /// The input feature vector.
@@ -37,7 +37,7 @@ pub(crate) struct Entry {
 
 /// The rendezvous a client blocks on while its request is in flight.
 #[derive(Debug, Default)]
-pub(crate) struct ResponseSlot {
+pub struct ResponseSlot {
     outcome: Mutex<Option<Result<InferResponse, ServeError>>>,
     ready: Condvar,
 }
@@ -72,7 +72,7 @@ struct QueueState {
 
 /// The bounded MPSC admission queue.
 #[derive(Debug)]
-pub(crate) struct RequestQueue {
+pub struct RequestQueue {
     state: Mutex<QueueState>,
     /// Signalled when an entry arrives or the queue closes.
     arrived: Condvar,
@@ -80,6 +80,7 @@ pub(crate) struct RequestQueue {
 }
 
 impl RequestQueue {
+    /// An empty queue admitting at most `capacity` in-flight requests.
     pub fn new(capacity: usize) -> Self {
         RequestQueue { state: Mutex::new(QueueState::default()), arrived: Condvar::new(), capacity }
     }

@@ -34,26 +34,23 @@
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use memaging_crossbar::CrossbarNetwork;
 use memaging_dataset::Dataset;
 use memaging_lifetime::WearLedger;
-use memaging_nn::{Mode, Network, QuantScratch, QuantizedNet};
+use memaging_nn::Network;
 use memaging_obs::Recorder;
 use memaging_par::SlotPool;
-use memaging_tensor::Tensor;
 
 use crate::config::ServeConfig;
 use crate::engine::ServeEngine;
 use crate::error::ServeError;
 use crate::generation::{GenerationCell, MappingGeneration};
-use crate::queue::{Entry, RequestQueue, ResponseSlot};
+use crate::queue::{RequestQueue, ResponseSlot};
 use crate::request::{InferRequest, InferResponse};
 use crate::stats::ServeStats;
-
-/// Poll period while the batcher lingers for more requests.
-const LINGER_POLL: Duration = Duration::from_micros(100);
+use crate::worker::{dispatch_batch, form_batch, WorkerCtx};
 
 /// One maintenance-boundary job, sent dispatcher → maintenance.
 struct BoundaryJob {
@@ -132,25 +129,7 @@ impl InferenceService {
         let queue = Arc::new(RequestQueue::new(config.queue_capacity));
         let generations = Arc::new(GenerationCell::default());
         generations.publish(initial);
-        recorder.declare_histogram(
-            "serve.queue_wait_us",
-            &[100.0, 500.0, 1_000.0, 5_000.0, 20_000.0, 100_000.0, 500_000.0],
-        );
-        recorder.declare_histogram(
-            "serve.service_us",
-            &[100.0, 500.0, 1_000.0, 5_000.0, 20_000.0, 100_000.0, 500_000.0],
-        );
-        recorder.declare_histogram("serve.batch_size", &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0]);
-        // Power-of-2 bounds (2^k - 1) mirroring the ShardedHistogram bucket
-        // scheme, so Prometheus buckets and /serve/latency buckets line up.
-        recorder.declare_histogram(
-            "serve.linger_us",
-            &[127.0, 511.0, 2_047.0, 8_191.0, 32_767.0, 131_071.0],
-        );
-        recorder.declare_histogram(
-            "serve.e2e_us",
-            &[127.0, 511.0, 2_047.0, 8_191.0, 32_767.0, 131_071.0, 524_287.0],
-        );
+        crate::worker::declare_serve_histograms(&recorder);
 
         let (boundary_tx, boundary_rx) = mpsc::channel::<BoundaryJob>();
         let maintenance = {
@@ -315,22 +294,6 @@ impl Drop for InferenceService {
     }
 }
 
-/// Per-worker inference context: a software-network clone plus the id of
-/// the generation its weights are synced to. In quantized mode the worker
-/// also keeps a fixed-point snapshot of the generation (rebuilt at each
-/// resync — a pure function of the weight bits, so every worker's snapshot
-/// of one generation is bit-identical) and the integer-forward scratch.
-struct WorkerCtx {
-    network: Network,
-    generation: u64,
-    quantized: bool,
-    qsnap: QuantizedNet,
-    qscratch: QuantScratch,
-    /// Contiguous `m × input_dim` assembly buffer for the batched
-    /// quantized forward (reused across batches, no per-batch allocation).
-    batch_inputs: Vec<f32>,
-}
-
 fn dispatch_loop(
     queue: &RequestQueue,
     generations: &GenerationCell,
@@ -351,21 +314,8 @@ fn dispatch_loop(
         // never crosses the boundary — all its requests share one
         // generation.
         let boundary_seq = (batch_interval + 1) * interval;
-        let mut batch = vec![first];
-        let linger_started = Instant::now();
-        let linger_until = linger_started + config.max_linger;
-        while batch.len() < config.max_batch {
-            if let Some(entry) = queue.pop_if_below(boundary_seq) {
-                batch.push(entry);
-                continue;
-            }
-            // Don't linger on an empty closed queue — drain fast.
-            if queue.is_closed() || Instant::now() >= linger_until {
-                break;
-            }
-            std::thread::sleep(LINGER_POLL);
-        }
-        let linger_us = linger_started.elapsed().as_micros() as u64;
+        let (batch, linger_us) =
+            form_batch(queue, first, boundary_seq, config.max_batch, config.max_linger);
         stats.latency().linger.record(0, linger_us);
         recorder.observe("serve.linger_us", linger_us as f64);
         // Ask maintenance for every generation up to this batch's, then
@@ -381,7 +331,7 @@ fn dispatch_loop(
             next_boundary += 1;
         }
         let generation = generations.wait_for(batch_interval);
-        dispatch_batch(batch, &generation, &mut pool, base, stats, recorder, config.quantized);
+        dispatch_batch(batch, 0, &generation, &mut pool, base, stats, recorder, config.quantized);
     }
     // Queue closed and drained: flush the final partial interval's wear so
     // the reported hardware state covers every admitted request.
@@ -397,214 +347,6 @@ fn dispatch_loop(
     }
     // Dropping the sender ends the maintenance loop after it has
     // processed every queued job.
-}
-
-/// Serves one formed batch. Expired requests are answered without touching
-/// a worker. In f32 mode live requests fan out over the `par` worker pool
-/// and are forwarded independently; in quantized mode the whole batch runs
-/// as **one** integer matmul on a single worker context
-/// ([`dispatch_batch_quantized`]) — per-row quantization steps plus exact
-/// integer accumulation make every row's bytes independent of how the racy
-/// admission stream happened to group into batches, so the fused kernel
-/// changes no response. Either way the `serve.forward` span covers exactly
-/// the forward computation — generation sync (a maintenance cost, paid once
-/// per remap) runs before the span opens, and delivery / accounting run
-/// after it closes.
-fn dispatch_batch(
-    batch: Vec<Entry>,
-    generation: &MappingGeneration,
-    pool: &mut SlotPool<WorkerCtx>,
-    base: &Network,
-    stats: &ServeStats,
-    recorder: &Recorder,
-    quantized: bool,
-) {
-    let now = Instant::now();
-    let mut live: Vec<(Entry, u64)> = Vec::with_capacity(batch.len());
-    for entry in batch {
-        let queue_us = now.duration_since(entry.ctx.admitted_at).as_micros() as u64;
-        recorder.observe("serve.queue_wait_us", queue_us as f64);
-        stats.latency().queue_wait.record(0, queue_us);
-        if entry.deadline.is_some_and(|deadline| deadline < now) {
-            stats.expired.fetch_add(1, Ordering::Relaxed);
-            recorder.counter("serve.expired", 1);
-            entry.slot.deliver(Err(ServeError::DeadlineExceeded));
-            continue;
-        }
-        live.push((entry, queue_us));
-    }
-    if live.is_empty() {
-        return;
-    }
-    stats.record_batch(live.len());
-    recorder.observe("serve.batch_size", live.len() as f64);
-    // The batch span carries its first request's trace id — the batch's
-    // admission-order identity.
-    let span = recorder.trace_span("serve.batch", live[0].0.seq);
-    pool.ensure_slots(memaging_par::num_threads().max(1));
-    if quantized {
-        dispatch_batch_quantized(&live, generation, pool, base, stats, recorder);
-        drop(span);
-        return;
-    }
-    let pool = &*pool;
-    let live = &live;
-    memaging_par::par_map_init(
-        live.len(),
-        |worker| (worker, pool.lease(worker)),
-        |(worker, lease), i| {
-            let ctx = lease.get_or_insert_with(|| WorkerCtx {
-                network: base.clone(),
-                generation: u64::MAX,
-                quantized,
-                qsnap: QuantizedNet::default(),
-                qscratch: QuantScratch::new(),
-                batch_inputs: Vec::new(),
-            });
-            let (entry, queue_us) = &live[i];
-            let started = Instant::now();
-            let result = resync(ctx, generation).and_then(|()| {
-                let _span = recorder.worker_trace_span("serve.forward", *worker, entry.seq);
-                serve_one(ctx, &entry.input)
-            });
-            let service_us = started.elapsed().as_micros() as u64;
-            let outcome = result.map(|(output, prediction)| {
-                stats.served.fetch_add(1, Ordering::Relaxed);
-                stats.record_latency(*queue_us, service_us);
-                stats.latency().forward.record(*worker, service_us);
-                let e2e_us = entry.ctx.admitted_at.elapsed().as_micros() as u64;
-                stats.latency().e2e.record(*worker, e2e_us);
-                recorder.observe("serve.service_us", service_us as f64);
-                recorder.observe("serve.e2e_us", e2e_us as f64);
-                InferResponse {
-                    seq: entry.seq,
-                    generation: generation.id,
-                    output,
-                    prediction,
-                    queue_us: *queue_us,
-                    service_us,
-                }
-            });
-            entry.slot.deliver(outcome);
-        },
-    );
-    drop(span);
-}
-
-/// The quantized batch engine: one worker context, one generation sync, one
-/// contiguous input assembly, one batched integer forward for every live
-/// request. Row `i` of [`Network::forward_quantized_rows`] is bit-for-bit
-/// the response request `i` would get served alone (per-row activation
-/// steps; exact integer accumulation), so the batch grouping — which
-/// depends on racy admission timing — cannot leak into any response. The
-/// fused kernel is what the `exp_serve` speedup gate measures: the integer
-/// matmul amortizes its per-call setup over the batch, where the f32 tier
-/// pays the full per-request forward each time.
-fn dispatch_batch_quantized(
-    live: &[(Entry, u64)],
-    generation: &MappingGeneration,
-    pool: &SlotPool<WorkerCtx>,
-    base: &Network,
-    stats: &ServeStats,
-    recorder: &Recorder,
-) {
-    let m = live.len();
-    let mut lease = pool.lease(0);
-    let ctx = lease.get_or_insert_with(|| WorkerCtx {
-        network: base.clone(),
-        generation: u64::MAX,
-        quantized: true,
-        qsnap: QuantizedNet::default(),
-        qscratch: QuantScratch::new(),
-        batch_inputs: Vec::new(),
-    });
-    let started = Instant::now();
-    let forwarded = resync(ctx, generation).and_then(|()| {
-        // Same window as the f32 path's span: exactly the forward.
-        let _span = recorder.worker_trace_span("serve.forward", 0, live[0].0.seq);
-        let WorkerCtx { network, qsnap, qscratch, batch_inputs, .. } = ctx;
-        batch_inputs.clear();
-        for (entry, _) in live {
-            batch_inputs.extend_from_slice(&entry.input);
-        }
-        network
-            .forward_quantized_rows(qsnap, batch_inputs, m, qscratch)
-            .map_err(|e| ServeError::Internal { reason: e.to_string() })
-    });
-    let service_us = started.elapsed().as_micros() as u64;
-    match forwarded {
-        Ok(rows) => {
-            let n = rows.len() / m;
-            for (i, (entry, queue_us)) in live.iter().enumerate() {
-                let row = &rows[i * n..(i + 1) * n];
-                let mut prediction = 0;
-                for (j, &v) in row.iter().enumerate() {
-                    if v > row[prediction] {
-                        prediction = j;
-                    }
-                }
-                stats.served.fetch_add(1, Ordering::Relaxed);
-                stats.record_latency(*queue_us, service_us);
-                stats.latency().forward.record(0, service_us);
-                let e2e_us = entry.ctx.admitted_at.elapsed().as_micros() as u64;
-                stats.latency().e2e.record(0, e2e_us);
-                recorder.observe("serve.service_us", service_us as f64);
-                recorder.observe("serve.e2e_us", e2e_us as f64);
-                entry.slot.deliver(Ok(InferResponse {
-                    seq: entry.seq,
-                    generation: generation.id,
-                    output: row.to_vec(),
-                    prediction,
-                    queue_us: *queue_us,
-                    service_us,
-                }));
-            }
-        }
-        Err(e) => {
-            let reason = e.to_string();
-            for (entry, _) in live {
-                entry.slot.deliver(Err(ServeError::Internal { reason: reason.clone() }));
-            }
-        }
-    }
-}
-
-/// Syncs a worker context's weights (and, in quantized mode, its
-/// fixed-point snapshot) to `generation` if needed. The snapshot is a pure
-/// function of the weight bits, so every worker's snapshot of one
-/// generation is bit-identical.
-fn resync(ctx: &mut WorkerCtx, generation: &MappingGeneration) -> Result<(), ServeError> {
-    if ctx.generation != generation.id {
-        ctx.network
-            .set_weight_matrices(&generation.weights)
-            .map_err(|e| ServeError::Internal { reason: e.to_string() })?;
-        if ctx.quantized {
-            ctx.qsnap = ctx.network.quantize_weights();
-        }
-        ctx.generation = generation.id;
-    }
-    Ok(())
-}
-
-/// Forwards one input through the worker's f32 network. The caller must
-/// have [`resync`]ed the context to the serving generation first. Quantized
-/// batches never reach this — they run fused through
-/// [`dispatch_batch_quantized`].
-fn serve_one(ctx: &mut WorkerCtx, input: &[f32]) -> Result<(Vec<f32>, usize), ServeError> {
-    let input = Tensor::from_vec(input.to_vec(), [1, input.len()])
-        .map_err(|e| ServeError::Internal { reason: e.to_string() })?;
-    let output = ctx
-        .network
-        .forward(&input, Mode::Eval)
-        .map_err(|e| ServeError::Internal { reason: e.to_string() })?
-        .into_vec();
-    let mut prediction = 0;
-    for (i, &v) in output.iter().enumerate() {
-        if v > output[prediction] {
-            prediction = i;
-        }
-    }
-    Ok((output, prediction))
 }
 
 fn maintenance_loop(
@@ -632,6 +374,7 @@ fn maintenance_loop(
                     id: job.id,
                     weights: prior.weights.clone(),
                     worst_window_fraction: prior.worst_window_fraction,
+                    total_stress: prior.total_stress,
                     remaps: prior.remaps,
                 }));
             }

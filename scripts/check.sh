@@ -73,13 +73,33 @@ if [[ -n "$candidate_serve" && -f "$candidate_serve" ]]; then
         BENCH_serve.json "$candidate_serve" --tolerance 3.0
 fi
 
+# Same gate over the replica-fleet profile (exp_fleet writes a fresh one;
+# set MEMAGING_BENCH_CANDIDATE_FLEET to diff it against the committed
+# baseline). The committed baseline must carry the wear-imbalance gate
+# (exp_fleet asserts wear-balancing strictly beats round-robin when it
+# runs) and the throughput-scaling extra.
+for key in fleet_wear_imbalance fleet_wear_imbalance_round_robin fleet_scaling \
+           fleet_retires; do
+    grep -q "\"$key\"" BENCH_fleet.json \
+        || { echo "check.sh: BENCH_fleet.json is missing extra \"$key\"" >&2; exit 1; }
+done
+cargo run -q -p memaging-bench --bin bench-diff -- BENCH_fleet.json BENCH_fleet.json
+candidate_fleet="${MEMAGING_BENCH_CANDIDATE_FLEET:-}"
+if [[ -n "$candidate_fleet" && -f "$candidate_fleet" ]]; then
+    cargo run -q -p memaging-bench --bin bench-diff -- \
+        BENCH_fleet.json "$candidate_fleet" --tolerance 3.0
+fi
+
 # Offline trace analyzer over the committed flight dumps: every committed
 # line must parse, and identical dumps must diff clean (exit 0, zero
 # regressions) — the analyzer's own regression gate applied to itself.
-for dump in results/flight_serve_*.jsonl; do
+# The fleet dumps exercise the per-replica folding path.
+for dump in results/flight_serve_*.jsonl results/flight_fleet_*.jsonl; do
     cargo run -q -p memaging --bin memaging -- analyze "$dump" > /dev/null
 done
 cargo run -q -p memaging --bin memaging -- analyze \
     results/flight_serve_1t.jsonl results/flight_serve_1t.jsonl > /dev/null
+cargo run -q -p memaging --bin memaging -- analyze \
+    results/flight_fleet_r4_1t.jsonl results/flight_fleet_r4_1t.jsonl > /dev/null
 
 echo "check.sh: all green"
